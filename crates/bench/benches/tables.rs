@@ -1,0 +1,82 @@
+//! Criterion benches exercising each table/figure pipeline end-to-end at
+//! smoke scale — one bench per experiment so `cargo bench` demonstrably
+//! regenerates every table and figure of the paper (the full-scale
+//! numbers come from the `table1`/`table2`/`table3`/`fig2` binaries).
+
+use aptq_bench::{Experiment, ExperimentScale};
+use aptq_eval::pipeline::Method;
+use aptq_eval::zoo::ModelSize;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn smoke_experiment() -> Experiment {
+    Experiment::prepare(ModelSize::Small, ExperimentScale::smoke(), false)
+        .expect("smoke experiment setup")
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let exp = smoke_experiment();
+    let mut group = c.benchmark_group("table1_ppl_rows");
+    group.sample_size(10);
+    group.bench_function("gptq4", |b| {
+        b.iter(|| black_box(exp.perplexity_row(Method::Gptq { bits: 4 }).unwrap()));
+    });
+    group.bench_function("aptq4", |b| {
+        b.iter(|| black_box(exp.perplexity_row(Method::AptqUniform { bits: 4 }).unwrap()));
+    });
+    group.bench_function("aptq75", |b| {
+        b.iter(|| black_box(exp.perplexity_row(Method::AptqMixed { ratio: 0.75 }).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let exp = smoke_experiment();
+    let mut group = c.benchmark_group("table2_zeroshot_rows");
+    group.sample_size(10);
+    group.bench_function("fp16", |b| {
+        b.iter(|| black_box(exp.zeroshot_row(Method::Fp16).unwrap()));
+    });
+    group.bench_function("aptq90", |b| {
+        b.iter(|| black_box(exp.zeroshot_row(Method::AptqMixed { ratio: 0.9 }).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let exp = smoke_experiment();
+    let mut group = c.benchmark_group("table3_ablation_rows");
+    group.sample_size(10);
+    group.bench_function("trace50", |b| {
+        b.iter(|| black_box(exp.perplexity_row(Method::AptqMixed { ratio: 0.5 }).unwrap()));
+    });
+    group.bench_function("blockwise50", |b| {
+        b.iter(|| black_box(exp.perplexity_row(Method::ManualBlockwise { ratio: 0.5 }).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let exp = smoke_experiment();
+    let mut group = c.benchmark_group("fig2_ratio_sweep");
+    group.sample_size(10);
+    group.bench_function("sweep_3pts", |b| {
+        b.iter(|| {
+            for r in [0.5f32, 0.75, 0.9] {
+                black_box(exp.perplexity_row(Method::AptqMixed { ratio: r }).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = tables;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    targets = bench_table1, bench_table2, bench_table3, bench_fig2
+);
+criterion_main!(tables);

@@ -1,0 +1,70 @@
+//! Regenerates **Figure 2**: C4-stand-in perplexity of APTQ across the
+//! 4-bit ratio sweep, against the GPTQ / OWQ / LLM-QAT / PB-LLM
+//! reference points.
+
+use aptq_bench::{emit, Experiment, ExperimentScale};
+use aptq_eval::pipeline::Method;
+use aptq_eval::tables::{render_ascii_chart, render_markdown};
+use aptq_eval::zoo::ModelSize;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale::full()
+    };
+    eprintln!("[fig2] preparing experiment…");
+    let exp = Experiment::prepare(ModelSize::Small, scale, true).expect("experiment setup");
+
+    // The APTQ curve: R ∈ {0.5 … 1.0}.
+    let ratios = [0.5f32, 0.6, 0.7, 0.75, 0.8, 0.9, 1.0];
+    let mut aptq_curve = Vec::new();
+    let mut outcomes = Vec::new();
+    for &r in &ratios {
+        let method =
+            if r >= 1.0 { Method::AptqUniform { bits: 4 } } else { Method::AptqMixed { ratio: r } };
+        eprintln!("[fig2] APTQ sweep R={r}…");
+        match exp.perplexity_row(method) {
+            Ok(row) => {
+                aptq_curve.push((method.nominal_avg_bits(), row.metrics[0].1));
+                outcomes.push(row);
+            }
+            Err(e) => eprintln!("[fig2] R={r} failed: {e}"),
+        }
+    }
+
+    // Reference points.
+    let refs = [
+        Method::Fp16,
+        Method::Gptq { bits: 4 },
+        Method::Owq { bits: 4, outlier_dims: 1 },
+        Method::LlmQat { bits: 4 },
+        Method::PbLlm { salient_ratio: 0.2 },
+    ];
+    let mut ref_points = Vec::new();
+    for m in refs {
+        eprintln!("[fig2] reference {m}…");
+        match exp.perplexity_row(m) {
+            Ok(row) => {
+                if !matches!(m, Method::Fp16) {
+                    ref_points.push((m.nominal_avg_bits().min(6.0), row.metrics[0].1));
+                }
+                outcomes.push(row);
+            }
+            Err(e) => eprintln!("[fig2] {m} failed: {e}"),
+        }
+    }
+
+    let chart = render_ascii_chart(
+        "Figure 2: C4 perplexity vs average bit-width (lower-left is better)",
+        &[
+            ("APTQ sweep".to_string(), aptq_curve),
+            ("baselines (4-bit family)".to_string(), ref_points),
+        ],
+        64,
+        18,
+    );
+    let table = render_markdown("Figure 2 (underlying data)", &outcomes);
+    let content = format!("{chart}\n{table}");
+    emit("fig2.md", &content).expect("write results");
+}

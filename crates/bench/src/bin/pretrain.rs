@@ -1,0 +1,20 @@
+//! Pretrains (and caches under `assets/`) both evaluation models at the
+//! full experiment budget. Run once before the table binaries; they will
+//! also train on demand if the cache is missing.
+
+use aptq_eval::zoo::{default_cache_dir, load_or_train, ModelSize, PretrainBudget};
+
+fn main() {
+    let dir = default_cache_dir();
+    for size in [ModelSize::Small, ModelSize::Medium] {
+        let t = std::time::Instant::now();
+        let stack = load_or_train(size, PretrainBudget::full(), Some(&dir))
+            .expect("pretraining must succeed");
+        eprintln!(
+            "[pretrain] {} ready in {:?} (final loss {:.4})",
+            size.paper_name(),
+            t.elapsed(),
+            stack.final_loss
+        );
+    }
+}

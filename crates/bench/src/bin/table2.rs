@@ -1,0 +1,57 @@
+//! Regenerates **Table 2**: zero-shot accuracy (PIQA, HellaSwag, ARC-E,
+//! ARC-C, WinoGrande + mean) of both model sizes under every method in
+//! the paper's comparison.
+
+use aptq_bench::{emit, Experiment, ExperimentScale};
+use aptq_eval::pipeline::Method;
+use aptq_eval::tables::render_markdown;
+use aptq_eval::zoo::ModelSize;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale::full()
+    };
+
+    let rows = [
+        Method::Fp16,
+        Method::Rtn { bits: 4 },
+        Method::SmoothQuant { bits: 4 },
+        Method::Fpq,
+        Method::LlmQat { bits: 4 },
+        Method::Gptq { bits: 4 },
+        Method::PbLlm { salient_ratio: 0.3 },
+        Method::PbLlm { salient_ratio: 0.1 },
+        Method::AptqUniform { bits: 4 },
+        Method::AptqMixed { ratio: 0.9 },
+        Method::AptqMixed { ratio: 0.8 },
+        Method::AptqMixed { ratio: 0.75 },
+        Method::AptqMixed { ratio: 0.7 },
+        Method::AptqMixed { ratio: 0.6 },
+        Method::AptqMixed { ratio: 0.5 },
+    ];
+
+    let mut full = String::new();
+    for size in [ModelSize::Small, ModelSize::Medium] {
+        eprintln!("[table2] preparing {}…", size.paper_name());
+        let exp = Experiment::prepare(size, scale, true).expect("experiment setup");
+        let mut outcomes = Vec::new();
+        for m in rows {
+            eprintln!("[table2] {} / {m}…", size.paper_name());
+            match exp.zeroshot_row(m) {
+                Ok(row) => outcomes.push(row),
+                Err(e) => eprintln!("[table2] {m} failed: {e}"),
+            }
+        }
+        full.push_str(&render_markdown(
+            &format!(
+                "Table 2 ({}): zero-shot accuracy on common-sense suites (synthetic stand-ins, %)",
+                size.paper_name()
+            ),
+            &outcomes,
+        ));
+        full.push('\n');
+    }
+    emit("table2.md", &full).expect("write results");
+}

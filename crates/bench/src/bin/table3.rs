@@ -1,0 +1,40 @@
+//! Regenerates **Table 3** (ablation): APTQ's Hessian-trace allocation
+//! vs manual block-wise allocation at matched average bit-widths,
+//! C4-stand-in perplexity.
+
+use aptq_bench::{emit, Experiment, ExperimentScale};
+use aptq_eval::pipeline::Method;
+use aptq_eval::tables::render_markdown;
+use aptq_eval::zoo::ModelSize;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale::full()
+    };
+    eprintln!("[table3] preparing experiment…");
+    let exp = Experiment::prepare(ModelSize::Small, scale, true).expect("experiment setup");
+
+    let rows = [
+        Method::ManualBlockwise { ratio: 0.75 },
+        Method::AptqMixed { ratio: 0.75 },
+        Method::ManualBlockwise { ratio: 0.5 },
+        Method::AptqMixed { ratio: 0.5 },
+    ];
+
+    let mut outcomes = Vec::new();
+    for m in rows {
+        eprintln!("[table3] running {m}…");
+        match exp.perplexity_row(m) {
+            Ok(row) => outcomes.push(row),
+            Err(e) => eprintln!("[table3] {m} failed: {e}"),
+        }
+    }
+
+    let md = render_markdown(
+        "Table 3 (ablation): APTQ vs manual block-wise 2/4-bit allocation, C4 perplexity",
+        &outcomes,
+    );
+    emit("table3.md", &md).expect("write results");
+}

@@ -1,0 +1,90 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use crate::Flags;
+
+/// Parses `--key value` pairs into a flag map.
+///
+/// # Errors
+///
+/// Returns a message for positional arguments or a trailing flag with no
+/// value.
+pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{a}`"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+/// Required string flag.
+pub fn require<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+/// Optional flag with default.
+pub fn get_or<'a>(flags: &'a Flags, key: &str, default: &'a str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or(default)
+}
+
+/// Optional numeric flag.
+pub fn get_usize(flags: &Flags, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+    }
+}
+
+/// Optional float flag.
+pub fn get_f32(flags: &Flags, key: &str, default: f32) -> Result<f32, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_vec(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let f = parse_flags(&to_vec(&["--size", "s", "--steps", "100"])).unwrap();
+        assert_eq!(require(&f, "size").unwrap(), "s");
+        assert_eq!(get_usize(&f, "steps", 0).unwrap(), 100);
+        assert_eq!(get_or(&f, "missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn rejects_positional_and_dangling() {
+        assert!(parse_flags(&to_vec(&["positional"])).is_err());
+        assert!(parse_flags(&to_vec(&["--key"])).is_err());
+    }
+
+    #[test]
+    fn numeric_validation() {
+        let f = parse_flags(&to_vec(&["--ratio", "abc"])).unwrap();
+        assert!(get_f32(&f, "ratio", 0.5).is_err());
+        let f = parse_flags(&to_vec(&["--ratio", "0.75"])).unwrap();
+        assert_eq!(get_f32(&f, "ratio", 0.5).unwrap(), 0.75);
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let f = Flags::new();
+        assert!(require(&f, "model").unwrap_err().contains("--model"));
+    }
+}

@@ -1,0 +1,283 @@
+//! The CLI subcommand implementations.
+
+use aptq_core::grid::GridConfig;
+use aptq_core::mixed::{AllocationPolicy, MixedPrecisionAllocator};
+use aptq_core::trace::{empirical_sensitivity, SensitivityMetric, SensitivityReport};
+use aptq_core::{collect_hessians, HessianMode};
+use aptq_eval::pipeline::Method;
+use aptq_eval::zoo::{load_or_train, ModelSize, PretrainBudget};
+use aptq_eval::{evaluate_suites, perplexity};
+use aptq_lm::Model;
+use aptq_qmodel::QuantizedModel;
+use aptq_textgen::corpus::{CorpusGenerator, CorpusStyle};
+use aptq_textgen::{Grammar, TaskSuite, Tokenizer, ZeroShotTask};
+
+use crate::args::{get_f32, get_or, get_usize, require};
+use crate::Flags;
+
+/// Standard calibration set used by all quantizing subcommands; segment
+/// length is clamped to the model's maximum context.
+fn calibration(grammar: &Grammar, tok: &Tokenizer, n: usize, max_seq: usize) -> Vec<Vec<u32>> {
+    CorpusGenerator::new(grammar, tok, CorpusStyle::WebC4, 40_001)
+        .segments(n, max_seq.min(64))
+}
+
+fn load_model(path: &str) -> Result<Model, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Model::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn save(path: &str, content: &str) -> Result<(), String> {
+    std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// `aptq pretrain --size s|m [--steps N] [--out FILE]`
+pub fn pretrain(flags: &Flags) -> Result<(), String> {
+    let size = match get_or(flags, "size", "s") {
+        "s" => ModelSize::Small,
+        "m" => ModelSize::Medium,
+        other => return Err(format!("--size must be s or m, got `{other}`")),
+    };
+    let mut budget = PretrainBudget::full();
+    budget.steps = get_usize(flags, "steps", budget.steps)?;
+    let out = get_or(flags, "out", "model.json");
+    eprintln!("pretraining {} for {} steps…", size.paper_name(), budget.steps);
+    let stack = load_or_train(size, budget, None).map_err(|e| e.to_string())?;
+    save(out, &stack.model.to_json().map_err(|e| e.to_string())?)?;
+    eprintln!("saved {out} (final loss {:.4})", stack.final_loss);
+    Ok(())
+}
+
+/// Parses a method name like `aptq-75` or `gptq4`.
+pub fn parse_method(name: &str) -> Result<Method, String> {
+    let m = match name {
+        "fp16" => Method::Fp16,
+        "rtn2" => Method::Rtn { bits: 2 },
+        "rtn3" => Method::Rtn { bits: 3 },
+        "rtn4" => Method::Rtn { bits: 4 },
+        "gptq2" => Method::Gptq { bits: 2 },
+        "gptq3" => Method::Gptq { bits: 3 },
+        "gptq4" => Method::Gptq { bits: 4 },
+        "owq" => Method::Owq { bits: 4, outlier_dims: 1 },
+        "smoothquant" => Method::SmoothQuant { bits: 4 },
+        "fpq" => Method::Fpq,
+        "qat" => Method::LlmQat { bits: 4 },
+        "aptq4" => Method::AptqUniform { bits: 4 },
+        other => {
+            let parse_pct = |prefix: &str| -> Option<Result<f32, String>> {
+                other.strip_prefix(prefix).map(|pct| {
+                    pct.parse::<f32>()
+                        .map(|p| p / 100.0)
+                        .map_err(|_| format!("bad percentage in `{other}`"))
+                })
+            };
+            if let Some(p) = parse_pct("aptq-") {
+                Method::AptqMixed { ratio: p? }
+            } else if let Some(p) = parse_pct("blockwise-") {
+                Method::ManualBlockwise { ratio: p? }
+            } else if let Some(p) = parse_pct("pbllm-") {
+                Method::PbLlm { salient_ratio: p? }
+            } else {
+                return Err(format!("unknown method `{other}`"));
+            }
+        }
+    };
+    Ok(m)
+}
+
+/// `aptq quantize --model FILE --method METHOD [--out FILE]`
+pub fn quantize(flags: &Flags) -> Result<(), String> {
+    let mut model = load_model(require(flags, "model")?)?;
+    let method = parse_method(require(flags, "method")?)?;
+    let out = get_or(flags, "out", "quantized.json");
+    let grammar = Grammar::standard();
+    let tok = Tokenizer::from_grammar(&grammar);
+    let calib = calibration(&grammar, &tok, get_usize(flags, "segments", 64)?, model.config().max_seq_len);
+    let report = method
+        .apply(&mut model, &calib, &GridConfig::default())
+        .map_err(|e| e.to_string())?;
+    if let Some(r) = &report {
+        eprintln!("{}", r.summary());
+    }
+    save(out, &model.to_json().map_err(|e| e.to_string())?)?;
+    eprintln!("saved {out}");
+    Ok(())
+}
+
+/// `aptq pack --model FILE [--ratio R] [--out FILE]` — build a deployable
+/// packed artifact (APTQ mixed 2/4 at the given 4-bit ratio).
+pub fn pack(flags: &Flags) -> Result<(), String> {
+    let model = load_model(require(flags, "model")?)?;
+    let ratio = get_f32(flags, "ratio", 0.75)?;
+    let out = get_or(flags, "out", "packed.json");
+    let grammar = Grammar::standard();
+    let tok = Tokenizer::from_grammar(&grammar);
+    let calib = calibration(&grammar, &tok, get_usize(flags, "segments", 64)?, model.config().max_seq_len);
+    let cfg = GridConfig::default();
+
+    let hessians = collect_hessians(&model, &calib, HessianMode::AttentionAware)
+        .map_err(|e| e.to_string())?;
+    let sensitivity = empirical_sensitivity(&model, &calib[..calib.len().clamp(1, 16)], 2, &cfg);
+    let allocator = MixedPrecisionAllocator::two_four(ratio).map_err(|e| e.to_string())?;
+    let plan = allocator.allocate(&model, &sensitivity, AllocationPolicy::HessianTrace);
+    let qmodel =
+        QuantizedModel::quantize_from(&model, &plan, &hessians, &cfg).map_err(|e| e.to_string())?;
+    eprintln!("{}", qmodel.memory());
+    let json = serde_json::to_string(&qmodel).map_err(|e| e.to_string())?;
+    save(out, &json)?;
+    eprintln!("saved {out}");
+    Ok(())
+}
+
+/// `aptq eval-ppl --model FILE [--corpus c4|wiki] [--segments N]`
+pub fn eval_ppl(flags: &Flags) -> Result<(), String> {
+    let model = load_model(require(flags, "model")?)?;
+    let style = match get_or(flags, "corpus", "c4") {
+        "c4" => CorpusStyle::WebC4,
+        "wiki" => CorpusStyle::Wiki,
+        other => return Err(format!("--corpus must be c4 or wiki, got `{other}`")),
+    };
+    let n = get_usize(flags, "segments", 40)?;
+    let grammar = Grammar::standard();
+    let tok = Tokenizer::from_grammar(&grammar);
+    let segs = CorpusGenerator::new(&grammar, &tok, style, 50_002)
+        .segments(n, model.config().max_seq_len.min(64));
+    let ppl = perplexity(&model, &segs).map_err(|e| e.to_string())?;
+    println!("perplexity: {ppl:.4}");
+    Ok(())
+}
+
+/// `aptq eval-zs --model FILE [--items N]`
+pub fn eval_zs(flags: &Flags) -> Result<(), String> {
+    let model = load_model(require(flags, "model")?)?;
+    let n = get_usize(flags, "items", 150)?;
+    let grammar = Grammar::standard();
+    let tok = Tokenizer::from_grammar(&grammar);
+    let suites: Vec<TaskSuite> = ZeroShotTask::ALL
+        .iter()
+        .map(|&t| TaskSuite::generate(t, &grammar, &tok, n, 70_004))
+        .collect();
+    let results = evaluate_suites(&model, &suites).map_err(|e| e.to_string())?;
+    for r in results {
+        println!("{:<12} {:.1}%", r.name, r.accuracy * 100.0);
+    }
+    Ok(())
+}
+
+/// `aptq sensitivity --model FILE [--metric trace|weighted|empirical]`
+pub fn sensitivity(flags: &Flags) -> Result<(), String> {
+    let model = load_model(require(flags, "model")?)?;
+    let grammar = Grammar::standard();
+    let tok = Tokenizer::from_grammar(&grammar);
+    let calib = calibration(&grammar, &tok, get_usize(flags, "segments", 32)?, model.config().max_seq_len);
+    let cfg = GridConfig::default();
+    let report = match get_or(flags, "metric", "empirical") {
+        "empirical" => empirical_sensitivity(&model, &calib[..calib.len().clamp(1, 16)], 2, &cfg),
+        metric @ ("trace" | "weighted") => {
+            let hessians = collect_hessians(&model, &calib, HessianMode::AttentionAware)
+                .map_err(|e| e.to_string())?;
+            let m = if metric == "trace" {
+                SensitivityMetric::MeanTrace
+            } else {
+                SensitivityMetric::TraceTimesPerturbation
+            };
+            SensitivityReport::with_metric(&hessians, &model, m, 2, &cfg)
+        }
+        other => return Err(format!("--metric must be trace|weighted|empirical, got `{other}`")),
+    };
+    println!("{}", report.to_markdown());
+    Ok(())
+}
+
+/// `aptq generate --model FILE --prompt TEXT [--tokens N]`
+pub fn generate(flags: &Flags) -> Result<(), String> {
+    let model = load_model(require(flags, "model")?)?;
+    let prompt_text = require(flags, "prompt")?;
+    let n = get_usize(flags, "tokens", 16)?;
+    let grammar = Grammar::standard();
+    let tok = Tokenizer::from_grammar(&grammar);
+    let mut prompt = vec![aptq_textgen::tokenizer::BOS];
+    prompt.extend(tok.encode(prompt_text));
+    let out = aptq_lm::decode::generate_greedy_cached(&model, &prompt, n)
+        .map_err(|e| e.to_string())?;
+    println!("{}", tok.decode(&out));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_parser_covers_table_rows() {
+        assert_eq!(parse_method("fp16").unwrap(), Method::Fp16);
+        assert_eq!(parse_method("gptq4").unwrap(), Method::Gptq { bits: 4 });
+        assert_eq!(parse_method("aptq4").unwrap(), Method::AptqUniform { bits: 4 });
+        assert_eq!(parse_method("aptq-75").unwrap(), Method::AptqMixed { ratio: 0.75 });
+        assert_eq!(
+            parse_method("blockwise-50").unwrap(),
+            Method::ManualBlockwise { ratio: 0.5 }
+        );
+        assert_eq!(parse_method("pbllm-20").unwrap(), Method::PbLlm { salient_ratio: 0.2 });
+        assert!(parse_method("nope").is_err());
+        assert!(parse_method("aptq-xx").is_err());
+    }
+
+    #[test]
+    fn end_to_end_quantize_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join(format!("aptq-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.json");
+        let out_path = dir.join("q.json");
+
+        // Tiny model written directly (pretrain would be slow here).
+        let grammar = Grammar::standard();
+        let tok = Tokenizer::from_grammar(&grammar);
+        let model = Model::new(&aptq_lm::ModelConfig::test_tiny(tok.vocab_size()), 1);
+        std::fs::write(&model_path, model.to_json().unwrap()).unwrap();
+
+        let mut flags = Flags::new();
+        flags.insert("model".into(), model_path.to_string_lossy().into_owned());
+        flags.insert("method".into(), "rtn4".into());
+        flags.insert("out".into(), out_path.to_string_lossy().into_owned());
+        flags.insert("segments".into(), "4".into());
+        quantize(&flags).unwrap();
+        let loaded = load_model(out_path.to_str().unwrap()).unwrap();
+        assert!(loaded.forward(&[1, 2, 3]).all_finite());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eval_and_generate_run_on_files() {
+        let dir = std::env::temp_dir().join(format!("aptq-cli-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.json");
+        let grammar = Grammar::standard();
+        let tok = Tokenizer::from_grammar(&grammar);
+        let model = Model::new(&aptq_lm::ModelConfig::test_tiny(tok.vocab_size()), 2);
+        std::fs::write(&model_path, model.to_json().unwrap()).unwrap();
+
+        let mut flags = Flags::new();
+        flags.insert("model".into(), model_path.to_string_lossy().into_owned());
+        flags.insert("segments".into(), "4".into());
+        eval_ppl(&flags).unwrap();
+
+        flags.insert("items".into(), "5".into());
+        eval_zs(&flags).unwrap();
+
+        flags.insert("prompt".into(), "the crow".into());
+        flags.insert("tokens".into(), "4".into());
+        generate(&flags).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        let flags = Flags::new();
+        assert!(quantize(&flags).is_err());
+        assert!(eval_ppl(&flags).is_err());
+        let mut flags = Flags::new();
+        flags.insert("model".into(), "/nonexistent/x.json".into());
+        assert!(eval_ppl(&flags).unwrap_err().contains("reading"));
+    }
+}

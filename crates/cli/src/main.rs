@@ -1,0 +1,77 @@
+//! `aptq` — command-line driver for the APTQ reproduction.
+//!
+//! ```text
+//! aptq pretrain  --size s|m --steps N --out model.json
+//! aptq quantize  --model model.json --method METHOD --out quantized.json
+//! aptq pack      --model model.json --ratio R --out packed.json
+//! aptq eval-ppl  --model model.json [--corpus c4|wiki]
+//! aptq eval-zs   --model model.json [--items N]
+//! aptq sensitivity --model model.json [--metric trace|weighted|empirical]
+//! aptq generate  --model model.json --prompt "the wild" [--tokens N]
+//! ```
+//!
+//! Methods for `quantize`: `fp16`, `rtn2|rtn3|rtn4`, `gptq2|gptq3|gptq4`,
+//! `owq`, `smoothquant`, `fpq`, `qat`, `pbllm-<pct>`, `aptq4`,
+//! `aptq-<pct>`, `blockwise-<pct>`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let (cmd, rest) = argv.split_first().expect("non-empty argv");
+    let opts = match args::parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "pretrain" => commands::pretrain(&opts),
+        "quantize" => commands::quantize(&opts),
+        "pack" => commands::pack(&opts),
+        "eval-ppl" => commands::eval_ppl(&opts),
+        "eval-zs" => commands::eval_zs(&opts),
+        "sensitivity" => commands::sensitivity(&opts),
+        "generate" => commands::generate(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The full usage text.
+fn usage() -> String {
+    let mut s = String::from("aptq — attention-aware post-training mixed-precision quantization\n\n");
+    s.push_str("USAGE:\n");
+    s.push_str("  aptq pretrain    --size s|m [--steps N] [--out FILE]\n");
+    s.push_str("  aptq quantize    --model FILE --method METHOD [--out FILE]\n");
+    s.push_str("  aptq pack        --model FILE [--ratio R] [--out FILE]\n");
+    s.push_str("  aptq eval-ppl    --model FILE [--corpus c4|wiki] [--segments N]\n");
+    s.push_str("  aptq eval-zs     --model FILE [--items N]\n");
+    s.push_str("  aptq sensitivity --model FILE [--metric trace|weighted|empirical]\n");
+    s.push_str("  aptq generate    --model FILE --prompt TEXT [--tokens N]\n\n");
+    s.push_str("METHODS: fp16 rtn2 rtn3 rtn4 gptq2 gptq3 gptq4 owq smoothquant fpq qat\n");
+    s.push_str("         pbllm-<pct> aptq4 aptq-<pct> blockwise-<pct>   (pct = 10..100)\n");
+    s
+}
+
+/// Shared flag map type.
+pub type Flags = BTreeMap<String, String>;

@@ -1,0 +1,164 @@
+//! Calibration: running the model over calibration segments and
+//! accumulating per-layer Hessians in either GPTQ or APTQ mode.
+
+use std::collections::BTreeMap;
+
+use aptq_lm::{LayerKind, LayerRef, Model};
+
+use crate::attn;
+use crate::hessian::{HessianAccumulator, HessianMode, LayerHessian};
+use crate::QuantError;
+
+/// Collects per-layer Hessians over a calibration set.
+///
+/// - [`HessianMode::LayerInput`]: every projection's Hessian is
+///   `2·Σ XᵀX` with `X` its raw input (GPTQ).
+/// - [`HessianMode::AttentionAware`]: `q/k/v/o_proj` use the
+///   attention-aware effective inputs of [`crate::attn`] (Eqs. 9–15);
+///   the feed-forward projections use their raw inputs, exactly as the
+///   paper prescribes for "the Feed-Forward layer".
+///
+/// # Errors
+///
+/// Returns [`QuantError::EmptyCalibration`] if `segments` is empty or
+/// all segments are shorter than 1 token.
+pub fn collect_hessians(
+    model: &Model,
+    segments: &[Vec<u32>],
+    mode: HessianMode,
+) -> Result<BTreeMap<LayerRef, LayerHessian>, QuantError> {
+    if segments.iter().all(|s| s.is_empty()) {
+        return Err(QuantError::EmptyCalibration);
+    }
+    let d_model = model.config().d_model;
+    let d_ff = model.config().d_ff;
+
+    let mut accs: BTreeMap<LayerRef, HessianAccumulator> = BTreeMap::new();
+    for r in model.layer_refs() {
+        let dim = if r.kind == LayerKind::Down { d_ff } else { d_model };
+        accs.insert(r, HessianAccumulator::new(dim));
+    }
+
+    for seg in segments.iter().filter(|s| !s.is_empty()) {
+        let (_, capture) = model.forward_capture(seg);
+        for (b, cap) in capture.blocks.iter().enumerate() {
+            let wo = model.layer_weight(LayerRef { block: b, kind: LayerKind::O });
+            for kind in LayerKind::ALL {
+                let r = LayerRef { block: b, kind };
+                let acc = accs.get_mut(&r).expect("accumulator exists");
+                match (mode, kind) {
+                    (HessianMode::AttentionAware, LayerKind::Q) => {
+                        acc.update(&attn::effective_input_q(cap, wo));
+                    }
+                    (HessianMode::AttentionAware, LayerKind::K) => {
+                        acc.update(&attn::effective_input_k(cap, wo));
+                    }
+                    (HessianMode::AttentionAware, LayerKind::V) => {
+                        // Per-head terms all describe the same tokens;
+                        // count them once so the trace normalization stays
+                        // comparable across layers.
+                        for (i, (s, x)) in attn::effective_inputs_v(cap, wo).into_iter().enumerate()
+                        {
+                            if i == 0 {
+                                acc.update_weighted(&x, s);
+                            } else {
+                                acc.update_weighted_uncounted(&x, s);
+                            }
+                        }
+                    }
+                    (_, LayerKind::O) => acc.update(&attn::effective_input_o(cap)),
+                    (HessianMode::LayerInput, LayerKind::Q | LayerKind::K | LayerKind::V) => {
+                        acc.update(&cap.attn_input);
+                    }
+                    (_, LayerKind::Gate | LayerKind::Up) => acc.update(&cap.ffn_input),
+                    (_, LayerKind::Down) => acc.update(&cap.ffn_hidden),
+                }
+            }
+        }
+    }
+
+    Ok(accs.into_iter().map(|(r, a)| (r, a.finish())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_lm::ModelConfig;
+
+    fn model_and_segments() -> (Model, Vec<Vec<u32>>) {
+        let model = Model::new(&ModelConfig::test_tiny(16), 9);
+        let segments: Vec<Vec<u32>> = (0..4)
+            .map(|k| (0..10).map(|i| ((i * 3 + k) % 16) as u32).collect())
+            .collect();
+        (model, segments)
+    }
+
+    #[test]
+    fn collects_hessian_for_every_layer() {
+        let (model, segs) = model_and_segments();
+        for mode in [HessianMode::LayerInput, HessianMode::AttentionAware] {
+            let hs = collect_hessians(&model, &segs, mode).unwrap();
+            assert_eq!(hs.len(), model.layer_refs().len());
+            for (r, lh) in &hs {
+                let want = if r.kind == LayerKind::Down { 32 } else { 16 };
+                assert_eq!(lh.h.shape(), (want, want), "{r}");
+                assert!(lh.mean_trace > 0.0, "{r} has zero sensitivity");
+                assert_eq!(lh.n_tokens % 10, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_ffn_and_o_but_differ_on_qkv() {
+        let (model, segs) = model_and_segments();
+        let gptq = collect_hessians(&model, &segs, HessianMode::LayerInput).unwrap();
+        let aptq = collect_hessians(&model, &segs, HessianMode::AttentionAware).unwrap();
+        for r in model.layer_refs() {
+            let a = &gptq[&r].h;
+            let b = &aptq[&r].h;
+            let same = a.sub(b).frobenius_norm() < 1e-4 * a.frobenius_norm().max(1.0);
+            match r.kind {
+                LayerKind::O | LayerKind::Gate | LayerKind::Up | LayerKind::Down => {
+                    assert!(same, "{r}: modes must agree");
+                }
+                LayerKind::Q | LayerKind::K | LayerKind::V => {
+                    assert!(!same, "{r}: attention-aware Hessian must differ from GPTQ's");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_calibration_is_an_error() {
+        let (model, _) = model_and_segments();
+        assert!(matches!(
+            collect_hessians(&model, &[], HessianMode::LayerInput),
+            Err(QuantError::EmptyCalibration)
+        ));
+        assert!(matches!(
+            collect_hessians(&model, &[vec![], vec![]], HessianMode::LayerInput),
+            Err(QuantError::EmptyCalibration)
+        ));
+    }
+
+    #[test]
+    fn empty_segments_are_skipped_not_fatal() {
+        let (model, mut segs) = model_and_segments();
+        segs.push(vec![]);
+        let hs = collect_hessians(&model, &segs, HessianMode::LayerInput).unwrap();
+        assert!(!hs.is_empty());
+    }
+
+    #[test]
+    fn more_data_scales_hessian_not_trace() {
+        let (model, segs) = model_and_segments();
+        let h1 = collect_hessians(&model, &segs[..2], HessianMode::LayerInput).unwrap();
+        let h2 = collect_hessians(&model, &segs, HessianMode::LayerInput).unwrap();
+        let r = model.layer_refs()[0];
+        assert!(h2[&r].n_tokens > h1[&r].n_tokens);
+        // Trace statistic is token-normalized; same distribution → same
+        // order of magnitude.
+        let ratio = h2[&r].mean_trace / h1[&r].mean_trace;
+        assert!(ratio > 0.3 && ratio < 3.0, "trace not normalized: {ratio}");
+    }
+}

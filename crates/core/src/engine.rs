@@ -1,0 +1,328 @@
+//! The OBQ/GPTQ column-update engine (Eqs. 2–4, 16–17 of the paper).
+//!
+//! Both GPTQ and APTQ share this machinery; the only difference between
+//! them is *which Hessian* drives it (layer-input vs attention-aware).
+//! Weights are stored `d_in × d_out` (input-major), so the engine walks
+//! **rows** in fixed order, quantizing one input dimension at a time and
+//! distributing the error onto not-yet-quantized rows through the upper
+//! Cholesky factor of the inverse Hessian.
+
+use aptq_tensor::{linalg, Matrix};
+
+use crate::grid::{GridConfig, GroupParams, QuantGrid};
+use crate::hessian::LayerHessian;
+use crate::pack::PackedTensor;
+use crate::QuantError;
+
+/// Result of quantizing one layer.
+#[derive(Debug, Clone)]
+pub struct LayerQuantResult {
+    /// Storage-format tensor (packed codes + group parameters).
+    pub packed: PackedTensor,
+    /// The dequantized weight to install into the model.
+    pub dequantized: Matrix,
+    /// Hessian-weighted reconstruction error
+    /// `tr(ΔWᵀ·H·ΔW) / n_weights` — the layer-wise objective of Eq. (5)
+    /// evaluated at the solution.
+    pub recon_error: f32,
+    /// Damping that was actually used (escalated on factorization
+    /// failure).
+    pub damp_used: f32,
+}
+
+/// Quantizes a layer with the GPTQ/OBQ update under the given Hessian.
+///
+/// `w` is `d_in × d_out`; `hessian.h` must be `d_in × d_in`. The grid's
+/// group parameters are re-fit at every `group_size` boundary from the
+/// *updated* weights, matching GPTQ's group quantization.
+///
+/// # Errors
+///
+/// Returns [`QuantError::HessianNotInvertible`] if damping escalation
+/// (up to 10⁴× the configured value) cannot make the Hessian SPD.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn quantize_layer_obq(
+    layer_name: &str,
+    w: &Matrix,
+    hessian: &LayerHessian,
+    grid: QuantGrid,
+    cfg: &GridConfig,
+) -> Result<LayerQuantResult, QuantError> {
+    let d_in = w.rows();
+    let d_out = w.cols();
+    assert_eq!(hessian.h.shape(), (d_in, d_in), "hessian shape mismatch for {layer_name}");
+
+    // Damping escalation: a rank-deficient calibration set (few tokens)
+    // can leave H semidefinite; GPTQ's answer is more damping.
+    let mut damp = cfg.damp.max(1e-6);
+    let (u, damp_used) = loop {
+        let h = hessian.damped(damp);
+        match linalg::inverse_cholesky_upper(&h) {
+            Ok(u) => break (u, damp),
+            Err(_) if damp < cfg.damp * 1e4 => damp *= 10.0,
+            Err(_) => {
+                return Err(QuantError::HessianNotInvertible { layer: layer_name.to_string() })
+            }
+        }
+    };
+
+    let group_size = cfg.group_size.min(d_in).max(1);
+    let block = cfg.block_size.min(d_in).max(1);
+    let n_groups = d_in.div_ceil(group_size);
+
+    let mut work = w.clone();
+    let mut codes = vec![0u8; d_in * d_out];
+    let mut params = vec![GroupParams { scale: 1.0, zero: 0 }; n_groups * d_out];
+
+    for i0 in (0..d_in).step_by(block) {
+        let i1 = (i0 + block).min(d_in);
+        let mut errs = Matrix::zeros(i1 - i0, d_out);
+
+        for j in i0..i1 {
+            let g = j / group_size;
+            if j % group_size == 0 {
+                // Fit group parameters per output column over the group's
+                // current (already error-compensated) weights.
+                let gend = (j + group_size).min(d_in);
+                for c in 0..d_out {
+                    let col: Vec<f32> = (j..gend).map(|r| work[(r, c)]).collect();
+                    params[g * d_out + c] = grid.fit_params(&col);
+                }
+            }
+
+            let d = u[(j, j)];
+            debug_assert!(d > 0.0, "Cholesky diagonal must be positive");
+            for c in 0..d_out {
+                let wv = work[(j, c)];
+                let p = params[g * d_out + c];
+                let (code, deq) = grid.quantize(wv, p);
+                codes[j * d_out + c] = code;
+                errs[(j - i0, c)] = (wv - deq) / d;
+                work[(j, c)] = deq;
+            }
+
+            // Within-block error propagation (Eq. 17 restricted to the
+            // lazy-update window).
+            for r in j + 1..i1 {
+                let urj = u[(j, r)];
+                if urj == 0.0 {
+                    continue;
+                }
+                let (ej, wr) = (j - i0, r);
+                for c in 0..d_out {
+                    work[(wr, c)] -= urj * errs[(ej, c)];
+                }
+            }
+        }
+
+        // Batched propagation to all remaining rows:
+        // W[i1.., :] −= U[i0..i1, i1..]ᵀ · errs.
+        if i1 < d_in {
+            let u_rest = u.slice_rows(i0, i1).slice_cols(i1, d_in); // blk × rest
+            // u_restᵀ (rest × blk) · errs (blk × d_out) = rest × d_out
+            let delta = u_rest.matmul_tn(&errs);
+            for r in i1..d_in {
+                for c in 0..d_out {
+                    work[(r, c)] -= delta[(r - i1, c)];
+                }
+            }
+        }
+    }
+
+    // Objective value: tr(ΔWᵀ H ΔW) / n (H is the undamped Hessian).
+    let dw = w.sub(&work);
+    let hdw = hessian.h.matmul(&dw);
+    let recon_error = dw.hadamard(&hdw).sum() / (d_in * d_out) as f32;
+
+    let packed = PackedTensor::from_codes(&codes, d_in, d_out, group_size, grid, params);
+    Ok(LayerQuantResult { packed, dequantized: work, recon_error, damp_used })
+}
+
+/// Round-to-nearest baseline: group quantization with no error
+/// compensation (the RTN row of Table 2).
+pub fn quantize_layer_rtn(w: &Matrix, grid: QuantGrid, cfg: &GridConfig) -> LayerQuantResult {
+    let d_in = w.rows();
+    let d_out = w.cols();
+    let group_size = cfg.group_size.min(d_in).max(1);
+    let n_groups = d_in.div_ceil(group_size);
+    let mut codes = vec![0u8; d_in * d_out];
+    let mut params = vec![GroupParams { scale: 1.0, zero: 0 }; n_groups * d_out];
+    let mut deq = Matrix::zeros(d_in, d_out);
+    for g in 0..n_groups {
+        let j0 = g * group_size;
+        let j1 = (j0 + group_size).min(d_in);
+        for c in 0..d_out {
+            let col: Vec<f32> = (j0..j1).map(|r| w[(r, c)]).collect();
+            let p = grid.fit_params(&col);
+            params[g * d_out + c] = p;
+            for (idx, r) in (j0..j1).enumerate() {
+                let (code, d) = grid.quantize(col[idx], p);
+                codes[r * d_out + c] = code;
+                deq[(r, c)] = d;
+            }
+        }
+    }
+    let dw = w.sub(&deq);
+    let recon_error = dw.frobenius_norm_sq() / (d_in * d_out) as f32;
+    let packed = PackedTensor::from_codes(&codes, d_in, d_out, group_size, grid, params);
+    LayerQuantResult { packed, dequantized: deq, recon_error, damp_used: 0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hessian::HessianAccumulator;
+    use aptq_tensor::init;
+
+    fn make_hessian(x: &Matrix) -> LayerHessian {
+        let mut acc = HessianAccumulator::new(x.cols());
+        acc.update(x);
+        acc.finish()
+    }
+
+    fn objective(w: &Matrix, deq: &Matrix, x: &Matrix) -> f32 {
+        // ‖XW − XŴ‖²_F — the actual Eq. (1) objective.
+        x.matmul(w).sub(&x.matmul(deq)).frobenius_norm_sq()
+    }
+
+    #[test]
+    fn obq_beats_rtn_on_correlated_inputs() {
+        // The whole point of second-order quantization: with correlated
+        // input dimensions, error compensation reduces the output error.
+        let mut rng = init::rng(0);
+        let d_in = 24;
+        let d_out = 16;
+        let base = init::normal(60, 4, 1.0, &mut rng);
+        let mix = init::normal(4, d_in, 1.0, &mut rng);
+        let x = base.matmul(&mix); // rank-4: highly correlated dims
+        let noise = init::normal(60, d_in, 0.2, &mut rng);
+        let x = x.add(&noise);
+        let w = init::normal(d_in, d_out, 0.5, &mut rng);
+        let h = make_hessian(&x);
+        let cfg = GridConfig { group_size: 8, block_size: 8, ..GridConfig::default() };
+        let grid = QuantGrid::int(3, true);
+
+        let obq = quantize_layer_obq("test", &w, &h, grid, &cfg).unwrap();
+        let rtn = quantize_layer_rtn(&w, grid, &cfg);
+        let e_obq = objective(&w, &obq.dequantized, &x);
+        let e_rtn = objective(&w, &rtn.dequantized, &x);
+        assert!(
+            e_obq < e_rtn * 0.9,
+            "OBQ ({e_obq}) should clearly beat RTN ({e_rtn}) on correlated inputs"
+        );
+    }
+
+    #[test]
+    fn identity_hessian_reduces_to_rtn_error_level() {
+        // With H ∝ I there is nothing to compensate; OBQ ≈ RTN.
+        let mut rng = init::rng(1);
+        let w = init::normal(16, 8, 0.5, &mut rng);
+        let lh = LayerHessian { h: Matrix::identity(16).scale(2.0), n_tokens: 1, mean_trace: 2.0 };
+        let cfg = GridConfig { group_size: 16, block_size: 8, ..GridConfig::default() };
+        let grid = QuantGrid::int(4, true);
+        let obq = quantize_layer_obq("test", &w, &lh, grid, &cfg).unwrap();
+        let rtn = quantize_layer_rtn(&w, grid, &cfg);
+        let d_obq = w.sub(&obq.dequantized).frobenius_norm_sq();
+        let d_rtn = w.sub(&rtn.dequantized).frobenius_norm_sq();
+        assert!(
+            (d_obq - d_rtn).abs() / d_rtn.max(1e-9) < 0.25,
+            "identity Hessian: OBQ {d_obq} vs RTN {d_rtn}"
+        );
+    }
+
+    #[test]
+    fn dequantized_matches_packed_storage() {
+        let mut rng = init::rng(2);
+        let x = init::normal(40, 12, 1.0, &mut rng);
+        let w = init::normal(12, 10, 0.4, &mut rng);
+        let h = make_hessian(&x);
+        let cfg = GridConfig { group_size: 4, block_size: 4, ..GridConfig::default() };
+        let res = quantize_layer_obq("test", &w, &h, QuantGrid::int(4, true), &cfg).unwrap();
+        let unpacked = res.packed.dequantize();
+        for (a, b) in unpacked.as_slice().iter().zip(res.dequantized.as_slice()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_hessian_escalates_damping() {
+        // Single calibration token → rank-1 Hessian. Must still succeed.
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let h = make_hessian(&x);
+        let w = Matrix::from_fn(4, 3, |i, j| (i + j) as f32 * 0.1);
+        let cfg = GridConfig::default();
+        let res = quantize_layer_obq("test", &w, &h, QuantGrid::int(4, true), &cfg).unwrap();
+        assert!(res.dequantized.all_finite());
+        assert!(res.damp_used >= cfg.damp);
+    }
+
+    #[test]
+    fn more_bits_reduce_objective() {
+        let mut rng = init::rng(3);
+        let x = init::normal(50, 10, 1.0, &mut rng);
+        let w = init::normal(10, 8, 0.5, &mut rng);
+        let h = make_hessian(&x);
+        let cfg = GridConfig { group_size: 10, block_size: 5, ..GridConfig::default() };
+        let e = |bits: u8| {
+            let r = quantize_layer_obq("t", &w, &h, QuantGrid::int(bits, true), &cfg).unwrap();
+            objective(&w, &r.dequantized, &x)
+        };
+        assert!(e(2) > e(3));
+        assert!(e(3) > e(4));
+    }
+
+    #[test]
+    fn recon_error_is_nonnegative_and_reported() {
+        let mut rng = init::rng(4);
+        let x = init::normal(30, 6, 1.0, &mut rng);
+        let w = init::normal(6, 6, 0.5, &mut rng);
+        let h = make_hessian(&x);
+        let res =
+            quantize_layer_obq("t", &w, &h, QuantGrid::int(2, true), &GridConfig::default())
+                .unwrap();
+        assert!(res.recon_error >= 0.0);
+        assert!(res.recon_error > 0.0, "2-bit quantization must incur error");
+    }
+
+    #[test]
+    fn group_boundaries_respected() {
+        // Each group's params must be able to represent its own range:
+        // two groups with very different scales.
+        let mut w = Matrix::zeros(8, 2);
+        for r in 0..4 {
+            w[(r, 0)] = 10.0 + r as f32;
+            w[(r, 1)] = -(10.0 + r as f32);
+        }
+        for r in 4..8 {
+            w[(r, 0)] = 0.01 * r as f32;
+            w[(r, 1)] = -0.01 * r as f32;
+        }
+        let cfg = GridConfig { group_size: 4, block_size: 4, ..GridConfig::default() };
+        let res = quantize_layer_rtn(&w, QuantGrid::int(4, true), &cfg);
+        // Small group must not inherit the large group's coarse scale.
+        let small_err: f32 = (4..8)
+            .map(|r| (w[(r, 0)] - res.dequantized[(r, 0)]).abs())
+            .sum();
+        assert!(small_err < 0.02, "per-group scaling failed: {small_err}");
+    }
+
+    #[test]
+    fn blocked_and_unblocked_updates_agree() {
+        // Lazy batched propagation must match fully sequential updates.
+        let mut rng = init::rng(5);
+        let x = init::normal(50, 12, 1.0, &mut rng);
+        let w = init::normal(12, 6, 0.5, &mut rng);
+        let h = make_hessian(&x);
+        let grid = QuantGrid::int(3, true);
+        let small = GridConfig { group_size: 12, block_size: 1, ..GridConfig::default() };
+        let big = GridConfig { group_size: 12, block_size: 12, ..GridConfig::default() };
+        let a = quantize_layer_obq("t", &w, &h, grid, &small).unwrap();
+        let b = quantize_layer_obq("t", &w, &h, grid, &big).unwrap();
+        for (x1, x2) in a.dequantized.as_slice().iter().zip(b.dequantized.as_slice()) {
+            assert!((x1 - x2).abs() < 1e-4, "{x1} vs {x2}");
+        }
+    }
+}

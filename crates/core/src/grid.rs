@@ -1,0 +1,400 @@
+//! Quantization grids: uniform integer (asymmetric/symmetric), binary,
+//! and FP4 (E2M1) — everything the paper's methods and baselines need.
+
+use serde::{Deserialize, Serialize};
+
+use crate::QuantError;
+
+/// Per-group quantization parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupParams {
+    /// Step size.
+    pub scale: f32,
+    /// Integer zero point (0 for symmetric grids).
+    pub zero: i32,
+}
+
+/// Grid family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GridKind {
+    /// Uniform integer grid (GPTQ/APTQ/RTN/OWQ).
+    Int {
+        /// Bit-width (1..=8).
+        bits: u8,
+        /// Asymmetric grids fit `[min, max]`; symmetric fit `[-a, a]`.
+        asymmetric: bool,
+    },
+    /// Sign × per-group mean magnitude (PB-LLM's binarized portion).
+    Binary,
+    /// 4-bit float E2M1 (FPQ baseline): ±{0, .5, 1, 1.5, 2, 3, 4, 6}·scale.
+    Fp4,
+}
+
+/// A quantization grid: maps a group of weights to codes and back.
+///
+/// # Example
+///
+/// ```
+/// use aptq_core::grid::QuantGrid;
+///
+/// let grid = QuantGrid::int(2, true);
+/// let (codes, deq, _) = grid.quantize_group(&[-1.0, -0.3, 0.3, 1.0]);
+/// assert!(codes.iter().all(|&c| c < 4)); // 2-bit codes
+/// assert_eq!(deq.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantGrid {
+    kind: GridKind,
+}
+
+/// FP4 E2M1 positive magnitude levels.
+const FP4_LEVELS: [f32; 8] = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0];
+
+impl QuantGrid {
+    /// Uniform integer grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=8` (use [`QuantGrid::try_int`]
+    /// for a fallible path).
+    pub fn int(bits: u8, asymmetric: bool) -> Self {
+        Self::try_int(bits, asymmetric).expect("bits must be in 1..=8")
+    }
+
+    /// Fallible constructor for integer grids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBits`] outside `1..=8`.
+    pub fn try_int(bits: u8, asymmetric: bool) -> Result<Self, QuantError> {
+        if !(1..=8).contains(&bits) {
+            return Err(QuantError::UnsupportedBits { bits });
+        }
+        Ok(QuantGrid { kind: GridKind::Int { bits, asymmetric } })
+    }
+
+    /// Binary (sign) grid.
+    pub fn binary() -> Self {
+        QuantGrid { kind: GridKind::Binary }
+    }
+
+    /// FP4 E2M1 grid.
+    pub fn fp4() -> Self {
+        QuantGrid { kind: GridKind::Fp4 }
+    }
+
+    /// The grid family.
+    pub fn kind(&self) -> GridKind {
+        self.kind
+    }
+
+    /// Effective storage bits per weight (excluding group metadata).
+    pub fn bits(&self) -> u8 {
+        match self.kind {
+            GridKind::Int { bits, .. } => bits,
+            GridKind::Binary => 1,
+            GridKind::Fp4 => 4,
+        }
+    }
+
+    /// Fits group parameters to a weight group.
+    ///
+    /// For int grids this is min/max (asymmetric) or abs-max (symmetric)
+    /// calibration; degenerate all-equal groups produce a tiny positive
+    /// scale so quantization never divides by zero.
+    pub fn fit_params(&self, group: &[f32]) -> GroupParams {
+        match self.kind {
+            GridKind::Int { bits, asymmetric } => {
+                let levels = (1u32 << bits) - 1;
+                if asymmetric {
+                    let (mut lo, mut hi) = min_max(group);
+                    // Grid must contain zero so that zero weights stay zero.
+                    lo = lo.min(0.0);
+                    hi = hi.max(0.0);
+                    let range = (hi - lo).max(1e-8);
+                    let scale = range / levels as f32;
+                    let zero = (-lo / scale).round() as i32;
+                    GroupParams { scale, zero }
+                } else {
+                    let amax = group.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-8);
+                    // Symmetric signed range: codes −2^(b−1)..2^(b−1)−1
+                    let half = (1u32 << (bits - 1)) as f32 - 1.0;
+                    let scale = amax / half.max(1.0);
+                    GroupParams { scale, zero: (1i32 << (bits - 1)) - 1 }
+                }
+            }
+            GridKind::Binary => {
+                let mean_abs = if group.is_empty() {
+                    1e-8
+                } else {
+                    group.iter().map(|v| v.abs()).sum::<f32>() / group.len() as f32
+                };
+                GroupParams { scale: mean_abs.max(1e-8), zero: 0 }
+            }
+            GridKind::Fp4 => {
+                let amax = group.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-8);
+                GroupParams { scale: amax / FP4_LEVELS[7], zero: 0 }
+            }
+        }
+    }
+
+    /// Quantizes one value under fixed params; returns `(code, dequant)`.
+    pub fn quantize(&self, w: f32, p: GroupParams) -> (u8, f32) {
+        match self.kind {
+            GridKind::Int { bits, asymmetric } => {
+                let levels = (1i64 << bits) - 1;
+                if asymmetric {
+                    let q = ((w / p.scale).round() as i64 + p.zero as i64).clamp(0, levels);
+                    (q as u8, (q as i32 - p.zero) as f32 * p.scale)
+                } else {
+                    let q = ((w / p.scale).round() as i64 + p.zero as i64).clamp(0, levels);
+                    (q as u8, (q as i32 - p.zero) as f32 * p.scale)
+                }
+            }
+            GridKind::Binary => {
+                if w >= 0.0 {
+                    (1, p.scale)
+                } else {
+                    (0, -p.scale)
+                }
+            }
+            GridKind::Fp4 => {
+                let mag = w.abs() / p.scale;
+                // Nearest E2M1 level.
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for (i, &l) in FP4_LEVELS.iter().enumerate() {
+                    let d = (mag - l).abs();
+                    if d < best_d {
+                        best_d = d;
+                        best = i;
+                    }
+                }
+                let sign = if w < 0.0 { 1u8 } else { 0u8 };
+                let code = (sign << 3) | best as u8;
+                let val = FP4_LEVELS[best] * p.scale * if w < 0.0 { -1.0 } else { 1.0 };
+                (code, val)
+            }
+        }
+    }
+
+    /// Dequantizes a code under fixed params.
+    pub fn dequantize(&self, code: u8, p: GroupParams) -> f32 {
+        match self.kind {
+            GridKind::Int { .. } => (code as i32 - p.zero) as f32 * p.scale,
+            GridKind::Binary => {
+                if code == 1 {
+                    p.scale
+                } else {
+                    -p.scale
+                }
+            }
+            GridKind::Fp4 => {
+                let mag = FP4_LEVELS[(code & 0b111) as usize] * p.scale;
+                if code & 0b1000 != 0 {
+                    -mag
+                } else {
+                    mag
+                }
+            }
+        }
+    }
+
+    /// Quantizes a whole group: fits params, then quantizes every value.
+    ///
+    /// Returns `(codes, dequantized, params)`.
+    pub fn quantize_group(&self, group: &[f32]) -> (Vec<u8>, Vec<f32>, GroupParams) {
+        let p = self.fit_params(group);
+        let mut codes = Vec::with_capacity(group.len());
+        let mut deq = Vec::with_capacity(group.len());
+        for &w in group {
+            let (c, d) = self.quantize(w, p);
+            codes.push(c);
+            deq.push(d);
+        }
+        (codes, deq, p)
+    }
+}
+
+/// Grid + group-size configuration shared by the quantization methods.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Whether int grids fit `[min,max]` (true) or `[-a,a]` (false).
+    pub asymmetric: bool,
+    /// Weights per quantization group along the input dimension.
+    ///
+    /// The paper uses 128 on LLaMA-7B (d=4096). Our models have
+    /// `d_model ∈ {32, 36}`, so the default of 32 is one group per
+    /// attention column (two per FFN column) — deliberately coarse, the
+    /// regime where 2-bit quantization visibly hurts and second-order
+    /// methods have something to recover (the `ablations` bench §A
+    /// sweeps this).
+    pub group_size: usize,
+    /// GPTQ lazy-update block size.
+    pub block_size: usize,
+    /// Relative Hessian damping (`λ = damp · mean(diag H)`).
+    pub damp: f32,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig { asymmetric: true, group_size: 32, block_size: 32, damp: 0.01 }
+    }
+}
+
+fn min_max(xs: &[f32]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if lo > hi {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_grid_roundtrip_error_bounded() {
+        for bits in [2u8, 3, 4, 8] {
+            let grid = QuantGrid::int(bits, true);
+            let group: Vec<f32> = (0..64).map(|i| ((i * 37 % 101) as f32) * 0.01 - 0.5).collect();
+            let (_, deq, p) = grid.quantize_group(&group);
+            for (w, d) in group.iter().zip(deq.iter()) {
+                assert!(
+                    (w - d).abs() <= p.scale * 0.5 + 1e-6,
+                    "bits={bits}: |{w} - {d}| > step/2 = {}",
+                    p.scale * 0.5
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let group: Vec<f32> = (0..128).map(|i| ((i as f32) * 0.7).sin()).collect();
+        let err = |bits: u8| {
+            let (_, deq, _) = QuantGrid::int(bits, true).quantize_group(&group);
+            group
+                .iter()
+                .zip(deq.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        assert!(err(2) > err(3));
+        assert!(err(3) > err(4));
+        assert!(err(4) > err(8));
+    }
+
+    #[test]
+    fn codes_fit_bit_width() {
+        for bits in 1..=8u8 {
+            let grid = QuantGrid::int(bits, true);
+            let group: Vec<f32> = (0..40).map(|i| (i as f32 - 20.0) * 0.1).collect();
+            let (codes, _, _) = grid.quantize_group(&group);
+            let max_code = (1u32 << bits) - 1;
+            assert!(codes.iter().all(|&c| (c as u32) <= max_code), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_stays_near_zero() {
+        // Asymmetric grids include zero in the range; quantizing 0 must
+        // give back ~0 (within a step) even for skewed groups.
+        let grid = QuantGrid::int(4, true);
+        let group = [0.0f32, 5.0, 6.0, 7.0];
+        let (_, deq, p) = grid.quantize_group(&group);
+        assert!(deq[0].abs() <= p.scale * 0.5 + 1e-6);
+    }
+
+    #[test]
+    fn symmetric_grid_is_signed() {
+        let grid = QuantGrid::int(4, false);
+        let (_, deq, _) = grid.quantize_group(&[-1.0, 1.0]);
+        assert!(deq[0] < 0.0);
+        assert!(deq[1] > 0.0);
+        assert!((deq[0] + deq[1]).abs() < 0.2, "symmetric grid should be ~balanced");
+    }
+
+    #[test]
+    fn degenerate_group_is_safe() {
+        for grid in [QuantGrid::int(4, true), QuantGrid::int(2, false), QuantGrid::fp4()] {
+            let (_, deq, p) = grid.quantize_group(&[0.0, 0.0, 0.0]);
+            assert!(p.scale > 0.0);
+            assert!(deq.iter().all(|d| d.is_finite()));
+        }
+    }
+
+    #[test]
+    fn try_int_rejects_bad_bits() {
+        assert!(matches!(QuantGrid::try_int(0, true), Err(QuantError::UnsupportedBits { bits: 0 })));
+        assert!(matches!(QuantGrid::try_int(9, true), Err(QuantError::UnsupportedBits { bits: 9 })));
+        assert!(QuantGrid::try_int(8, false).is_ok());
+    }
+
+    #[test]
+    fn binary_grid_uses_sign_and_mean_magnitude() {
+        let grid = QuantGrid::binary();
+        let group = [0.4f32, -0.2, 0.6, -0.8];
+        let (codes, deq, p) = grid.quantize_group(&group);
+        let mean_abs = (0.4 + 0.2 + 0.6 + 0.8) / 4.0;
+        assert!((p.scale - mean_abs).abs() < 1e-6);
+        assert_eq!(codes, vec![1, 0, 1, 0]);
+        assert_eq!(deq, vec![p.scale, -p.scale, p.scale, -p.scale]);
+        assert_eq!(grid.bits(), 1);
+    }
+
+    #[test]
+    fn fp4_grid_hits_levels_exactly() {
+        let grid = QuantGrid::fp4();
+        // Max magnitude 6.0 → scale 1.0; all level values exact.
+        let group = [6.0f32, 3.0, 1.5, 0.5, -2.0, -6.0, 0.0, 4.0];
+        let (codes, deq, _) = grid.quantize_group(&group);
+        assert_eq!(deq, vec![6.0, 3.0, 1.5, 0.5, -2.0, -6.0, 0.0, 4.0]);
+        assert!(codes.iter().all(|&c| c < 16));
+        assert_eq!(grid.bits(), 4);
+    }
+
+    #[test]
+    fn fp4_relative_precision_beats_int4_for_heavy_tails() {
+        // A group with one large outlier and a body of mid-scale values:
+        // FP4's denser levels near zero (0.5 steps vs INT4's ~0.86 step
+        // at this range) should win.
+        let mut group = vec![6.0f32];
+        group.extend((0..31).map(|i| {
+            let mag = 0.4 + 0.1 * ((i % 4) as f32);
+            if i % 2 == 0 { mag } else { -mag }
+        }));
+        let err = |grid: QuantGrid| {
+            let (_, deq, _) = grid.quantize_group(&group);
+            group.iter().zip(deq.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+        };
+        assert!(err(QuantGrid::fp4()) < err(QuantGrid::int(4, false)));
+    }
+
+    #[test]
+    fn dequantize_matches_quantize_output() {
+        for grid in [QuantGrid::int(4, true), QuantGrid::int(2, false), QuantGrid::fp4(), QuantGrid::binary()] {
+            let group: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.23).collect();
+            let p = grid.fit_params(&group);
+            for &w in &group {
+                let (c, d) = grid.quantize(w, p);
+                assert_eq!(grid.dequantize(c, p), d);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_config_default_is_sane() {
+        let cfg = GridConfig::default();
+        assert!(cfg.group_size > 0);
+        assert!(cfg.block_size > 0);
+        assert!(cfg.damp > 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! APTQ — the paper's method (Algorithm 1).
+//!
+//! Step 1: quantize with the OBQ engine driven by **attention-aware
+//! Hessians** (Eqs. 9–15 via [`crate::attn`]), computing each layer's
+//! average Hessian trace along the way.
+//!
+//! Step 2: for mixed precision, rank layers by trace and re-quantize the
+//! least sensitive ones at 2 bits until the 4-bit weight ratio matches
+//! the requested `R` (Eq. 18). `APTQ-R%` in the tables is
+//! [`quantize_mixed`] with `ratio = R`.
+
+use aptq_lm::Model;
+
+use crate::calib::collect_hessians;
+use crate::grid::GridConfig;
+use crate::hessian::HessianMode;
+use crate::methods::apply_plan_obq;
+use crate::mixed::{AllocationPolicy, MixedPrecisionAllocator};
+use crate::plan::QuantPlan;
+use crate::report::QuantReport;
+use crate::trace::SensitivityReport;
+use crate::QuantError;
+
+/// Uniform-precision APTQ (the "APTQ / 4.0 bit" table rows): GPTQ's
+/// machinery under attention-aware Hessians.
+///
+/// # Errors
+///
+/// Propagates calibration and engine errors.
+pub fn quantize_uniform(
+    model: &mut Model,
+    calibration: &[Vec<u32>],
+    bits: u8,
+    cfg: &GridConfig,
+) -> Result<QuantReport, QuantError> {
+    let hessians = collect_hessians(model, calibration, HessianMode::AttentionAware)?;
+    let plan = QuantPlan::uniform(model, bits);
+    apply_plan_obq(&format!("APTQ-{bits}bit"), model, &plan, &hessians, cfg)
+}
+
+/// Mixed-precision APTQ (`APTQ-R%`): 2/4-bit allocation by Hessian
+/// trace (or the manual block-wise ablation policy).
+///
+/// Returns the report and the sensitivity ranking that produced the
+/// allocation (exposed for the Figure 1 sensitivity panel and the
+/// ablation analysis).
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidRatio`] for `ratio ∉ [0,1]`, otherwise
+/// propagates calibration and engine errors.
+pub fn quantize_mixed(
+    model: &mut Model,
+    calibration: &[Vec<u32>],
+    ratio: f32,
+    policy: AllocationPolicy,
+    cfg: &GridConfig,
+) -> Result<(QuantReport, SensitivityReport), QuantError> {
+    let allocator = MixedPrecisionAllocator::two_four(ratio)?;
+    let hessians = collect_hessians(model, calibration, HessianMode::AttentionAware)?;
+    // Allocation signal: empirical per-layer low-bit loss increase on a
+    // probe slice of the calibration set. Layer-local Hessian traces
+    // cannot see error *compounding* through downstream blocks, which
+    // dominates at our model depth (DESIGN.md §3 documents this
+    // deviation; the trace variants are compared in the ablation bench).
+    let probe_len = calibration.len().clamp(1, 16);
+    let sensitivity = crate::trace::empirical_sensitivity(
+        model,
+        &calibration[..probe_len],
+        allocator.low_bits,
+        cfg,
+    );
+    let plan = allocator.allocate(model, &sensitivity, policy);
+    let name = match policy {
+        AllocationPolicy::HessianTrace => format!("APTQ-{:.0}%", ratio * 100.0),
+        AllocationPolicy::ManualBlockwise => {
+            format!("ManualBlockwise-{:.0}%", ratio * 100.0)
+        }
+    };
+    let report = apply_plan_obq(&name, model, &plan, &hessians, cfg)?;
+    Ok((report, sensitivity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::eq18_average_bits;
+    use aptq_lm::ModelConfig;
+
+    fn calib() -> Vec<Vec<u32>> {
+        (0..6).map(|k| (0..16).map(|i| ((i * 5 + k) % 16) as u32).collect()).collect()
+    }
+
+    #[test]
+    fn uniform_aptq_runs() {
+        let mut model = Model::new(&ModelConfig::test_tiny(16), 12);
+        let report = quantize_uniform(&mut model, &calib(), 4, &GridConfig::default()).unwrap();
+        assert_eq!(report.avg_bits, 4.0);
+        assert!(report.method.contains("APTQ"));
+        assert!(model.forward(&[1, 2, 3]).all_finite());
+    }
+
+    #[test]
+    fn mixed_aptq_hits_requested_ratio() {
+        for r in [0.5f32, 0.75, 0.9] {
+            let mut model = Model::new(&ModelConfig::test_tiny(16), 13);
+            let (report, sens) = quantize_mixed(
+                &mut model,
+                &calib(),
+                r,
+                AllocationPolicy::HessianTrace,
+                &GridConfig::default(),
+            )
+            .unwrap();
+            assert!(!sens.is_empty());
+            let want = eq18_average_bits(r);
+            assert!(
+                (report.avg_bits - want).abs() < 0.5,
+                "r={r}: got {} want ≈{want}",
+                report.avg_bits
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_rejects_bad_ratio() {
+        let mut model = Model::new(&ModelConfig::test_tiny(16), 13);
+        assert!(matches!(
+            quantize_mixed(
+                &mut model,
+                &calib(),
+                2.0,
+                AllocationPolicy::HessianTrace,
+                &GridConfig::default()
+            ),
+            Err(QuantError::InvalidRatio { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_policy_beats_blockwise_on_output_drift() {
+        // The Table 3 ablation in miniature: at the same average bits,
+        // sensitivity-ranked allocation should preserve the model output
+        // better than front-to-back block allocation.
+        let base = Model::new(&ModelConfig::test_tiny(16), 14);
+        let probe: Vec<u32> = (0..14).map(|i| ((i * 5) % 16) as u32).collect();
+        let ref_logits = base.forward(&probe);
+        let drift = |policy: AllocationPolicy| {
+            let mut m = base.clone();
+            quantize_mixed(&mut m, &calib(), 0.5, policy, &GridConfig::default()).unwrap();
+            m.forward(&probe).sub(&ref_logits).frobenius_norm()
+        };
+        let d_trace = drift(AllocationPolicy::HessianTrace);
+        let d_block = drift(AllocationPolicy::ManualBlockwise);
+        // On a random-init tiny model sensitivity rankings are close to
+        // noise, so this is a sanity check only; the Table 3 comparison
+        // on *trained* models lives in the workspace integration tests.
+        assert!(d_trace.is_finite() && d_block.is_finite());
+        assert!(d_trace > 0.0 && d_block > 0.0, "half-2-bit quantization must perturb outputs");
+    }
+}

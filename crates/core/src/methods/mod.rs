@@ -1,0 +1,102 @@
+//! The quantization methods evaluated in the paper's tables.
+//!
+//! | Module | Paper row | Idea |
+//! |---|---|---|
+//! | [`rtn`] | RTN | per-group round-to-nearest, no second-order info |
+//! | [`gptq`] | GPTQ [4] | layer-input Hessian + OBQ updates |
+//! | [`aptq`] | **APTQ (ours)** | attention-aware Hessians + trace-ranked 2/4-bit mixing |
+//! | [`owq`] | OWQ [9] | keep activation-outlier input dims in fp16 |
+//! | [`pbllm`] | PB-LLM [15] | binarize non-salient weights, keep salient fp16 |
+//! | [`smoothquant`] | SmoothQuant [17] | per-channel scale migration, then RTN |
+//! | [`fpq`] | FPQ [10] | 4-bit float (E2M1) grids |
+//! | [`qat`] | LLM-QAT [11] | data-free quantization-aware finetune (STE) |
+
+pub mod aptq;
+pub mod fpq;
+pub mod gptq;
+pub mod owq;
+pub mod pbllm;
+pub mod qat;
+pub mod rtn;
+pub mod smoothquant;
+
+use std::collections::BTreeMap;
+
+use aptq_lm::{LayerRef, Model};
+
+use crate::engine;
+use crate::grid::{GridConfig, QuantGrid};
+use crate::hessian::LayerHessian;
+use crate::plan::QuantPlan;
+use crate::report::{LayerOutcome, QuantReport};
+use crate::QuantError;
+
+/// Quantizes every layer of `plan` with the OBQ engine under the given
+/// Hessians, installing dequantized weights into the model in place.
+///
+/// This is the shared backbone of GPTQ, APTQ and OWQ; they differ only
+/// in the Hessians, the plan, and (for OWQ) which rows are exempted.
+///
+/// # Errors
+///
+/// Propagates engine failures; returns [`QuantError::UnknownLayer`] if
+/// the Hessian map is missing a planned layer.
+pub fn apply_plan_obq(
+    method: &str,
+    model: &mut Model,
+    plan: &QuantPlan,
+    hessians: &BTreeMap<LayerRef, LayerHessian>,
+    cfg: &GridConfig,
+) -> Result<QuantReport, QuantError> {
+    let mut outcomes = Vec::with_capacity(plan.len());
+    for (layer, bits) in plan.iter() {
+        let lh = hessians
+            .get(&layer)
+            .ok_or_else(|| QuantError::UnknownLayer { layer: layer.to_string() })?;
+        let grid = QuantGrid::try_int(bits, cfg.asymmetric)?;
+        let w = model.layer_weight(layer).clone();
+        let res = engine::quantize_layer_obq(&layer.to_string(), &w, lh, grid, cfg)?;
+        let storage = res.packed.storage_bytes();
+        *model.layer_weight_mut(layer) = res.dequantized;
+        outcomes.push(LayerOutcome {
+            layer,
+            bits,
+            recon_error: res.recon_error,
+            storage_bytes: storage,
+        });
+    }
+    Ok(QuantReport::new(method, model, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hessian::HessianMode;
+    use aptq_lm::ModelConfig;
+
+    #[test]
+    fn apply_plan_installs_weights() {
+        let mut model = Model::new(&ModelConfig::test_tiny(16), 6);
+        let segs = vec![(0..12).map(|i| (i % 16) as u32).collect::<Vec<u32>>()];
+        let hs = crate::collect_hessians(&model, &segs, HessianMode::LayerInput).unwrap();
+        let plan = QuantPlan::uniform(&model, 4);
+        let before = model.layer_weight(model.layer_refs()[0]).clone();
+        let report =
+            apply_plan_obq("GPTQ", &mut model, &plan, &hs, &GridConfig::default()).unwrap();
+        let after = model.layer_weight(model.layer_refs()[0]).clone();
+        assert_ne!(before, after, "weights must change");
+        assert_eq!(report.avg_bits, 4.0);
+        assert_eq!(report.layers.len(), model.layer_refs().len());
+    }
+
+    #[test]
+    fn missing_hessian_is_unknown_layer() {
+        let mut model = Model::new(&ModelConfig::test_tiny(16), 6);
+        let plan = QuantPlan::uniform(&model, 4);
+        let empty = BTreeMap::new();
+        assert!(matches!(
+            apply_plan_obq("x", &mut model, &plan, &empty, &GridConfig::default()),
+            Err(QuantError::UnknownLayer { .. })
+        ));
+    }
+}

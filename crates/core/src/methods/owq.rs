@@ -1,0 +1,176 @@
+//! OWQ-style outlier-aware weight quantization [Lee et al., 2023].
+//!
+//! Activation outliers make some input dimensions disproportionately
+//! important. OWQ keeps the weight rows of the top-k outlier input
+//! dimensions (ranked by Hessian diagonal × row norm) in fp16 and
+//! GPTQ-quantizes the rest at the base width — landing at ~4.01 average
+//! bits in the paper's Table 1.
+
+use std::collections::BTreeMap;
+
+use aptq_lm::{LayerRef, Model};
+
+use crate::calib::collect_hessians;
+use crate::engine;
+use crate::grid::{GridConfig, QuantGrid};
+use crate::hessian::{HessianMode, LayerHessian};
+use crate::report::{LayerOutcome, QuantReport};
+use crate::QuantError;
+
+/// Quantizes the model OWQ-style: `outlier_dims` input dimensions per
+/// layer stay fp16, the rest get GPTQ at `bits`.
+///
+/// # Errors
+///
+/// Propagates calibration and engine errors.
+pub fn quantize(
+    model: &mut Model,
+    calibration: &[Vec<u32>],
+    bits: u8,
+    outlier_dims: usize,
+    cfg: &GridConfig,
+) -> Result<QuantReport, QuantError> {
+    let hessians = collect_hessians(model, calibration, HessianMode::LayerInput)?;
+    let grid = QuantGrid::try_int(bits, cfg.asymmetric)?;
+    let mut outcomes = Vec::new();
+
+    for layer in model.layer_refs() {
+        let w = model.layer_weight(layer).clone();
+        let (d_in, d_out) = w.shape();
+        let lh = &hessians[&layer];
+        let keep = outlier_rows(&w, lh, outlier_dims.min(d_in));
+
+        // Quantize with the OBQ engine, then restore the outlier rows to
+        // their original fp16 values. (Restoring after the engine run
+        // keeps the error-compensation of the quantized rows intact; the
+        // outlier rows contribute no quantization error to compensate.)
+        let res = engine::quantize_layer_obq(&layer.to_string(), &w, lh, grid, cfg)?;
+        let mut deq = res.dequantized;
+        for &r in &keep {
+            for c in 0..d_out {
+                deq[(r, c)] = w[(r, c)];
+            }
+        }
+        let storage = res.packed.storage_bytes() + keep.len() * d_out * 2;
+        *model.layer_weight_mut(layer) = deq;
+        outcomes.push(LayerOutcome {
+            layer,
+            bits,
+            recon_error: res.recon_error,
+            storage_bytes: storage,
+        });
+    }
+
+    let mut report = QuantReport::new(format!("OWQ-{bits}bit"), model, outcomes);
+    // Account for the fp16 outlier rows in the average bit-width.
+    report.avg_bits += effective_extra_bits(model, outlier_dims);
+    Ok(report)
+}
+
+/// Extra average bits contributed by keeping `outlier_dims` fp16 rows
+/// per layer (over the uniform base width).
+fn effective_extra_bits(model: &Model, outlier_dims: usize) -> f32 {
+    let mut extra_weights = 0usize;
+    let mut total = 0usize;
+    for r in model.layer_refs() {
+        let w = model.layer_weight(r);
+        extra_weights += outlier_dims.min(w.rows()) * w.cols();
+        total += w.len();
+    }
+    // fp16 (16 bits) instead of already-counted base bits ≈ +12 for 4-bit.
+    extra_weights as f32 * 12.0 / total as f32
+}
+
+/// Ranks input dimensions by `diag(H)ᵢ · ‖wᵢ‖²` and returns the top-k.
+fn outlier_rows(w: &aptq_tensor::Matrix, lh: &LayerHessian, k: usize) -> Vec<usize> {
+    let d_in = w.rows();
+    let diag = lh.h.diag();
+    let mut scored: Vec<(usize, f32)> = (0..d_in)
+        .map(|i| {
+            let row_norm: f32 = w.row(i).iter().map(|&v| v * v).sum();
+            (i, diag[i] * row_norm)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.into_iter().take(k).map(|(i, _)| i).collect()
+}
+
+/// Exposed for tests and analysis: which rows would OWQ keep?
+pub fn outlier_rows_for(
+    model: &Model,
+    hessians: &BTreeMap<LayerRef, LayerHessian>,
+    layer: LayerRef,
+    k: usize,
+) -> Vec<usize> {
+    outlier_rows(model.layer_weight(layer), &hessians[&layer], k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_lm::ModelConfig;
+
+    fn calib() -> Vec<Vec<u32>> {
+        (0..4).map(|k| (0..12).map(|i| ((i * 3 + k) % 16) as u32).collect()).collect()
+    }
+
+    #[test]
+    fn owq_runs_and_costs_slightly_more_than_base() {
+        let mut model = Model::new(&ModelConfig::test_tiny(16), 18);
+        let report = quantize(&mut model, &calib(), 4, 1, &GridConfig::default()).unwrap();
+        assert!(report.avg_bits > 4.0, "outlier rows add storage: {}", report.avg_bits);
+        assert!(report.avg_bits < 5.0, "one outlier dim is cheap: {}", report.avg_bits);
+        assert!(model.forward(&[1, 2, 3]).all_finite());
+    }
+
+    #[test]
+    fn owq_with_zero_outliers_is_gptq() {
+        let base = Model::new(&ModelConfig::test_tiny(16), 19);
+        let cfg = GridConfig::default();
+        let mut a = base.clone();
+        quantize(&mut a, &calib(), 4, 0, &cfg).unwrap();
+        let mut b = base.clone();
+        crate::methods::gptq::quantize(&mut b, &calib(), 4, &cfg).unwrap();
+        let r = base.layer_refs()[0];
+        assert_eq!(a.layer_weight(r), b.layer_weight(r));
+    }
+
+    #[test]
+    fn outlier_rows_pick_high_energy_dims() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 20);
+        let hs = collect_hessians(&model, &calib(), HessianMode::LayerInput).unwrap();
+        let layer = model.layer_refs()[0];
+        let rows = outlier_rows_for(&model, &hs, layer, 3);
+        assert_eq!(rows.len(), 3);
+        // Scores of chosen rows dominate a random other row.
+        let diag = hs[&layer].h.diag();
+        let w = model.layer_weight(layer);
+        let score = |i: usize| diag[i] * w.row(i).iter().map(|&v| v * v).sum::<f32>();
+        let min_kept = rows.iter().map(|&i| score(i)).fold(f32::INFINITY, f32::min);
+        let others_max = (0..w.rows())
+            .filter(|i| !rows.contains(i))
+            .map(score)
+            .fold(0.0f32, f32::max);
+        assert!(min_kept >= others_max);
+    }
+
+    #[test]
+    fn more_outliers_preserve_output_better() {
+        // Plant genuine activation outliers (huge embedding channels) so
+        // the OWQ criterion has a real signal, then check that exempting
+        // half the input dims reduces 2-bit drift.
+        let mut base = Model::new(&ModelConfig::test_tiny(16), 21);
+        for r in 0..16 {
+            base.embed_mut()[(r, 2)] *= 10.0;
+            base.embed_mut()[(r, 9)] *= 10.0;
+        }
+        let probe: Vec<u32> = (0..12).map(|i| ((i * 3) % 16) as u32).collect();
+        let ref_logits = base.forward(&probe);
+        let drift = |k: usize| {
+            let mut m = base.clone();
+            quantize(&mut m, &calib(), 2, k, &GridConfig::default()).unwrap();
+            m.forward(&probe).sub(&ref_logits).frobenius_norm()
+        };
+        assert!(drift(8) < drift(0), "outlier rows should reduce 2-bit drift");
+    }
+}

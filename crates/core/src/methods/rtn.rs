@@ -1,0 +1,68 @@
+//! Round-to-nearest baseline (the "RTN" rows of the paper's tables).
+
+use aptq_lm::Model;
+
+use crate::engine;
+use crate::grid::{GridConfig, QuantGrid};
+use crate::report::{LayerOutcome, QuantReport};
+use crate::QuantError;
+
+/// Quantizes every projection of the model with per-group
+/// round-to-nearest at the given bit-width. No calibration data is used.
+///
+/// # Errors
+///
+/// Returns [`QuantError::UnsupportedBits`] for invalid bit-widths.
+pub fn quantize(model: &mut Model, bits: u8, cfg: &GridConfig) -> Result<QuantReport, QuantError> {
+    let grid = QuantGrid::try_int(bits, cfg.asymmetric)?;
+    let mut outcomes = Vec::new();
+    for layer in model.layer_refs() {
+        let w = model.layer_weight(layer).clone();
+        let res = engine::quantize_layer_rtn(&w, grid, cfg);
+        let storage = res.packed.storage_bytes();
+        *model.layer_weight_mut(layer) = res.dequantized;
+        outcomes.push(LayerOutcome {
+            layer,
+            bits,
+            recon_error: res.recon_error,
+            storage_bytes: storage,
+        });
+    }
+    Ok(QuantReport::new(format!("RTN-{bits}bit"), model, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_lm::ModelConfig;
+
+    #[test]
+    fn rtn_quantizes_all_layers() {
+        let mut model = Model::new(&ModelConfig::test_tiny(16), 7);
+        let report = quantize(&mut model, 4, &GridConfig::default()).unwrap();
+        assert_eq!(report.layers.len(), model.layer_refs().len());
+        assert_eq!(report.avg_bits, 4.0);
+        // Model still produces finite logits.
+        assert!(model.forward(&[1, 2, 3]).all_finite());
+    }
+
+    #[test]
+    fn lower_bits_more_error() {
+        let cfg = GridConfig::default();
+        let mut m4 = Model::new(&ModelConfig::test_tiny(16), 8);
+        let mut m2 = m4.clone();
+        let r4 = quantize(&mut m4, 4, &cfg).unwrap();
+        let r2 = quantize(&mut m2, 2, &cfg).unwrap();
+        assert!(r2.total_recon_error() > r4.total_recon_error());
+        assert!(r2.quantized_bytes < r4.quantized_bytes);
+    }
+
+    #[test]
+    fn rejects_invalid_bits() {
+        let mut model = Model::new(&ModelConfig::test_tiny(16), 9);
+        assert!(matches!(
+            quantize(&mut model, 0, &GridConfig::default()),
+            Err(QuantError::UnsupportedBits { .. })
+        ));
+    }
+}

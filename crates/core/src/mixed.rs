@@ -1,0 +1,196 @@
+//! Mixed-precision bit allocation (§3.3, Algorithm 1 Step 2).
+//!
+//! Given per-layer sensitivities and a target 4-bit ratio `R`, the
+//! Hessian-trace policy sorts layers by descending average trace and
+//! keeps the most sensitive layers at the high bit-width until `R` of
+//! the weights are covered; everything else drops to the low width.
+//! The manual block-wise policy of the Table 3 ablation instead assigns
+//! whole transformer blocks front-to-back, ignoring sensitivity.
+
+use aptq_lm::{LayerRef, Model};
+use serde::{Deserialize, Serialize};
+
+use crate::plan::QuantPlan;
+use crate::trace::SensitivityReport;
+use crate::QuantError;
+
+/// How layers are chosen for the high bit-width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// APTQ: rank layers by average Hessian trace, most sensitive first.
+    HessianTrace,
+    /// Ablation baseline: assign whole blocks, in block order, with no
+    /// sensitivity information ("the most intuitive mixed-precision
+    /// quantization strategy is to uniformly quantize all layers within
+    /// each block").
+    ManualBlockwise,
+}
+
+impl std::fmt::Display for AllocationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocationPolicy::HessianTrace => f.write_str("hessian-trace"),
+            AllocationPolicy::ManualBlockwise => f.write_str("manual-blockwise"),
+        }
+    }
+}
+
+/// Allocates high/low bit-widths to layers for a target high-bit weight
+/// ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixedPrecisionAllocator {
+    /// Bit-width for sensitive layers (4 in the paper).
+    pub high_bits: u8,
+    /// Bit-width for robust layers (2 in the paper).
+    pub low_bits: u8,
+    /// Target fraction of weights at `high_bits` (the `R` of Eq. 18).
+    pub ratio: f32,
+}
+
+impl MixedPrecisionAllocator {
+    /// The paper's 2/4-bit scheme at ratio `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidRatio`] if `r ∉ [0, 1]`.
+    pub fn two_four(r: f32) -> Result<Self, QuantError> {
+        if !(0.0..=1.0).contains(&r) {
+            return Err(QuantError::InvalidRatio { ratio: r });
+        }
+        Ok(MixedPrecisionAllocator { high_bits: 4, low_bits: 2, ratio: r })
+    }
+
+    /// Produces a [`QuantPlan`] under the given policy.
+    ///
+    /// The greedy cover stops as soon as the covered weight fraction
+    /// reaches `ratio`, so the achieved ratio overshoots by at most one
+    /// layer's weights — the granularity the paper's layer-wise scheme
+    /// has too.
+    pub fn allocate(
+        &self,
+        model: &Model,
+        sensitivity: &SensitivityReport,
+        policy: AllocationPolicy,
+    ) -> QuantPlan {
+        let mut plan = QuantPlan::uniform(model, self.low_bits);
+        let total: usize = model.layer_refs().iter().map(|&r| model.layer_weight(r).len()).sum();
+        let target = self.ratio as f64 * total as f64;
+        if target <= 0.0 {
+            return plan;
+        }
+        let order: Vec<LayerRef> = match policy {
+            AllocationPolicy::HessianTrace => {
+                sensitivity.entries().iter().map(|e| e.layer).collect()
+            }
+            AllocationPolicy::ManualBlockwise => model.layer_refs(),
+        };
+        let mut covered = 0f64;
+        for r in order {
+            if covered >= target {
+                break;
+            }
+            plan.set_bits(r, self.high_bits);
+            covered += model.layer_weight(r).len() as f64;
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hessian::HessianMode;
+    use crate::plan::eq18_average_bits;
+    use aptq_lm::{LayerKind, Model, ModelConfig};
+
+    fn setup() -> (Model, SensitivityReport) {
+        let model = Model::new(&ModelConfig::test_tiny(16), 5);
+        let segs: Vec<Vec<u32>> =
+            (0..3).map(|k| (0..12).map(|i| ((i + 2 * k) % 16) as u32).collect()).collect();
+        let hs = crate::collect_hessians(&model, &segs, HessianMode::AttentionAware).unwrap();
+        (model, SensitivityReport::from_hessians(&hs))
+    }
+
+    #[test]
+    fn ratio_one_gives_uniform_high() {
+        let (model, sens) = setup();
+        let alloc = MixedPrecisionAllocator::two_four(1.0).unwrap();
+        let plan = alloc.allocate(&model, &sens, AllocationPolicy::HessianTrace);
+        assert_eq!(plan.avg_bits(&model), 4.0);
+    }
+
+    #[test]
+    fn ratio_zero_gives_uniform_low() {
+        let (model, sens) = setup();
+        let alloc = MixedPrecisionAllocator::two_four(0.0).unwrap();
+        let plan = alloc.allocate(&model, &sens, AllocationPolicy::HessianTrace);
+        assert_eq!(plan.avg_bits(&model), 2.0);
+    }
+
+    #[test]
+    fn achieved_avg_bits_close_to_eq18() {
+        let (model, sens) = setup();
+        for r in [0.25f32, 0.5, 0.75, 0.9] {
+            let alloc = MixedPrecisionAllocator::two_four(r).unwrap();
+            let plan = alloc.allocate(&model, &sens, AllocationPolicy::HessianTrace);
+            let avg = plan.avg_bits(&model);
+            let want = eq18_average_bits(r);
+            // One-layer granularity: tolerance = largest layer share × 2 bits.
+            assert!(
+                (avg - want).abs() < 0.5,
+                "r={r}: avg {avg} too far from Eq18 {want}"
+            );
+            assert!(avg >= want - 1e-4, "greedy cover must reach the target ratio");
+        }
+    }
+
+    #[test]
+    fn trace_policy_prefers_sensitive_layers() {
+        let (model, sens) = setup();
+        let alloc = MixedPrecisionAllocator::two_four(0.3).unwrap();
+        let plan = alloc.allocate(&model, &sens, AllocationPolicy::HessianTrace);
+        // The most sensitive layer must be high-bit, the least sensitive low-bit.
+        let top = sens.entries().first().unwrap().layer;
+        let bottom = sens.entries().last().unwrap().layer;
+        assert_eq!(plan.bits_for(top), Some(4));
+        assert_eq!(plan.bits_for(bottom), Some(2));
+    }
+
+    #[test]
+    fn blockwise_policy_fills_front_blocks_first() {
+        let (model, sens) = setup();
+        let alloc = MixedPrecisionAllocator::two_four(0.5).unwrap();
+        let plan = alloc.allocate(&model, &sens, AllocationPolicy::ManualBlockwise);
+        // First block fully high-bit before any of the last block.
+        for kind in LayerKind::ALL {
+            assert_eq!(plan.bits_for(LayerRef { block: 0, kind }), Some(4));
+        }
+        let last = model.config().n_layers - 1;
+        let low_in_last = LayerKind::ALL
+            .iter()
+            .filter(|&&kind| plan.bits_for(LayerRef { block: last, kind }) == Some(2))
+            .count();
+        assert!(low_in_last > 0, "half ratio must leave the last block partly low-bit");
+    }
+
+    #[test]
+    fn policies_differ_when_sensitivity_is_nonuniform() {
+        let (model, sens) = setup();
+        let alloc = MixedPrecisionAllocator::two_four(0.5).unwrap();
+        let a = alloc.allocate(&model, &sens, AllocationPolicy::HessianTrace);
+        let b = alloc.allocate(&model, &sens, AllocationPolicy::ManualBlockwise);
+        assert_ne!(a, b, "trace-ranked and block-order plans should differ");
+    }
+
+    #[test]
+    fn invalid_ratio_rejected() {
+        assert!(matches!(
+            MixedPrecisionAllocator::two_four(1.2),
+            Err(QuantError::InvalidRatio { .. })
+        ));
+        assert!(matches!(
+            MixedPrecisionAllocator::two_four(-0.1),
+            Err(QuantError::InvalidRatio { .. })
+        ));
+    }
+}

@@ -1,0 +1,174 @@
+//! Quantization plans: the per-layer bit-width assignment and the
+//! average-bits accounting of Eq. (18).
+
+use std::collections::BTreeMap;
+
+use aptq_lm::{LayerRef, Model};
+use serde::{Deserialize, Serialize};
+
+/// A per-layer bit-width assignment over a model's quantizable layers.
+///
+/// # Example
+///
+/// ```
+/// use aptq_core::plan::QuantPlan;
+/// use aptq_lm::{Model, ModelConfig};
+///
+/// let model = Model::new(&ModelConfig::test_tiny(16), 0);
+/// let plan = QuantPlan::uniform(&model, 4);
+/// assert_eq!(plan.avg_bits(&model), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantPlan {
+    bits: BTreeMap<LayerRef, u8>,
+}
+
+impl QuantPlan {
+    /// A plan assigning the same bit-width to every layer.
+    pub fn uniform(model: &Model, bits: u8) -> Self {
+        QuantPlan { bits: model.layer_refs().into_iter().map(|r| (r, bits)).collect() }
+    }
+
+    /// Builds a plan from explicit assignments.
+    pub fn from_assignments(bits: BTreeMap<LayerRef, u8>) -> Self {
+        QuantPlan { bits }
+    }
+
+    /// Bit-width for a layer (if assigned).
+    pub fn bits_for(&self, r: LayerRef) -> Option<u8> {
+        self.bits.get(&r).copied()
+    }
+
+    /// Overrides one layer's assignment.
+    pub fn set_bits(&mut self, r: LayerRef, bits: u8) {
+        self.bits.insert(r, bits);
+    }
+
+    /// Iterates `(layer, bits)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (LayerRef, u8)> + '_ {
+        self.bits.iter().map(|(&r, &b)| (r, b))
+    }
+
+    /// Number of assigned layers.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Weight-count-weighted average bit-width over the plan.
+    ///
+    /// This is the observable the paper's Eq. (18)
+    /// (`avg = 4R + 2(1−R)`) predicts when layers are split between
+    /// 4-bit and 2-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references a layer missing from `model`.
+    pub fn avg_bits(&self, model: &Model) -> f32 {
+        let mut weighted = 0.0f64;
+        let mut total = 0.0f64;
+        for (&r, &b) in &self.bits {
+            let n = model.layer_weight(r).len() as f64;
+            weighted += b as f64 * n;
+            total += n;
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            (weighted / total) as f32
+        }
+    }
+
+    /// The fraction of weights assigned at least `high_bits` (the `R` of
+    /// Eq. 18).
+    pub fn high_bit_ratio(&self, model: &Model, high_bits: u8) -> f32 {
+        let mut high = 0.0f64;
+        let mut total = 0.0f64;
+        for (&r, &b) in &self.bits {
+            let n = model.layer_weight(r).len() as f64;
+            if b >= high_bits {
+                high += n;
+            }
+            total += n;
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            (high / total) as f32
+        }
+    }
+}
+
+/// Eq. (18): the average bits of a 2/4 mixed plan with 4-bit ratio `R`.
+pub fn eq18_average_bits(r: f32) -> f32 {
+    4.0 * r + 2.0 * (1.0 - r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_lm::{LayerKind, ModelConfig};
+
+    fn model() -> Model {
+        Model::new(&ModelConfig::test_tiny(16), 0)
+    }
+
+    #[test]
+    fn uniform_plan_covers_all_layers() {
+        let m = model();
+        let plan = QuantPlan::uniform(&m, 4);
+        assert_eq!(plan.len(), m.layer_refs().len());
+        assert_eq!(plan.avg_bits(&m), 4.0);
+        assert_eq!(plan.high_bit_ratio(&m, 4), 1.0);
+    }
+
+    #[test]
+    fn eq18_endpoints() {
+        assert_eq!(eq18_average_bits(1.0), 4.0);
+        assert_eq!(eq18_average_bits(0.0), 2.0);
+        assert_eq!(eq18_average_bits(0.5), 3.0);
+        assert!((eq18_average_bits(0.75) - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn avg_bits_matches_eq18_for_weight_balanced_split() {
+        let m = model();
+        let mut plan = QuantPlan::uniform(&m, 2);
+        // Assign 4 bits to layers until half the weights are covered.
+        let refs = m.layer_refs();
+        let total: usize = refs.iter().map(|&r| m.layer_weight(r).len()).sum();
+        let mut covered = 0usize;
+        for &r in &refs {
+            if covered * 2 >= total {
+                break;
+            }
+            plan.set_bits(r, 4);
+            covered += m.layer_weight(r).len();
+        }
+        let ratio = plan.high_bit_ratio(&m, 4);
+        let avg = plan.avg_bits(&m);
+        assert!((avg - eq18_average_bits(ratio)).abs() < 1e-4, "{avg} vs Eq18({ratio})");
+    }
+
+    #[test]
+    fn set_bits_overrides() {
+        let m = model();
+        let mut plan = QuantPlan::uniform(&m, 4);
+        let r = LayerRef { block: 0, kind: LayerKind::Q };
+        plan.set_bits(r, 2);
+        assert_eq!(plan.bits_for(r), Some(2));
+        assert!(plan.avg_bits(&m) < 4.0);
+    }
+
+    #[test]
+    fn iter_is_canonical_order() {
+        let m = model();
+        let plan = QuantPlan::uniform(&m, 4);
+        let order: Vec<LayerRef> = plan.iter().map(|(r, _)| r).collect();
+        assert_eq!(order, m.layer_refs());
+    }
+}

@@ -1,0 +1,130 @@
+//! Quantization run reports: per-layer outcomes, size accounting and
+//! rendering helpers used by `EXPERIMENTS.md` and the bench harness.
+
+use aptq_lm::{LayerRef, Model};
+use serde::{Deserialize, Serialize};
+
+/// Per-layer quantization outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerOutcome {
+    /// Which layer.
+    pub layer: LayerRef,
+    /// Assigned bit-width (16 = kept in float).
+    pub bits: u8,
+    /// Hessian-weighted reconstruction error (0 for float-kept layers).
+    pub recon_error: f32,
+    /// Packed storage bytes for this layer.
+    pub storage_bytes: usize,
+}
+
+/// Summary of one quantization run over a whole model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantReport {
+    /// Method name, e.g. `"APTQ-75%"`.
+    pub method: String,
+    /// Weight-averaged bit-width over quantized layers.
+    pub avg_bits: f32,
+    /// Per-layer outcomes in canonical order.
+    pub layers: Vec<LayerOutcome>,
+    /// Total packed storage (codes + group metadata), bytes.
+    pub quantized_bytes: usize,
+    /// The fp16 baseline size of the same layers, bytes.
+    pub fp16_bytes: usize,
+}
+
+impl QuantReport {
+    /// Assembles a report; average bits are weighted by layer weight
+    /// counts taken from `model`.
+    pub fn new(method: impl Into<String>, model: &Model, layers: Vec<LayerOutcome>) -> Self {
+        let mut weighted = 0.0f64;
+        let mut total_weights = 0.0f64;
+        let mut quantized_bytes = 0usize;
+        let mut fp16_bytes = 0usize;
+        for o in &layers {
+            let n = model.layer_weight(o.layer).len();
+            weighted += o.bits as f64 * n as f64;
+            total_weights += n as f64;
+            quantized_bytes += o.storage_bytes;
+            fp16_bytes += n * 2;
+        }
+        let avg_bits = if total_weights == 0.0 { 0.0 } else { (weighted / total_weights) as f32 };
+        QuantReport { method: method.into(), avg_bits, layers, quantized_bytes, fp16_bytes }
+    }
+
+    /// Compression ratio vs fp16 (>1 means smaller).
+    pub fn compression_ratio(&self) -> f32 {
+        if self.quantized_bytes == 0 {
+            0.0
+        } else {
+            self.fp16_bytes as f32 / self.quantized_bytes as f32
+        }
+    }
+
+    /// Sum of per-layer reconstruction errors.
+    pub fn total_recon_error(&self) -> f32 {
+        self.layers.iter().map(|l| l.recon_error).sum()
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: avg {:.2} bits, {:.2}x smaller than fp16, Σrecon {:.4}",
+            self.method,
+            self.avg_bits,
+            self.compression_ratio(),
+            self.total_recon_error()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_lm::{LayerKind, ModelConfig};
+
+    #[test]
+    fn report_accounts_bits_and_bytes() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 0);
+        let refs = model.layer_refs();
+        let layers: Vec<LayerOutcome> = refs
+            .iter()
+            .map(|&layer| LayerOutcome {
+                layer,
+                bits: 4,
+                recon_error: 0.1,
+                storage_bytes: model.layer_weight(layer).len() / 2,
+            })
+            .collect();
+        let report = QuantReport::new("GPTQ", &model, layers);
+        assert_eq!(report.avg_bits, 4.0);
+        assert!((report.compression_ratio() - 4.0).abs() < 1e-5);
+        assert!(report.summary().contains("GPTQ"));
+        assert!(report.total_recon_error() > 0.0);
+    }
+
+    #[test]
+    fn mixed_bits_average_correctly() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 0);
+        let refs = model.layer_refs();
+        // Q layers (d×d) at 4 bits, everything else at 2.
+        let layers: Vec<LayerOutcome> = refs
+            .iter()
+            .map(|&layer| LayerOutcome {
+                layer,
+                bits: if layer.kind == LayerKind::Q { 4 } else { 2 },
+                recon_error: 0.0,
+                storage_bytes: 1,
+            })
+            .collect();
+        let report = QuantReport::new("mix", &model, layers);
+        assert!(report.avg_bits > 2.0 && report.avg_bits < 4.0);
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 0);
+        let report = QuantReport::new("none", &model, vec![]);
+        assert_eq!(report.avg_bits, 0.0);
+        assert_eq!(report.compression_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Hessian-trace layer sensitivity (§3.3 of the paper).
+//!
+//! "By computing the average trace of the Hessian matrix, the method
+//! determines the appropriate level of precision for the quantization of
+//! each layer. Layers with higher Hessian Trace values […] require
+//! higher bit precision."
+
+use std::collections::BTreeMap;
+
+use aptq_lm::{LayerRef, Model};
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{GridConfig, QuantGrid};
+use crate::hessian::LayerHessian;
+
+/// How layer sensitivity is scored from the Hessian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SensitivityMetric {
+    /// The paper's literal statement: the average Hessian trace alone.
+    ///
+    /// Comparable only between layers with similar input scales; kept
+    /// for the ablation benches.
+    MeanTrace,
+    /// HAWQ-V2-style trace-weighted perturbation:
+    /// `mean_trace · E[(W − Q₂(W))²]`, where `Q₂` is low-bit RTN.
+    ///
+    /// §3.3 builds on HAWQ-V2 [3], whose criterion is
+    /// `Tr(H)·‖ΔW‖²` — the expected second-order loss increase under
+    /// the layer-local quadratic model.
+    TraceTimesPerturbation,
+    /// Empirical end-to-end sensitivity: the increase in calibration
+    /// cross-entropy when *only this layer* is RTN-quantized at the low
+    /// bit-width.
+    ///
+    /// The two Hessian statistics above are layer-local: they cannot see
+    /// that an early layer's error **compounds** through every
+    /// downstream block while a late layer's error passes only through
+    /// the final norm. On shallow models that compounding dominates (we
+    /// measure it directly in the `probe_sensitivity` diagnostic), so
+    /// this metric — still pure PTQ, still computed from the same
+    /// calibration set — is the default allocation signal for the
+    /// experiments. The trace variants are retained and compared in the
+    /// ablation bench; see DESIGN.md §3 for the full deviation note.
+    EmpiricalLoss,
+}
+
+/// One layer's sensitivity entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerSensitivity {
+    /// The layer.
+    pub layer: LayerRef,
+    /// Average Hessian trace (per dimension, per calibration token).
+    pub mean_trace: f32,
+}
+
+/// Per-layer sensitivity ranking derived from calibration Hessians.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    entries: Vec<LayerSensitivity>,
+}
+
+impl SensitivityReport {
+    /// Builds a report from collected Hessians using the raw
+    /// [`SensitivityMetric::MeanTrace`] statistic, sorted by descending
+    /// sensitivity (ties broken by canonical layer order).
+    pub fn from_hessians(hessians: &BTreeMap<LayerRef, LayerHessian>) -> Self {
+        let entries = hessians
+            .iter()
+            .map(|(&layer, lh)| LayerSensitivity { layer, mean_trace: lh.mean_trace })
+            .collect();
+        Self::sorted(entries)
+    }
+
+    /// Builds a report with an explicit metric.
+    ///
+    /// For [`SensitivityMetric::TraceTimesPerturbation`] the trace is
+    /// weighted by the layer's expected low-bit quantization
+    /// perturbation `E[(W − Q(W))²]` under `low_bits` RTN — the
+    /// HAWQ-V2 criterion `Tr(H)·‖ΔW‖²` that §3.3 builds on.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`SensitivityMetric::EmpiricalLoss`], which needs
+    /// probe data — use [`empirical_sensitivity`] instead.
+    pub fn with_metric(
+        hessians: &BTreeMap<LayerRef, LayerHessian>,
+        model: &Model,
+        metric: SensitivityMetric,
+        low_bits: u8,
+        cfg: &GridConfig,
+    ) -> Self {
+        let entries = hessians
+            .iter()
+            .map(|(&layer, lh)| {
+                let score = match metric {
+                    SensitivityMetric::MeanTrace => lh.mean_trace,
+                    SensitivityMetric::TraceTimesPerturbation => {
+                        let w = model.layer_weight(layer);
+                        lh.mean_trace * rtn_mean_sq_error(w, low_bits, cfg)
+                    }
+                    SensitivityMetric::EmpiricalLoss => panic!(
+                        "EmpiricalLoss needs probe data; call empirical_sensitivity()"
+                    ),
+                };
+                LayerSensitivity { layer, mean_trace: score }
+            })
+            .collect();
+        Self::sorted(entries)
+    }
+
+    fn sorted(mut entries: Vec<LayerSensitivity>) -> Self {
+        entries.sort_by(|a, b| {
+            b.mean_trace
+                .partial_cmp(&a.mean_trace)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.layer.cmp(&b.layer))
+        });
+        SensitivityReport { entries }
+    }
+
+    /// Entries in descending-sensitivity order.
+    pub fn entries(&self) -> &[LayerSensitivity] {
+        &self.entries
+    }
+
+    /// Number of ranked layers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The trace value for one layer, if ranked.
+    pub fn trace_for(&self, layer: LayerRef) -> Option<f32> {
+        self.entries.iter().find(|e| e.layer == layer).map(|e| e.mean_trace)
+    }
+
+    /// Mean squared per-weight sensitivity score over all entries.
+    pub fn mean_score(&self) -> f32 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.mean_trace).sum::<f32>() / self.entries.len() as f32
+    }
+
+    /// Renders a small markdown table (used by the sensitivity example
+    /// and the reports in `EXPERIMENTS.md`).
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::from("| rank | layer | avg Hessian trace |\n|---|---|---|\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            s.push_str(&format!("| {} | {} | {:.6} |\n", i + 1, e.layer, e.mean_trace));
+        }
+        s
+    }
+}
+
+/// Builds an [`SensitivityMetric::EmpiricalLoss`] report: for each
+/// layer, quantize only that layer at `low_bits` (RTN — the cheap proxy;
+/// only the *ranking* matters) and measure the mean cross-entropy
+/// increase over `probe` segments.
+///
+/// The probe should be a small slice of the calibration set (8 segments
+/// is plenty); cost is `n_layers × (RTN + probe forward passes)`.
+pub fn empirical_sensitivity(
+    model: &Model,
+    probe: &[Vec<u32>],
+    low_bits: u8,
+    cfg: &GridConfig,
+) -> SensitivityReport {
+    let base = probe_loss(model, probe);
+    let entries = model
+        .layer_refs()
+        .into_iter()
+        .map(|layer| {
+            let mut perturbed = model.clone();
+            let res = crate::engine::quantize_layer_rtn(
+                perturbed.layer_weight(layer),
+                QuantGrid::int(low_bits, cfg.asymmetric),
+                cfg,
+            );
+            *perturbed.layer_weight_mut(layer) = res.dequantized;
+            LayerSensitivity { layer, mean_trace: probe_loss(&perturbed, probe) - base }
+        })
+        .collect();
+    SensitivityReport::sorted(entries)
+}
+
+/// Hutchinson stochastic trace estimator: `tr(H) ≈ mean(zᵀHz)` over
+/// Rademacher probe vectors `z ∈ {−1,+1}ⁿ`.
+///
+/// HAWQ-V2 (the paper's reference [3]) uses this because CNN/LLM
+/// Hessians are too large to materialize. Our calibration Hessians are
+/// explicit, so the estimator serves as a cross-check — the
+/// `hutchinson` ablation bench compares it against the exact trace and
+/// measures its convergence.
+///
+/// # Panics
+///
+/// Panics if `h` is not square or `n_probes == 0`.
+pub fn hutchinson_trace(h: &aptq_tensor::Matrix, n_probes: usize, seed: u64) -> f32 {
+    assert_eq!(h.rows(), h.cols(), "hutchinson_trace: square matrix required");
+    assert!(n_probes > 0, "hutchinson_trace: need at least one probe");
+    use rand::Rng;
+    let mut rng = aptq_tensor::init::rng(seed);
+    let n = h.rows();
+    let mut acc = 0.0f64;
+    for _ in 0..n_probes {
+        let z: Vec<f32> =
+            (0..n).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
+        let hz = h.matvec(&z);
+        acc += z.iter().zip(hz.iter()).map(|(&a, &b)| (a * b) as f64).sum::<f64>();
+    }
+    (acc / n_probes as f64) as f32
+}
+
+/// Mean next-token cross-entropy over probe segments.
+fn probe_loss(model: &Model, probe: &[Vec<u32>]) -> f32 {
+    let mut total = 0.0f64;
+    let mut n = 0usize;
+    for seg in probe.iter().filter(|s| s.len() >= 2) {
+        total += model.sequence_loss(seg) as f64 * (seg.len() - 1) as f64;
+        n += seg.len() - 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (total / n as f64) as f32
+    }
+}
+
+/// Mean squared RTN quantization error of a weight matrix at `bits`.
+fn rtn_mean_sq_error(w: &aptq_tensor::Matrix, bits: u8, cfg: &GridConfig) -> f32 {
+    let grid = match QuantGrid::try_int(bits, cfg.asymmetric) {
+        Ok(g) => g,
+        Err(_) => return 0.0,
+    };
+    let d_in = w.rows();
+    let d_out = w.cols();
+    let group = cfg.group_size.min(d_in).max(1);
+    let mut err = 0.0f64;
+    for g0 in (0..d_in).step_by(group) {
+        let g1 = (g0 + group).min(d_in);
+        for c in 0..d_out {
+            let col: Vec<f32> = (g0..g1).map(|r| w[(r, c)]).collect();
+            let p = grid.fit_params(&col);
+            for &v in &col {
+                let (_, d) = grid.quantize(v, p);
+                err += ((v - d) as f64).powi(2);
+            }
+        }
+    }
+    (err / (d_in * d_out) as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_lm::{LayerKind, Model, ModelConfig};
+    use crate::hessian::HessianMode;
+
+    #[test]
+    fn ranking_is_descending_and_complete() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 2);
+        let segs: Vec<Vec<u32>> =
+            (0..3).map(|k| (0..12).map(|i| ((i + k) % 16) as u32).collect()).collect();
+        let hs = crate::collect_hessians(&model, &segs, HessianMode::AttentionAware).unwrap();
+        let report = SensitivityReport::from_hessians(&hs);
+        assert_eq!(report.len(), model.layer_refs().len());
+        for w in report.entries().windows(2) {
+            assert!(w[0].mean_trace >= w[1].mean_trace);
+        }
+        // Every layer looked up by ref resolves.
+        for r in model.layer_refs() {
+            assert!(report.trace_for(r).is_some());
+        }
+    }
+
+    #[test]
+    fn traces_vary_across_layers() {
+        // If every layer had the same sensitivity the mixed-precision
+        // allocator would be meaningless.
+        let model = Model::new(&ModelConfig::test_tiny(16), 3);
+        let segs: Vec<Vec<u32>> =
+            (0..3).map(|k| (0..12).map(|i| ((i * 2 + k) % 16) as u32).collect()).collect();
+        let hs = crate::collect_hessians(&model, &segs, HessianMode::AttentionAware).unwrap();
+        let report = SensitivityReport::from_hessians(&hs);
+        let hi = report.entries().first().unwrap().mean_trace;
+        let lo = report.entries().last().unwrap().mean_trace;
+        assert!(hi > lo * 1.2, "sensitivities too uniform: {hi} vs {lo}");
+    }
+
+    #[test]
+    fn trace_times_perturbation_differs_from_raw_trace() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 6);
+        let segs = vec![(0..12).map(|i| (i % 16) as u32).collect::<Vec<u32>>()];
+        let hs = crate::collect_hessians(&model, &segs, HessianMode::AttentionAware).unwrap();
+        let cfg = GridConfig::default();
+        let raw = SensitivityReport::with_metric(
+            &hs, &model, SensitivityMetric::MeanTrace, 2, &cfg);
+        let weighted = SensitivityReport::with_metric(
+            &hs, &model, SensitivityMetric::TraceTimesPerturbation, 2, &cfg);
+        assert_eq!(raw.len(), weighted.len());
+        // Rankings generally differ because weight magnitudes vary.
+        let raw_order: Vec<_> = raw.entries().iter().map(|e| e.layer).collect();
+        let weighted_order: Vec<_> = weighted.entries().iter().map(|e| e.layer).collect();
+        assert_ne!(raw_order, weighted_order, "weighting should reshuffle at least one layer");
+        assert!(weighted.mean_score() > 0.0);
+        // Raw metric must agree with from_hessians.
+        let legacy = SensitivityReport::from_hessians(&hs);
+        assert_eq!(raw, legacy);
+    }
+
+    #[test]
+    fn hutchinson_converges_to_exact_trace() {
+        let g = aptq_tensor::init::normal(12, 12, 1.0, &mut aptq_tensor::init::rng(1));
+        let h = g.matmul(&g.transpose()); // SPD-ish, nontrivial trace
+        let exact = h.trace();
+        let est = hutchinson_trace(&h, 2000, 7);
+        assert!(
+            (est - exact).abs() / exact.abs() < 0.15,
+            "hutchinson {est} vs exact {exact}"
+        );
+        // More probes should not be wildly worse than few.
+        let rough = hutchinson_trace(&h, 4, 7);
+        assert!(rough.is_finite());
+    }
+
+    #[test]
+    fn empirical_sensitivity_ranks_all_layers() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 8);
+        let probe: Vec<Vec<u32>> =
+            (0..3).map(|k| (0..10).map(|i| ((i + k) % 16) as u32).collect()).collect();
+        let report = empirical_sensitivity(&model, &probe, 2, &GridConfig::default());
+        assert_eq!(report.len(), model.layer_refs().len());
+        // Entries are finite and sorted descending.
+        for w in report.entries().windows(2) {
+            assert!(w[0].mean_trace >= w[1].mean_trace);
+            assert!(w[0].mean_trace.is_finite());
+        }
+    }
+
+    #[test]
+    fn markdown_render_contains_all_layers() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 4);
+        let segs = vec![(0..10).map(|i| (i % 16) as u32).collect::<Vec<u32>>()];
+        let hs = crate::collect_hessians(&model, &segs, HessianMode::LayerInput).unwrap();
+        let report = SensitivityReport::from_hessians(&hs);
+        let md = report.to_markdown();
+        assert!(md.contains("self_attn.q_proj"));
+        assert!(md.contains("mlp.down_proj"));
+        assert_eq!(md.lines().count(), 2 + report.len());
+        let _ = LayerKind::ALL;
+    }
+}

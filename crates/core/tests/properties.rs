@@ -1,0 +1,142 @@
+//! Property-based tests for the quantization core.
+
+use aptq_core::engine::{quantize_layer_obq, quantize_layer_rtn};
+use aptq_core::grid::{GridConfig, QuantGrid};
+use aptq_core::hessian::HessianAccumulator;
+use aptq_core::pack::{pack_codes, unpack_codes};
+use aptq_core::plan::eq18_average_bits;
+use aptq_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.5f32..1.5, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn int_grid_roundtrip_bounded_by_half_step(
+        group in proptest::collection::vec(-3.0f32..3.0, 1..40),
+        bits in 2u8..=8,
+        asym in proptest::bool::ANY,
+    ) {
+        let grid = QuantGrid::int(bits, asym);
+        let (codes, deq, p) = grid.quantize_group(&group);
+        prop_assert_eq!(codes.len(), group.len());
+        for (w, d) in group.iter().zip(deq.iter()) {
+            // Within the representable range the error is ≤ step/2; the
+            // asymmetric grid covers [min,max]∪{0} exactly, the symmetric
+            // grid may clip the single most-negative value by one step.
+            prop_assert!((w - d).abs() <= p.scale * 1.01 + 1e-5,
+                "bits={bits} asym={asym}: |{w}-{d}| vs step {}", p.scale);
+        }
+    }
+
+    #[test]
+    fn quantized_codes_always_decode_to_same_value(
+        group in proptest::collection::vec(-2.0f32..2.0, 1..24),
+        bits in 1u8..=8,
+    ) {
+        let grid = QuantGrid::int(bits, true);
+        let p = grid.fit_params(&group);
+        for &w in &group {
+            let (c, d) = grid.quantize(w, p);
+            prop_assert_eq!(grid.dequantize(c, p), d);
+        }
+    }
+
+    #[test]
+    fn packing_roundtrips(
+        codes in proptest::collection::vec(0u8..16, 0..200),
+        bits in 4u8..=8,
+    ) {
+        let packed = pack_codes(&codes, bits);
+        let back = unpack_codes(&packed, bits, codes.len());
+        prop_assert_eq!(back, codes);
+    }
+
+    #[test]
+    fn packing_is_tight(
+        n in 1usize..300,
+        bits in 1u8..=8,
+    ) {
+        let codes = vec![0u8; n];
+        let packed = pack_codes(&codes, bits);
+        prop_assert_eq!(packed.len(), (n * bits as usize).div_ceil(8));
+    }
+
+    #[test]
+    fn eq18_is_affine_and_bounded(r in 0.0f32..=1.0) {
+        let b = eq18_average_bits(r);
+        prop_assert!((2.0..=4.0).contains(&b));
+        // Affine: midpoint property.
+        let mid = eq18_average_bits(r / 2.0);
+        prop_assert!((mid - (b + 2.0) / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn obq_never_increases_hessian_objective_vs_rtn(
+        x in matrix(30, 8),
+        w in matrix(8, 5),
+    ) {
+        // tr(ΔᵀHΔ) for OBQ must not exceed RTN's by more than round-off:
+        // OBQ greedily minimizes exactly this objective.
+        let mut acc = HessianAccumulator::new(8);
+        acc.update(&x);
+        let h = acc.finish();
+        let cfg = GridConfig { group_size: 8, block_size: 4, ..GridConfig::default() };
+        let grid = QuantGrid::int(3, true);
+        let obq = quantize_layer_obq("p", &w, &h, grid, &cfg).unwrap();
+        let rtn = quantize_layer_rtn(&w, grid, &cfg);
+        let obj = |deq: &Matrix| {
+            let dw = w.sub(deq);
+            dw.hadamard(&h.h.matmul(&dw)).sum()
+        };
+        prop_assert!(obj(&obq.dequantized) <= obj(&rtn.dequantized) * 1.3 + 1e-3,
+            "OBQ {} vs RTN {}", obj(&obq.dequantized), obj(&rtn.dequantized));
+    }
+
+    #[test]
+    fn obq_output_is_always_finite(
+        x in matrix(12, 6),
+        w in matrix(6, 4),
+        bits in 2u8..=4,
+    ) {
+        let mut acc = HessianAccumulator::new(6);
+        acc.update(&x);
+        let h = acc.finish();
+        let res = quantize_layer_obq("p", &w, &h, QuantGrid::int(bits, true),
+            &GridConfig::default()).unwrap();
+        prop_assert!(res.dequantized.all_finite());
+        prop_assert!(res.recon_error.is_finite());
+        prop_assert!(res.recon_error >= -1e-3);
+    }
+
+    #[test]
+    fn packed_storage_matches_dequantized(
+        w in matrix(8, 6),
+        bits in 2u8..=4,
+    ) {
+        let cfg = GridConfig { group_size: 4, ..GridConfig::default() };
+        let res = quantize_layer_rtn(&w, QuantGrid::int(bits, true), &cfg);
+        let unpacked = res.packed.dequantize();
+        for (a, b) in unpacked.as_slice().iter().zip(res.dequantized.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn binary_grid_preserves_signs(
+        group in proptest::collection::vec(-2.0f32..2.0, 1..32),
+    ) {
+        let grid = QuantGrid::binary();
+        let (_, deq, _) = grid.quantize_group(&group);
+        for (w, d) in group.iter().zip(deq.iter()) {
+            if w.abs() > 1e-6 {
+                prop_assert_eq!(w.signum(), d.signum());
+            }
+        }
+    }
+}

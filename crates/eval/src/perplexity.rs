@@ -1,0 +1,103 @@
+//! Corpus perplexity — the Table 1 / Figure 2 metric.
+
+use aptq_lm::Model;
+use aptq_tensor::activation::log_sum_exp;
+
+use crate::EvalError;
+
+/// Perplexity of a model over evaluation segments:
+/// `exp(Σ NLL / Σ predicted tokens)`, each segment's position `i`
+/// predicting token `i+1`.
+///
+/// # Errors
+///
+/// Returns [`EvalError::EmptyInput`] if no segment has ≥ 2 tokens, and
+/// propagates token-range errors from the model.
+pub fn perplexity(model: &Model, segments: &[Vec<u32>]) -> Result<f32, EvalError> {
+    let mut total_nll = 0.0f64;
+    let mut total_tokens = 0usize;
+    for seg in segments {
+        if seg.len() < 2 {
+            continue;
+        }
+        let logits = model.try_forward(seg)?;
+        for i in 0..seg.len() - 1 {
+            let row = logits.row(i);
+            let target = seg[i + 1] as usize;
+            total_nll += (log_sum_exp(row) - row[target]) as f64;
+        }
+        total_tokens += seg.len() - 1;
+    }
+    if total_tokens == 0 {
+        return Err(EvalError::EmptyInput("perplexity segments"));
+    }
+    Ok((total_nll / total_tokens as f64).exp() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_lm::ModelConfig;
+    use aptq_textgen::corpus::{CorpusGenerator, CorpusStyle};
+    use aptq_textgen::{Grammar, Tokenizer};
+
+    #[test]
+    fn random_model_ppl_near_vocab_size() {
+        // An untrained model is roughly uniform: PPL ≈ |V|.
+        let model = Model::new(&ModelConfig::test_tiny(16), 1);
+        let segs: Vec<Vec<u32>> =
+            (0..4).map(|k| (0..20).map(|i| ((i * 7 + k) % 16) as u32).collect()).collect();
+        let ppl = perplexity(&model, &segs).unwrap();
+        assert!(ppl > 8.0 && ppl < 40.0, "untrained PPL {ppl} should be near |V|=16");
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 1);
+        assert!(matches!(
+            perplexity(&model, &[]),
+            Err(EvalError::EmptyInput(_))
+        ));
+        assert!(matches!(
+            perplexity(&model, &[vec![3]]),
+            Err(EvalError::EmptyInput(_))
+        ));
+    }
+
+    #[test]
+    fn short_segments_are_skipped() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 1);
+        let ppl_a = perplexity(&model, &[vec![1, 2, 3, 4]]).unwrap();
+        let ppl_b = perplexity(&model, &[vec![1, 2, 3, 4], vec![9]]).unwrap();
+        assert_eq!(ppl_a, ppl_b);
+    }
+
+    #[test]
+    fn training_reduces_corpus_perplexity() {
+        // End-to-end smoke: a briefly trained model must beat uniform.
+        let grammar = Grammar::standard();
+        let tok = Tokenizer::from_grammar(&grammar);
+        let cfg = ModelConfig {
+            vocab_size: tok.vocab_size(),
+            ..ModelConfig::test_tiny(tok.vocab_size())
+        };
+        let mut model = Model::new(&cfg, 5);
+        let mut gen = CorpusGenerator::new(&grammar, &tok, CorpusStyle::WebC4, 2);
+        let trainer = aptq_lm::Trainer::new(aptq_lm::TrainerConfig {
+            steps: 80,
+            batch_size: 8,
+            adam: aptq_lm::adam::AdamConfig { lr: 4e-3, ..Default::default() },
+            log_every: 0,
+        });
+        trainer.run(&mut model, |_| gen.segments(8, 24));
+
+        let mut eval_gen = CorpusGenerator::new(&grammar, &tok, CorpusStyle::WebC4, 999);
+        let eval_segs = eval_gen.segments(8, 24);
+        let ppl = perplexity(&model, &eval_segs).unwrap();
+        let uniform = tok.vocab_size() as f32;
+        assert!(
+            ppl < uniform * 0.5,
+            "80 training steps should beat uniform: PPL {ppl} vs |V| {uniform}"
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! The quantize-then-evaluate driver: one [`Method`] value per row of
+//! the paper's tables.
+
+use aptq_core::grid::GridConfig;
+use aptq_core::methods;
+use aptq_core::methods::qat::QatConfig;
+use aptq_core::mixed::AllocationPolicy;
+use aptq_core::QuantReport;
+use aptq_lm::Model;
+use serde::{Deserialize, Serialize};
+
+use crate::EvalError;
+
+/// Every quantization method appearing in Tables 1–3 and Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Method {
+    /// Full-precision reference (no quantization).
+    Fp16,
+    /// Round-to-nearest at `bits`.
+    Rtn {
+        /// Bit-width.
+        bits: u8,
+    },
+    /// GPTQ at `bits`.
+    Gptq {
+        /// Bit-width.
+        bits: u8,
+    },
+    /// OWQ: GPTQ at `bits` with fp16 outlier input dims.
+    Owq {
+        /// Bit-width of the quantized portion.
+        bits: u8,
+        /// Outlier input dimensions kept fp16 per layer.
+        outlier_dims: usize,
+    },
+    /// SmoothQuant-style migration then RTN at `bits`.
+    SmoothQuant {
+        /// Bit-width.
+        bits: u8,
+    },
+    /// FPQ (E2M1 4-bit float).
+    Fpq,
+    /// LLM-QAT-style data-free QAT then RTN at `bits`.
+    LlmQat {
+        /// Bit-width.
+        bits: u8,
+    },
+    /// PB-LLM partial binarization with this salient fp16 fraction.
+    PbLlm {
+        /// Fraction of weights kept fp16.
+        salient_ratio: f32,
+    },
+    /// APTQ at uniform `bits` (attention-aware Hessians).
+    AptqUniform {
+        /// Bit-width.
+        bits: u8,
+    },
+    /// APTQ mixed 2/4-bit at 4-bit weight ratio `ratio` (Eq. 18).
+    AptqMixed {
+        /// 4-bit weight fraction `R`.
+        ratio: f32,
+    },
+    /// The Table 3 ablation: mixed 2/4-bit with block-order allocation.
+    ManualBlockwise {
+        /// 4-bit weight fraction `R`.
+        ratio: f32,
+    },
+}
+
+impl Method {
+    /// Paper-facing row label.
+    pub fn label(&self) -> String {
+        match self {
+            Method::Fp16 => "FP16".to_string(),
+            Method::Rtn { bits } => format!("RTN ({bits}-bit)"),
+            Method::Gptq { bits } => format!("GPTQ ({bits}-bit)"),
+            Method::Owq { bits, .. } => format!("OWQ ({bits}-bit+outliers)"),
+            Method::SmoothQuant { bits } => format!("SmoothQuant ({bits}-bit)"),
+            Method::Fpq => "FPQ (4-bit float)".to_string(),
+            Method::LlmQat { bits } => format!("LLM-QAT ({bits}-bit)"),
+            Method::PbLlm { salient_ratio } => {
+                format!("PB-LLM-{:.0}%", salient_ratio * 100.0)
+            }
+            Method::AptqUniform { bits } => format!("APTQ ({bits}-bit)"),
+            Method::AptqMixed { ratio } => format!("APTQ-{:.0}%", ratio * 100.0),
+            Method::ManualBlockwise { ratio } => {
+                format!("Manual Block-wise-{:.0}%", ratio * 100.0)
+            }
+        }
+    }
+
+    /// Applies the method to `model` in place.
+    ///
+    /// Returns the quantization report (`None` for [`Method::Fp16`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization failures.
+    pub fn apply(
+        &self,
+        model: &mut Model,
+        calibration: &[Vec<u32>],
+        cfg: &GridConfig,
+    ) -> Result<Option<QuantReport>, EvalError> {
+        let report = match *self {
+            Method::Fp16 => None,
+            Method::Rtn { bits } => Some(methods::rtn::quantize(model, bits, cfg)?),
+            Method::Gptq { bits } => Some(methods::gptq::quantize(model, calibration, bits, cfg)?),
+            Method::Owq { bits, outlier_dims } => {
+                Some(methods::owq::quantize(model, calibration, bits, outlier_dims, cfg)?)
+            }
+            Method::SmoothQuant { bits } => {
+                Some(methods::smoothquant::quantize(model, calibration, bits, 0.5, cfg)?)
+            }
+            Method::Fpq => Some(methods::fpq::quantize(model, cfg)?),
+            Method::LlmQat { bits } => {
+                Some(methods::qat::quantize(model, bits, &QatConfig::default(), cfg)?)
+            }
+            Method::PbLlm { salient_ratio } => {
+                Some(methods::pbllm::quantize(model, calibration, salient_ratio, cfg)?)
+            }
+            Method::AptqUniform { bits } => {
+                Some(methods::aptq::quantize_uniform(model, calibration, bits, cfg)?)
+            }
+            Method::AptqMixed { ratio } => Some(
+                methods::aptq::quantize_mixed(
+                    model,
+                    calibration,
+                    ratio,
+                    AllocationPolicy::HessianTrace,
+                    cfg,
+                )?
+                .0,
+            ),
+            Method::ManualBlockwise { ratio } => Some(
+                methods::aptq::quantize_mixed(
+                    model,
+                    calibration,
+                    ratio,
+                    AllocationPolicy::ManualBlockwise,
+                    cfg,
+                )?
+                .0,
+            ),
+        };
+        Ok(report)
+    }
+
+    /// Nominal average bit-width (the "Avg bit" table column; fp16 = 16).
+    pub fn nominal_avg_bits(&self) -> f32 {
+        match *self {
+            Method::Fp16 => 16.0,
+            Method::Rtn { bits }
+            | Method::Gptq { bits }
+            | Method::SmoothQuant { bits }
+            | Method::LlmQat { bits }
+            | Method::AptqUniform { bits } => bits as f32,
+            Method::Owq { bits, .. } => bits as f32 + 0.01,
+            Method::Fpq => 4.0,
+            Method::PbLlm { salient_ratio } => methods::pbllm::average_bits(salient_ratio),
+            Method::AptqMixed { ratio } | Method::ManualBlockwise { ratio } => {
+                aptq_core::plan::eq18_average_bits(ratio)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Outcome of applying a method and measuring it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// The method row label.
+    pub method: String,
+    /// Nominal average bits.
+    pub avg_bits: f32,
+    /// Measured average bits from the quantization report (fp16 = 16).
+    pub measured_bits: f32,
+    /// Metric values keyed by metric name (e.g. `"C4"`, `"PIQA"`).
+    pub metrics: Vec<(String, f32)>,
+}
+
+/// Applies `method` to a clone of `model` and returns the quantized
+/// clone plus its report metadata.
+///
+/// # Errors
+///
+/// Propagates quantization failures.
+pub fn quantize_clone(
+    model: &Model,
+    method: Method,
+    calibration: &[Vec<u32>],
+    cfg: &GridConfig,
+) -> Result<(Model, f32), EvalError> {
+    let mut m = model.clone();
+    let report = method.apply(&mut m, calibration, cfg)?;
+    let measured = report.as_ref().map(|r| r.avg_bits).unwrap_or(16.0);
+    Ok((m, measured))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_lm::ModelConfig;
+
+    fn calib() -> Vec<Vec<u32>> {
+        (0..4).map(|k| (0..12).map(|i| ((i * 3 + k) % 16) as u32).collect()).collect()
+    }
+
+    #[test]
+    fn all_methods_apply_cleanly() {
+        let base = Model::new(&ModelConfig::test_tiny(16), 31);
+        let cfg = GridConfig::default();
+        let methods = [
+            Method::Fp16,
+            Method::Rtn { bits: 4 },
+            Method::Gptq { bits: 4 },
+            Method::Owq { bits: 4, outlier_dims: 1 },
+            Method::SmoothQuant { bits: 4 },
+            Method::Fpq,
+            Method::PbLlm { salient_ratio: 0.2 },
+            Method::AptqUniform { bits: 4 },
+            Method::AptqMixed { ratio: 0.75 },
+            Method::ManualBlockwise { ratio: 0.75 },
+        ];
+        for m in methods {
+            let (quantized, bits) = quantize_clone(&base, m, &calib(), &cfg).unwrap();
+            assert!(quantized.forward(&[1, 2, 3]).all_finite(), "{m}");
+            assert!(bits > 0.0, "{m}");
+            assert!(!m.label().is_empty());
+            assert!(m.nominal_avg_bits() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fp16_leaves_model_untouched() {
+        let base = Model::new(&ModelConfig::test_tiny(16), 32);
+        let (same, bits) =
+            quantize_clone(&base, Method::Fp16, &calib(), &GridConfig::default()).unwrap();
+        assert_eq!(base.forward(&[1, 2]), same.forward(&[1, 2]));
+        assert_eq!(bits, 16.0);
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(Method::AptqMixed { ratio: 0.75 }.label(), "APTQ-75%");
+        assert_eq!(Method::Fp16.label(), "FP16");
+        assert!(Method::PbLlm { salient_ratio: 0.2 }.label().contains("PB-LLM-20%"));
+    }
+
+    #[test]
+    fn nominal_bits_follow_eq18() {
+        assert_eq!(Method::AptqMixed { ratio: 1.0 }.nominal_avg_bits(), 4.0);
+        assert_eq!(Method::AptqMixed { ratio: 0.5 }.nominal_avg_bits(), 3.0);
+        assert!((Method::AptqMixed { ratio: 0.75 }.nominal_avg_bits() - 3.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,143 @@
+//! Markdown table rendering for the regenerated paper tables.
+
+use crate::pipeline::EvalOutcome;
+
+/// Renders outcomes as a markdown table with one column per metric.
+///
+/// Columns are taken from the first row's metric names; the header
+/// matches the paper's layout (`Method | Avg bit | <metrics…>`).
+///
+/// # Panics
+///
+/// Panics if `rows` is empty.
+pub fn render_markdown(title: &str, rows: &[EvalOutcome]) -> String {
+    assert!(!rows.is_empty(), "render_markdown: no rows");
+    let metric_names: Vec<&str> = rows[0].metrics.iter().map(|(n, _)| n.as_str()).collect();
+    let mut s = format!("### {title}\n\n| Method | Avg bit |");
+    for m in &metric_names {
+        s.push_str(&format!(" {m} |"));
+    }
+    s.push_str("\n|---|---|");
+    for _ in &metric_names {
+        s.push_str("---|");
+    }
+    s.push('\n');
+    for row in rows {
+        s.push_str(&format!("| {} | {:.2} |", row.method, row.avg_bits));
+        for name in &metric_names {
+            let v = row
+                .metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(f32::NAN);
+            s.push_str(&format!(" {v:.2} |"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders a two-column series (x, y) as an ASCII line chart — used by
+/// the Figure 2 regeneration to visualize perplexity vs 4-bit ratio in
+/// the terminal.
+pub fn render_ascii_chart(
+    title: &str,
+    series: &[(String, Vec<(f32, f32)>)],
+    width: usize,
+    height: usize,
+) -> String {
+    let mut all_points: Vec<(f32, f32)> = Vec::new();
+    for (_, pts) in series {
+        all_points.extend_from_slice(pts);
+    }
+    if all_points.is_empty() {
+        return format!("{title}: (no data)\n");
+    }
+    let (mut x_lo, mut x_hi, mut y_lo, mut y_hi) =
+        (f32::INFINITY, f32::NEG_INFINITY, f32::INFINITY, f32::NEG_INFINITY);
+    for &(x, y) in &all_points {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if (x_hi - x_lo).abs() < 1e-9 {
+        x_hi = x_lo + 1.0;
+    }
+    if (y_hi - y_lo).abs() < 1e-9 {
+        y_hi = y_lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    let markers = ['*', 'o', '+', 'x', '#', '@'];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let mark = markers[si % markers.len()];
+        for &(x, y) in pts {
+            let col = (((x - x_lo) / (x_hi - x_lo)) * (width - 1) as f32).round() as usize;
+            let row = (((y_hi - y) / (y_hi - y_lo)) * (height - 1) as f32).round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = mark;
+        }
+    }
+    let mut s = format!("{title}\n  y: {y_hi:.2} (top) .. {y_lo:.2} (bottom)\n");
+    for row in grid {
+        s.push_str("  |");
+        s.extend(row);
+        s.push('\n');
+    }
+    s.push_str(&format!("   x: {x_lo:.2} .. {x_hi:.2}\n"));
+    for (si, (name, _)) in series.iter().enumerate() {
+        s.push_str(&format!("   {} = {}\n", markers[si % markers.len()], name));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(method: &str, bits: f32, c4: f32, wiki: f32) -> EvalOutcome {
+        EvalOutcome {
+            method: method.to_string(),
+            avg_bits: bits,
+            measured_bits: bits,
+            metrics: vec![("C4".to_string(), c4), ("WikiText-2".to_string(), wiki)],
+        }
+    }
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let rows = vec![row("FP16", 16.0, 5.22, 5.68), row("APTQ", 4.0, 5.23, 6.45)];
+        let md = render_markdown("Table 1", &rows);
+        assert!(md.contains("### Table 1"));
+        assert!(md.contains("| Method | Avg bit | C4 | WikiText-2 |"));
+        assert!(md.contains("| FP16 | 16.00 | 5.22 | 5.68 |"));
+        assert_eq!(md.lines().count(), 2 + 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no rows")]
+    fn markdown_rejects_empty() {
+        render_markdown("x", &[]);
+    }
+
+    #[test]
+    fn ascii_chart_places_extremes() {
+        let series = vec![(
+            "APTQ".to_string(),
+            vec![(3.0f32, 6.24f32), (3.5, 5.54), (4.0, 5.23)],
+        )];
+        let chart = render_ascii_chart("Figure 2", &series, 40, 10);
+        assert!(chart.contains("Figure 2"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains("APTQ"));
+        assert!(chart.contains("3.00 .. 4.00"));
+    }
+
+    #[test]
+    fn ascii_chart_handles_empty_and_flat() {
+        assert!(render_ascii_chart("t", &[], 10, 5).contains("no data"));
+        let flat = vec![("a".to_string(), vec![(1.0f32, 2.0f32), (2.0, 2.0)])];
+        let chart = render_ascii_chart("flat", &flat, 20, 5);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,199 @@
+//! Zero-shot multiple-choice evaluation — the Table 2 metric.
+//!
+//! Items are scored exactly like the EleutherAI lm-eval-harness the
+//! paper uses: each choice continuation's log-likelihood given the
+//! prompt, normalized by continuation length; the highest-scoring choice
+//! is the prediction.
+
+use aptq_lm::Model;
+use aptq_tensor::activation::log_sum_exp;
+use aptq_textgen::{TaskItem, TaskSuite};
+use serde::{Deserialize, Serialize};
+
+use crate::EvalError;
+
+/// Result of one suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteResult {
+    /// Paper-facing suite name (`PIQA`, `Arc-E`, …).
+    pub name: String,
+    /// Fraction of items answered correctly.
+    pub accuracy: f32,
+    /// Number of items evaluated.
+    pub n_items: usize,
+}
+
+/// Length-normalized log-likelihood of `choice` as a continuation of
+/// `prompt`.
+///
+/// # Errors
+///
+/// Propagates inference errors.
+pub fn choice_loglik(model: &Model, prompt: &[u32], choice: &[u32]) -> Result<f32, EvalError> {
+    debug_assert!(!prompt.is_empty() && !choice.is_empty());
+    let mut seq = Vec::with_capacity(prompt.len() + choice.len());
+    seq.extend_from_slice(prompt);
+    seq.extend_from_slice(choice);
+    let logits = model.try_forward(&seq)?;
+    let mut ll = 0.0f64;
+    for (k, &tok) in choice.iter().enumerate() {
+        // Token at position prompt.len()+k is predicted by the previous
+        // position's logits.
+        let row = logits.row(prompt.len() + k - 1);
+        ll += (row[tok as usize] - log_sum_exp(row)) as f64;
+    }
+    Ok((ll / choice.len() as f64) as f32)
+}
+
+/// Scores one item; returns the predicted choice index.
+///
+/// # Errors
+///
+/// Propagates inference errors.
+pub fn predict(model: &Model, item: &TaskItem) -> Result<usize, EvalError> {
+    let mut best = 0usize;
+    let mut best_score = f32::NEG_INFINITY;
+    for (i, choice) in item.choices.iter().enumerate() {
+        let s = choice_loglik(model, &item.prompt, choice)?;
+        if s > best_score {
+            best_score = s;
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+/// Evaluates a whole suite.
+///
+/// # Errors
+///
+/// Returns [`EvalError::EmptyInput`] for an empty suite; propagates
+/// inference errors.
+pub fn evaluate_suite(model: &Model, suite: &TaskSuite) -> Result<SuiteResult, EvalError> {
+    if suite.is_empty() {
+        return Err(EvalError::EmptyInput("task suite"));
+    }
+    let mut correct = 0usize;
+    for item in &suite.items {
+        if predict(model, item)? == item.correct {
+            correct += 1;
+        }
+    }
+    Ok(SuiteResult {
+        name: suite.task.paper_name().to_string(),
+        accuracy: correct as f32 / suite.len() as f32,
+        n_items: suite.len(),
+    })
+}
+
+/// Evaluates several suites and appends the mean accuracy (the paper's
+/// `Acc%` column).
+///
+/// # Errors
+///
+/// Propagates per-suite errors.
+pub fn evaluate_suites(model: &Model, suites: &[TaskSuite]) -> Result<Vec<SuiteResult>, EvalError> {
+    let mut results = Vec::with_capacity(suites.len() + 1);
+    for s in suites {
+        results.push(evaluate_suite(model, s)?);
+    }
+    let mean = results.iter().map(|r| r.accuracy).sum::<f32>() / results.len().max(1) as f32;
+    results.push(SuiteResult { name: "Mean".to_string(), accuracy: mean, n_items: 0 });
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_lm::ModelConfig;
+    use aptq_textgen::{Grammar, Tokenizer, ZeroShotTask};
+
+    fn setup() -> (Model, Grammar, Tokenizer) {
+        let grammar = Grammar::standard();
+        let tok = Tokenizer::from_grammar(&grammar);
+        let cfg = ModelConfig::test_tiny(tok.vocab_size());
+        (Model::new(&cfg, 7), grammar, tok)
+    }
+
+    #[test]
+    fn choice_loglik_is_negative_and_finite() {
+        let (model, grammar, tok) = setup();
+        let suite = TaskSuite::generate(ZeroShotTask::Affordance, &grammar, &tok, 5, 1);
+        let item = &suite.items[0];
+        let ll = choice_loglik(&model, &item.prompt, &item.choices[0]).unwrap();
+        assert!(ll < 0.0 && ll.is_finite());
+    }
+
+    #[test]
+    fn untrained_model_near_chance() {
+        let (model, grammar, tok) = setup();
+        let suite = TaskSuite::generate(ZeroShotTask::Affordance, &grammar, &tok, 100, 2);
+        let res = evaluate_suite(&model, &suite).unwrap();
+        // Chance is 0.25; an untrained model should be within noise of it.
+        assert!(
+            res.accuracy > 0.05 && res.accuracy < 0.55,
+            "untrained accuracy {} should hover near chance",
+            res.accuracy
+        );
+        assert_eq!(res.n_items, 100);
+        assert_eq!(res.name, "PIQA");
+    }
+
+    #[test]
+    fn perfect_model_on_rigged_item() {
+        // Rig an item whose correct choice repeats a prompt token — with a
+        // model biased to repeat, prediction must pick it. Instead of
+        // training, we exploit determinism: whichever choice the model
+        // scores highest is returned by predict(); feeding that as
+        // `correct` yields accuracy 1.
+        let (model, grammar, tok) = setup();
+        let mut suite = TaskSuite::generate(ZeroShotTask::FactEasy, &grammar, &tok, 10, 3);
+        for item in &mut suite.items {
+            item.correct = predict(&model, item).unwrap();
+        }
+        let res = evaluate_suite(&model, &suite).unwrap();
+        assert_eq!(res.accuracy, 1.0);
+    }
+
+    #[test]
+    fn evaluate_suites_appends_mean() {
+        let (model, grammar, tok) = setup();
+        let suites: Vec<TaskSuite> = [ZeroShotTask::Affordance, ZeroShotTask::Agreement]
+            .iter()
+            .map(|&t| TaskSuite::generate(t, &grammar, &tok, 20, 4))
+            .collect();
+        let results = evaluate_suites(&model, &suites).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results.last().unwrap().name, "Mean");
+        let mean = (results[0].accuracy + results[1].accuracy) / 2.0;
+        assert!((results[2].accuracy - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_suite_is_error() {
+        let (model, grammar, tok) = setup();
+        let mut suite = TaskSuite::generate(ZeroShotTask::Agreement, &grammar, &tok, 1, 5);
+        suite.items.clear();
+        assert!(matches!(evaluate_suite(&model, &suite), Err(EvalError::EmptyInput(_))));
+    }
+
+    #[test]
+    fn length_normalization_matters() {
+        // Without normalization longer choices are penalized; verify the
+        // score of a two-token choice is the mean of its per-token lls.
+        let (model, _, _) = setup();
+        let prompt = vec![0u32, 1];
+        let choice = vec![2u32, 3];
+        let ll2 = choice_loglik(&model, &prompt, &choice).unwrap();
+        // Manually compute.
+        let seq = [0u32, 1, 2, 3];
+        let logits = model.forward(&seq);
+        let mut manual = 0.0f32;
+        for (k, &tok) in choice.iter().enumerate() {
+            let row = logits.row(prompt.len() + k - 1);
+            manual += row[tok as usize] - log_sum_exp(row);
+        }
+        manual /= 2.0;
+        assert!((ll2 - manual).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,396 @@
+//! Multi-head causal self-attention with RoPE, full manual backward, and
+//! the internal captures APTQ's attention-aware Hessians consume.
+
+use aptq_tensor::activation::{softmax_rows, softmax_vjp_row};
+use aptq_tensor::Matrix;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::linear::Linear;
+use crate::rope::RopeTable;
+
+/// Multi-head causal self-attention (`Q`, `K`, `V`, `O` projections).
+///
+/// Shapes: activations are `(T × d_model)`; each projection is a
+/// bias-free [`Linear`] of `d_model × d_model`; heads are contiguous
+/// column blocks of width `d_head`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    n_heads: usize,
+    d_head: usize,
+    scale: f32,
+}
+
+/// Everything the backward pass and the APTQ Hessian builders need from
+/// one attention forward pass.
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    /// Input to the attention block (post-RMSNorm), `T × d_model`.
+    pub x: Matrix,
+    /// Rotated queries, `T × d_model` (heads concatenated).
+    pub q_rot: Matrix,
+    /// Rotated keys, `T × d_model`.
+    pub k_rot: Matrix,
+    /// Values (no rotation), `T × d_model`.
+    pub v: Matrix,
+    /// Per-head attention probability matrices, each `T × T`, causal.
+    pub probs: Vec<Matrix>,
+    /// Concatenated head outputs — the input to the `O` projection,
+    /// `T × d_model`.
+    pub concat: Matrix,
+}
+
+/// Gradients of the four projection weights.
+#[derive(Debug, Clone)]
+pub struct AttentionGrads {
+    /// Gradient of the query projection.
+    pub dwq: Matrix,
+    /// Gradient of the key projection.
+    pub dwk: Matrix,
+    /// Gradient of the value projection.
+    pub dwv: Matrix,
+    /// Gradient of the output projection.
+    pub dwo: Matrix,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block with random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_heads` does not divide `d_model`.
+    pub fn new(d_model: usize, n_heads: usize, rng: &mut StdRng) -> Self {
+        assert!(n_heads > 0 && d_model % n_heads == 0, "n_heads must divide d_model");
+        let d_head = d_model / n_heads;
+        MultiHeadAttention {
+            wq: Linear::new(d_model, d_model, rng),
+            wk: Linear::new(d_model, d_model, rng),
+            wv: Linear::new(d_model, d_model, rng),
+            wo: Linear::new(d_model, d_model, rng),
+            n_heads,
+            d_head,
+            scale: 1.0 / (d_head as f32).sqrt(),
+        }
+    }
+
+    /// Number of heads.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// Per-head dimension.
+    pub fn d_head(&self) -> usize {
+        self.d_head
+    }
+
+    /// Query projection.
+    pub fn wq(&self) -> &Linear {
+        &self.wq
+    }
+    /// Key projection.
+    pub fn wk(&self) -> &Linear {
+        &self.wk
+    }
+    /// Value projection.
+    pub fn wv(&self) -> &Linear {
+        &self.wv
+    }
+    /// Output projection.
+    pub fn wo(&self) -> &Linear {
+        &self.wo
+    }
+    /// Mutable query projection (optimizer / quantizer access).
+    pub fn wq_mut(&mut self) -> &mut Linear {
+        &mut self.wq
+    }
+    /// Mutable key projection.
+    pub fn wk_mut(&mut self) -> &mut Linear {
+        &mut self.wk
+    }
+    /// Mutable value projection.
+    pub fn wv_mut(&mut self) -> &mut Linear {
+        &mut self.wv
+    }
+    /// Mutable output projection.
+    pub fn wo_mut(&mut self) -> &mut Linear {
+        &mut self.wo
+    }
+
+    /// Forward pass over a `(T × d_model)` activation matrix with causal
+    /// masking and RoPE.
+    ///
+    /// Returns `(output, cache)`; the cache feeds both [`backward`] and
+    /// the APTQ attention-Hessian builders.
+    ///
+    /// [`backward`]: MultiHeadAttention::backward
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_model` or the sequence exceeds the RoPE
+    /// table.
+    pub fn forward(&self, x: &Matrix, rope: &RopeTable) -> (Matrix, AttentionCache) {
+        let t = x.rows();
+        let d_model = self.wq.d_in();
+        assert_eq!(x.cols(), d_model, "attention: input width mismatch");
+
+        let mut q = self.wq.forward(x);
+        let mut k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+
+        // Rotate queries and keys head-by-head.
+        for pos in 0..t {
+            for h in 0..self.n_heads {
+                let lo = h * self.d_head;
+                let hi = lo + self.d_head;
+                rope.apply_row(&mut q.row_mut(pos)[lo..hi], pos);
+                rope.apply_row(&mut k.row_mut(pos)[lo..hi], pos);
+            }
+        }
+
+        let mut probs = Vec::with_capacity(self.n_heads);
+        let mut concat = Matrix::zeros(t, d_model);
+        for h in 0..self.n_heads {
+            let lo = h * self.d_head;
+            let hi = lo + self.d_head;
+            let qh = q.slice_cols(lo, hi);
+            let kh = k.slice_cols(lo, hi);
+            let vh = v.slice_cols(lo, hi);
+            // scores = q kᵀ / √d, causal mask.
+            let mut scores = qh.matmul_nt(&kh);
+            scores.scale_assign(self.scale);
+            for i in 0..t {
+                let row = scores.row_mut(i);
+                for val in row.iter_mut().skip(i + 1) {
+                    *val = f32::NEG_INFINITY;
+                }
+            }
+            softmax_rows(&mut scores);
+            let head = scores.matmul(&vh);
+            concat.set_block(0, lo, &head);
+            probs.push(scores);
+        }
+
+        let out = self.wo.forward(&concat);
+        let cache = AttentionCache { x: x.clone(), q_rot: q, k_rot: k, v, probs, concat };
+        (out, cache)
+    }
+
+    /// Backward pass.
+    ///
+    /// Given the upstream gradient `dy` (`T × d_model`) and the forward
+    /// cache, returns `(dx, grads)`.
+    pub fn backward(
+        &self,
+        cache: &AttentionCache,
+        dy: &Matrix,
+        rope: &RopeTable,
+    ) -> (Matrix, AttentionGrads) {
+        let t = cache.x.rows();
+        let d_model = self.wq.d_in();
+        assert_eq!(dy.shape(), (t, d_model), "attention backward: dy shape mismatch");
+
+        // O projection.
+        let (dconcat, dwo) = self.wo.backward(&cache.concat, dy);
+
+        let mut dq = Matrix::zeros(t, d_model);
+        let mut dk = Matrix::zeros(t, d_model);
+        let mut dv = Matrix::zeros(t, d_model);
+
+        for h in 0..self.n_heads {
+            let lo = h * self.d_head;
+            let hi = lo + self.d_head;
+            let p = &cache.probs[h];
+            let qh = cache.q_rot.slice_cols(lo, hi);
+            let kh = cache.k_rot.slice_cols(lo, hi);
+            let vh = cache.v.slice_cols(lo, hi);
+            let dhead = dconcat.slice_cols(lo, hi);
+
+            // head = P · V
+            let dp = dhead.matmul_nt(&vh); // T×T
+            let dvh = p.matmul_tn(&dhead); // T×dh
+
+            // softmax backward (row-wise VJP); masked entries have p=0 so
+            // their gradient vanishes automatically.
+            let mut dscores = Matrix::zeros(t, t);
+            for i in 0..t {
+                let g = softmax_vjp_row(p.row(i), dp.row(i));
+                dscores.row_mut(i).copy_from_slice(&g);
+            }
+            dscores.scale_assign(self.scale);
+
+            // scores = q kᵀ
+            let dqh = dscores.matmul(&kh); // T×dh
+            let dkh = dscores.matmul_tn(&qh); // T×dh
+
+            dq.set_block(0, lo, &dqh);
+            dk.set_block(0, lo, &dkh);
+            dv.set_block(0, lo, &dvh);
+        }
+
+        // Undo RoPE on gradient (the rotation is orthogonal: Jᵀ = R(−θ)).
+        for pos in 0..t {
+            for h in 0..self.n_heads {
+                let lo = h * self.d_head;
+                let hi = lo + self.d_head;
+                rope.apply_row_inverse(&mut dq.row_mut(pos)[lo..hi], pos);
+                rope.apply_row_inverse(&mut dk.row_mut(pos)[lo..hi], pos);
+            }
+        }
+
+        let (dx_q, dwq) = self.wq.backward(&cache.x, &dq);
+        let (dx_k, dwk) = self.wk.backward(&cache.x, &dk);
+        let (dx_v, dwv) = self.wv.backward(&cache.x, &dv);
+
+        let mut dx = dx_q;
+        dx.add_assign(&dx_k);
+        dx.add_assign(&dx_v);
+
+        (dx, AttentionGrads { dwq, dwk, dwv, dwo })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_tensor::init;
+
+    fn setup(t: usize, d: usize, heads: usize, seed: u64) -> (MultiHeadAttention, Matrix, RopeTable) {
+        let mut rng = init::rng(seed);
+        let attn = MultiHeadAttention::new(d, heads, &mut rng);
+        let x = init::normal(t, d, 1.0, &mut rng);
+        let rope = RopeTable::new(d / heads, 64, 10_000.0);
+        (attn, x, rope)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (attn, x, rope) = setup(5, 8, 2, 0);
+        let (y, cache) = attn.forward(&x, &rope);
+        assert_eq!(y.shape(), (5, 8));
+        assert_eq!(cache.probs.len(), 2);
+        assert_eq!(cache.probs[0].shape(), (5, 5));
+        assert_eq!(cache.concat.shape(), (5, 8));
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn attention_is_causal() {
+        // Changing a future token must not affect earlier outputs.
+        let (attn, x, rope) = setup(6, 8, 2, 1);
+        let (y1, _) = attn.forward(&x, &rope);
+        let mut x2 = x.clone();
+        for v in x2.row_mut(5) {
+            *v += 10.0;
+        }
+        let (y2, _) = attn.forward(&x2, &rope);
+        for i in 0..5 {
+            for j in 0..8 {
+                assert!(
+                    (y1[(i, j)] - y2[(i, j)]).abs() < 1e-5,
+                    "position {i} changed when future token was perturbed"
+                );
+            }
+        }
+        // Last position must change.
+        assert!((0..8).any(|j| (y1[(5, j)] - y2[(5, j)]).abs() > 1e-4));
+    }
+
+    #[test]
+    fn prob_rows_are_causal_distributions() {
+        let (attn, x, rope) = setup(5, 8, 2, 2);
+        let (_, cache) = attn.forward(&x, &rope);
+        for p in &cache.probs {
+            for i in 0..5 {
+                let sum: f32 = p.row(i).iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5);
+                for j in i + 1..5 {
+                    assert_eq!(p[(i, j)], 0.0, "future attention at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_token_attends_only_to_itself() {
+        let (attn, x, rope) = setup(4, 8, 2, 3);
+        let (_, cache) = attn.forward(&x, &rope);
+        for p in &cache.probs {
+            assert!((p[(0, 0)] - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_on_input() {
+        let (attn, x, rope) = setup(4, 8, 2, 4);
+        let dy = init::normal(4, 8, 1.0, &mut init::rng(5));
+        let (_, cache) = attn.forward(&x, &rope);
+        let (dx, _) = attn.backward(&cache, &dy, &rope);
+        let loss = |x: &Matrix| attn.forward(x, &rope).0.hadamard(&dy).sum();
+        let eps = 1e-2f32;
+        for (i, j) in [(0, 0), (1, 3), (3, 7), (2, 5)] {
+            let mut xp = x.clone();
+            xp[(i, j)] += eps;
+            let mut xm = x.clone();
+            xm[(i, j)] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (dx[(i, j)] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "dx({i},{j}): {} vs {fd}",
+                dx[(i, j)]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_on_weights() {
+        let (mut attn, x, rope) = setup(3, 8, 2, 6);
+        let dy = init::normal(3, 8, 1.0, &mut init::rng(7));
+        let (_, cache) = attn.forward(&x, &rope);
+        let (_, grads) = attn.backward(&cache, &dy, &rope);
+        let eps = 1e-2f32;
+
+        // One entry from each projection.
+        let checks: [(&str, (usize, usize)); 4] =
+            [("q", (1, 2)), ("k", (3, 4)), ("v", (0, 5)), ("o", (6, 1))];
+        for (which, (i, j)) in checks {
+            let grad = match which {
+                "q" => grads.dwq[(i, j)],
+                "k" => grads.dwk[(i, j)],
+                "v" => grads.dwv[(i, j)],
+                _ => grads.dwo[(i, j)],
+            };
+            fn weight_mut<'a>(attn: &'a mut MultiHeadAttention, which: &str) -> &'a mut Matrix {
+                match which {
+                    "q" => attn.wq_mut().weight_mut(),
+                    "k" => attn.wk_mut().weight_mut(),
+                    "v" => attn.wv_mut().weight_mut(),
+                    _ => attn.wo_mut().weight_mut(),
+                }
+            }
+            let orig = weight_mut(&mut attn, which)[(i, j)];
+            weight_mut(&mut attn, which)[(i, j)] = orig + eps;
+            let lp = attn.forward(&x, &rope).0.hadamard(&dy).sum();
+            weight_mut(&mut attn, which)[(i, j)] = orig - eps;
+            let lm = attn.forward(&x, &rope).0.hadamard(&dy).sum();
+            weight_mut(&mut attn, which)[(i, j)] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "dw{which}({i},{j}): {grad} vs {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_token_sequence_works() {
+        let (attn, _, rope) = setup(1, 8, 2, 8);
+        let x = init::normal(1, 8, 1.0, &mut init::rng(9));
+        let (y, cache) = attn.forward(&x, &rope);
+        assert_eq!(y.shape(), (1, 8));
+        assert!((cache.probs[0][(0, 0)] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,107 @@
+//! Activation capture for calibration.
+//!
+//! Post-training quantization needs the intermediate activations of a
+//! calibration run:
+//!
+//! - GPTQ consumes each linear layer's **input** (`H = 2XXᵀ`);
+//! - APTQ additionally consumes the attention internals — per-head
+//!   probability matrices, rotated queries/keys, values and the
+//!   concatenated head outputs — to build the attention-aware Hessians
+//!   of Eqs. (9)–(15).
+//!
+//! [`ModelCapture`] packages those quantities for one calibration
+//! sequence. The quantization crate accumulates Hessians sample-by-sample
+//! so memory stays proportional to one sequence, not the whole set.
+
+use aptq_tensor::Matrix;
+
+use crate::block::BlockForwardCache;
+
+/// Intermediate activations of one transformer block for one sequence.
+#[derive(Debug, Clone)]
+pub struct BlockCapture {
+    /// Input to the attention projections (post-RMSNorm), `T × d_model`.
+    /// This is the GPTQ calibration input for `q/k/v_proj`.
+    pub attn_input: Matrix,
+    /// Rotated queries, `T × d_model`.
+    pub q_rot: Matrix,
+    /// Rotated keys, `T × d_model`.
+    pub k_rot: Matrix,
+    /// Values, `T × d_model`.
+    pub v: Matrix,
+    /// Per-head causal attention probabilities, each `T × T`.
+    pub probs: Vec<Matrix>,
+    /// Concatenated head outputs — calibration input for `o_proj`,
+    /// `T × d_model`.
+    pub concat: Matrix,
+    /// Input to the FFN projections (post-RMSNorm), `T × d_model`.
+    /// Calibration input for `gate/up_proj`.
+    pub ffn_input: Matrix,
+    /// Hidden FFN activations — calibration input for `down_proj`,
+    /// `T × d_ff`.
+    pub ffn_hidden: Matrix,
+}
+
+impl From<BlockForwardCache> for BlockCapture {
+    fn from(c: BlockForwardCache) -> Self {
+        BlockCapture {
+            attn_input: c.attn.x,
+            q_rot: c.attn.q_rot,
+            k_rot: c.attn.k_rot,
+            v: c.attn.v,
+            probs: c.attn.probs,
+            concat: c.attn.concat,
+            ffn_input: c.ffn.x,
+            ffn_hidden: c.ffn.hidden,
+        }
+    }
+}
+
+/// Capture of a full forward pass: one [`BlockCapture`] per layer.
+#[derive(Debug, Clone)]
+pub struct ModelCapture {
+    /// Per-block captures, index = block index.
+    pub blocks: Vec<BlockCapture>,
+}
+
+impl ModelCapture {
+    /// Number of captured blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Sequence length of the captured run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capture is empty.
+    pub fn seq_len(&self) -> usize {
+        self.blocks
+            .first()
+            .expect("capture must contain at least one block")
+            .attn_input
+            .rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_reports_shape() {
+        let block = BlockCapture {
+            attn_input: Matrix::zeros(5, 8),
+            q_rot: Matrix::zeros(5, 8),
+            k_rot: Matrix::zeros(5, 8),
+            v: Matrix::zeros(5, 8),
+            probs: vec![Matrix::zeros(5, 5); 2],
+            concat: Matrix::zeros(5, 8),
+            ffn_input: Matrix::zeros(5, 8),
+            ffn_hidden: Matrix::zeros(5, 16),
+        };
+        let cap = ModelCapture { blocks: vec![block.clone(), block] };
+        assert_eq!(cap.n_blocks(), 2);
+        assert_eq!(cap.seq_len(), 5);
+    }
+}

@@ -1,0 +1,274 @@
+//! KV-cache incremental decoding.
+//!
+//! The paper motivates APTQ with LLM deployment on edge devices; the
+//! inference loop that actually runs there is autoregressive decoding
+//! with a key/value cache — O(T) attention work per new token instead of
+//! re-running the full O(T²) prefill every step. [`DecodeSession`]
+//! implements that loop and is verified (see tests) to produce logits
+//! identical to the full forward pass.
+
+use aptq_tensor::activation::softmax_rows;
+use aptq_tensor::Matrix;
+
+use crate::model::Model;
+use crate::LmError;
+
+/// Per-layer key/value cache: rotated keys and raw values, one row per
+/// generated position.
+#[derive(Debug, Clone)]
+struct LayerKv {
+    /// Rotated keys, `T × d_model` (heads concatenated).
+    k_rot: Matrix,
+    /// Values, `T × d_model`.
+    v: Matrix,
+}
+
+/// An incremental decoding session over a model.
+///
+/// # Example
+///
+/// ```
+/// use aptq_lm::{decode::DecodeSession, Model, ModelConfig};
+///
+/// # fn main() -> Result<(), aptq_lm::LmError> {
+/// let model = Model::new(&ModelConfig::test_tiny(16), 0);
+/// let mut session = DecodeSession::new(&model);
+/// let logits = session.feed(3)?;
+/// assert_eq!(logits.len(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DecodeSession<'m> {
+    model: &'m Model,
+    layers: Vec<LayerKv>,
+    pos: usize,
+}
+
+impl<'m> DecodeSession<'m> {
+    /// Starts an empty session.
+    pub fn new(model: &'m Model) -> Self {
+        let d = model.config().d_model;
+        let layers = (0..model.config().n_layers)
+            .map(|_| LayerKv { k_rot: Matrix::zeros(0, d), v: Matrix::zeros(0, d) })
+            .collect();
+        DecodeSession { model, layers, pos: 0 }
+    }
+
+    /// Number of tokens consumed so far.
+    pub fn len(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether no tokens have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == 0
+    }
+
+    /// Approximate cache memory in bytes (the edge-deployment statistic:
+    /// 2 matrices × layers × T × d_model × 4 bytes).
+    pub fn cache_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| (l.k_rot.len() + l.v.len()) * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Feeds one token; returns the next-token logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::TokenOutOfRange`] for invalid ids and
+    /// [`LmError::InvalidConfig`] when the RoPE table (i.e.
+    /// `max_seq_len`) is exhausted.
+    pub fn feed(&mut self, token: u32) -> Result<Vec<f32>, LmError> {
+        let cfg = self.model.config();
+        if token as usize >= cfg.vocab_size {
+            return Err(LmError::TokenOutOfRange { token, vocab: cfg.vocab_size });
+        }
+        if self.pos >= cfg.max_seq_len {
+            return Err(LmError::InvalidConfig(format!(
+                "decode position {} exceeds max_seq_len {}",
+                self.pos, cfg.max_seq_len
+            )));
+        }
+        let d_model = cfg.d_model;
+        let n_heads = cfg.n_heads;
+        let d_head = cfg.d_head();
+        let rope = self.model.rope();
+        let pos = self.pos;
+
+        // Embedding row.
+        let mut x = Matrix::zeros(1, d_model);
+        x.row_mut(0).copy_from_slice(self.model.embed().row(token as usize));
+
+        for (li, block) in self.model.blocks().iter().enumerate() {
+            // Attention sub-layer.
+            let (normed, _) = block.norm1.forward(&x);
+            let mut q = block.attn.wq().forward(&normed);
+            let mut k = block.attn.wk().forward(&normed);
+            let v = block.attn.wv().forward(&normed);
+            for h in 0..n_heads {
+                let lo = h * d_head;
+                let hi = lo + d_head;
+                rope.apply_row(&mut q.row_mut(0)[lo..hi], pos);
+                rope.apply_row(&mut k.row_mut(0)[lo..hi], pos);
+            }
+            let kv = &mut self.layers[li];
+            kv.k_rot = Matrix::vcat(&[&kv.k_rot, &k]);
+            kv.v = Matrix::vcat(&[&kv.v, &v]);
+
+            let t = kv.k_rot.rows();
+            let scale = 1.0 / (d_head as f32).sqrt();
+            let mut concat = Matrix::zeros(1, d_model);
+            for h in 0..n_heads {
+                let lo = h * d_head;
+                let hi = lo + d_head;
+                let qh = q.slice_cols(lo, hi); // 1 × d_head
+                let kh = kv.k_rot.slice_cols(lo, hi); // t × d_head
+                let vh = kv.v.slice_cols(lo, hi); // t × d_head
+                let mut scores = qh.matmul_nt(&kh); // 1 × t
+                scores.scale_assign(scale);
+                softmax_rows(&mut scores);
+                let head = scores.matmul(&vh); // 1 × d_head
+                concat.set_block(0, lo, &head);
+                let _ = t;
+            }
+            let attn_out = block.attn.wo().forward(&concat);
+            x.add_assign(&attn_out);
+
+            // FFN sub-layer.
+            let (normed2, _) = block.norm2.forward(&x);
+            let (ffn_out, _) = block.ffn.forward(&normed2);
+            x.add_assign(&ffn_out);
+        }
+
+        let (normed, _) = self.model.final_norm().forward(&x);
+        let logits = normed.matmul(self.model.lm_head());
+        self.pos += 1;
+        Ok(logits.row(0).to_vec())
+    }
+
+    /// Feeds a whole prompt, returning the logits after its last token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::EmptyInput`] for an empty prompt; propagates
+    /// [`DecodeSession::feed`] errors.
+    pub fn feed_all(&mut self, tokens: &[u32]) -> Result<Vec<f32>, LmError> {
+        let mut last = None;
+        for &t in tokens {
+            last = Some(self.feed(t)?);
+        }
+        last.ok_or(LmError::EmptyInput)
+    }
+}
+
+/// Greedy generation through the KV cache (functionally identical to
+/// [`crate::generate::generate_greedy`], asymptotically cheaper).
+///
+/// # Errors
+///
+/// Propagates session errors; an empty prompt is [`LmError::EmptyInput`].
+pub fn generate_greedy_cached(
+    model: &Model,
+    prompt: &[u32],
+    n_new: usize,
+) -> Result<Vec<u32>, LmError> {
+    if prompt.is_empty() {
+        return Err(LmError::EmptyInput);
+    }
+    let mut session = DecodeSession::new(model);
+    let mut logits = session.feed_all(prompt)?;
+    let mut out = prompt.to_vec();
+    for _ in 0..n_new {
+        let next = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        out.push(next);
+        if session.len() >= model.config().max_seq_len {
+            break;
+        }
+        logits = session.feed(next)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_greedy;
+    use crate::ModelConfig;
+
+    fn model() -> Model {
+        Model::new(&ModelConfig::test_tiny(16), 42)
+    }
+
+    #[test]
+    fn incremental_matches_full_forward() {
+        let m = model();
+        let seq = [1u32, 5, 9, 2, 7, 11];
+        let full = m.forward(&seq);
+        let mut session = DecodeSession::new(&m);
+        for (i, &t) in seq.iter().enumerate() {
+            let logits = session.feed(t).unwrap();
+            for (a, b) in logits.iter().zip(full.row(i)) {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "position {i}: incremental {a} vs full {b}"
+                );
+            }
+        }
+        assert_eq!(session.len(), seq.len());
+    }
+
+    #[test]
+    fn cached_generation_matches_uncached() {
+        let m = model();
+        let a = generate_greedy(&m, &[1, 2, 3], 8).unwrap();
+        let b = generate_greedy_cached(&m, &[1, 2, 3], 8).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feed_rejects_bad_tokens_and_overflow() {
+        let m = model();
+        let mut s = DecodeSession::new(&m);
+        assert!(matches!(s.feed(99), Err(LmError::TokenOutOfRange { .. })));
+        // Exhaust max_seq_len (32 for test_tiny).
+        for i in 0..32 {
+            s.feed((i % 16) as u32).unwrap();
+        }
+        assert!(matches!(s.feed(0), Err(LmError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn cache_grows_linearly() {
+        let m = model();
+        let mut s = DecodeSession::new(&m);
+        assert!(s.is_empty());
+        assert_eq!(s.cache_bytes(), 0);
+        s.feed(1).unwrap();
+        let one = s.cache_bytes();
+        s.feed(2).unwrap();
+        assert_eq!(s.cache_bytes(), 2 * one);
+        // 2 matrices × n_layers × d_model × 4 bytes per token.
+        assert_eq!(one, 2 * 2 * 16 * 4);
+    }
+
+    #[test]
+    fn feed_all_returns_last_logits() {
+        let m = model();
+        let mut s = DecodeSession::new(&m);
+        let logits = s.feed_all(&[3, 4, 5]).unwrap();
+        let full = m.forward(&[3, 4, 5]);
+        for (a, b) in logits.iter().zip(full.row(2)) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        let mut empty = DecodeSession::new(&m);
+        assert!(matches!(empty.feed_all(&[]), Err(LmError::EmptyInput)));
+    }
+}

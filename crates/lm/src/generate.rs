@@ -1,0 +1,163 @@
+//! Deterministic and sampled text generation.
+
+use aptq_tensor::activation::softmax;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::model::Model;
+use crate::LmError;
+
+/// Sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleConfig {
+    /// Softmax temperature; `0.0` selects greedy decoding.
+    pub temperature: f32,
+    /// Keep only the `top_k` most likely tokens (0 = all).
+    pub top_k: usize,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig { temperature: 1.0, top_k: 0 }
+    }
+}
+
+/// Greedily extends `prompt` by `n_new` tokens.
+///
+/// # Errors
+///
+/// Returns [`LmError::EmptyInput`] for an empty prompt and
+/// [`LmError::TokenOutOfRange`] for invalid prompt tokens.
+pub fn generate_greedy(model: &Model, prompt: &[u32], n_new: usize) -> Result<Vec<u32>, LmError> {
+    let mut tokens = prompt.to_vec();
+    for _ in 0..n_new {
+        let window = clamp_window(model, &tokens);
+        let logits = model.try_forward(window)?;
+        let last = logits.row(logits.rows() - 1);
+        let next = argmax(last);
+        tokens.push(next as u32);
+    }
+    Ok(tokens)
+}
+
+/// Extends `prompt` by `n_new` tokens with temperature / top-k sampling.
+///
+/// # Errors
+///
+/// Same as [`generate_greedy`].
+pub fn generate_sampled(
+    model: &Model,
+    prompt: &[u32],
+    n_new: usize,
+    cfg: SampleConfig,
+    rng: &mut StdRng,
+) -> Result<Vec<u32>, LmError> {
+    if cfg.temperature <= 0.0 {
+        return generate_greedy(model, prompt, n_new);
+    }
+    let mut tokens = prompt.to_vec();
+    for _ in 0..n_new {
+        let window = clamp_window(model, &tokens);
+        let logits = model.try_forward(window)?;
+        let mut last: Vec<f32> = logits.row(logits.rows() - 1).to_vec();
+        for v in &mut last {
+            *v /= cfg.temperature;
+        }
+        if cfg.top_k > 0 && cfg.top_k < last.len() {
+            let mut sorted: Vec<f32> = last.clone();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            let cutoff = sorted[cfg.top_k - 1];
+            for v in &mut last {
+                if *v < cutoff {
+                    *v = f32::NEG_INFINITY;
+                }
+            }
+        }
+        let probs = softmax(&aptq_tensor::Matrix::from_vec(1, last.len(), last));
+        let r: f32 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        let mut chosen = probs.cols() - 1;
+        for (i, &p) in probs.row(0).iter().enumerate() {
+            acc += p;
+            if r < acc {
+                chosen = i;
+                break;
+            }
+        }
+        tokens.push(chosen as u32);
+    }
+    Ok(tokens)
+}
+
+fn clamp_window<'a>(model: &Model, tokens: &'a [u32]) -> &'a [u32] {
+    let max = model.config().max_seq_len;
+    if tokens.len() > max {
+        &tokens[tokens.len() - max..]
+    } else {
+        tokens
+    }
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelConfig;
+    use aptq_tensor::init;
+
+    fn model() -> Model {
+        Model::new(&ModelConfig::test_tiny(16), 21)
+    }
+
+    #[test]
+    fn greedy_is_deterministic_and_extends() {
+        let m = model();
+        let a = generate_greedy(&m, &[1, 2, 3], 5).unwrap();
+        let b = generate_greedy(&m, &[1, 2, 3], 5).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert_eq!(&a[..3], &[1, 2, 3]);
+        assert!(a.iter().all(|&t| (t as usize) < 16));
+    }
+
+    #[test]
+    fn greedy_rejects_empty_prompt() {
+        let m = model();
+        assert!(matches!(generate_greedy(&m, &[], 3), Err(LmError::EmptyInput)));
+    }
+
+    #[test]
+    fn sampling_respects_vocab_and_seed() {
+        let m = model();
+        let cfg = SampleConfig { temperature: 1.2, top_k: 4 };
+        let a = generate_sampled(&m, &[1], 10, cfg, &mut init::rng(5)).unwrap();
+        let b = generate_sampled(&m, &[1], 10, cfg, &mut init::rng(5)).unwrap();
+        assert_eq!(a, b, "same seed must give same sample");
+        assert!(a.iter().all(|&t| (t as usize) < 16));
+    }
+
+    #[test]
+    fn zero_temperature_falls_back_to_greedy() {
+        let m = model();
+        let cfg = SampleConfig { temperature: 0.0, top_k: 0 };
+        let sampled = generate_sampled(&m, &[2, 3], 4, cfg, &mut init::rng(1)).unwrap();
+        let greedy = generate_greedy(&m, &[2, 3], 4).unwrap();
+        assert_eq!(sampled, greedy);
+    }
+
+    #[test]
+    fn long_prompts_are_windowed() {
+        let m = model();
+        // Prompt longer than max_seq_len (32 for test_tiny).
+        let prompt: Vec<u32> = (0..40).map(|i| (i % 16) as u32).collect();
+        let out = generate_greedy(&m, &prompt, 2).unwrap();
+        assert_eq!(out.len(), 42);
+    }
+}

@@ -1,0 +1,102 @@
+//! # aptq-lm
+//!
+//! LLaMA-family transformer substrate for the APTQ reproduction.
+//!
+//! The APTQ paper quantizes LLaMA-7B/13B checkpoints. Those checkpoints
+//! (and the GPUs to run them) are not available in this environment, so —
+//! per the substitution policy in `DESIGN.md` — this crate implements the
+//! same architecture family at laptop scale and pretrains it from scratch
+//! on the synthetic corpus from `aptq-textgen`:
+//!
+//! - token embedding, **RMSNorm**, **rotary position embeddings (RoPE)**,
+//!   multi-head **causal attention**, **SwiGLU** feed-forward, untied LM
+//!   head — the LLaMA block structure;
+//! - a complete, hand-written **backward pass** for every module, enabling
+//!   in-repo pretraining (Adam) and the LLM-QAT-style baseline;
+//! - **activation capture** ([`capture::BlockCapture`]) exposing exactly
+//!   the intermediate quantities APTQ's attention-aware Hessians need:
+//!   per-layer inputs, per-head attention probabilities, head outputs;
+//! - deterministic generation and serde checkpointing.
+//!
+//! # Example
+//!
+//! ```
+//! use aptq_lm::{Model, ModelConfig};
+//!
+//! let cfg = ModelConfig::test_tiny(32);
+//! let model = Model::new(&cfg, 42);
+//! let tokens = vec![1u32, 2, 3, 4];
+//! let logits = model.forward(&tokens);
+//! assert_eq!(logits.shape(), (4, cfg.vocab_size));
+//! ```
+
+pub mod adam;
+pub mod attention;
+pub mod block;
+pub mod capture;
+pub mod config;
+pub mod decode;
+pub mod ffn;
+pub mod generate;
+pub mod linear;
+pub mod model;
+pub mod rmsnorm;
+pub mod rope;
+pub mod train;
+
+pub use capture::{BlockCapture, ModelCapture};
+pub use config::ModelConfig;
+pub use model::{LayerKind, LayerRef, Model};
+pub use train::{TrainReport, Trainer, TrainerConfig};
+
+/// Errors surfaced by model construction, checkpointing and inference.
+#[derive(Debug)]
+pub enum LmError {
+    /// A token id was outside the configured vocabulary.
+    TokenOutOfRange {
+        /// Offending token id.
+        token: u32,
+        /// Configured vocabulary size.
+        vocab: usize,
+    },
+    /// Input sequence was empty where at least one token is required.
+    EmptyInput,
+    /// Checkpoint (de)serialization failed.
+    Checkpoint(String),
+    /// A configuration invariant was violated.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for LmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LmError::TokenOutOfRange { token, vocab } => {
+                write!(f, "token id {token} out of range for vocabulary of {vocab}")
+            }
+            LmError::EmptyInput => write!(f, "input sequence must contain at least one token"),
+            LmError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            LmError::InvalidConfig(msg) => write!(f, "invalid model config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format() {
+        assert!(LmError::TokenOutOfRange { token: 9, vocab: 4 }.to_string().contains('9'));
+        assert!(!LmError::EmptyInput.to_string().is_empty());
+        assert!(LmError::Checkpoint("x".into()).to_string().contains('x'));
+        assert!(LmError::InvalidConfig("y".into()).to_string().contains('y'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LmError>();
+    }
+}

@@ -1,0 +1,151 @@
+//! Bias-free linear projection (LLaMA-style) with manual backward.
+
+use aptq_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A bias-free linear layer computing `y = x · W` with `W: d_in × d_out`.
+///
+/// Activations are `(tokens × d_in)` matrices; the weight is stored
+/// input-major so quantizers that walk "one input dimension at a time"
+/// (GPTQ column order) process one **row** of `W` per step.
+///
+/// # Example
+///
+/// ```
+/// use aptq_lm::linear::Linear;
+/// use aptq_tensor::{init, Matrix};
+///
+/// let lin = Linear::new(4, 3, &mut init::rng(0));
+/// let x = Matrix::zeros(2, 4);
+/// assert_eq!(lin.forward(&x).shape(), (2, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Matrix,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-scaled random weights.
+    pub fn new(d_in: usize, d_out: usize, rng: &mut StdRng) -> Self {
+        Linear { weight: init::kaiming(d_in, d_out, rng) }
+    }
+
+    /// Wraps an existing weight matrix (`d_in × d_out`).
+    pub fn from_weight(weight: Matrix) -> Self {
+        Linear { weight }
+    }
+
+    /// Input width.
+    pub fn d_in(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output width.
+    pub fn d_out(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Immutable weight access (`d_in × d_out`).
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Mutable weight access, used by optimizers and quantizers.
+    pub fn weight_mut(&mut self) -> &mut Matrix {
+        &mut self.weight
+    }
+
+    /// Forward pass `y = x · W`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.weight)
+    }
+
+    /// Backward pass.
+    ///
+    /// Given the upstream gradient `dy` (`tokens × d_out`) and the cached
+    /// input `x`, returns `(dx, dw)` where `dx = dy · Wᵀ` and
+    /// `dw = xᵀ · dy`.
+    pub fn backward(&self, x: &Matrix, dy: &Matrix) -> (Matrix, Matrix) {
+        let dx = dy.matmul_nt(&self.weight);
+        let dw = x.matmul_tn(dy);
+        (dx, dw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_tensor::init::rng;
+
+    #[test]
+    fn forward_shape_and_linearity() {
+        let lin = Linear::new(5, 3, &mut rng(0));
+        let x = init::normal(4, 5, 1.0, &mut rng(1));
+        let y = lin.forward(&x);
+        assert_eq!(y.shape(), (4, 3));
+        // Linearity: f(2x) == 2 f(x).
+        let y2 = lin.forward(&x.scale(2.0));
+        for (a, b) in y2.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - 2.0 * b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut lin = Linear::new(3, 2, &mut rng(2));
+        let x = init::normal(2, 3, 1.0, &mut rng(3));
+        let y = lin.forward(&x);
+        // Loss = sum(y); dy = ones.
+        let dy = Matrix::filled(2, 2, 1.0);
+        let (dx, dw) = lin.backward(&x, &dy);
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dw.shape(), lin.weight().shape());
+
+        let eps = 1e-3f32;
+        // Check dw entries.
+        for (i, j) in [(0, 0), (1, 1), (2, 0)] {
+            let orig = lin.weight()[(i, j)];
+            lin.weight_mut()[(i, j)] = orig + eps;
+            let lp = lin.forward(&x).sum();
+            lin.weight_mut()[(i, j)] = orig - eps;
+            let lm = lin.forward(&x).sum();
+            lin.weight_mut()[(i, j)] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((dw[(i, j)] - fd).abs() < 1e-2, "dw({i},{j}): {} vs {fd}", dw[(i, j)]);
+        }
+        // Check dx entries.
+        for (i, j) in [(0, 0), (1, 2)] {
+            let mut xp = x.clone();
+            xp[(i, j)] += eps;
+            let lp = lin.forward(&xp).sum();
+            let mut xm = x.clone();
+            xm[(i, j)] -= eps;
+            let lm = lin.forward(&xm).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((dx[(i, j)] - fd).abs() < 1e-2);
+        }
+        let _ = y;
+    }
+
+    #[test]
+    fn from_weight_preserves_matrix() {
+        let w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lin = Linear::from_weight(w.clone());
+        assert_eq!(lin.weight(), &w);
+        assert_eq!(lin.d_in(), 2);
+        assert_eq!(lin.d_out(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let lin = Linear::new(3, 3, &mut rng(9));
+        let json = serde_json::to_string(&lin).unwrap();
+        let back: Linear = serde_json::from_str(&json).unwrap();
+        assert_eq!(lin, back);
+    }
+}

@@ -1,0 +1,217 @@
+//! Batch-parallel pretraining loop.
+//!
+//! The paper quantizes *pretrained* checkpoints; our substitute models are
+//! pretrained here, on the synthetic corpus, with Adam and crossbeam
+//! parallelism over the batch (each sequence's forward/backward is
+//! independent; gradients are merged on the main thread).
+
+use aptq_tensor::parallel::available_threads;
+
+use crate::adam::{Adam, AdamConfig};
+use crate::model::{Model, ModelGrads};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerConfig {
+    /// Number of optimizer steps.
+    pub steps: usize,
+    /// Sequences per step.
+    pub batch_size: usize,
+    /// Adam settings.
+    pub adam: AdamConfig,
+    /// Print a progress line every `log_every` steps (0 = silent).
+    pub log_every: usize,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            steps: 600,
+            batch_size: 16,
+            adam: AdamConfig::default(),
+            log_every: 0,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean loss over the first 10 steps.
+    pub initial_loss: f32,
+    /// Mean loss over the last 10 steps.
+    pub final_loss: f32,
+    /// Total optimizer steps taken.
+    pub steps: usize,
+}
+
+/// Runs the training loop: samples batches from a data source and applies
+/// Adam updates.
+#[derive(Debug)]
+pub struct Trainer {
+    cfg: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(cfg: TrainerConfig) -> Self {
+        Trainer { cfg }
+    }
+
+    /// Trains `model` in place.
+    ///
+    /// `next_batch` is called once per step with the step index and must
+    /// return a non-empty batch of token sequences (each of length ≥ 2).
+    pub fn run(
+        &self,
+        model: &mut Model,
+        mut next_batch: impl FnMut(usize) -> Vec<Vec<u32>>,
+    ) -> TrainReport {
+        let mut adam = Adam::new(model, self.cfg.adam);
+        let mut early = Vec::new();
+        let mut late = Vec::new();
+        for step in 0..self.cfg.steps {
+            let batch = next_batch(step);
+            assert!(!batch.is_empty(), "trainer: batch must be non-empty");
+            let (loss, mut grads) = batch_grads(model, &batch);
+            grads.scale_assign(1.0 / batch.len() as f32);
+            adam.step(model, &grads);
+            if step < 10 {
+                early.push(loss);
+            }
+            if step + 10 >= self.cfg.steps {
+                late.push(loss);
+            }
+            if self.cfg.log_every > 0 && step % self.cfg.log_every == 0 {
+                eprintln!("step {step:5}  loss {loss:.4}");
+            }
+        }
+        TrainReport {
+            initial_loss: mean(&early),
+            final_loss: mean(&late),
+            steps: self.cfg.steps,
+        }
+    }
+}
+
+/// Computes the mean loss and summed gradients of a batch, parallelizing
+/// over sequences with crossbeam.
+pub fn batch_grads(model: &Model, batch: &[Vec<u32>]) -> (f32, ModelGrads) {
+    let threads = available_threads().min(batch.len());
+    if threads <= 1 || batch.len() == 1 {
+        let mut iter = batch.iter();
+        let first = iter.next().expect("non-empty batch");
+        let (mut loss, mut grads) = model.sequence_grads(first);
+        for seq in iter {
+            let (l, g) = model.sequence_grads(seq);
+            loss += l;
+            grads.add_assign(&g);
+        }
+        return (loss / batch.len() as f32, grads);
+    }
+
+    let chunk = batch.len().div_ceil(threads);
+    let results: Vec<(f32, ModelGrads)> = crossbeam_scope(model, batch, chunk);
+    let mut iter = results.into_iter();
+    let (mut loss, mut grads) = iter.next().expect("at least one chunk");
+    for (l, g) in iter {
+        loss += l;
+        grads.add_assign(&g);
+    }
+    (loss / batch.len() as f32, grads)
+}
+
+fn crossbeam_scope(model: &Model, batch: &[Vec<u32>], chunk: usize) -> Vec<(f32, ModelGrads)> {
+    let mut out = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = batch
+            .chunks(chunk)
+            .map(|seqs| {
+                scope.spawn(move |_| {
+                    let mut iter = seqs.iter();
+                    let first = iter.next().expect("non-empty chunk");
+                    let (mut loss, mut grads) = model.sequence_grads(first);
+                    for seq in iter {
+                        let (l, g) = model.sequence_grads(seq);
+                        loss += l;
+                        grads.add_assign(&g);
+                    }
+                    (loss, grads)
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("training worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    out
+}
+
+fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelConfig;
+    use rand::Rng;
+
+    #[test]
+    fn run_memorizes_a_periodic_stream() {
+        let cfg = ModelConfig::test_tiny(12);
+        let mut model = Model::new(&cfg, 11);
+        let trainer = Trainer::new(TrainerConfig {
+            steps: 60,
+            batch_size: 4,
+            adam: AdamConfig { lr: 5e-3, ..AdamConfig::default() },
+            log_every: 0,
+        });
+        // Deterministic repeating pattern: trivially learnable.
+        let report = trainer.run(&mut model, |_| {
+            (0..4)
+                .map(|k| (0..10).map(|i| ((i + k) % 12) as u32).collect())
+                .collect()
+        });
+        assert!(
+            report.final_loss < report.initial_loss - 0.5,
+            "training must reduce loss: {} -> {}",
+            report.initial_loss,
+            report.final_loss
+        );
+    }
+
+    #[test]
+    fn batch_grads_parallel_matches_sequential() {
+        let cfg = ModelConfig::test_tiny(12);
+        let model = Model::new(&cfg, 5);
+        let mut rng = aptq_tensor::init::rng(0);
+        let batch: Vec<Vec<u32>> = (0..9)
+            .map(|_| (0..8).map(|_| rng.gen_range(0..12u32)).collect())
+            .collect();
+        let (loss_par, grads_par) = batch_grads(&model, &batch);
+        // Sequential reference.
+        let mut loss_seq = 0.0;
+        let mut grads_seq: Option<ModelGrads> = None;
+        for s in &batch {
+            let (l, g) = model.sequence_grads(s);
+            loss_seq += l;
+            match &mut grads_seq {
+                None => grads_seq = Some(g),
+                Some(t) => t.add_assign(&g),
+            }
+        }
+        loss_seq /= batch.len() as f32;
+        let grads_seq = grads_seq.unwrap();
+        assert!((loss_par - loss_seq).abs() < 1e-5);
+        assert!(
+            (grads_par.global_norm() - grads_seq.global_norm()).abs() < 1e-3,
+            "parallel and sequential grads must agree"
+        );
+    }
+}

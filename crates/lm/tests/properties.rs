@@ -1,0 +1,97 @@
+//! Property-based tests for the transformer substrate.
+
+use aptq_lm::{Model, ModelConfig};
+use proptest::prelude::*;
+
+fn tokens(vocab: usize, min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..vocab as u32, min_len..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_always_finite(seq in tokens(16, 1, 20), seed in 0u64..50) {
+        let model = Model::new(&ModelConfig::test_tiny(16), seed);
+        let logits = model.forward(&seq);
+        prop_assert_eq!(logits.shape(), (seq.len(), 16));
+        prop_assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn causality_holds_for_any_suffix_perturbation(
+        seq in tokens(16, 3, 16),
+        cut in 1usize..10,
+    ) {
+        let model = Model::new(&ModelConfig::test_tiny(16), 3);
+        let cut = cut.min(seq.len() - 1);
+        let logits_full = model.forward(&seq);
+        // Change every token after `cut`.
+        let mut altered = seq.clone();
+        for t in altered.iter_mut().skip(cut) {
+            *t = (*t + 7) % 16;
+        }
+        let logits_alt = model.forward(&altered);
+        for i in 0..cut {
+            for j in 0..16 {
+                prop_assert!(
+                    (logits_full[(i, j)] - logits_alt[(i, j)]).abs() < 1e-4,
+                    "position {i} leaked future information"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_is_positive_and_finite(seq in tokens(16, 2, 16)) {
+        let model = Model::new(&ModelConfig::test_tiny(16), 5);
+        let loss = model.sequence_loss(&seq);
+        prop_assert!(loss.is_finite());
+        prop_assert!(loss > 0.0);
+    }
+
+    #[test]
+    fn grads_shapes_match_weights(seq in tokens(16, 2, 10)) {
+        let model = Model::new(&ModelConfig::test_tiny(16), 6);
+        let (_, grads) = model.sequence_grads(&seq);
+        prop_assert_eq!(grads.embed.shape(), model.embed().shape());
+        prop_assert_eq!(grads.lm_head.shape(), model.lm_head().shape());
+        prop_assert_eq!(grads.blocks.len(), model.blocks().len());
+        prop_assert!(grads.global_norm().is_finite());
+    }
+
+    #[test]
+    fn capture_path_matches_plain_forward(seq in tokens(16, 1, 12)) {
+        let model = Model::new(&ModelConfig::test_tiny(16), 7);
+        let plain = model.forward(&seq);
+        let (captured, cap) = model.forward_capture(&seq);
+        prop_assert_eq!(cap.n_blocks(), model.blocks().len());
+        for (a, b) in plain.as_slice().iter().zip(captured.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_exact(seq in tokens(16, 1, 8), seed in 0u64..20) {
+        let model = Model::new(&ModelConfig::test_tiny(16), seed);
+        let restored = Model::from_json(&model.to_json().unwrap()).unwrap();
+        prop_assert_eq!(model.forward(&seq), restored.forward(&seq));
+    }
+
+    #[test]
+    fn attention_probs_are_causal_distributions(seq in tokens(16, 2, 12)) {
+        let model = Model::new(&ModelConfig::test_tiny(16), 8);
+        let (_, cap) = model.forward_capture(&seq);
+        for block in &cap.blocks {
+            for p in &block.probs {
+                for i in 0..seq.len() {
+                    let row_sum: f32 = p.row(i).iter().sum();
+                    prop_assert!((row_sum - 1.0).abs() < 1e-4);
+                    for j in i + 1..seq.len() {
+                        prop_assert_eq!(p[(i, j)], 0.0);
+                    }
+                }
+            }
+        }
+    }
+}

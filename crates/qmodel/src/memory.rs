@@ -1,0 +1,92 @@
+//! Edge-device memory accounting for packed models.
+
+use serde::{Deserialize, Serialize};
+
+/// Breakdown of a packed model's storage footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryBreakdown {
+    /// Packed projection codes + group metadata, bytes.
+    pub packed_bytes: usize,
+    /// Float parts kept at full precision (embedding, norms, LM head),
+    /// counted at fp16 (2 bytes/weight) as they would ship, bytes.
+    pub float_bytes: usize,
+    /// What the packed projections would cost at fp16, bytes.
+    pub fp16_projection_bytes: usize,
+}
+
+impl MemoryBreakdown {
+    /// Total deployable size.
+    pub fn total_bytes(&self) -> usize {
+        self.packed_bytes + self.float_bytes
+    }
+
+    /// Compression of the projection weights vs fp16.
+    pub fn projection_compression(&self) -> f32 {
+        if self.packed_bytes == 0 {
+            0.0
+        } else {
+            self.fp16_projection_bytes as f32 / self.packed_bytes as f32
+        }
+    }
+
+    /// Whole-model compression vs an all-fp16 deployment.
+    pub fn total_compression(&self) -> f32 {
+        let fp16_total = self.fp16_projection_bytes + self.float_bytes;
+        if self.total_bytes() == 0 {
+            0.0
+        } else {
+            fp16_total as f32 / self.total_bytes() as f32
+        }
+    }
+
+    /// Effective bits per projection weight including metadata.
+    pub fn projection_bits(&self) -> f32 {
+        if self.fp16_projection_bytes == 0 {
+            0.0
+        } else {
+            // fp16_projection_bytes / 2 = number of weights.
+            self.packed_bytes as f32 * 8.0 / (self.fp16_projection_bytes as f32 / 2.0)
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "packed {} B + float {} B = {} B total ({:.2}x smaller than fp16, {:.2} bits/projection weight)",
+            self.packed_bytes,
+            self.float_bytes,
+            self.total_bytes(),
+            self.total_compression(),
+            self.projection_bits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_checks() {
+        let m = MemoryBreakdown {
+            packed_bytes: 250,
+            float_bytes: 100,
+            fp16_projection_bytes: 1000,
+        };
+        assert_eq!(m.total_bytes(), 350);
+        assert!((m.projection_compression() - 4.0).abs() < 1e-6);
+        assert!((m.total_compression() - 1100.0 / 350.0).abs() < 1e-4);
+        // 1000 fp16 bytes = 500 weights; 250 B packed = 2000 bits → 4 bits/w.
+        assert!((m.projection_bits() - 4.0).abs() < 1e-6);
+        assert!(m.to_string().contains("packed 250"));
+    }
+
+    #[test]
+    fn degenerate_is_benign() {
+        let m = MemoryBreakdown { packed_bytes: 0, float_bytes: 0, fp16_projection_bytes: 0 };
+        assert_eq!(m.total_compression(), 0.0);
+        assert_eq!(m.projection_bits(), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! A linear layer executing directly from packed sub-byte storage.
+
+use aptq_core::grid::GridKind;
+use aptq_core::pack::{unpack_codes, PackedTensor};
+use aptq_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A bias-free linear layer whose weights live in a [`PackedTensor`].
+///
+/// `forward` never materializes the full fp32 weight matrix: it streams
+/// one input-dimension group at a time — unpack the group's codes,
+/// dequantize into a `group_size × d_out` scratch, accumulate the
+/// partial product — so peak extra memory is one group's worth of f32,
+/// matching how an edge runtime would execute.
+///
+/// # Example
+///
+/// ```
+/// use aptq_core::engine::quantize_layer_rtn;
+/// use aptq_core::grid::{GridConfig, QuantGrid};
+/// use aptq_qmodel::QuantizedLinear;
+/// use aptq_tensor::Matrix;
+///
+/// let w = Matrix::from_fn(8, 4, |i, j| (i as f32 - j as f32) * 0.1);
+/// let res = quantize_layer_rtn(&w, QuantGrid::int(4, true), &GridConfig::default());
+/// let qlin = QuantizedLinear::new(res.packed);
+/// let x = Matrix::from_fn(3, 8, |i, j| (i + j) as f32 * 0.05);
+/// let y = qlin.forward(&x);
+/// // Identical to multiplying by the dequantized weights.
+/// let want = x.matmul(&res.dequantized);
+/// assert_eq!(y, want);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedLinear {
+    packed: PackedTensor,
+}
+
+impl QuantizedLinear {
+    /// Wraps a packed tensor.
+    pub fn new(packed: PackedTensor) -> Self {
+        QuantizedLinear { packed }
+    }
+
+    /// Input width.
+    pub fn d_in(&self) -> usize {
+        self.packed.d_in
+    }
+
+    /// Output width.
+    pub fn d_out(&self) -> usize {
+        self.packed.d_out
+    }
+
+    /// Storage bytes (codes + group metadata).
+    pub fn storage_bytes(&self) -> usize {
+        self.packed.storage_bytes()
+    }
+
+    /// Nominal code bits per weight.
+    pub fn bits(&self) -> u8 {
+        self.packed.grid.bits()
+    }
+
+    /// The underlying packed tensor.
+    pub fn packed(&self) -> &PackedTensor {
+        &self.packed
+    }
+
+    /// Computes `y = x · Ŵ` with on-the-fly group dequantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let d_in = self.packed.d_in;
+        let d_out = self.packed.d_out;
+        assert_eq!(x.cols(), d_in, "QuantizedLinear: input width mismatch");
+        let t = x.rows();
+        let group = self.packed.group_size;
+        let grid = self.packed.grid;
+        let bits = grid.bits() as usize;
+        let mut y = Matrix::zeros(t, d_out);
+        let mut scratch = vec![0.0f32; group * d_out];
+
+        let n_groups = self.packed.n_groups();
+        for g in 0..n_groups {
+            let r0 = g * group;
+            let r1 = (r0 + group).min(d_in);
+            let rows = r1 - r0;
+            // Unpack this group's code rows. Codes are packed row-major
+            // over the whole matrix; rows are bit-aligned only when
+            // (d_out × bits) % 8 == 0, so unpack from the global stream.
+            let start_bit = r0 * d_out * bits;
+            let codes = if start_bit % 8 == 0 {
+                unpack_codes(&self.packed.data[start_bit / 8..], grid.bits(), rows * d_out)
+            } else {
+                // Fallback: unpack from the stream start (correct but
+                // slower); only reachable for exotic shapes.
+                let all = unpack_codes(&self.packed.data, grid.bits(), d_in * d_out);
+                all[r0 * d_out..r1 * d_out].to_vec()
+            };
+            // Dequantize into scratch.
+            for (ri, chunk) in codes.chunks(d_out).enumerate() {
+                let _ = ri;
+                for (c, &code) in chunk.iter().enumerate() {
+                    let p = self.packed.params[g * d_out + c];
+                    scratch[ri * d_out + c] = grid.dequantize(code, p);
+                }
+            }
+            // Accumulate x[:, r0..r1] × scratch.
+            for row in 0..t {
+                let x_row = &x.row(row)[r0..r1];
+                let y_row = y.row_mut(row);
+                for (ri, &xv) in x_row.iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let w_row = &scratch[ri * d_out..(ri + 1) * d_out];
+                    for (yv, &wv) in y_row.iter_mut().zip(w_row.iter()) {
+                        *yv += xv * wv;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Whether the grid is one of the integer families (sanity queries
+    /// for reports).
+    pub fn is_integer_grid(&self) -> bool {
+        matches!(self.packed.grid.kind(), GridKind::Int { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_core::engine::{quantize_layer_obq, quantize_layer_rtn};
+    use aptq_core::grid::{GridConfig, QuantGrid};
+    use aptq_core::hessian::HessianAccumulator;
+    use aptq_tensor::init;
+
+    #[test]
+    fn forward_matches_dequantized_matmul_exactly() {
+        for bits in [2u8, 3, 4] {
+            let mut rng = init::rng(bits as u64);
+            let w = init::normal(24, 10, 0.5, &mut rng);
+            let cfg = GridConfig { group_size: 8, ..GridConfig::default() };
+            let res = quantize_layer_rtn(&w, QuantGrid::int(bits, true), &cfg);
+            let qlin = QuantizedLinear::new(res.packed);
+            let x = init::normal(5, 24, 1.0, &mut rng);
+            let y = qlin.forward(&x);
+            let want = x.matmul(&res.dequantized);
+            for (a, b) in y.as_slice().iter().zip(want.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "bits={bits}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_matches_for_obq_quantized_layers() {
+        let mut rng = init::rng(9);
+        let x_cal = init::normal(40, 16, 1.0, &mut rng);
+        let mut acc = HessianAccumulator::new(16);
+        acc.update(&x_cal);
+        let w = init::normal(16, 12, 0.4, &mut rng);
+        let cfg = GridConfig { group_size: 8, ..GridConfig::default() };
+        let res = quantize_layer_obq("t", &w, &acc.finish(), QuantGrid::int(4, true), &cfg).unwrap();
+        let qlin = QuantizedLinear::new(res.packed);
+        let x = init::normal(3, 16, 1.0, &mut rng);
+        let y = qlin.forward(&x);
+        let want = x.matmul(&res.dequantized);
+        for (a, b) in y.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn odd_group_boundaries_still_correct() {
+        // d_out=5, bits=2 → group rows are not byte-aligned; exercises
+        // the fallback path.
+        let mut rng = init::rng(11);
+        let w = init::normal(12, 5, 0.5, &mut rng);
+        let cfg = GridConfig { group_size: 4, ..GridConfig::default() };
+        let res = quantize_layer_rtn(&w, QuantGrid::int(2, true), &cfg);
+        let qlin = QuantizedLinear::new(res.packed);
+        let x = init::normal(2, 12, 1.0, &mut rng);
+        let y = qlin.forward(&x);
+        let want = x.matmul(&res.dequantized);
+        for (a, b) in y.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let w = Matrix::from_fn(8, 4, |i, j| (i * 4 + j) as f32 * 0.01);
+        let res = quantize_layer_rtn(&w, QuantGrid::int(4, true), &GridConfig::default());
+        let qlin = QuantizedLinear::new(res.packed);
+        assert_eq!(qlin.d_in(), 8);
+        assert_eq!(qlin.d_out(), 4);
+        assert_eq!(qlin.bits(), 4);
+        assert!(qlin.is_integer_grid());
+        assert!(qlin.storage_bytes() > 0);
+    }
+}

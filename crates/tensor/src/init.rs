@@ -1,0 +1,91 @@
+//! Seeded random matrix initializers.
+//!
+//! All randomness in the reproduction flows through explicitly seeded
+//! [`rand::rngs::StdRng`] instances so every experiment is replayable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Matrix;
+
+/// Returns a deterministic RNG for the given seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Matrix with entries drawn uniformly from `[-limit, limit]`.
+pub fn uniform(rows: usize, cols: usize, limit: f32, rng: &mut StdRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+}
+
+/// Matrix with entries from a normal distribution `N(0, std²)`
+/// (Box–Muller from uniform samples; adequate for initialization).
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    })
+}
+
+/// Xavier/Glorot uniform initialization for a `fan_in × fan_out` weight.
+pub fn xavier(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(fan_in, fan_out, limit, rng)
+}
+
+/// Kaiming/He-style initialization scaled by `1/sqrt(fan_in)`, the usual
+/// choice for transformer projections.
+pub fn kaiming(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
+    normal(fan_in, fan_out, 1.0 / (fan_in as f32).sqrt(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = uniform(4, 4, 1.0, &mut rng(7));
+        let b = uniform(4, 4, 1.0, &mut rng(7));
+        assert_eq!(a, b);
+        let c = uniform(4, 4, 1.0, &mut rng(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let m = uniform(16, 16, 0.25, &mut rng(1));
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= 0.25));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let m = normal(64, 64, 0.5, &mut rng(2));
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+            / (m.len() as f32);
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_fan() {
+        let small = xavier(4, 4, &mut rng(3));
+        let large = xavier(400, 400, &mut rng(3));
+        assert!(small.abs_max() > large.abs_max());
+    }
+
+    #[test]
+    fn kaiming_scale_shrinks_with_fan_in() {
+        let a = kaiming(16, 8, &mut rng(4));
+        let b = kaiming(1024, 8, &mut rng(4));
+        // Std of b should be ~8x smaller.
+        let std = |m: &Matrix| {
+            let mu = m.mean();
+            (m.as_slice().iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / m.len() as f32)
+                .sqrt()
+        };
+        assert!(std(&a) > 4.0 * std(&b));
+    }
+}

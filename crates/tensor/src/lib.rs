@@ -1,0 +1,100 @@
+//! # aptq-tensor
+//!
+//! Dense `f32` linear-algebra substrate for the APTQ reproduction.
+//!
+//! The APTQ pipeline (attention-aware Hessians, GPTQ-style Cholesky
+//! updates, transformer forward/backward) needs a small but trustworthy
+//! set of numerical primitives:
+//!
+//! - [`Matrix`]: a row-major dense `f32` matrix with shape-checked ops.
+//! - Blocked, crossbeam-parallel [`Matrix::matmul`].
+//! - [`linalg`]: Cholesky factorization/inversion (the heart of the GPTQ
+//!   update machinery), triangular solves, damping, traces.
+//! - [`activation`]: numerically stable softmax and friends.
+//! - [`init`]: seeded random initializers.
+//! - [`stats`]: summary statistics used by quantizer grids and reports.
+//!
+//! Everything is pure Rust, deterministic under a fixed seed, and
+//! shape-checked with informative panics (dimension mismatches are
+//! programming errors, not recoverable conditions).
+//!
+//! # Example
+//!
+//! ```
+//! use aptq_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+pub mod activation;
+pub mod init;
+pub mod linalg;
+pub mod matrix;
+pub mod parallel;
+pub mod stats;
+
+pub use matrix::Matrix;
+
+/// Error type for fallible numerical routines.
+///
+/// Most shape errors panic (they are bugs); `TensorError` covers genuine
+/// runtime conditions such as a Hessian that is not positive definite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Cholesky factorization hit a non-positive pivot at the given index.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// Value of the failing pivot.
+        value: f32,
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Observed number of rows.
+        rows: usize,
+        /// Observed number of columns.
+        cols: usize,
+    },
+    /// An operation received an empty matrix where data was required.
+    Empty,
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has value {value}"
+            ),
+            TensorError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            TensorError::Empty => write!(f, "operation requires a non-empty matrix"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TensorError::NotPositiveDefinite { pivot: 3, value: -0.5 };
+        assert!(e.to_string().contains("pivot 3"));
+        let e = TensorError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+        assert!(!TensorError::Empty.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

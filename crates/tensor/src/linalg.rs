@@ -1,0 +1,327 @@
+//! Dense linear algebra: Cholesky factorization, triangular solves,
+//! SPD inversion and damping.
+//!
+//! These routines are the numerical heart of the GPTQ/APTQ update
+//! machinery: the inverse Hessian used by the column-wise weight update
+//! (Eqs. 16–17 of the paper) is obtained from a Cholesky factorization,
+//! exactly as GPTQ's "Cholesky reformulation" prescribes.
+
+use crate::{Matrix, TensorError};
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+///
+/// Accumulates in `f64` for stability; the input must be symmetric
+/// positive definite (symmetry is assumed, not checked).
+///
+/// # Errors
+///
+/// Returns [`TensorError::NotSquare`] for non-square input and
+/// [`TensorError::NotPositiveDefinite`] when a pivot is not strictly
+/// positive (callers typically respond by increasing damping).
+///
+/// # Example
+///
+/// ```
+/// use aptq_tensor::{Matrix, linalg};
+///
+/// # fn main() -> Result<(), aptq_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let l = linalg::cholesky(&a)?;
+/// let back = l.matmul(&l.transpose());
+/// assert!((back[(0, 0)] - 4.0).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cholesky(a: &Matrix) -> Result<Matrix, TensorError> {
+    let n = require_square(a)?;
+    let mut l = vec![0.0f64; n * n];
+    let ad = a.as_slice();
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = ad[i * n + j] as f64;
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(TensorError::NotPositiveDefinite {
+                        pivot: i,
+                        value: sum as f32,
+                    });
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(Matrix::from_vec(n, n, l.into_iter().map(|v| v as f32).collect()))
+}
+
+/// Solves `L·y = b` for lower-triangular `L` (forward substitution).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or a diagonal entry is zero.
+pub fn solve_lower(l: &Matrix, b: &[f32]) -> Vec<f32> {
+    let n = l.rows();
+    assert_eq!(l.cols(), n, "solve_lower: L must be square");
+    assert_eq!(b.len(), n, "solve_lower: length mismatch");
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i] as f64;
+        for k in 0..i {
+            sum -= l[(i, k)] as f64 * y[k];
+        }
+        let d = l[(i, i)] as f64;
+        assert!(d != 0.0, "solve_lower: zero diagonal at {i}");
+        y[i] = sum / d;
+    }
+    y.into_iter().map(|v| v as f32).collect()
+}
+
+/// Solves `Lᵀ·x = y` for lower-triangular `L` (backward substitution).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or a diagonal entry is zero.
+pub fn solve_lower_transpose(l: &Matrix, y: &[f32]) -> Vec<f32> {
+    let n = l.rows();
+    assert_eq!(l.cols(), n, "solve_lower_transpose: L must be square");
+    assert_eq!(y.len(), n, "solve_lower_transpose: length mismatch");
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i] as f64;
+        for k in i + 1..n {
+            sum -= l[(k, i)] as f64 * x[k];
+        }
+        let d = l[(i, i)] as f64;
+        assert!(d != 0.0, "solve_lower_transpose: zero diagonal at {i}");
+        x[i] = sum / d;
+    }
+    x.into_iter().map(|v| v as f32).collect()
+}
+
+/// Inverts a symmetric positive-definite matrix via Cholesky.
+///
+/// # Errors
+///
+/// Propagates factorization failures from [`cholesky`].
+pub fn spd_inverse(a: &Matrix) -> Result<Matrix, TensorError> {
+    let n = require_square(a)?;
+    let l = cholesky(a)?;
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0f32; n];
+    for j in 0..n {
+        e[j] = 1.0;
+        let y = solve_lower(&l, &e);
+        let x = solve_lower_transpose(&l, &y);
+        inv.set_col(j, &x);
+        e[j] = 0.0;
+    }
+    // Symmetrize to wash out round-off.
+    for i in 0..n {
+        for j in 0..i {
+            let m = 0.5 * (inv[(i, j)] + inv[(j, i)]);
+            inv[(i, j)] = m;
+            inv[(j, i)] = m;
+        }
+    }
+    Ok(inv)
+}
+
+/// Upper-triangular Cholesky factor `U` of `A⁻¹` with `A⁻¹ = Uᵀ·U`.
+///
+/// This is exactly the matrix GPTQ's "Cholesky reformulation" consumes
+/// (`torch.linalg.cholesky(H⁻¹, upper=True)`): the fixed-order update
+/// for input index `j` uses `U[j,j]` as the effective inverse-Hessian
+/// diagonal of the not-yet-quantized subproblem and row `U[j, j..]` to
+/// propagate the quantization error (Eqs. 16–17 of the APTQ paper).
+///
+/// # Errors
+///
+/// Propagates factorization failures from [`cholesky`].
+pub fn inverse_cholesky_upper(a: &Matrix) -> Result<Matrix, TensorError> {
+    let _ = require_square(a)?;
+    let inv = spd_inverse(a)?;
+    // Standard lower factor C with A⁻¹ = C·Cᵀ, then U = Cᵀ gives
+    // A⁻¹ = Uᵀ·U with U upper triangular.
+    let c = cholesky(&inv)?;
+    Ok(c.transpose())
+}
+
+/// Adds `lambda` to every diagonal entry in place (Levenberg–Marquardt
+/// style damping, used before factorizing quantization Hessians).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn damp_diagonal(a: &mut Matrix, lambda: f32) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "damp_diagonal: matrix must be square");
+    for i in 0..n {
+        a[(i, i)] += lambda;
+    }
+}
+
+/// Mean of the diagonal of a square matrix (the "average Hessian trace"
+/// sensitivity statistic of APTQ §3.3).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or empty.
+pub fn mean_diagonal(a: &Matrix) -> f32 {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "mean_diagonal: matrix must be square");
+    assert!(n > 0, "mean_diagonal: empty matrix");
+    a.trace() / n as f32
+}
+
+/// Symmetrizes a matrix in place: `A ← (A + Aᵀ)/2`.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn symmetrize(a: &mut Matrix) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "symmetrize: matrix must be square");
+    for i in 0..n {
+        for j in 0..i {
+            let m = 0.5 * (a[(i, j)] + a[(j, i)]);
+            a[(i, j)] = m;
+            a[(j, i)] = m;
+        }
+    }
+}
+
+fn require_square(a: &Matrix) -> Result<usize, TensorError> {
+    if a.rows() != a.cols() {
+        Err(TensorError::NotSquare { rows: a.rows(), cols: a.cols() })
+    } else {
+        Ok(a.rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // Random Gram matrix + damping is SPD.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) as f32 - 0.5
+        };
+        let g = Matrix::from_fn(n, n + 2, |_, _| next());
+        let mut a = g.matmul(&g.transpose());
+        damp_diagonal(&mut a, 0.1);
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs_input() {
+        let a = spd(8, 1);
+        let l = cholesky(&a).unwrap();
+        let back = l.matmul(&l.transpose());
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+        // L is lower triangular.
+        for i in 0..8 {
+            for j in i + 1..8 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        match cholesky(&a) {
+            Err(TensorError::NotPositiveDefinite { pivot, .. }) => assert_eq!(pivot, 1),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(cholesky(&a), Err(TensorError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn triangular_solves_invert_l() {
+        let a = spd(6, 2);
+        let l = cholesky(&a).unwrap();
+        let b: Vec<f32> = (0..6).map(|i| i as f32 - 2.5).collect();
+        let y = solve_lower(&l, &b);
+        // L y should equal b.
+        let ly = l.matvec(&y);
+        for (x, want) in ly.iter().zip(b.iter()) {
+            assert!((x - want).abs() < 1e-4);
+        }
+        let x = solve_lower_transpose(&l, &y);
+        // A x should equal b.
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn spd_inverse_times_a_is_identity() {
+        let a = spd(7, 3);
+        let inv = spd_inverse(&a).unwrap();
+        let prod = a.matmul(&inv);
+        for i in 0..7 {
+            for j in 0..7 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - want).abs() < 1e-3, "({i},{j}) {}", prod[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_cholesky_upper_factorizes_inverse() {
+        let a = spd(5, 4);
+        let r = inverse_cholesky_upper(&a).unwrap();
+        // R is upper triangular.
+        for i in 0..5 {
+            for j in 0..i {
+                assert!(r[(i, j)].abs() < 1e-6);
+            }
+        }
+        let rr = r.matmul_tn(&r); // RᵀR must equal A⁻¹
+        let inv = spd_inverse(&a).unwrap();
+        for (x, y) in rr.as_slice().iter().zip(inv.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn damping_rescues_semidefinite_matrix() {
+        // Rank-deficient Gram matrix.
+        let g = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(cholesky(&g).is_err());
+        let mut d = g.clone();
+        damp_diagonal(&mut d, 0.01);
+        assert!(cholesky(&d).is_ok());
+    }
+
+    #[test]
+    fn mean_diagonal_matches_trace() {
+        let a = Matrix::from_diag(&[2.0, 4.0, 6.0]);
+        assert!((mean_diagonal(&a) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[4.0, 3.0]]);
+        symmetrize(&mut a);
+        assert_eq!(a[(0, 1)], a[(1, 0)]);
+        assert_eq!(a[(0, 1)], 3.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Blocked, crossbeam-parallel matrix-multiply kernel.
+//!
+//! The kernel is deliberately simple: row-band parallelism with a
+//! cache-blocked inner loop (i-k-j order so the innermost loop streams
+//! both the `b` panel and the output row). It is not BLAS, but it is
+//! fast enough to pretrain the tiny LLaMA-family models and run the
+//! quantization pipelines in seconds on a laptop-class CPU.
+
+/// Minimum number of multiply-accumulate operations (m·k·n) before
+/// threads are spawned. Thread spawn costs tens of microseconds; small
+/// transformer matmuls (and anything already running inside a
+/// batch-parallel training worker) must stay sequential.
+const PARALLEL_FLOP_THRESHOLD: usize = 2_000_000;
+
+/// Cache block size along the shared (`k`) dimension.
+const KBLOCK: usize = 64;
+
+/// Computes `out = a × b` where `a` is `m×k` and `b` is `k×n`, all
+/// row-major. `out` must be zero-initialized with length `m*n`.
+///
+/// # Panics
+///
+/// Panics (debug) if slice lengths do not match the given shapes.
+pub fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+
+    if m * k * n < PARALLEL_FLOP_THRESHOLD || m < 2 {
+        matmul_band(a, k, b, n, out);
+        return;
+    }
+
+    let threads = available_threads().min(m);
+    let rows_per = m.div_ceil(threads);
+
+    crossbeam::scope(|scope| {
+        let mut rest = out;
+        let mut row0 = 0usize;
+        while row0 < m {
+            let band_rows = rows_per.min(m - row0);
+            let (band, tail) = rest.split_at_mut(band_rows * n);
+            let a_band = &a[row0 * k..(row0 + band_rows) * k];
+            scope.spawn(move |_| {
+                matmul_band(a_band, k, b, n, band);
+            });
+            rest = tail;
+            row0 += band_rows;
+        }
+    })
+    .expect("matmul worker thread panicked");
+}
+
+/// Sequential blocked kernel for a band of rows.
+fn matmul_band(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    let rows = out.len() / n.max(1);
+    for k0 in (0..k).step_by(KBLOCK) {
+        let kend = (k0 + KBLOCK).min(k);
+        for i in 0..rows {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for kk in k0..kend {
+                let av = a_row[kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                // Innermost loop: contiguous over both b_row and o_row,
+                // auto-vectorizes well.
+                for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Number of worker threads to use for parallel kernels.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn check(m: usize, k: usize, n: usize) {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 31 % 97) as f32) * 0.02 - 1.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 17 % 89) as f32) * 0.03 - 1.3).collect();
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(&a, m, k, &b, n, &mut out);
+        let want = naive(&a, m, k, &b, n);
+        for (x, y) in out.iter().zip(want.iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_sequential_path() {
+        check(3, 5, 4);
+    }
+
+    #[test]
+    fn single_row() {
+        check(1, 100, 100);
+    }
+
+    #[test]
+    fn single_col() {
+        check(100, 100, 1);
+    }
+
+    #[test]
+    fn crosses_parallel_threshold() {
+        check(160, 120, 160);
+    }
+
+    #[test]
+    fn odd_sizes_past_kblock() {
+        check(70, 129, 65);
+    }
+
+    #[test]
+    fn empty_inner_dim_gives_zeros() {
+        let mut out = vec![1.0f32; 4];
+        // k == 0: nothing accumulates, but out must stay untouched-as-zeroed
+        // by the caller; we simulate the caller contract here.
+        out.iter_mut().for_each(|v| *v = 0.0);
+        matmul_into(&[], 2, 0, &[], 2, &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Summary statistics used by quantizer grids, sensitivity reports and
+//! the experiment harness.
+
+/// Mean of a slice (f64 accumulator); `0.0` for empty input.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64) as f32
+}
+
+/// Population variance; `0.0` for inputs shorter than 2.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs) as f64;
+    (xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / xs.len() as f64) as f32
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Minimum and maximum of a slice.
+///
+/// Returns `(0.0, 0.0)` for empty input so degenerate layers quantize to
+/// a zero grid instead of panicking.
+pub fn min_max(xs: &[f32]) -> (f32, f32) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+/// `q`-quantile (0 ≤ q ≤ 1) by sorting a copy; linear interpolation
+/// between order statistics.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f32], q: f32) -> f32 {
+    assert!(!xs.is_empty(), "quantile: empty input");
+    assert!((0.0..=1.0).contains(&q), "quantile: q={q} outside [0,1]");
+    let mut v: Vec<f32> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q as f64 * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = (pos - lo as f64) as f32;
+    v[lo] * (1.0 - frac) + v[hi] * frac
+}
+
+/// Mean absolute value.
+pub fn mean_abs(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|&x| (x as f64).abs()).sum::<f64>() / xs.len() as f64) as f32
+}
+
+/// Root-mean-square error between two slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn rmse(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "rmse: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum();
+    (s / a.len() as f64).sqrt() as f32
+}
+
+/// Pearson correlation between two slices; `0.0` when either side has no
+/// variance.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ma = mean(a) as f64;
+    let mb = mean(b) as f64;
+    let mut cov = 0.0f64;
+    let mut va = 0.0f64;
+    let mut vb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let dx = x as f64 - ma;
+        let dy = y as f64 - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    (cov / (va.sqrt() * vb.sqrt())) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_hand_checked() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-6);
+        assert!((variance(&xs) - 1.25).abs() < 1e-6);
+        assert!((std_dev(&xs) - 1.118034).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_inputs_are_benign() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(min_max(&[]), (0.0, 0.0));
+        assert_eq!(mean_abs(&[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn min_max_finds_extremes() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]), (-1.0, 3.0));
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let xs = [5.0f32, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert!((quantile(&xs, 0.25) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn rmse_zero_iff_equal() {
+        let a = [1.0f32, 2.0, 3.0];
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert!(rmse(&a, &[1.0, 2.0, 4.0]) > 0.0);
+    }
+
+    #[test]
+    fn pearson_detects_sign_of_relationship() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [2.0f32, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-6);
+        let c = [8.0f32, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-6);
+        assert_eq!(pearson(&a, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the tensor substrate.
+
+use aptq_tensor::{activation, linalg, Matrix};
+use proptest::prelude::*;
+
+/// Strategy producing a random matrix with entries in [-2, 2].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative((a, b, c) in (matrix(4, 5), matrix(5, 6), matrix(6, 3))) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((a, b, c) in (matrix(3, 4), matrix(4, 5), matrix(4, 5))) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_product((a, b) in (matrix(4, 6), matrix(6, 5))) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gram_matrix_cholesky_roundtrips(g in matrix(8, 6)) {
+        // G·Gᵀ + λI is SPD; Cholesky must succeed and reconstruct.
+        let mut a = g.matmul(&g.transpose());
+        linalg::damp_diagonal(&mut a, 0.5);
+        let l = linalg::cholesky(&a).expect("damped Gram matrix must be SPD");
+        let back = l.matmul(&l.transpose());
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn spd_inverse_is_inverse(g in matrix(6, 5)) {
+        let mut a = g.matmul(&g.transpose());
+        linalg::damp_diagonal(&mut a, 1.0);
+        let inv = linalg::spd_inverse(&a).unwrap();
+        let prod = a.matmul(&inv);
+        for i in 0..6 {
+            for j in 0..6 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod[(i, j)] - want).abs() < 5e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_cholesky_upper_consistent(g in matrix(5, 5)) {
+        let mut a = g.matmul(&g.transpose());
+        linalg::damp_diagonal(&mut a, 1.0);
+        let r = linalg::inverse_cholesky_upper(&a).unwrap();
+        let inv = linalg::spd_inverse(&a).unwrap();
+        let rr = r.matmul_tn(&r); // RᵀR = A⁻¹
+        for (x, y) in rr.as_slice().iter().zip(inv.as_slice()) {
+            prop_assert!((x - y).abs() < 5e-2);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix(5, 9)) {
+        let s = activation::softmax(&m);
+        for i in 0..5 {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(m in matrix(1, 7)) {
+        let argmax = |xs: &[f32]| {
+            xs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        };
+        let s = activation::softmax(&m);
+        prop_assert_eq!(argmax(m.row(0)), argmax(s.row(0)));
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax(m in matrix(3, 6)) {
+        let ls = activation::log_softmax(&m);
+        let s = activation::softmax(&m);
+        for (x, y) in ls.as_slice().iter().zip(s.as_slice()) {
+            prop_assert!((x.exp() - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_triangle_inequality((a, b) in (matrix(4, 4), matrix(4, 4))) {
+        let sum = a.add(&b);
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-4);
+    }
+}

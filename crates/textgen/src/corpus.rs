@@ -1,0 +1,401 @@
+//! Corpus generators: the C4-like calibration/eval stream and the
+//! WikiText-like shifted-distribution eval stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::grammar::Grammar;
+use crate::tokenizer::{Tokenizer, BOS};
+
+/// Which corpus distribution to sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusStyle {
+    /// Web-like: diverse sentence templates, compound sentences,
+    /// occasional noise interjections. Plays the role of **C4** — both the
+    /// pretraining/calibration set and the in-distribution eval set.
+    WebC4,
+    /// Encyclopedia-like: fact-heavy, formulaic, no noise. Plays the role
+    /// of **WikiText-2** — an eval distribution shifted from calibration.
+    Wiki,
+}
+
+/// Grammatical number of a generated clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Number {
+    Singular,
+    Plural,
+}
+
+/// Streaming, seeded corpus generator.
+///
+/// Sentences are drawn template-by-template and concatenated into
+/// fixed-length token segments (each starting with `<bos>`), mirroring
+/// how GPTQ/APTQ sample "128 segments of 2048 tokens" from C4.
+#[derive(Debug)]
+pub struct CorpusGenerator<'a> {
+    grammar: &'a Grammar,
+    tokenizer: &'a Tokenizer,
+    style: CorpusStyle,
+    rng: StdRng,
+    buffer: Vec<u32>,
+}
+
+impl<'a> CorpusGenerator<'a> {
+    /// Creates a generator for the given style and seed.
+    pub fn new(
+        grammar: &'a Grammar,
+        tokenizer: &'a Tokenizer,
+        style: CorpusStyle,
+        seed: u64,
+    ) -> Self {
+        CorpusGenerator { grammar, tokenizer, style, rng: StdRng::seed_from_u64(seed), buffer: Vec::new() }
+    }
+
+    /// Produces one segment of exactly `len` tokens (starting with
+    /// `<bos>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn segment(&mut self, len: usize) -> Vec<u32> {
+        assert!(len > 0, "segment length must be positive");
+        let mut out = Vec::with_capacity(len);
+        out.push(BOS);
+        while out.len() < len {
+            if self.buffer.is_empty() {
+                let words = self.sentence_words();
+                self.buffer = self.tokenizer.encode_words(&words);
+            }
+            let take = (len - out.len()).min(self.buffer.len());
+            out.extend(self.buffer.drain(..take));
+        }
+        out
+    }
+
+    /// Produces `n` segments of `len` tokens each.
+    pub fn segments(&mut self, n: usize, len: usize) -> Vec<Vec<u32>> {
+        (0..n).map(|_| self.segment(len)).collect()
+    }
+
+    /// Generates the words of one sentence according to the style mix.
+    fn sentence_words(&mut self) -> Vec<&'static str> {
+        match self.style {
+            CorpusStyle::WebC4 => {
+                let roll: f32 = self.rng.gen_range(0.0..1.0);
+                if roll < 0.35 {
+                    self.svo_sentence(true)
+                } else if roll < 0.55 {
+                    self.compound_sentence()
+                } else if roll < 0.80 {
+                    self.fact_sentence()
+                } else if roll < 0.90 {
+                    self.noisy_sentence()
+                } else {
+                    self.svo_sentence(false)
+                }
+            }
+            CorpusStyle::Wiki => {
+                let roll: f32 = self.rng.gen_range(0.0..1.0);
+                if roll < 0.60 {
+                    self.fact_sentence()
+                } else {
+                    self.svo_sentence(false)
+                }
+            }
+        }
+    }
+
+    /// "the [adj] noun verb ." with category-consistent choices and
+    /// number agreement.
+    fn svo_sentence(&mut self, with_adj: bool) -> Vec<&'static str> {
+        let (ci, ni, number) = self.pick_noun();
+        let cat = &self.grammar.categories[ci];
+        let noun = noun_form(self.grammar, ci, ni, number);
+        let verb = {
+            // Respect the noun's affordance subset.
+            let allowed = &cat.nouns[ni].allowed_verbs;
+            let v = &cat.verbs[allowed[self.rng.gen_range(0..allowed.len())]];
+            match number {
+                Number::Singular => v.singular,
+                Number::Plural => v.plural,
+            }
+        };
+        let mut words = vec!["the"];
+        if with_adj {
+            words.push(cat.adjectives[self.rng.gen_range(0..cat.adjectives.len())]);
+        }
+        words.push(noun);
+        words.push(verb);
+        words.push(".");
+        words
+    }
+
+    /// "the noun1 verb1 and the noun2 verb2 ." — both clauses agree.
+    fn compound_sentence(&mut self) -> Vec<&'static str> {
+        let mut words = self.svo_sentence(false);
+        words.pop(); // drop "."
+        words.push("and");
+        words.extend(self.svo_sentence(false));
+        words
+    }
+
+    /// "the noun is attr ." / "the nouns are attr ." — fact statements.
+    /// The subject noun follows the same Zipf weighting as the rest of
+    /// the corpus, so facts about tail nouns (the `Rare` class, the
+    /// ARC-Challenge pool) are stated an order of magnitude less often
+    /// than facts about head nouns.
+    fn fact_sentence(&mut self) -> Vec<&'static str> {
+        let ci = self.rng.gen_range(0..self.grammar.categories.len());
+        let ni = self.zipf_index(self.grammar.categories[ci].nouns.len());
+        let fact = self.grammar.fact_for(ci, ni);
+        let number = if self.rng.gen_bool(0.3) { Number::Plural } else { Number::Singular };
+        let noun = noun_form(self.grammar, fact.category, fact.noun, number);
+        let copula = match number {
+            Number::Singular => "is",
+            Number::Plural => "are",
+        };
+        vec!["the", noun, copula, fact.attribute, "."]
+    }
+
+    /// An SVO sentence with a leading web-noise interjection.
+    fn noisy_sentence(&mut self) -> Vec<&'static str> {
+        let noise = self.grammar.noise_words[self.rng.gen_range(0..self.grammar.noise_words.len())];
+        let mut words = vec![noise];
+        words.extend(self.svo_sentence(false));
+        words
+    }
+
+    /// Zipf-weighted noun choice: noun `i` of a category is sampled with
+    /// weight `1/(i+1)^1.3`, giving the corpus the long-tailed word
+    /// statistics of real web text. Tail nouns' affordances and facts are
+    /// therefore genuinely under-trained — the headroom the zero-shot
+    /// suites (which sample nouns *uniformly*) probe.
+    fn pick_noun(&mut self) -> (usize, usize, Number) {
+        let ci = self.rng.gen_range(0..self.grammar.categories.len());
+        let ni = self.zipf_index(self.grammar.categories[ci].nouns.len());
+        let number = if self.rng.gen_bool(0.35) { Number::Plural } else { Number::Singular };
+        (ci, ni, number)
+    }
+
+    /// Samples an index in `0..n` with Zipf(2.0) weights.
+    fn zipf_index(&mut self, n: usize) -> usize {
+        let total: f32 = (0..n).map(|i| 1.0 / ((i + 1) as f32).powf(2.0)).sum();
+        let mut r = self.rng.gen_range(0.0..total);
+        for i in 0..n {
+            let w = 1.0 / ((i + 1) as f32).powf(2.0);
+            if r < w {
+                return i;
+            }
+            r -= w;
+        }
+        n - 1
+    }
+}
+
+fn noun_form(grammar: &Grammar, ci: usize, ni: usize, number: Number) -> &'static str {
+    let n = &grammar.categories[ci].nouns[ni];
+    match number {
+        Number::Singular => n.singular,
+        Number::Plural => n.plural,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::FactFrequency;
+    use crate::tokenizer::UNK;
+    use std::collections::HashSet;
+
+    fn setup() -> (Grammar, Tokenizer) {
+        let g = Grammar::standard();
+        let t = Tokenizer::from_grammar(&g);
+        (g, t)
+    }
+
+    #[test]
+    fn segments_have_exact_length_and_bos() {
+        let (g, t) = setup();
+        let mut gen = CorpusGenerator::new(&g, &t, CorpusStyle::WebC4, 1);
+        for len in [8, 31, 64] {
+            let s = gen.segment(len);
+            assert_eq!(s.len(), len);
+            assert_eq!(s[0], BOS);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (g, t) = setup();
+        let a = CorpusGenerator::new(&g, &t, CorpusStyle::WebC4, 7).segment(64);
+        let b = CorpusGenerator::new(&g, &t, CorpusStyle::WebC4, 7).segment(64);
+        let c = CorpusGenerator::new(&g, &t, CorpusStyle::WebC4, 8).segment(64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corpus_contains_no_unk() {
+        let (g, t) = setup();
+        for style in [CorpusStyle::WebC4, CorpusStyle::Wiki] {
+            let mut gen = CorpusGenerator::new(&g, &t, style, 3);
+            let seg = gen.segment(512);
+            assert!(!seg.contains(&UNK), "{style:?} produced <unk>");
+        }
+    }
+
+    #[test]
+    fn styles_have_different_distributions() {
+        let (g, t) = setup();
+        let count_word = |style: CorpusStyle, word: &str| -> usize {
+            let id = t.token_id(word).unwrap();
+            let mut gen = CorpusGenerator::new(&g, &t, style, 5);
+            gen.segment(4000).iter().filter(|&&x| x == id).count()
+        };
+        // Noise words never appear in Wiki style.
+        assert_eq!(count_word(CorpusStyle::Wiki, "hmm"), 0);
+        assert!(count_word(CorpusStyle::WebC4, "hmm") > 0);
+        // Wiki is fact-heavier: more "is"/"are".
+        let wiki_is = count_word(CorpusStyle::Wiki, "is");
+        let c4_is = count_word(CorpusStyle::WebC4, "is");
+        assert!(wiki_is > c4_is, "wiki {wiki_is} vs c4 {c4_is}");
+    }
+
+    #[test]
+    fn rare_facts_appear_less_often_than_frequent() {
+        let (g, t) = setup();
+        let mut gen = CorpusGenerator::new(&g, &t, CorpusStyle::Wiki, 11);
+        let seg = gen.segment(20_000);
+        // Count occurrences of each fact's noun (singular form) directly
+        // followed by "is".
+        let is_id = t.token_id("is").unwrap();
+        let mut freq_count = 0usize;
+        let mut rare_count = 0usize;
+        for f in &g.facts {
+            let noun_id = t.token_id(g.categories[f.category].nouns[f.noun].singular).unwrap();
+            let n = seg
+                .windows(2)
+                .filter(|w| w[0] == noun_id && w[1] == is_id)
+                .count();
+            match f.frequency {
+                FactFrequency::Frequent => freq_count += n,
+                FactFrequency::Rare => rare_count += n,
+            }
+        }
+        assert!(
+            freq_count > 2 * rare_count,
+            "frequent facts ({freq_count}) should dominate rare ({rare_count})"
+        );
+        assert!(rare_count > 0, "rare facts must still appear");
+    }
+
+    #[test]
+    fn affordances_are_respected() {
+        // A verb from one category must never follow a noun of another.
+        let (g, t) = setup();
+        let mut gen = CorpusGenerator::new(&g, &t, CorpusStyle::WebC4, 13);
+        let seg = gen.segment(8000);
+        // Build noun->category and verb->category maps over token ids.
+        let mut noun_cat = std::collections::HashMap::new();
+        let mut verb_cat = std::collections::HashMap::new();
+        for (ci, c) in g.categories.iter().enumerate() {
+            for n in &c.nouns {
+                noun_cat.insert(t.token_id(n.singular).unwrap(), ci);
+                noun_cat.insert(t.token_id(n.plural).unwrap(), ci);
+            }
+            for v in &c.verbs {
+                verb_cat.insert(t.token_id(v.singular).unwrap(), ci);
+                verb_cat.insert(t.token_id(v.plural).unwrap(), ci);
+            }
+        }
+        let mut checked = 0;
+        for w in seg.windows(2) {
+            if let (Some(&nc), Some(&vc)) = (noun_cat.get(&w[0]), verb_cat.get(&w[1])) {
+                assert_eq!(nc, vc, "affordance violation");
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "expected many noun-verb bigrams, got {checked}");
+    }
+
+    #[test]
+    fn per_noun_affordances_are_respected() {
+        // A noun must never be followed by a same-category verb outside
+        // its allowed subset.
+        let (g, t) = setup();
+        let mut allowed_pairs = HashSet::new();
+        let mut verb_ids = HashSet::new();
+        for c in &g.categories {
+            for n in &c.nouns {
+                for &vi in &n.allowed_verbs {
+                    let v = &c.verbs[vi];
+                    allowed_pairs.insert((t.token_id(n.singular).unwrap(), t.token_id(v.singular).unwrap()));
+                    allowed_pairs.insert((t.token_id(n.plural).unwrap(), t.token_id(v.plural).unwrap()));
+                }
+            }
+            for v in &c.verbs {
+                verb_ids.insert(t.token_id(v.singular).unwrap());
+                verb_ids.insert(t.token_id(v.plural).unwrap());
+            }
+        }
+        let noun_ids: HashSet<u32> = g
+            .categories
+            .iter()
+            .flat_map(|c| c.nouns.iter())
+            .flat_map(|n| [t.token_id(n.singular).unwrap(), t.token_id(n.plural).unwrap()])
+            .collect();
+        let mut gen = CorpusGenerator::new(&g, &t, CorpusStyle::WebC4, 23);
+        let seg = gen.segment(8000);
+        let mut checked = 0;
+        for w in seg.windows(2) {
+            if noun_ids.contains(&w[0]) && verb_ids.contains(&w[1]) {
+                assert!(
+                    allowed_pairs.contains(&(w[0], w[1])),
+                    "corpus used a disallowed noun-verb pair"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn number_agreement_is_respected() {
+        let (g, t) = setup();
+        let mut sing_verbs = HashSet::new();
+        let mut plur_verbs = HashSet::new();
+        let mut sing_nouns = HashSet::new();
+        let mut plur_nouns = HashSet::new();
+        for c in &g.categories {
+            for v in &c.verbs {
+                sing_verbs.insert(t.token_id(v.singular).unwrap());
+                plur_verbs.insert(t.token_id(v.plural).unwrap());
+            }
+            for n in &c.nouns {
+                sing_nouns.insert(t.token_id(n.singular).unwrap());
+                plur_nouns.insert(t.token_id(n.plural).unwrap());
+            }
+        }
+        let mut gen = CorpusGenerator::new(&g, &t, CorpusStyle::WebC4, 17);
+        let seg = gen.segment(8000);
+        for w in seg.windows(2) {
+            if sing_nouns.contains(&w[0]) && plur_verbs.contains(&w[1]) {
+                panic!("singular noun followed by plural verb");
+            }
+            if plur_nouns.contains(&w[0]) && sing_verbs.contains(&w[1]) {
+                panic!("plural noun followed by singular verb");
+            }
+        }
+    }
+
+    #[test]
+    fn segments_batch_api() {
+        let (g, t) = setup();
+        let mut gen = CorpusGenerator::new(&g, &t, CorpusStyle::WebC4, 19);
+        let segs = gen.segments(5, 16);
+        assert_eq!(segs.len(), 5);
+        assert!(segs.iter().all(|s| s.len() == 16));
+        // Segments differ from one another.
+        assert_ne!(segs[0], segs[1]);
+    }
+}

@@ -1,0 +1,393 @@
+//! The synthetic language: word categories, agreement, affordances and
+//! a fact table with frequent and rare facts.
+//!
+//! Design constraints (so the downstream experiments behave like the
+//! paper's):
+//!
+//! 1. A small trained LM must be able to *learn* the structure well above
+//!    chance: verb–category affordances, singular/plural agreement and
+//!    noun→attribute facts are all local, high-frequency patterns.
+//! 2. The five zero-shot suites must span a difficulty range: agreement
+//!    (easiest, adjacent-token), affordance, continuation, frequent fact,
+//!    rare fact (hardest — appears 1/5 as often in the corpus).
+
+/// A noun with singular and plural surface forms and its noun-specific
+/// affordances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Noun {
+    /// Singular form, e.g. `"crow"`.
+    pub singular: &'static str,
+    /// Plural form, e.g. `"crows"`.
+    pub plural: &'static str,
+    /// Indices (into the category's verb list) of the verbs this noun
+    /// can take. Each noun allows only a *subset* of its category's
+    /// verbs, so affordance questions probe noun-specific corpus
+    /// knowledge rather than mere topic matching — mirroring how PIQA
+    /// requires object-level physical knowledge.
+    pub allowed_verbs: Vec<usize>,
+}
+
+/// A verb with third-person singular and plural forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verb {
+    /// Singular form, e.g. `"flies"`.
+    pub singular: &'static str,
+    /// Plural form, e.g. `"fly"`.
+    pub plural: &'static str,
+}
+
+/// A semantic category binding nouns to the verbs and adjectives that can
+/// accompany them (the language's "affordances").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Category {
+    /// Category name (report label only).
+    pub name: &'static str,
+    /// Member nouns.
+    pub nouns: Vec<Noun>,
+    /// Verbs compatible with this category.
+    pub verbs: Vec<Verb>,
+    /// Adjectives compatible with this category.
+    pub adjectives: Vec<&'static str>,
+}
+
+/// How often a fact appears in the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactFrequency {
+    /// Stated often — the basis of the ARC-Easy-like suite.
+    Frequent,
+    /// Stated rarely (≈1/5 the rate) — the ARC-Challenge-like suite.
+    Rare,
+}
+
+/// One noun→attribute fact, e.g. "the crow is black".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    /// Category index of the subject noun.
+    pub category: usize,
+    /// Noun index within the category.
+    pub noun: usize,
+    /// Attribute word, e.g. `"black"`.
+    pub attribute: &'static str,
+    /// Corpus frequency class.
+    pub frequency: FactFrequency,
+}
+
+/// The complete synthetic language definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grammar {
+    /// Semantic categories.
+    pub categories: Vec<Category>,
+    /// All attribute words facts can use.
+    pub attributes: Vec<&'static str>,
+    /// The fact table (one fact per noun).
+    pub facts: Vec<Fact>,
+    /// Filler "web noise" words used only by the C4-style corpus.
+    pub noise_words: Vec<&'static str>,
+}
+
+/// Function words shared by all styles, in fixed order.
+pub const FUNCTION_WORDS: [&str; 6] = ["the", "a", "and", "is", "are", "."];
+
+impl Grammar {
+    /// The standard language used by every experiment in this repo:
+    /// 4 categories × 8 nouns, 4 verbs and 3 adjectives per category,
+    /// 12 attributes, one fact per noun (half frequent, half rare).
+    pub fn standard() -> Self {
+        let categories = vec![
+            Category {
+                name: "animal",
+                nouns: nouns(&[
+                    ("crow", "crows"),
+                    ("fox", "foxes"),
+                    ("horse", "horses"),
+                    ("otter", "otters"),
+                    ("wolf", "wolves"),
+                    ("heron", "herons"),
+                    ("lynx", "lynxes"),
+                    ("toad", "toads"),
+                ]),
+                verbs: verbs(&[
+                    ("runs", "run"),
+                    ("sleeps", "sleep"),
+                    ("hunts", "hunt"),
+                    ("swims", "swim"),
+                ]),
+                adjectives: vec!["wild", "swift", "hungry"],
+            },
+            Category {
+                name: "tool",
+                nouns: nouns(&[
+                    ("hammer", "hammers"),
+                    ("saw", "saws"),
+                    ("drill", "drills"),
+                    ("chisel", "chisels"),
+                    ("wrench", "wrenches"),
+                    ("plane", "planes"),
+                    ("rasp", "rasps"),
+                    ("clamp", "clamps"),
+                ]),
+                verbs: verbs(&[
+                    ("cuts", "cut"),
+                    ("shapes", "shape"),
+                    ("fixes", "fix"),
+                    ("grinds", "grind"),
+                ]),
+                adjectives: vec!["sharp", "heavy", "rusty"],
+            },
+            Category {
+                name: "plant",
+                nouns: nouns(&[
+                    ("oak", "oaks"),
+                    ("fern", "ferns"),
+                    ("rose", "roses"),
+                    ("moss", "mosses"),
+                    ("pine", "pines"),
+                    ("reed", "reeds"),
+                    ("birch", "birches"),
+                    ("ivy", "ivies"),
+                ]),
+                verbs: verbs(&[
+                    ("grows", "grow"),
+                    ("blooms", "bloom"),
+                    ("wilts", "wilt"),
+                    ("spreads", "spread"),
+                ]),
+                adjectives: vec!["green", "tall", "fragrant"],
+            },
+            Category {
+                name: "vehicle",
+                nouns: nouns(&[
+                    ("truck", "trucks"),
+                    ("barge", "barges"),
+                    ("tram", "trams"),
+                    ("sled", "sleds"),
+                    ("ferry", "ferries"),
+                    ("wagon", "wagons"),
+                    ("kayak", "kayaks"),
+                    ("scooter", "scooters"),
+                ]),
+                verbs: verbs(&[
+                    ("rolls", "roll"),
+                    ("hauls", "haul"),
+                    ("stops", "stop"),
+                    ("turns", "turn"),
+                ]),
+                adjectives: vec!["slow", "loaded", "noisy"],
+            },
+        ];
+
+        let attributes = vec![
+            "black", "silver", "ancient", "small", "bright", "quiet", "northern", "scarce",
+            "pale", "sturdy", "crooked", "smooth",
+        ];
+
+        // One fact per noun. Attribute assignment is a fixed permutation
+        // (stride 5 is coprime with 12) so no category maps uniformly onto
+        // one attribute and same-category nouns carry *different*
+        // attributes — the ARC-style distractors are drawn from exactly
+        // those, keeping the tasks non-trivial. The first four nouns of
+        // each category carry frequent facts, the last four rare facts.
+        let mut facts = Vec::new();
+        for (ci, cat) in categories.iter().enumerate() {
+            for ni in 0..cat.nouns.len() {
+                let attribute = attributes[(ci * 3 + ni * 5) % attributes.len()];
+                let frequency =
+                    if ni < 4 { FactFrequency::Frequent } else { FactFrequency::Rare };
+                facts.push(Fact { category: ci, noun: ni, attribute, frequency });
+            }
+        }
+
+        let noise_words = vec!["hmm", "oh", "well", "indeed", "also", "then"];
+
+        Grammar { categories, attributes, facts, noise_words }
+    }
+
+    /// Looks up the fact for a noun.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair does not exist (every standard-grammar noun has
+    /// exactly one fact).
+    pub fn fact_for(&self, category: usize, noun: usize) -> &Fact {
+        self.facts
+            .iter()
+            .find(|f| f.category == category && f.noun == noun)
+            .expect("every noun has a fact")
+    }
+
+    /// All surface words of the language, deduplicated, in deterministic
+    /// order: function words, nouns (both forms), verbs (both forms),
+    /// adjectives, attributes, noise words.
+    pub fn word_list(&self) -> Vec<&'static str> {
+        let mut words: Vec<&'static str> = Vec::new();
+        let push = |w: &'static str, words: &mut Vec<&'static str>| {
+            if !words.contains(&w) {
+                words.push(w);
+            }
+        };
+        for w in FUNCTION_WORDS {
+            push(w, &mut words);
+        }
+        for cat in &self.categories {
+            for n in &cat.nouns {
+                push(n.singular, &mut words);
+                push(n.plural, &mut words);
+            }
+            for v in &cat.verbs {
+                push(v.singular, &mut words);
+                push(v.plural, &mut words);
+            }
+            for a in &cat.adjectives {
+                push(a, &mut words);
+            }
+        }
+        for a in &self.attributes {
+            push(a, &mut words);
+        }
+        for w in &self.noise_words {
+            push(w, &mut words);
+        }
+        words
+    }
+
+    /// Total noun count across categories.
+    pub fn n_nouns(&self) -> usize {
+        self.categories.iter().map(|c| c.nouns.len()).sum()
+    }
+
+    /// Verb indices of a category that a noun does *not* afford.
+    pub fn disallowed_verbs(&self, category: usize, noun: usize) -> Vec<usize> {
+        let cat = &self.categories[category];
+        let allowed = &cat.nouns[noun].allowed_verbs;
+        (0..cat.verbs.len()).filter(|v| !allowed.contains(v)).collect()
+    }
+}
+
+fn nouns(pairs: &[(&'static str, &'static str)]) -> Vec<Noun> {
+    // Noun `ni` affords verbs {ni, ni+1} mod 4 of its category — a fixed,
+    // learnable assignment where every verb is allowed by exactly half
+    // the nouns, so "verb seen with this category" never suffices.
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(ni, &(s, p))| Noun {
+            singular: s,
+            plural: p,
+            allowed_verbs: vec![ni % 4, (ni + 1) % 4],
+        })
+        .collect()
+}
+
+fn verbs(pairs: &[(&'static str, &'static str)]) -> Vec<Verb> {
+    pairs.iter().map(|&(s, p)| Verb { singular: s, plural: p }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn standard_grammar_shape() {
+        let g = Grammar::standard();
+        assert_eq!(g.categories.len(), 4);
+        for c in &g.categories {
+            assert_eq!(c.nouns.len(), 8);
+            assert_eq!(c.verbs.len(), 4);
+            assert_eq!(c.adjectives.len(), 3);
+        }
+        assert_eq!(g.n_nouns(), 32);
+        assert_eq!(g.facts.len(), 32);
+    }
+
+    #[test]
+    fn every_noun_has_exactly_one_fact() {
+        let g = Grammar::standard();
+        for (ci, cat) in g.categories.iter().enumerate() {
+            for ni in 0..cat.nouns.len() {
+                let matching: Vec<_> =
+                    g.facts.iter().filter(|f| f.category == ci && f.noun == ni).collect();
+                assert_eq!(matching.len(), 1, "noun ({ci},{ni})");
+            }
+        }
+    }
+
+    #[test]
+    fn facts_split_between_frequent_and_rare() {
+        let g = Grammar::standard();
+        let freq = g.facts.iter().filter(|f| f.frequency == FactFrequency::Frequent).count();
+        let rare = g.facts.iter().filter(|f| f.frequency == FactFrequency::Rare).count();
+        assert_eq!(freq, 16);
+        assert_eq!(rare, 16);
+    }
+
+    #[test]
+    fn facts_use_diverse_attributes_within_category() {
+        // If a whole category mapped to one attribute the ARC tasks would
+        // be solvable without reading the noun.
+        let g = Grammar::standard();
+        for ci in 0..g.categories.len() {
+            let attrs: HashSet<&str> =
+                g.facts.iter().filter(|f| f.category == ci).map(|f| f.attribute).collect();
+            assert!(attrs.len() >= 3, "category {ci} facts too uniform: {attrs:?}");
+        }
+    }
+
+    #[test]
+    fn word_list_is_unique_and_stable() {
+        let g = Grammar::standard();
+        let words = g.word_list();
+        let set: HashSet<_> = words.iter().collect();
+        assert_eq!(set.len(), words.len(), "duplicate surface words");
+        // Deterministic order.
+        assert_eq!(words, Grammar::standard().word_list());
+        assert_eq!(words[0], "the");
+        // Plausible total: 6 function + 64 noun forms + ≤32 verb forms +
+        // 12 adjectives + 12 attributes + 6 noise (minus any collisions).
+        assert!(words.len() > 110 && words.len() < 140, "{}", words.len());
+    }
+
+    #[test]
+    fn verb_surface_forms_do_not_collide_across_number() {
+        let g = Grammar::standard();
+        for c in &g.categories {
+            for v in &c.verbs {
+                assert_ne!(v.singular, v.plural);
+            }
+            for n in &c.nouns {
+                assert_ne!(n.singular, n.plural);
+            }
+        }
+    }
+
+    #[test]
+    fn affordance_subsets_are_proper_and_balanced() {
+        let g = Grammar::standard();
+        for (ci, cat) in g.categories.iter().enumerate() {
+            let mut verb_usage = vec![0usize; cat.verbs.len()];
+            for (ni, n) in cat.nouns.iter().enumerate() {
+                assert_eq!(n.allowed_verbs.len(), 2, "({ci},{ni})");
+                assert!(n.allowed_verbs.iter().all(|&v| v < cat.verbs.len()));
+                assert_eq!(g.disallowed_verbs(ci, ni).len(), cat.verbs.len() - 2);
+                for &v in &n.allowed_verbs {
+                    verb_usage[v] += 1;
+                }
+            }
+            // Every verb is allowed by some nouns and disallowed by others.
+            assert!(verb_usage.iter().all(|&u| u > 0 && u < cat.nouns.len()));
+        }
+    }
+
+    #[test]
+    fn fact_lookup_works() {
+        let g = Grammar::standard();
+        let f = g.fact_for(0, 0);
+        assert_eq!(f.category, 0);
+        assert_eq!(f.noun, 0);
+        assert_eq!(f.frequency, FactFrequency::Frequent);
+        let f = g.fact_for(3, 5);
+        assert_eq!(f.frequency, FactFrequency::Rare);
+        let f = g.fact_for(2, 3);
+        assert_eq!(f.frequency, FactFrequency::Frequent);
+    }
+}

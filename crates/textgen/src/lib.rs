@@ -1,0 +1,48 @@
+//! # aptq-textgen
+//!
+//! Synthetic language substrate standing in for the paper's datasets.
+//!
+//! The APTQ paper calibrates on C4, evaluates perplexity on C4 and
+//! WikiText-2, and measures zero-shot accuracy on five lm-eval-harness
+//! suites (PIQA, HellaSwag, ARC-E, ARC-C, WinoGrande). None of those
+//! assets are available here, so this crate generates a small synthetic
+//! language with learnable structure that plays the same roles:
+//!
+//! - [`grammar::Grammar`]: word categories, number agreement,
+//!   verb–category affordances, and a fact table with *frequent* and
+//!   *rare* facts;
+//! - [`corpus`]: two corpus styles — [`corpus::CorpusStyle::WebC4`]
+//!   (diverse templates, noise tokens) and
+//!   [`corpus::CorpusStyle::Wiki`] (formulaic, fact-heavy) — matching the
+//!   calibration-distribution vs shifted-distribution relationship of
+//!   C4 vs WikiText-2;
+//! - [`tokenizer::Tokenizer`]: a word-level tokenizer over the closed
+//!   vocabulary;
+//! - [`tasks`]: five multiple-choice suites whose answers are derivable
+//!   from corpus statistics (affordances → PIQA, continuations →
+//!   HellaSwag, frequent facts → ARC-E, rare facts → ARC-C, number
+//!   agreement → WinoGrande), scored by length-normalized likelihood
+//!   exactly like the harness.
+//!
+//! Everything is seeded and deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use aptq_textgen::{Grammar, Tokenizer, corpus::{CorpusGenerator, CorpusStyle}};
+//!
+//! let grammar = Grammar::standard();
+//! let tok = Tokenizer::from_grammar(&grammar);
+//! let mut gen = CorpusGenerator::new(&grammar, &tok, CorpusStyle::WebC4, 1);
+//! let seg = gen.segment(32);
+//! assert_eq!(seg.len(), 32);
+//! ```
+
+pub mod corpus;
+pub mod grammar;
+pub mod tasks;
+pub mod tokenizer;
+
+pub use grammar::Grammar;
+pub use tasks::{TaskItem, TaskSuite, ZeroShotTask};
+pub use tokenizer::Tokenizer;

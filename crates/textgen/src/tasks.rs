@@ -1,0 +1,433 @@
+//! Zero-shot task suites standing in for the paper's five benchmarks.
+//!
+//! Each suite is a set of multiple-choice items `(prompt, choices,
+//! correct)`, scored — exactly like the lm-eval-harness the paper uses —
+//! by the length-normalized log-likelihood of each choice continuation
+//! given the prompt.
+//!
+//! | Suite | Paper counterpart | Skill probed |
+//! |---|---|---|
+//! | [`ZeroShotTask::Affordance`] | PIQA | which action fits an object |
+//! | [`ZeroShotTask::Continuation`] | HellaSwag | plausible sentence ending |
+//! | [`ZeroShotTask::FactEasy`] | ARC-Easy | frequently stated facts |
+//! | [`ZeroShotTask::FactChallenge`] | ARC-Challenge | rarely stated facts |
+//! | [`ZeroShotTask::Agreement`] | WinoGrande | number agreement/resolution |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::grammar::{FactFrequency, Grammar};
+use crate::tokenizer::{Tokenizer, BOS};
+
+/// The five zero-shot suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ZeroShotTask {
+    /// PIQA-like: pick the verb phrase compatible with the object.
+    Affordance,
+    /// HellaSwag-like: pick the grammatical, topic-consistent ending.
+    Continuation,
+    /// ARC-Easy-like: complete a frequently stated fact.
+    FactEasy,
+    /// ARC-Challenge-like: complete a rarely stated fact.
+    FactChallenge,
+    /// WinoGrande-like: resolve number agreement.
+    Agreement,
+}
+
+impl ZeroShotTask {
+    /// All suites in the paper's column order.
+    pub const ALL: [ZeroShotTask; 5] = [
+        ZeroShotTask::Affordance,
+        ZeroShotTask::Continuation,
+        ZeroShotTask::FactEasy,
+        ZeroShotTask::FactChallenge,
+        ZeroShotTask::Agreement,
+    ];
+
+    /// The paper benchmark this suite stands in for.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ZeroShotTask::Affordance => "PIQA",
+            ZeroShotTask::Continuation => "Hellaswag",
+            ZeroShotTask::FactEasy => "Arc-E",
+            ZeroShotTask::FactChallenge => "Arc-C",
+            ZeroShotTask::Agreement => "WinoGrande",
+        }
+    }
+}
+
+impl std::fmt::Display for ZeroShotTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// One multiple-choice item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskItem {
+    /// Prompt token ids (starts with `<bos>`).
+    pub prompt: Vec<u32>,
+    /// Candidate continuations (token ids).
+    pub choices: Vec<Vec<u32>>,
+    /// Index of the correct choice.
+    pub correct: usize,
+}
+
+/// A full suite of items.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSuite {
+    /// Which benchmark this is.
+    pub task: ZeroShotTask,
+    /// The items.
+    pub items: Vec<TaskItem>,
+}
+
+impl TaskSuite {
+    /// Generates `n` seeded items for the given suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(
+        task: ZeroShotTask,
+        grammar: &Grammar,
+        tokenizer: &Tokenizer,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "suite must contain at least one item");
+        let mut rng = StdRng::seed_from_u64(seed ^ (task as u64).wrapping_mul(0x9E37));
+        let items = (0..n)
+            .map(|_| match task {
+                ZeroShotTask::Affordance => affordance_item(grammar, tokenizer, &mut rng),
+                ZeroShotTask::Continuation => continuation_item(grammar, tokenizer, &mut rng),
+                ZeroShotTask::FactEasy => {
+                    fact_item(grammar, tokenizer, FactFrequency::Frequent, &mut rng)
+                }
+                ZeroShotTask::FactChallenge => {
+                    fact_item(grammar, tokenizer, FactFrequency::Rare, &mut rng)
+                }
+                ZeroShotTask::Agreement => agreement_item(grammar, tokenizer, &mut rng),
+            })
+            .collect();
+        TaskSuite { task, items }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Chance accuracy (uniform over choices of the first item).
+    pub fn chance_accuracy(&self) -> f32 {
+        1.0 / self.items[0].choices.len() as f32
+    }
+}
+
+fn encode_prompt(tokenizer: &Tokenizer, words: &[&str]) -> Vec<u32> {
+    let mut ids = vec![BOS];
+    ids.extend(tokenizer.encode_words(words));
+    ids
+}
+
+/// PIQA-like: prompt "the NOUN", choices = 4 singular verbs; only one is
+/// an affordance of *this specific noun*. Two distractors are
+/// same-category verbs the noun does not take (solvable only from
+/// noun-level corpus statistics), one is from another category.
+fn affordance_item(grammar: &Grammar, tokenizer: &Tokenizer, rng: &mut StdRng) -> TaskItem {
+    let n_cat = grammar.categories.len();
+    let ci = rng.gen_range(0..n_cat);
+    let cat = &grammar.categories[ci];
+    let ni = rng.gen_range(0..cat.nouns.len());
+    let prompt = encode_prompt(tokenizer, &["the", cat.nouns[ni].singular]);
+
+    let allowed = &cat.nouns[ni].allowed_verbs;
+    let correct_verb = cat.verbs[allowed[rng.gen_range(0..allowed.len())]].singular;
+    let mut choices_words: Vec<&str> = Vec::with_capacity(4);
+    choices_words.push(correct_verb);
+    // Hard distractors: the same category's disallowed verbs.
+    let disallowed = grammar.disallowed_verbs(ci, ni);
+    for &v in disallowed.iter().take(2) {
+        choices_words.push(cat.verbs[v].singular);
+    }
+    // Easy distractor: another category's verb.
+    let oc = (ci + 1 + rng.gen_range(0..n_cat - 1)) % n_cat;
+    let v = &grammar.categories[oc].verbs[rng.gen_range(0..grammar.categories[oc].verbs.len())];
+    choices_words.push(v.singular);
+    finish_choices(tokenizer, prompt, choices_words, rng)
+}
+
+/// HellaSwag-like: prompt "the NOUN1 VERB1 and the", choices are endings
+/// "NOUN2 VERB2" — correct one keeps agreement and affordance; the
+/// distractors break the affordance (mismatched noun/verb category) or
+/// agreement.
+fn continuation_item(grammar: &Grammar, tokenizer: &Tokenizer, rng: &mut StdRng) -> TaskItem {
+    let n_cat = grammar.categories.len();
+    let c1 = rng.gen_range(0..n_cat);
+    let cat1 = &grammar.categories[c1];
+    let n1 = rng.gen_range(0..cat1.nouns.len());
+    let v1 = rng.gen_range(0..cat1.verbs.len());
+    let prompt = encode_prompt(
+        tokenizer,
+        &["the", cat1.nouns[n1].singular, cat1.verbs[v1].singular, "and", "the"],
+    );
+
+    // Correct ending: noun + one of *its own* affordance verbs (singular).
+    let c2 = rng.gen_range(0..n_cat);
+    let cat2 = &grammar.categories[c2];
+    let n2 = rng.gen_range(0..cat2.nouns.len());
+    let allowed2 = &cat2.nouns[n2].allowed_verbs;
+    let good_vi = allowed2[rng.gen_range(0..allowed2.len())];
+    let good_verb = cat2.verbs[good_vi].singular;
+    let correct: Vec<&str> = vec![cat2.nouns[n2].singular, good_verb];
+
+    // Distractor A: same noun, same-category verb the noun does not
+    // afford (the hard one).
+    let disallowed2 = grammar.disallowed_verbs(c2, n2);
+    let bad_verb = cat2.verbs[disallowed2[rng.gen_range(0..disallowed2.len())]].singular;
+    let distractor_a: Vec<&str> = vec![cat2.nouns[n2].singular, bad_verb];
+
+    // Distractor B: same noun, affordance kept but agreement broken.
+    let plural_verb = cat2.verbs[good_vi].plural;
+    let distractor_b: Vec<&str> = vec![cat2.nouns[n2].singular, plural_verb];
+
+    // Distractor C: word-order violation (verb before noun).
+    let distractor_c: Vec<&str> = vec![good_verb, cat2.nouns[n2].singular];
+
+    let mut all = vec![correct, distractor_a, distractor_b, distractor_c];
+    let correct_idx = shuffle_tagged(&mut all, rng);
+    TaskItem {
+        prompt,
+        choices: all.iter().map(|w| tokenizer.encode_words(w)).collect(),
+        correct: correct_idx,
+    }
+}
+
+/// ARC-like: prompt "the NOUN is", choices are 4 attributes; the correct
+/// one is the noun's fact attribute.
+fn fact_item(
+    grammar: &Grammar,
+    tokenizer: &Tokenizer,
+    freq: FactFrequency,
+    rng: &mut StdRng,
+) -> TaskItem {
+    let candidates: Vec<usize> = grammar
+        .facts
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.frequency == freq)
+        .map(|(i, _)| i)
+        .collect();
+    let fact = &grammar.facts[candidates[rng.gen_range(0..candidates.len())]];
+    let noun = grammar.categories[fact.category].nouns[fact.noun].singular;
+    let prompt = encode_prompt(tokenizer, &["the", noun, "is"]);
+
+    let mut choices_words = vec![fact.attribute];
+    // Distractors are attributes carried by *other nouns of the same
+    // category* — semantically adjacent in the corpus, so the item is
+    // only solvable by knowing the specific noun's fact, not the
+    // category's attribute neighbourhood.
+    let mut pool: Vec<&str> = grammar
+        .facts
+        .iter()
+        .filter(|f| f.category == fact.category && f.attribute != fact.attribute)
+        .map(|f| f.attribute)
+        .collect();
+    pool.dedup();
+    pool.sort_unstable();
+    pool.dedup();
+    shuffle(&mut pool, rng);
+    choices_words.extend(pool.iter().copied().take(3));
+    // Degenerate grammars (few same-category attributes) fall back to the
+    // global pool.
+    if choices_words.len() < 4 {
+        let mut global: Vec<&str> = grammar
+            .attributes
+            .iter()
+            .copied()
+            .filter(|a| !choices_words.contains(a))
+            .collect();
+        shuffle(&mut global, rng);
+        choices_words.extend(global.into_iter().take(4 - choices_words.len()));
+    }
+    finish_choices(tokenizer, prompt, choices_words, rng)
+}
+
+/// WinoGrande-like: prompt "the NOUNS(plural)" (or singular), choices are
+/// the same verb in both number forms plus a wrong-category pair.
+fn agreement_item(grammar: &Grammar, tokenizer: &Tokenizer, rng: &mut StdRng) -> TaskItem {
+    let n_cat = grammar.categories.len();
+    let ci = rng.gen_range(0..n_cat);
+    let cat = &grammar.categories[ci];
+    let ni = rng.gen_range(0..cat.nouns.len());
+    let plural = rng.gen_bool(0.5);
+    let noun = if plural { cat.nouns[ni].plural } else { cat.nouns[ni].singular };
+    let prompt = encode_prompt(tokenizer, &["the", noun]);
+
+    let vi = rng.gen_range(0..cat.verbs.len());
+    let (correct_verb, wrong_number) = if plural {
+        (cat.verbs[vi].plural, cat.verbs[vi].singular)
+    } else {
+        (cat.verbs[vi].singular, cat.verbs[vi].plural)
+    };
+    let choices_words = vec![correct_verb, wrong_number];
+    finish_choices(tokenizer, prompt, choices_words, rng)
+}
+
+/// Shuffles choice word-lists (first entry is the correct one) and
+/// returns the item.
+fn finish_choices(
+    tokenizer: &Tokenizer,
+    prompt: Vec<u32>,
+    choices_words: Vec<&str>,
+    rng: &mut StdRng,
+) -> TaskItem {
+    let mut tagged: Vec<Vec<&str>> = choices_words.into_iter().map(|w| vec![w]).collect();
+    let correct = shuffle_tagged(&mut tagged, rng);
+    TaskItem {
+        prompt,
+        choices: tagged.iter().map(|w| tokenizer.encode_words(w)).collect(),
+        correct,
+    }
+}
+
+/// Fisher–Yates shuffle.
+fn shuffle<T>(xs: &mut [T], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// Shuffles a list whose first element is "correct"; returns the correct
+/// element's post-shuffle index.
+fn shuffle_tagged<T>(xs: &mut Vec<T>, rng: &mut StdRng) -> usize {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    shuffle(&mut order, rng);
+    let mut slots: Vec<Option<T>> = xs.drain(..).map(Some).collect();
+    let mut correct = 0;
+    let mut out = Vec::with_capacity(n);
+    for (new_pos, &old_pos) in order.iter().enumerate() {
+        if old_pos == 0 {
+            correct = new_pos;
+        }
+        out.push(slots[old_pos].take().expect("each slot moved once"));
+    }
+    *xs = out;
+    correct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Grammar, Tokenizer) {
+        let g = Grammar::standard();
+        let t = Tokenizer::from_grammar(&g);
+        (g, t)
+    }
+
+    #[test]
+    fn all_suites_generate() {
+        let (g, t) = setup();
+        for task in ZeroShotTask::ALL {
+            let suite = TaskSuite::generate(task, &g, &t, 50, 1);
+            assert_eq!(suite.len(), 50);
+            for item in &suite.items {
+                assert!(item.correct < item.choices.len());
+                assert!(!item.prompt.is_empty());
+                assert_eq!(item.prompt[0], BOS);
+                assert!(item.choices.iter().all(|c| !c.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let (g, t) = setup();
+        let a = TaskSuite::generate(ZeroShotTask::FactEasy, &g, &t, 20, 5);
+        let b = TaskSuite::generate(ZeroShotTask::FactEasy, &g, &t, 20, 5);
+        assert_eq!(a, b);
+        let c = TaskSuite::generate(ZeroShotTask::FactEasy, &g, &t, 20, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn correct_index_is_not_constant() {
+        // The shuffle must distribute the correct answer across positions,
+        // otherwise a position-biased model would score artificially well.
+        let (g, t) = setup();
+        let suite = TaskSuite::generate(ZeroShotTask::Affordance, &g, &t, 100, 2);
+        let positions: std::collections::HashSet<usize> =
+            suite.items.iter().map(|i| i.correct).collect();
+        assert!(positions.len() >= 3, "correct index stuck at {positions:?}");
+    }
+
+    #[test]
+    fn affordance_items_have_four_unique_choices() {
+        let (g, t) = setup();
+        let suite = TaskSuite::generate(ZeroShotTask::Affordance, &g, &t, 50, 3);
+        for item in &suite.items {
+            assert_eq!(item.choices.len(), 4);
+            let set: std::collections::HashSet<_> = item.choices.iter().collect();
+            assert_eq!(set.len(), 4, "duplicate choices");
+        }
+    }
+
+    #[test]
+    fn agreement_items_are_binary() {
+        let (g, t) = setup();
+        let suite = TaskSuite::generate(ZeroShotTask::Agreement, &g, &t, 30, 4);
+        for item in &suite.items {
+            assert_eq!(item.choices.len(), 2);
+        }
+        assert_eq!(suite.chance_accuracy(), 0.5);
+    }
+
+    #[test]
+    fn fact_items_use_the_fact_table() {
+        let (g, t) = setup();
+        let suite = TaskSuite::generate(ZeroShotTask::FactEasy, &g, &t, 40, 7);
+        for item in &suite.items {
+            // prompt = <bos> the NOUN is
+            assert_eq!(item.prompt.len(), 4);
+            let noun_word = t.word(item.prompt[2]).unwrap().to_string();
+            // Find that noun's fact and check the correct choice matches.
+            let mut found = false;
+            for f in &g.facts {
+                let n = &g.categories[f.category].nouns[f.noun];
+                if n.singular == noun_word {
+                    let attr_id = t.token_id(f.attribute).unwrap();
+                    assert_eq!(item.choices[item.correct], vec![attr_id]);
+                    assert_eq!(f.frequency, FactFrequency::Frequent);
+                    found = true;
+                }
+            }
+            assert!(found, "unknown noun {noun_word}");
+        }
+    }
+
+    #[test]
+    fn continuation_items_have_distinct_endings() {
+        let (g, t) = setup();
+        let suite = TaskSuite::generate(ZeroShotTask::Continuation, &g, &t, 40, 8);
+        for item in &suite.items {
+            assert_eq!(item.choices.len(), 4);
+            assert!(item.choices.iter().all(|c| c.len() == 2));
+        }
+    }
+
+    #[test]
+    fn paper_names_match_table2() {
+        assert_eq!(ZeroShotTask::Affordance.paper_name(), "PIQA");
+        assert_eq!(ZeroShotTask::FactChallenge.paper_name(), "Arc-C");
+        assert_eq!(ZeroShotTask::ALL.len(), 5);
+    }
+}

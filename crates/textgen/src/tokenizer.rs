@@ -1,0 +1,139 @@
+//! Word-level tokenizer over the closed synthetic vocabulary.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::grammar::Grammar;
+
+/// Id of the beginning-of-sequence token.
+pub const BOS: u32 = 0;
+/// Id of the unknown-word token.
+pub const UNK: u32 = 1;
+
+/// A word-level tokenizer with a fixed vocabulary derived from a
+/// [`Grammar`].
+///
+/// Ids `0` and `1` are reserved for `<bos>` and `<unk>`; words follow in
+/// the grammar's deterministic order.
+///
+/// # Example
+///
+/// ```
+/// use aptq_textgen::{Grammar, Tokenizer};
+///
+/// let tok = Tokenizer::from_grammar(&Grammar::standard());
+/// let ids = tok.encode("the crow sleeps .");
+/// assert_eq!(tok.decode(&ids), "the crow sleeps .");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tokenizer {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Tokenizer {
+    /// Builds the vocabulary from a grammar's word list.
+    pub fn from_grammar(grammar: &Grammar) -> Self {
+        let mut words = vec!["<bos>".to_string(), "<unk>".to_string()];
+        words.extend(grammar.word_list().into_iter().map(str::to_string));
+        let index = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i as u32))
+            .collect();
+        Tokenizer { words, index }
+    }
+
+    /// Vocabulary size (including specials).
+    pub fn vocab_size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Id of a word, if present.
+    pub fn token_id(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// Word for an id, if in range.
+    pub fn word(&self, id: u32) -> Option<&str> {
+        self.words.get(id as usize).map(String::as_str)
+    }
+
+    /// Encodes whitespace-separated text; unknown words map to `<unk>`.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        text.split_whitespace()
+            .map(|w| self.token_id(w).unwrap_or(UNK))
+            .collect()
+    }
+
+    /// Encodes a slice of words (avoids string assembly in generators).
+    pub fn encode_words(&self, words: &[&str]) -> Vec<u32> {
+        words.iter().map(|w| self.token_id(w).unwrap_or(UNK)).collect()
+    }
+
+    /// Decodes ids back to space-joined words (`<unk>` for bad ids).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        ids.iter()
+            .map(|&id| self.word(id).unwrap_or("<unk>"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok() -> Tokenizer {
+        Tokenizer::from_grammar(&Grammar::standard())
+    }
+
+    #[test]
+    fn specials_have_reserved_ids() {
+        let t = tok();
+        assert_eq!(t.token_id("<bos>"), Some(BOS));
+        assert_eq!(t.token_id("<unk>"), Some(UNK));
+        assert_eq!(t.word(BOS), Some("<bos>"));
+    }
+
+    #[test]
+    fn roundtrip_known_words() {
+        let t = tok();
+        let text = "the wild crow hunts and the foxes sleep .";
+        let ids = t.encode(text);
+        assert!(!ids.contains(&UNK), "all words should be known");
+        assert_eq!(t.decode(&ids), text);
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let t = tok();
+        let ids = t.encode("the zzz crow");
+        assert_eq!(ids[1], UNK);
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn encode_words_matches_encode() {
+        let t = tok();
+        assert_eq!(t.encode_words(&["the", "saw", "cuts"]), t.encode("the saw cuts"));
+    }
+
+    #[test]
+    fn vocab_is_stable_and_reasonably_sized() {
+        let t = tok();
+        assert_eq!(t.vocab_size(), tok().vocab_size());
+        assert!(t.vocab_size() > 110 && t.vocab_size() < 145, "{}", t.vocab_size());
+    }
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        let t = tok();
+        for id in 0..t.vocab_size() as u32 {
+            let w = t.word(id).expect("dense ids");
+            assert_eq!(t.token_id(w), Some(id));
+        }
+        assert_eq!(t.word(t.vocab_size() as u32), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the synthetic language substrate.
+
+use aptq_textgen::corpus::{CorpusGenerator, CorpusStyle};
+use aptq_textgen::tokenizer::{BOS, UNK};
+use aptq_textgen::{Grammar, TaskSuite, Tokenizer, ZeroShotTask};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn segments_always_well_formed(seed in 0u64..10_000, len in 2usize..200) {
+        let g = Grammar::standard();
+        let t = Tokenizer::from_grammar(&g);
+        let mut gen = CorpusGenerator::new(&g, &t, CorpusStyle::WebC4, seed);
+        let seg = gen.segment(len);
+        prop_assert_eq!(seg.len(), len);
+        prop_assert_eq!(seg[0], BOS);
+        prop_assert!(seg.iter().all(|&id| (id as usize) < t.vocab_size()));
+        prop_assert!(!seg.contains(&UNK));
+    }
+
+    #[test]
+    fn wiki_segments_never_contain_noise(seed in 0u64..2_000) {
+        let g = Grammar::standard();
+        let t = Tokenizer::from_grammar(&g);
+        let noise_ids: Vec<u32> =
+            g.noise_words.iter().map(|w| t.token_id(w).unwrap()).collect();
+        let mut gen = CorpusGenerator::new(&g, &t, CorpusStyle::Wiki, seed);
+        let seg = gen.segment(256);
+        prop_assert!(seg.iter().all(|id| !noise_ids.contains(id)));
+    }
+
+    #[test]
+    fn tokenizer_roundtrips_any_known_word_sequence(
+        indices in proptest::collection::vec(0usize..90, 1..30),
+    ) {
+        let g = Grammar::standard();
+        let t = Tokenizer::from_grammar(&g);
+        let words = g.word_list();
+        let picked: Vec<&str> = indices.iter().map(|&i| words[i % words.len()]).collect();
+        let text = picked.join(" ");
+        let ids = t.encode(&text);
+        prop_assert_eq!(t.decode(&ids), text);
+    }
+
+    #[test]
+    fn task_items_are_internally_consistent(
+        seed in 0u64..5_000,
+        n in 1usize..30,
+        task_idx in 0usize..5,
+    ) {
+        let g = Grammar::standard();
+        let t = Tokenizer::from_grammar(&g);
+        let task = ZeroShotTask::ALL[task_idx];
+        let suite = TaskSuite::generate(task, &g, &t, n, seed);
+        prop_assert_eq!(suite.len(), n);
+        for item in &suite.items {
+            prop_assert!(item.correct < item.choices.len());
+            prop_assert_eq!(item.prompt[0], BOS);
+            prop_assert!(!item.choices[item.correct].is_empty());
+            // No choice may equal another (items must be discriminable);
+            // the correct answer must be among the choices by construction.
+            for (i, a) in item.choices.iter().enumerate() {
+                for b in item.choices.iter().skip(i + 1) {
+                    prop_assert_ne!(a, b, "duplicate choices in {:?}", task);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fact_suite_answers_come_from_fact_table(seed in 0u64..2_000) {
+        let g = Grammar::standard();
+        let t = Tokenizer::from_grammar(&g);
+        let attr_ids: Vec<u32> =
+            g.attributes.iter().map(|a| t.token_id(a).unwrap()).collect();
+        for task in [ZeroShotTask::FactEasy, ZeroShotTask::FactChallenge] {
+            let suite = TaskSuite::generate(task, &g, &t, 10, seed);
+            for item in &suite.items {
+                for choice in &item.choices {
+                    prop_assert_eq!(choice.len(), 1);
+                    prop_assert!(attr_ids.contains(&choice[0]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # aptq
+//!
+//! Umbrella crate for the APTQ (DAC 2024) reproduction: re-exports the
+//! full stack so examples and downstream users need a single dependency.
+//!
+//! - [`tensor`]: dense linear algebra (matrices, Cholesky, softmax).
+//! - [`lm`]: the LLaMA-family transformer substrate (train + infer).
+//! - [`textgen`]: synthetic corpora, tokenizer and zero-shot tasks.
+//! - [`quant`]: the quantization library — GPTQ, **APTQ**, RTN, OWQ,
+//!   PB-LLM, SmoothQuant, FPQ and QAT baselines, plus the Hessian-trace
+//!   mixed-precision allocator.
+//! - [`qmodel`]: packed-weight inference — run the transformer straight
+//!   from 2/4-bit storage (the edge-deployment path).
+//! - [`eval`]: perplexity and zero-shot evaluation pipelines.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the experiment
+//! index mapping every table/figure of the paper to a harness target.
+
+pub use aptq_core as quant;
+pub use aptq_eval as eval;
+pub use aptq_lm as lm;
+pub use aptq_qmodel as qmodel;
+pub use aptq_tensor as tensor;
+pub use aptq_textgen as textgen;
