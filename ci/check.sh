@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Workspace gate: formatting, lints, static audit, build, tests.
+# Everything here must pass before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> aptq-audit"
+cargo run -q -p aptq-audit
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

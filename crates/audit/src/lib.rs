@@ -1,0 +1,270 @@
+//! aptq-audit: the workspace static-analysis pass.
+//!
+//! A zero-dependency lint layer that walks every `.rs` file and every
+//! `Cargo.toml` in the workspace and enforces the project's numerical
+//! and hygiene invariants *before* the compiler gets a say:
+//!
+//! - **A001** — no `.unwrap()` / message-less `.expect(...)` /
+//!   `panic!`-family macros in non-test library code of `aptq-tensor`,
+//!   `aptq-core`, `aptq-qmodel`, unless the line carries
+//!   `// audit:allow(panic): <reason>`.
+//! - **A002** — no bare float↔int `as` casts in hot paths
+//!   (`crates/tensor/src`, `crates/core/src/pack.rs`,
+//!   `crates/core/src/grid.rs`) without `// audit:allow(cast): <reason>`.
+//! - **A003** — every `pub fn` containing an unannotated `assert!` /
+//!   `panic!` must have a `# Panics` doc section.
+//! - **A004** — `unsafe` is forbidden outside an explicit allowlist
+//!   (currently empty).
+//! - **A005** — every crate dependency must resolve through
+//!   `[workspace.dependencies]`.
+//!
+//! Run it as `cargo run -p aptq-audit` (text diagnostics, rustc style)
+//! or `cargo run -p aptq-audit -- --json` (machine-readable). Library
+//! consumers call [`audit_workspace`], or [`rules::check_source`] /
+//! [`rules::check_manifest`] on in-memory sources.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod rules;
+pub mod scan;
+
+/// Finding severity. Everything the current rule set emits is an
+/// [`Severity::Error`]; the distinction exists so future advisory rules
+/// don't need an output-format change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule code, e.g. `"A001"`.
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based character column.
+    pub col: usize,
+    pub message: String,
+    pub help: String,
+}
+
+impl Finding {
+    /// Renders the finding in rustc style:
+    ///
+    /// ```text
+    /// error[A001]: `.unwrap()` in library code
+    ///  --> crates/core/src/hessian.rs:42:13
+    ///   = help: convert to `Result`, ...
+    /// ```
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}[{}]: {}\n --> {}:{}:{}\n  = help: {}\n",
+            self.severity, self.rule, self.message, self.path, self.line, self.col, self.help
+        )
+    }
+
+    /// Renders the finding as a JSON object (single line).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\"help\":{}}}",
+            json_str(self.rule),
+            json_str(&self.severity.to_string()),
+            json_str(&self.path),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            json_str(&self.help)
+        )
+    }
+}
+
+/// Errors from the filesystem walk (not rule findings).
+#[derive(Debug)]
+pub struct AuditError {
+    pub path: PathBuf,
+    pub message: String,
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "audit: {}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Walks the workspace rooted at `root` and runs every rule. Findings
+/// come back sorted by path, then line, then rule, so output is stable
+/// across filesystems.
+pub fn audit_workspace(root: &Path) -> Result<Vec<Finding>, AuditError> {
+    let mut rs_files = Vec::new();
+    let mut manifests = Vec::new();
+
+    // A root without a Cargo.toml is a misconfiguration (e.g. a typo'd
+    // --root); silently reporting "clean" there would let CI pass on
+    // nothing.
+    let root_manifest = root.join("Cargo.toml");
+    if !root_manifest.is_file() {
+        return Err(AuditError {
+            path: root.to_path_buf(),
+            message: "not a workspace root (no Cargo.toml found)".to_string(),
+        });
+    }
+    manifests.push(root_manifest);
+    for tree in ["crates", "vendor", "src", "tests", "benches", "examples"] {
+        let dir = root.join(tree);
+        if dir.is_dir() {
+            walk(&dir, &mut rs_files, &mut manifests)?;
+        }
+    }
+
+    let mut findings = Vec::new();
+    for path in &rs_files {
+        let source = read(path)?;
+        findings.extend(rules::check_source(&rel(root, path), &source));
+    }
+    for path in &manifests {
+        let source = read(path)?;
+        findings.extend(rules::check_manifest(&rel(root, path), &source));
+    }
+
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(findings)
+}
+
+/// Serializes findings as a JSON document:
+/// `{"findings":[...],"count":N}`.
+pub fn render_json_report(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&f.render_json());
+    }
+    out.push_str(&format!("],\"count\":{}}}", findings.len()));
+    out
+}
+
+fn walk(dir: &Path, rs: &mut Vec<PathBuf>, manifests: &mut Vec<PathBuf>) -> Result<(), AuditError> {
+    let entries = fs::read_dir(dir).map_err(|e| AuditError {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let mut children: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| AuditError {
+            path: dir.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        children.push(entry.path());
+    }
+    children.sort();
+    for path in children {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | ".git" | "results" | "assets") {
+                continue;
+            }
+            walk(&path, rs, manifests)?;
+        } else if name.ends_with(".rs") {
+            rs.push(path);
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn read(path: &Path) -> Result<String, AuditError> {
+    fs::read_to_string(path).map_err(|e| AuditError {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    let r = path.strip_prefix(root).unwrap_or(path);
+    r.to_string_lossy().replace('\\', "/")
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_shape() {
+        let f = Finding {
+            rule: "A001",
+            severity: Severity::Error,
+            path: "crates/core/src/x.rs".into(),
+            line: 3,
+            col: 7,
+            message: "msg with \"quotes\"".into(),
+            help: "do the thing".into(),
+        };
+        let doc = render_json_report(&[f]);
+        assert!(doc.starts_with("{\"findings\":["));
+        assert!(doc.ends_with("\"count\":1}"));
+        assert!(doc.contains("\\\"quotes\\\""));
+        assert!(doc.contains("\"line\":3"));
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_style() {
+        let f = Finding {
+            rule: "A002",
+            severity: Severity::Error,
+            path: "crates/tensor/src/matrix.rs".into(),
+            line: 10,
+            col: 2,
+            message: "bad cast".into(),
+            help: "fix it".into(),
+        };
+        let text = f.render_text();
+        assert!(text.starts_with("error[A002]: bad cast\n"));
+        assert!(text.contains(" --> crates/tensor/src/matrix.rs:10:2\n"));
+        assert!(text.contains("= help: fix it"));
+    }
+
+    #[test]
+    fn empty_report() {
+        assert_eq!(render_json_report(&[]), "{\"findings\":[],\"count\":0}");
+    }
+}

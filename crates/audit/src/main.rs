@@ -1,0 +1,102 @@
+//! CLI entry point for the workspace audit.
+//!
+//! ```text
+//! cargo run -p aptq-audit            # text diagnostics, exit 1 on findings
+//! cargo run -p aptq-audit -- --json  # JSON report on stdout
+//! cargo run -p aptq-audit -- --root /path/to/workspace
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use aptq_audit::{audit_workspace, render_json_report};
+
+struct Options {
+    json: bool,
+    quiet: bool,
+    root: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        quiet: false,
+        root: default_root(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "-q" | "--quiet" => opts.quiet = true,
+            "--root" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--root requires a path".to_string())?;
+                opts.root = PathBuf::from(v);
+            }
+            "-h" | "--help" => {
+                println!(
+                    "aptq-audit: workspace static-analysis pass\n\n\
+                     USAGE: aptq-audit [--json] [--quiet] [--root <dir>]\n\n\
+                     Rules: A001 panic sites, A002 float casts, A003 panic docs,\n\
+                     A004 unsafe allowlist, A005 workspace dependencies.\n\
+                     Exit codes: 0 clean, 1 findings, 2 error."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// the current directory otherwise.
+fn default_root() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.parent().and_then(|c| c.parent()) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("aptq-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match audit_workspace(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        println!("{}", render_json_report(&findings));
+    } else if !opts.quiet {
+        for f in &findings {
+            println!("{}", f.render_text());
+        }
+        if findings.is_empty() {
+            println!("audit: clean ({} rules, 0 findings)", 5);
+        } else {
+            println!("audit: {} finding(s)", findings.len());
+        }
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,573 @@
+//! The audit rule set.
+//!
+//! | Code | Scope | What it enforces |
+//! |------|-------|------------------|
+//! | A001 | non-test lib code of `aptq-tensor`, `aptq-core`, `aptq-qmodel` | no `.unwrap()` / message-less `.expect(...)` / `panic!` without `// audit:allow(panic): <reason>` |
+//! | A002 | `crates/tensor/src`, `crates/core/src/pack.rs`, `crates/core/src/grid.rs` | no bare float↔int `as` casts without `// audit:allow(cast): <reason>` |
+//! | A003 | all `crates/*/src` | `pub fn` containing an unannotated `assert!`/`panic!` must document `# Panics` |
+//! | A004 | whole workspace | `unsafe` forbidden outside the allowlist |
+//! | A005 | every `Cargo.toml` | dependencies must resolve via `[workspace.dependencies]` |
+//!
+//! A `.expect("non-empty message")` is treated as self-annotating: the
+//! message *is* the reason, matching the burn-down policy in ISSUE /
+//! DESIGN ("convert to `Result`, descriptive `expect`, or annotated
+//! allow"). Message-less or computed-argument `expect` still needs an
+//! annotation.
+
+use crate::scan::{scan, ScannedFile};
+use crate::{Finding, Severity};
+
+/// Files (workspace-relative, forward slashes) where `unsafe` is
+/// permitted. Intentionally empty: the workspace is 100% safe Rust
+/// today, and any new unsafe block must argue its way in here via
+/// code review.
+pub const UNSAFE_ALLOWLIST: &[&str] = &[];
+
+/// Crates whose non-test library code falls under the A001 panic rule.
+const PANIC_FREE_CRATES: &[&str] = &[
+    "crates/tensor/src/",
+    "crates/core/src/",
+    "crates/qmodel/src/",
+];
+
+/// Hot-path files under the A002 cast rule.
+const HOT_PATHS: &[&str] = &[
+    "crates/tensor/src/",
+    "crates/core/src/pack.rs",
+    "crates/core/src/grid.rs",
+];
+
+/// Runs every source-level rule (A001–A004) over one file.
+///
+/// `rel_path` must be workspace-relative with forward slashes; it
+/// selects which rules apply. Exposed so tests can audit synthetic
+/// sources without touching the filesystem.
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let scanned = scan(source);
+    let mut findings = Vec::new();
+    if PANIC_FREE_CRATES.iter().any(|p| rel_path.starts_with(p)) {
+        rule_a001_panic_sites(rel_path, &scanned, &mut findings);
+    }
+    if HOT_PATHS.iter().any(|p| rel_path.starts_with(p)) {
+        rule_a002_float_casts(rel_path, &scanned, &mut findings);
+    }
+    if rel_path.starts_with("crates/") && rel_path.contains("/src/") {
+        rule_a003_panic_docs(rel_path, &scanned, &mut findings);
+    }
+    rule_a004_unsafe(rel_path, &scanned, &mut findings);
+    findings
+}
+
+/// Returns the 0-based char column of each occurrence of `needle` in
+/// `code` that starts at a word boundary. The boundary check (previous
+/// char not alphanumeric/underscore) only applies when the needle opens
+/// with an identifier character — it keeps `debug_assert!` from
+/// matching `assert!`, while `.unwrap()` still matches right after its
+/// receiver.
+fn word_occurrences(code: &str, needle: &str) -> Vec<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    let pat: Vec<char> = needle.chars().collect();
+    let needs_boundary = pat
+        .first()
+        .is_some_and(|c| c.is_alphanumeric() || *c == '_');
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + pat.len() <= chars.len() {
+        if chars[i..i + pat.len()] == pat[..] {
+            let boundary = !needs_boundary || i == 0 || {
+                let p = chars[i - 1];
+                !(p.is_alphanumeric() || p == '_')
+            };
+            if boundary {
+                out.push(i);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A001: `.unwrap()`, message-less `.expect(`, and `panic!`-family
+/// macros in non-test library code need an annotation.
+fn rule_a001_panic_sites(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in f.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let mut sites: Vec<(usize, String, String)> = Vec::new();
+        for col in word_occurrences(code, ".unwrap()") {
+            sites.push((
+                col,
+                "`.unwrap()` in library code".into(),
+                "convert to `Result`, use a descriptive `.expect(\"...\")`, or annotate \
+                 with `// audit:allow(panic): <reason>`"
+                    .into(),
+            ));
+        }
+        for col in word_occurrences(code, ".expect(") {
+            // Descriptive expects are self-annotating: the scanner
+            // blanked string contents to spaces, so a literal message
+            // shows up as `.expect("   ")` — quotes survive, text
+            // doesn't. Non-empty literal => allowed.
+            let after = &code[code
+                .char_indices()
+                .nth(col + ".expect(".len())
+                .map_or(code.len(), |(b, _)| b)..];
+            let trimmed = after.trim_start();
+            let descriptive = trimmed.starts_with('"')
+                && trimmed[1..]
+                    .chars()
+                    .take_while(|&c| c != '"')
+                    .any(|c| c == ' ')
+                && trimmed[1..].contains('"');
+            if !descriptive {
+                sites.push((
+                    col,
+                    "`.expect(...)` without a literal message in library code".into(),
+                    "give `.expect` a descriptive string literal, or annotate with \
+                     `// audit:allow(panic): <reason>`"
+                        .into(),
+                ));
+            }
+        }
+        for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+            for col in word_occurrences(code, mac) {
+                sites.push((
+                    col,
+                    format!("`{mac}` in library code"),
+                    "return an error instead, or annotate with \
+                     `// audit:allow(panic): <reason>`"
+                        .into(),
+                ));
+            }
+        }
+        for (col, msg, help) in sites {
+            if !f.allowed(idx, "panic") {
+                findings.push(Finding {
+                    rule: "A001",
+                    severity: Severity::Error,
+                    path: rel_path.to_string(),
+                    line: idx + 1,
+                    col: col + 1,
+                    message: msg,
+                    help,
+                });
+            }
+        }
+    }
+}
+
+/// A002: `as f32` / `as f64`, and int-target `as` casts fed by a float
+/// rounding method, need an annotation in hot-path files.
+///
+/// A purely lexical pass has no type information, so the rule targets
+/// the two syntactic shapes where float↔int conversions appear in this
+/// codebase: casts *to* a float type, and casts *to* an integer type
+/// whose operand visibly ends in `.round()`/`.floor()`/`.ceil()`/
+/// `.trunc()`. Integer↔integer masks like `(x & 0xF) as u8` stay legal.
+fn rule_a002_float_casts(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Finding>) {
+    const INT_TYPES: &[&str] = &[
+        "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    ];
+    const ROUNDERS: &[&str] = &[".round()", ".floor()", ".ceil()", ".trunc()"];
+    for (idx, line) in f.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for col in word_occurrences(code, "as ") {
+            // Require the keyword position: preceded by whitespace or ')'.
+            let chars: Vec<char> = code.chars().collect();
+            if col > 0 {
+                let p = chars[col - 1];
+                if !(p.is_whitespace() || p == ')') {
+                    continue;
+                }
+            } else {
+                continue;
+            }
+            let rest: String = chars[col + 3..].iter().collect();
+            let target: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            let before: String = chars[..col].iter().collect();
+            let before = before.trim_end();
+            let (flagged, what) = if target == "f32" || target == "f64" {
+                (true, format!("numeric `as {target}` cast in a hot path"))
+            } else if INT_TYPES.contains(&target.as_str())
+                && ROUNDERS.iter().any(|r| before.ends_with(r))
+            {
+                (
+                    true,
+                    format!("float-to-`{target}` truncating cast in a hot path"),
+                )
+            } else {
+                (false, String::new())
+            };
+            if flagged && !f.allowed(idx, "cast") {
+                findings.push(Finding {
+                    rule: "A002",
+                    severity: Severity::Error,
+                    path: rel_path.to_string(),
+                    line: idx + 1,
+                    col: col + 1,
+                    message: what,
+                    help: "use `f64::from`/`From`/`TryFrom` where lossless, or annotate \
+                           with `// audit:allow(cast): <reason>` stating the value range"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// A003: a `pub fn` whose body contains an unannotated `assert!`,
+/// `assert_eq!`, `assert_ne!`, or `panic!` must carry a `# Panics`
+/// section in its doc comment.
+fn rule_a003_panic_docs(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Finding>) {
+    const PANICKY: &[&str] = &["assert!", "assert_eq!", "assert_ne!", "panic!"];
+    let n = f.lines.len();
+    let mut idx = 0usize;
+    while idx < n {
+        let line = &f.lines[idx];
+        if line.in_test {
+            idx += 1;
+            continue;
+        }
+        let code = line.code.trim_start();
+        let is_pub_fn = code.starts_with("pub fn ")
+            || code.starts_with("pub const fn ")
+            || code.starts_with("pub(crate) fn ");
+        if !is_pub_fn {
+            idx += 1;
+            continue;
+        }
+        let fn_line = idx;
+        // Gather the doc comment block immediately above (skipping
+        // attributes like #[inline] / #[must_use]). The scanner routes
+        // `/// ...` into the line's *comment* text (leading `/` plus the
+        // doc text), so that's where `# Panics` lives.
+        let mut has_panics_doc = false;
+        {
+            let mut j = fn_line;
+            while j > 0 {
+                j -= 1;
+                let l = &f.lines[j];
+                let c = l.code.trim();
+                let is_comment_only = c.is_empty() && !l.comment.is_empty();
+                if is_comment_only {
+                    if l.comment.contains("# Panics") {
+                        has_panics_doc = true;
+                    }
+                    continue;
+                }
+                if c.starts_with("#[") || c.starts_with("#![") {
+                    continue;
+                }
+                break;
+            }
+        }
+        // Find the body: first '{' at or after fn_line, match braces.
+        let (mut depth, mut body_open) = (0i64, false);
+        let mut j = fn_line;
+        let mut first_panic: Option<(usize, usize, &'static str)> = None;
+        'body: while j < n {
+            let lc = &f.lines[j].code;
+            // A declaration ending in ';' before any '{' has no body.
+            if !body_open && lc.contains(';') && !lc.contains('{') {
+                break;
+            }
+            for ch in lc.chars() {
+                if ch == '{' {
+                    depth += 1;
+                    body_open = true;
+                } else if ch == '}' {
+                    depth -= 1;
+                    if body_open && depth == 0 {
+                        break 'body;
+                    }
+                }
+            }
+            if body_open && j > fn_line {
+                for mac in PANICKY {
+                    if first_panic.is_none() {
+                        if let Some(col) = word_occurrences(lc, mac).first().copied() {
+                            if !f.allowed(j, "panic") {
+                                first_panic = Some((j, col, mac));
+                            }
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        if let Some((pl, pc, mac)) = first_panic {
+            if !has_panics_doc {
+                findings.push(Finding {
+                    rule: "A003",
+                    severity: Severity::Error,
+                    path: rel_path.to_string(),
+                    line: pl + 1,
+                    col: pc + 1,
+                    message: format!(
+                        "public function contains `{mac}` but its doc comment has no `# Panics` section"
+                    ),
+                    help: "add a `/// # Panics` section describing the condition, or \
+                           annotate the site with `// audit:allow(panic): <reason>`"
+                        .into(),
+                });
+            }
+        }
+        idx = j.max(fn_line) + 1;
+    }
+}
+
+/// A004: `unsafe` is forbidden outside [`UNSAFE_ALLOWLIST`].
+fn rule_a004_unsafe(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Finding>) {
+    if UNSAFE_ALLOWLIST.contains(&rel_path) {
+        return;
+    }
+    for (idx, line) in f.lines.iter().enumerate() {
+        for col in word_occurrences(&line.code, "unsafe") {
+            // Word boundary on the right too: `unsafe_code` (the lint
+            // name in attributes) is not the keyword.
+            let after = line.code.chars().nth(col + "unsafe".len());
+            if after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "A004",
+                severity: Severity::Error,
+                path: rel_path.to_string(),
+                line: idx + 1,
+                col: col + 1,
+                message: "`unsafe` is forbidden in this workspace".into(),
+                help: "rewrite in safe Rust, or add the file to `UNSAFE_ALLOWLIST` in \
+                       crates/audit/src/rules.rs with a review note"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// A005: every dependency in every manifest must be inherited from
+/// `[workspace.dependencies]` (i.e. use the `workspace = true` form).
+///
+/// `workspace_manifest` controls whether `[workspace.dependencies]`
+/// itself is being declared (allowed, root only).
+pub fn check_manifest(rel_path: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+        let dep_section = section == "dependencies"
+            || section == "dev-dependencies"
+            || section == "build-dependencies"
+            || (section.starts_with("target.") && section.ends_with("dependencies"));
+        if !dep_section {
+            continue;
+        }
+        // `name = { ... }`, `name = "1.0"`, or `name.workspace = true`.
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        let val = line[eq + 1..].trim();
+        let inherited = key.ends_with(".workspace")
+            || (val.starts_with('{') && val.contains("workspace") && val.contains("true"));
+        if !inherited {
+            let name = key.split('.').next().unwrap_or(key);
+            findings.push(Finding {
+                rule: "A005",
+                severity: Severity::Error,
+                path: rel_path.to_string(),
+                line: idx + 1,
+                col: 1,
+                message: format!(
+                    "dependency `{name}` does not resolve through [workspace.dependencies]"
+                ),
+                help: format!(
+                    "declare `{name}` once in the root [workspace.dependencies] table and \
+                     use `{name}.workspace = true` here"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a001(src: &str) -> Vec<Finding> {
+        check_source("crates/core/src/demo.rs", src)
+            .into_iter()
+            .filter(|f| f.rule == "A001")
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_in_scoped_crate_is_flagged() {
+        let f = a001("fn f() { x.unwrap(); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn annotated_unwrap_is_allowed() {
+        let f = a001("fn f() {\n    // audit:allow(panic): index bounded by loop above\n    x.unwrap();\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_ignored() {
+        let f = a001("#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_outside_scoped_crates_is_ignored() {
+        let f = check_source("crates/lm/src/demo.rs", "fn f() { x.unwrap(); }\n");
+        assert!(f.iter().all(|f| f.rule != "A001"));
+    }
+
+    #[test]
+    fn descriptive_expect_is_self_annotating() {
+        let f = a001("fn f() { x.expect(\"grid is non-empty by construction\"); }\n");
+        assert!(f.is_empty(), "{f:?}");
+        let g = a001("fn f() { x.expect(msg); }\n");
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_in_string_literal_is_ignored() {
+        let f = a001("fn f() { let s = \".unwrap()\"; }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    fn a002(src: &str) -> Vec<Finding> {
+        check_source("crates/core/src/pack.rs", src)
+            .into_iter()
+            .filter(|f| f.rule == "A002")
+            .collect()
+    }
+
+    #[test]
+    fn float_cast_is_flagged() {
+        assert_eq!(a002("fn f(x: usize) -> f32 { x as f32 }\n").len(), 1);
+        assert_eq!(a002("fn f(x: u8) -> f64 { x as f64 }\n").len(), 1);
+    }
+
+    #[test]
+    fn rounded_int_cast_is_flagged() {
+        assert_eq!(a002("fn f(x: f32) -> u8 { x.round() as u8 }\n").len(), 1);
+    }
+
+    #[test]
+    fn int_mask_cast_is_legal() {
+        assert!(a002("fn f(x: u32) -> u8 { (x & 0xFF) as u8 }\n").is_empty());
+    }
+
+    #[test]
+    fn annotated_cast_is_allowed() {
+        let f = a002("fn f(x: usize) -> f32 {\n    // audit:allow(cast): dims < 2^24, exact in f32\n    x as f32\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cast_outside_hot_paths_is_ignored() {
+        let f = check_source(
+            "crates/core/src/mixed.rs",
+            "fn f(x: usize) -> f32 { x as f32 }\n",
+        );
+        assert!(f.iter().all(|f| f.rule != "A002"));
+    }
+
+    fn a003(src: &str) -> Vec<Finding> {
+        check_source("crates/lm/src/demo.rs", src)
+            .into_iter()
+            .filter(|f| f.rule == "A003")
+            .collect()
+    }
+
+    #[test]
+    fn pub_fn_with_assert_needs_panics_doc() {
+        let f = a003("pub fn f(x: usize) {\n    assert!(x > 0, \"x\");\n}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("# Panics"));
+    }
+
+    #[test]
+    fn panics_doc_satisfies_a003() {
+        let f = a003("/// Does things.\n///\n/// # Panics\n/// If x is zero.\npub fn f(x: usize) {\n    assert!(x > 0);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn debug_assert_does_not_trigger_a003() {
+        let f = a003("pub fn f(x: usize) {\n    debug_assert!(x > 0);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn private_fn_with_assert_is_fine() {
+        let f = a003("fn f(x: usize) {\n    assert!(x > 0);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn annotated_assert_satisfies_a003() {
+        let f = a003("pub fn f(x: usize) {\n    // audit:allow(panic): validated at CLI boundary\n    assert!(x > 0);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_is_flagged_everywhere() {
+        let f = check_source("crates/bench/benches/b.rs", "unsafe fn f() {}\n");
+        assert_eq!(f.iter().filter(|f| f.rule == "A004").count(), 1);
+    }
+
+    #[test]
+    fn unsafe_code_lint_name_is_not_the_keyword() {
+        let f = check_source("crates/lm/src/lib.rs", "#![deny(unsafe_code)]\n");
+        assert!(f.iter().all(|f| f.rule != "A004"));
+    }
+
+    #[test]
+    fn manifest_version_dep_is_flagged() {
+        let f = check_manifest("crates/lm/Cargo.toml", "[dependencies]\nserde = \"1.0\"\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn manifest_workspace_forms_pass() {
+        let src = "[dependencies]\nserde.workspace = true\nrand = { workspace = true }\n\n[dev-dependencies]\nproptest = { workspace = true, features = [\"x\"] }\n";
+        assert!(check_manifest("crates/lm/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn manifest_path_dep_is_flagged() {
+        let f = check_manifest(
+            "crates/lm/Cargo.toml",
+            "[dev-dependencies]\nfoo = { path = \"../foo\" }\n",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let src = "[package]\nname = \"x\"\nversion = \"1.0\"\n\n[features]\ndefault = []\n";
+        assert!(check_manifest("crates/lm/Cargo.toml", src).is_empty());
+    }
+}

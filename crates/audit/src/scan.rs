@@ -1,0 +1,352 @@
+//! Comment- and string-aware source scanning.
+//!
+//! The audit rules must not fire on occurrences of `unwrap()` inside a
+//! string literal or a doc comment, and must read annotations *out of*
+//! comments. This module performs a single lexical pass over a source
+//! file and splits every line into its code text and its comment text,
+//! with string/char literal contents blanked out of the code text
+//! (replaced by spaces so byte columns keep lining up). It also tracks
+//! which lines fall inside `#[cfg(test)]`-gated items.
+//!
+//! This is a lexer-grade pass, not a parser: it understands line and
+//! block comments (including nesting), plain and raw strings, char
+//! literals vs. lifetimes, and brace depth. That is enough to make the
+//! textual rules in [`crate::rules`] reliable on real-world Rust.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code text with comments removed and literal contents blanked.
+    pub code: String,
+    /// Concatenated comment text on the line (without `//` markers).
+    pub comment: String,
+    /// True if the line sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+/// A whole scanned file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+impl ScannedFile {
+    /// True if `line_idx` (0-based) or the line above carries an
+    /// `// audit:allow(<kind>): <reason>` annotation with a non-empty
+    /// reason.
+    pub fn allowed(&self, line_idx: usize, kind: &str) -> bool {
+        let here = self
+            .lines
+            .get(line_idx)
+            .is_some_and(|l| has_allow(&l.comment, kind));
+        let above = line_idx > 0
+            && self
+                .lines
+                .get(line_idx - 1)
+                .is_some_and(|l| has_allow(&l.comment, kind) && l.code.trim().is_empty());
+        here || above
+    }
+}
+
+/// Parses `audit:allow(<kind>): <reason>` out of comment text; the
+/// reason must contain at least one non-whitespace character.
+pub fn has_allow(comment: &str, kind: &str) -> bool {
+    let needle = format!("audit:allow({kind}):");
+    comment
+        .find(&needle)
+        .is_some_and(|at| !comment[at + needle.len()..].trim().is_empty())
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    Char,
+}
+
+/// Scans source text into per-line code/comment splits with test-region
+/// tracking.
+pub fn scan(source: &str) -> ScannedFile {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+
+    // Test-region tracking: brace depth, plus the depth at which each
+    // `#[cfg(test)]`-gated item opened.
+    let mut depth: i64 = 0;
+    let mut pending_test_attr = false;
+    let mut test_depths: Vec<i64> = Vec::new();
+
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let in_test_at_start = !test_depths.is_empty();
+
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        comment.push_str(&raw[char_byte_at(raw, i) + 2..]);
+                        state = State::LineComment;
+                        break;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 1;
+                    }
+                    '"' => {
+                        // Raw string? Look back for r / r# prefixes.
+                        code.push('"');
+                        state = State::Str;
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string r"..." or r#"..."#.
+                        let mut hashes = 0usize;
+                        let mut j = i + 1;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            for _ in i..=j {
+                                code.push(' ');
+                            }
+                            i = j;
+                            state = State::RawStr(hashes as u8);
+                        } else {
+                            code.push(c);
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs. lifetime: a lifetime is
+                        // followed by an identifier and no closing quote
+                        // nearby; a char literal closes within a few
+                        // chars (possibly escaped).
+                        if is_char_literal(&bytes, i) {
+                            code.push(' ');
+                            state = State::Char;
+                        } else {
+                            code.push('\'');
+                        }
+                    }
+                    '{' => {
+                        depth += 1;
+                        if pending_test_attr {
+                            test_depths.push(depth);
+                            pending_test_attr = false;
+                        }
+                        code.push('{');
+                    }
+                    '}' => {
+                        if test_depths.last().is_some_and(|&d| d == depth) {
+                            test_depths.pop();
+                        }
+                        depth -= 1;
+                        code.push('}');
+                    }
+                    _ => code.push(c),
+                },
+                State::LineComment => unreachable!("line comments break out of the loop"),
+                State::BlockComment(n) => {
+                    if c == '*' && next == Some('/') {
+                        state = if n == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(n - 1)
+                        };
+                        comment.push(' ');
+                        code.push(' ');
+                        code.push(' ');
+                        i += 1;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(n + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        comment.push(c);
+                        code.push(' ');
+                    }
+                }
+                State::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 1;
+                    }
+                    '"' => {
+                        code.push('"');
+                        state = State::Code;
+                    }
+                    _ => code.push(' '),
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes as usize {
+                            if bytes.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for _ in 0..=hashes as usize {
+                                code.push(' ');
+                            }
+                            i += hashes as usize;
+                            state = State::Code;
+                        } else {
+                            code.push(' ');
+                        }
+                    } else {
+                        code.push(' ');
+                    }
+                }
+                State::Char => {
+                    if c == '\\' {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 1;
+                    } else if c == '\'' {
+                        code.push(' ');
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        // Plain strings legitimately span lines (trailing `\` or just a
+        // multi-line literal), so `Str` persists. Char literals cannot.
+        if state == State::Char {
+            state = State::Code;
+        }
+
+        if code.contains("#[cfg(test)]") || code.contains("# [cfg (test)]") {
+            pending_test_attr = true;
+        }
+
+        lines.push(Line {
+            code,
+            comment,
+            in_test: in_test_at_start || !test_depths.is_empty() || pending_test_attr,
+        });
+    }
+
+    ScannedFile { lines }
+}
+
+/// Byte offset of the `i`-th char of `s`.
+fn char_byte_at(s: &str, i: usize) -> usize {
+    s.char_indices().nth(i).map_or(s.len(), |(b, _)| b)
+}
+
+/// Heuristic: does the `'` at `i` start a char literal (vs. a lifetime)?
+fn is_char_literal(bytes: &[char], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) => {
+            if bytes.get(i + 2) == Some(&'\'') {
+                // 'x' — but '' in a lifetime position can't occur.
+                true
+            } else {
+                // Lifetimes: 'a, 'static — identifier not followed by a
+                // quote right after one char.
+                !(c.is_alphanumeric() || c == '_')
+            }
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = scan("let x = \"panic!(\"; // audit:allow(panic): demo\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].comment.contains("audit:allow(panic): demo"));
+        assert!(f.allowed(0, "panic"));
+        assert!(!f.allowed(0, "cast"));
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let f = scan("foo(); // audit:allow(panic):\n");
+        assert!(!f.allowed(0, "panic"));
+        let g = scan("foo(); // audit:allow(panic):   \n");
+        assert!(!g.allowed(0, "panic"));
+    }
+
+    #[test]
+    fn allow_on_line_above_counts() {
+        let f = scan("// audit:allow(panic): caller guarantees\nfoo.unwrap();\n");
+        assert!(f.allowed(1, "panic"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = scan("a /* one\n two */ b\n");
+        assert_eq!(f.lines[0].code.trim_end(), "a");
+        assert!(f.lines[1].code.contains('b'));
+        assert!(f.lines[0].comment.contains("one"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan("/* a /* b */ still */ code\n");
+        assert!(f.lines[0].code.contains("code"));
+        assert!(!f.lines[0].code.contains('a'));
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test, "region must close with its brace");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(f.lines[0].code.contains("&"));
+        assert!(f.lines[0].code.contains("str"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let f = scan("let c = '\"'; let d = '\\''; let e = 'x';\n");
+        let code = &f.lines[0].code;
+        assert!(
+            !code.contains('x') || code.matches('x').count() == 0,
+            "{code}"
+        );
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan("let s = r#\"unwrap() \"quoted\" \"#; after();\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("after"));
+    }
+}

@@ -62,8 +62,9 @@ fn bench_obq_layer(c: &mut Criterion) {
 
 fn bench_hessian_collection(c: &mut Criterion) {
     let model = Model::new(&ModelConfig::tiny_llama_s(100), 6);
-    let segs: Vec<Vec<u32>> =
-        (0..4).map(|k| (0..48).map(|i| ((i * 3 + k) % 100) as u32).collect()).collect();
+    let segs: Vec<Vec<u32>> = (0..4)
+        .map(|k| (0..48).map(|i| ((i * 3 + k) % 100) as u32).collect())
+        .collect();
     let mut group = c.benchmark_group("collect_hessians");
     group.sample_size(10);
     group.bench_function("gptq_mode", |b| {
@@ -77,12 +78,8 @@ fn bench_hessian_collection(c: &mut Criterion) {
     group.bench_function("aptq_mode", |b| {
         b.iter(|| {
             black_box(
-                aptq_core::collect_hessians(
-                    &model,
-                    &segs,
-                    aptq_core::HessianMode::AttentionAware,
-                )
-                .unwrap(),
+                aptq_core::collect_hessians(&model, &segs, aptq_core::HessianMode::AttentionAware)
+                    .unwrap(),
             )
         });
     });
@@ -105,9 +102,7 @@ fn bench_forward(c: &mut Criterion) {
     // KV-cache decoding: amortized per-token cost after a 32-token prompt.
     group.bench_function("decode_32_plus_8", |b| {
         b.iter(|| {
-            black_box(
-                aptq_lm::decode::generate_greedy_cached(&model, &tokens[..32], 8).unwrap(),
-            )
+            black_box(aptq_lm::decode::generate_greedy_cached(&model, &tokens[..32], 8).unwrap())
         });
     });
     group.finish();

@@ -26,7 +26,12 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| black_box(exp.perplexity_row(Method::AptqUniform { bits: 4 }).unwrap()));
     });
     group.bench_function("aptq75", |b| {
-        b.iter(|| black_box(exp.perplexity_row(Method::AptqMixed { ratio: 0.75 }).unwrap()));
+        b.iter(|| {
+            black_box(
+                exp.perplexity_row(Method::AptqMixed { ratio: 0.75 })
+                    .unwrap(),
+            )
+        });
     });
     group.finish();
 }
@@ -49,10 +54,20 @@ fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_ablation_rows");
     group.sample_size(10);
     group.bench_function("trace50", |b| {
-        b.iter(|| black_box(exp.perplexity_row(Method::AptqMixed { ratio: 0.5 }).unwrap()));
+        b.iter(|| {
+            black_box(
+                exp.perplexity_row(Method::AptqMixed { ratio: 0.5 })
+                    .unwrap(),
+            )
+        });
     });
     group.bench_function("blockwise50", |b| {
-        b.iter(|| black_box(exp.perplexity_row(Method::ManualBlockwise { ratio: 0.5 }).unwrap()));
+        b.iter(|| {
+            black_box(
+                exp.perplexity_row(Method::ManualBlockwise { ratio: 0.5 })
+                    .unwrap(),
+            )
+        });
     });
     group.finish();
 }

@@ -50,15 +50,20 @@ fn main() {
 }
 
 fn ppl_with(exp: &Experiment, method: Method, cfg: &GridConfig) -> f32 {
-    let (model, _) = quantize_clone(&exp.stack.model, method, &exp.calibration, cfg)
-        .expect("quantization");
+    let (model, _) =
+        quantize_clone(&exp.stack.model, method, &exp.calibration, cfg).expect("quantization");
     perplexity(&model, &exp.eval_c4).expect("ppl")
 }
 
 fn group_size_ablation(exp: &Experiment) -> String {
-    let mut s = String::from("### A. Group size (GPTQ)\n\n| group | 4-bit PPL | 2-bit PPL |\n|---|---|---|\n");
+    let mut s = String::from(
+        "### A. Group size (GPTQ)\n\n| group | 4-bit PPL | 2-bit PPL |\n|---|---|---|\n",
+    );
     for gs in [8usize, 16, 32] {
-        let cfg = GridConfig { group_size: gs, ..exp.grid };
+        let cfg = GridConfig {
+            group_size: gs,
+            ..exp.grid
+        };
         let p4 = ppl_with(exp, Method::Gptq { bits: 4 }, &cfg);
         let p2 = ppl_with(exp, Method::Gptq { bits: 2 }, &cfg);
         s.push_str(&format!("| {gs} | {p4:.3} | {p2:.3} |\n"));
@@ -86,9 +91,13 @@ fn calibration_size_ablation(exp: &Experiment) -> String {
     );
     for n in [4usize, 16, exp.calibration.len()] {
         let calib = &exp.calibration[..n.min(exp.calibration.len())];
-        let (model, _) =
-            quantize_clone(&exp.stack.model, Method::AptqUniform { bits: 2 }, calib, &exp.grid)
-                .expect("quantization");
+        let (model, _) = quantize_clone(
+            &exp.stack.model,
+            Method::AptqUniform { bits: 2 },
+            calib,
+            &exp.grid,
+        )
+        .expect("quantization");
         let p = perplexity(&model, &exp.eval_c4).expect("ppl");
         s.push_str(&format!("| {n} | {p:.3} |\n"));
         eprintln!("[ablations] calib={n}: {p:.3}");
@@ -117,8 +126,8 @@ fn sensitivity_metric_ablation(exp: &Experiment) -> String {
         "### E. Allocation signal at R = 50% (avg 3.0 bits)\n\n| signal | PPL |\n|---|---|\n",
     );
     let model: &Model = &exp.stack.model;
-    let hessians = collect_hessians(model, &exp.calibration, HessianMode::AttentionAware)
-        .expect("hessians");
+    let hessians =
+        collect_hessians(model, &exp.calibration, HessianMode::AttentionAware).expect("hessians");
     let allocator = MixedPrecisionAllocator::two_four(0.5).expect("ratio");
     let probe = &exp.calibration[..exp.calibration.len().clamp(1, 16)];
 
@@ -131,8 +140,13 @@ fn sensitivity_metric_ablation(exp: &Experiment) -> String {
         format!("| {label} | {p:.3} |\n")
     };
 
-    let raw =
-        SensitivityReport::with_metric(&hessians, model, SensitivityMetric::MeanTrace, 2, &exp.grid);
+    let raw = SensitivityReport::with_metric(
+        &hessians,
+        model,
+        SensitivityMetric::MeanTrace,
+        2,
+        &exp.grid,
+    );
     let weighted = SensitivityReport::with_metric(
         &hessians,
         model,
@@ -142,10 +156,26 @@ fn sensitivity_metric_ablation(exp: &Experiment) -> String {
     );
     let empirical = empirical_sensitivity(model, probe, 2, &exp.grid);
 
-    s.push_str(&run("mean-trace (paper literal)", &raw, AllocationPolicy::HessianTrace));
-    s.push_str(&run("trace × perturbation (HAWQ-V2)", &weighted, AllocationPolicy::HessianTrace));
-    s.push_str(&run("empirical loss (default)", &empirical, AllocationPolicy::HessianTrace));
-    s.push_str(&run("manual block-wise", &empirical, AllocationPolicy::ManualBlockwise));
+    s.push_str(&run(
+        "mean-trace (paper literal)",
+        &raw,
+        AllocationPolicy::HessianTrace,
+    ));
+    s.push_str(&run(
+        "trace × perturbation (HAWQ-V2)",
+        &weighted,
+        AllocationPolicy::HessianTrace,
+    ));
+    s.push_str(&run(
+        "empirical loss (default)",
+        &empirical,
+        AllocationPolicy::HessianTrace,
+    ));
+    s.push_str(&run(
+        "manual block-wise",
+        &empirical,
+        AllocationPolicy::ManualBlockwise,
+    ));
     s.push('\n');
     s
 }

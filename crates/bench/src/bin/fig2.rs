@@ -21,8 +21,11 @@ fn main() {
     let mut aptq_curve = Vec::new();
     let mut outcomes = Vec::new();
     for &r in &ratios {
-        let method =
-            if r >= 1.0 { Method::AptqUniform { bits: 4 } } else { Method::AptqMixed { ratio: r } };
+        let method = if r >= 1.0 {
+            Method::AptqUniform { bits: 4 }
+        } else {
+            Method::AptqMixed { ratio: r }
+        };
         eprintln!("[fig2] APTQ sweep R={r}…");
         match exp.perplexity_row(method) {
             Ok(row) => {
@@ -37,7 +40,10 @@ fn main() {
     let refs = [
         Method::Fp16,
         Method::Gptq { bits: 4 },
-        Method::Owq { bits: 4, outlier_dims: 1 },
+        Method::Owq {
+            bits: 4,
+            outlier_dims: 1,
+        },
         Method::LlmQat { bits: 4 },
         Method::PbLlm { salient_ratio: 0.2 },
     ];

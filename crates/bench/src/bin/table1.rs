@@ -19,7 +19,10 @@ fn main() {
     let rows = [
         Method::Fp16,
         Method::Gptq { bits: 4 },
-        Method::Owq { bits: 4, outlier_dims: 1 },
+        Method::Owq {
+            bits: 4,
+            outlier_dims: 1,
+        },
         Method::LlmQat { bits: 4 },
         Method::PbLlm { salient_ratio: 0.2 },
         Method::AptqUniform { bits: 4 },

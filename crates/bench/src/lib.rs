@@ -91,7 +91,11 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates training/checkpoint errors.
-    pub fn prepare(size: ModelSize, scale: ExperimentScale, cache: bool) -> Result<Self, EvalError> {
+    pub fn prepare(
+        size: ModelSize,
+        scale: ExperimentScale,
+        cache: bool,
+    ) -> Result<Self, EvalError> {
         let cache_dir = cache.then(aptq_eval::zoo::default_cache_dir);
         let stack = load_or_train(size, scale.budget, cache_dir.as_deref())?;
 
@@ -110,7 +114,13 @@ impl Experiment {
         let suites = ZeroShotTask::ALL
             .iter()
             .map(|&t| {
-                TaskSuite::generate(t, &stack.grammar, &stack.tokenizer, scale.n_task_items, 70_004)
+                TaskSuite::generate(
+                    t,
+                    &stack.grammar,
+                    &stack.tokenizer,
+                    scale.n_task_items,
+                    70_004,
+                )
             })
             .collect();
 
@@ -182,7 +192,10 @@ pub fn emit(name: &str, content: &str) -> Result<(), EvalError> {
 pub fn results_dir() -> PathBuf {
     if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
         let p = PathBuf::from(dir);
-        p.ancestors().nth(2).map(|r| r.join("results")).unwrap_or_else(|| p.join("results"))
+        p.ancestors()
+            .nth(2)
+            .map(|r| r.join("results"))
+            .unwrap_or_else(|| p.join("results"))
     } else {
         PathBuf::from("results")
     }
@@ -200,7 +213,10 @@ mod tests {
         assert_eq!(fp16.metrics.len(), 2);
         assert!(fp16.metrics[0].1 > 1.0, "PPL must exceed 1");
         let rtn = exp.perplexity_row(Method::Rtn { bits: 4 }).unwrap();
-        assert!(rtn.metrics[0].1 >= fp16.metrics[0].1 * 0.8, "4-bit RTN should not be wildly better than fp16");
+        assert!(
+            rtn.metrics[0].1 >= fp16.metrics[0].1 * 0.8,
+            "4-bit RTN should not be wildly better than fp16"
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub fn get_or<'a>(flags: &'a Flags, key: &str, default: &'a str) -> &'a str {
 pub fn get_usize(flags: &Flags, key: &str, default: usize) -> Result<usize, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
     }
 }
 
@@ -48,7 +50,9 @@ pub fn get_usize(flags: &Flags, key: &str, default: usize) -> Result<usize, Stri
 pub fn get_f32(flags: &Flags, key: &str, default: f32) -> Result<f32, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got `{v}`")),
     }
 }
 

@@ -18,8 +18,7 @@ use crate::Flags;
 /// Standard calibration set used by all quantizing subcommands; segment
 /// length is clamped to the model's maximum context.
 fn calibration(grammar: &Grammar, tok: &Tokenizer, n: usize, max_seq: usize) -> Vec<Vec<u32>> {
-    CorpusGenerator::new(grammar, tok, CorpusStyle::WebC4, 40_001)
-        .segments(n, max_seq.min(64))
+    CorpusGenerator::new(grammar, tok, CorpusStyle::WebC4, 40_001).segments(n, max_seq.min(64))
 }
 
 fn load_model(path: &str) -> Result<Model, String> {
@@ -41,7 +40,11 @@ pub fn pretrain(flags: &Flags) -> Result<(), String> {
     let mut budget = PretrainBudget::full();
     budget.steps = get_usize(flags, "steps", budget.steps)?;
     let out = get_or(flags, "out", "model.json");
-    eprintln!("pretraining {} for {} steps…", size.paper_name(), budget.steps);
+    eprintln!(
+        "pretraining {} for {} steps…",
+        size.paper_name(),
+        budget.steps
+    );
     let stack = load_or_train(size, budget, None).map_err(|e| e.to_string())?;
     save(out, &stack.model.to_json().map_err(|e| e.to_string())?)?;
     eprintln!("saved {out} (final loss {:.4})", stack.final_loss);
@@ -58,7 +61,10 @@ pub fn parse_method(name: &str) -> Result<Method, String> {
         "gptq2" => Method::Gptq { bits: 2 },
         "gptq3" => Method::Gptq { bits: 3 },
         "gptq4" => Method::Gptq { bits: 4 },
-        "owq" => Method::Owq { bits: 4, outlier_dims: 1 },
+        "owq" => Method::Owq {
+            bits: 4,
+            outlier_dims: 1,
+        },
         "smoothquant" => Method::SmoothQuant { bits: 4 },
         "fpq" => Method::Fpq,
         "qat" => Method::LlmQat { bits: 4 },
@@ -92,7 +98,12 @@ pub fn quantize(flags: &Flags) -> Result<(), String> {
     let out = get_or(flags, "out", "quantized.json");
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
-    let calib = calibration(&grammar, &tok, get_usize(flags, "segments", 64)?, model.config().max_seq_len);
+    let calib = calibration(
+        &grammar,
+        &tok,
+        get_usize(flags, "segments", 64)?,
+        model.config().max_seq_len,
+    );
     let report = method
         .apply(&mut model, &calib, &GridConfig::default())
         .map_err(|e| e.to_string())?;
@@ -112,11 +123,16 @@ pub fn pack(flags: &Flags) -> Result<(), String> {
     let out = get_or(flags, "out", "packed.json");
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
-    let calib = calibration(&grammar, &tok, get_usize(flags, "segments", 64)?, model.config().max_seq_len);
+    let calib = calibration(
+        &grammar,
+        &tok,
+        get_usize(flags, "segments", 64)?,
+        model.config().max_seq_len,
+    );
     let cfg = GridConfig::default();
 
-    let hessians = collect_hessians(&model, &calib, HessianMode::AttentionAware)
-        .map_err(|e| e.to_string())?;
+    let hessians =
+        collect_hessians(&model, &calib, HessianMode::AttentionAware).map_err(|e| e.to_string())?;
     let sensitivity = empirical_sensitivity(&model, &calib[..calib.len().clamp(1, 16)], 2, &cfg);
     let allocator = MixedPrecisionAllocator::two_four(ratio).map_err(|e| e.to_string())?;
     let plan = allocator.allocate(&model, &sensitivity, AllocationPolicy::HessianTrace);
@@ -169,7 +185,12 @@ pub fn sensitivity(flags: &Flags) -> Result<(), String> {
     let model = load_model(require(flags, "model")?)?;
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
-    let calib = calibration(&grammar, &tok, get_usize(flags, "segments", 32)?, model.config().max_seq_len);
+    let calib = calibration(
+        &grammar,
+        &tok,
+        get_usize(flags, "segments", 32)?,
+        model.config().max_seq_len,
+    );
     let cfg = GridConfig::default();
     let report = match get_or(flags, "metric", "empirical") {
         "empirical" => empirical_sensitivity(&model, &calib[..calib.len().clamp(1, 16)], 2, &cfg),
@@ -183,7 +204,11 @@ pub fn sensitivity(flags: &Flags) -> Result<(), String> {
             };
             SensitivityReport::with_metric(&hessians, &model, m, 2, &cfg)
         }
-        other => return Err(format!("--metric must be trace|weighted|empirical, got `{other}`")),
+        other => {
+            return Err(format!(
+                "--metric must be trace|weighted|empirical, got `{other}`"
+            ))
+        }
     };
     println!("{}", report.to_markdown());
     Ok(())
@@ -198,8 +223,8 @@ pub fn generate(flags: &Flags) -> Result<(), String> {
     let tok = Tokenizer::from_grammar(&grammar);
     let mut prompt = vec![aptq_textgen::tokenizer::BOS];
     prompt.extend(tok.encode(prompt_text));
-    let out = aptq_lm::decode::generate_greedy_cached(&model, &prompt, n)
-        .map_err(|e| e.to_string())?;
+    let out =
+        aptq_lm::decode::generate_greedy_cached(&model, &prompt, n).map_err(|e| e.to_string())?;
     println!("{}", tok.decode(&out));
     Ok(())
 }
@@ -212,13 +237,22 @@ mod tests {
     fn method_parser_covers_table_rows() {
         assert_eq!(parse_method("fp16").unwrap(), Method::Fp16);
         assert_eq!(parse_method("gptq4").unwrap(), Method::Gptq { bits: 4 });
-        assert_eq!(parse_method("aptq4").unwrap(), Method::AptqUniform { bits: 4 });
-        assert_eq!(parse_method("aptq-75").unwrap(), Method::AptqMixed { ratio: 0.75 });
+        assert_eq!(
+            parse_method("aptq4").unwrap(),
+            Method::AptqUniform { bits: 4 }
+        );
+        assert_eq!(
+            parse_method("aptq-75").unwrap(),
+            Method::AptqMixed { ratio: 0.75 }
+        );
         assert_eq!(
             parse_method("blockwise-50").unwrap(),
             Method::ManualBlockwise { ratio: 0.5 }
         );
-        assert_eq!(parse_method("pbllm-20").unwrap(), Method::PbLlm { salient_ratio: 0.2 });
+        assert_eq!(
+            parse_method("pbllm-20").unwrap(),
+            Method::PbLlm { salient_ratio: 0.2 }
+        );
         assert!(parse_method("nope").is_err());
         assert!(parse_method("aptq-xx").is_err());
     }

@@ -59,7 +59,8 @@ fn main() -> ExitCode {
 
 /// The full usage text.
 fn usage() -> String {
-    let mut s = String::from("aptq — attention-aware post-training mixed-precision quantization\n\n");
+    let mut s =
+        String::from("aptq — attention-aware post-training mixed-precision quantization\n\n");
     s.push_str("USAGE:\n");
     s.push_str("  aptq pretrain    --size s|m [--steps N] [--out FILE]\n");
     s.push_str("  aptq quantize    --model FILE --method METHOD [--out FILE]\n");

@@ -102,9 +102,9 @@ pub fn query_weights(cap: &BlockCapture, wo: &Matrix) -> Vec<f32> {
         let scales = head_scales(cap, wo, h);
         let kscale = slice_mean_sq(&cap.k_rot, h, d_head);
         let p = &cap.probs[h];
-        for i in 0..t {
+        for (i, wi) in w.iter_mut().enumerate() {
             let sens: f32 = p.row(i).iter().map(|&pp| pp * (1.0 - pp)).sum();
-            w[i] += sens * scales.downstream * kscale * scales.inv_dk;
+            *wi += sens * scales.downstream * kscale * scales.inv_dk;
         }
     }
     w
@@ -182,7 +182,10 @@ mod tests {
         let model = Model::new(&cfg, 3);
         let (_, mut cap) = model.forward_capture(&[1, 2, 3, 4, 5, 6, 7]);
         let wo = model
-            .layer_weight(aptq_lm::LayerRef { block: 0, kind: aptq_lm::LayerKind::O })
+            .layer_weight(aptq_lm::LayerRef {
+                block: 0,
+                kind: aptq_lm::LayerKind::O,
+            })
             .clone();
         (cap.blocks.remove(0), wo)
     }
@@ -216,7 +219,9 @@ mod tests {
         // sensitivity, unlike GPTQ's uniform weighting.
         let (cap, wo) = capture();
         let w = query_weights(&cap, &wo);
-        let (lo, hi) = w.iter().fold((f32::INFINITY, 0.0f32), |(l, h), &v| (l.min(v), h.max(v)));
+        let (lo, hi) = w
+            .iter()
+            .fold((f32::INFINITY, 0.0f32), |(l, h), &v| (l.min(v), h.max(v)));
         assert!(hi > lo * 1.01, "weights should vary: {w:?}");
         assert!(w.iter().all(|&v| v >= 0.0));
     }
@@ -226,7 +231,10 @@ mod tests {
         // Token 0 attends only to itself: p = [1, 0, ...] → p(1−p) = 0.
         let (cap, wo) = capture();
         let w = query_weights(&cap, &wo);
-        assert!(w[0].abs() < 1e-6, "one-hot softmax row has zero Jacobian trace");
+        assert!(
+            w[0].abs() < 1e-6,
+            "one-hot softmax row has zero Jacobian trace"
+        );
         // Later tokens have positive sensitivity.
         assert!(w[1..].iter().any(|&v| v > 0.0));
     }

@@ -35,14 +35,21 @@ pub fn collect_hessians(
 
     let mut accs: BTreeMap<LayerRef, HessianAccumulator> = BTreeMap::new();
     for r in model.layer_refs() {
-        let dim = if r.kind == LayerKind::Down { d_ff } else { d_model };
+        let dim = if r.kind == LayerKind::Down {
+            d_ff
+        } else {
+            d_model
+        };
         accs.insert(r, HessianAccumulator::new(dim));
     }
 
     for seg in segments.iter().filter(|s| !s.is_empty()) {
         let (_, capture) = model.forward_capture(seg);
         for (b, cap) in capture.blocks.iter().enumerate() {
-            let wo = model.layer_weight(LayerRef { block: b, kind: LayerKind::O });
+            let wo = model.layer_weight(LayerRef {
+                block: b,
+                kind: LayerKind::O,
+            });
             for kind in LayerKind::ALL {
                 let r = LayerRef { block: b, kind };
                 let acc = accs.get_mut(&r).expect("accumulator exists");
@@ -122,7 +129,10 @@ mod tests {
                     assert!(same, "{r}: modes must agree");
                 }
                 LayerKind::Q | LayerKind::K | LayerKind::V => {
-                    assert!(!same, "{r}: attention-aware Hessian must differ from GPTQ's");
+                    assert!(
+                        !same,
+                        "{r}: attention-aware Hessian must differ from GPTQ's"
+                    );
                 }
             }
         }

@@ -53,7 +53,11 @@ pub fn quantize_layer_obq(
 ) -> Result<LayerQuantResult, QuantError> {
     let d_in = w.rows();
     let d_out = w.cols();
-    assert_eq!(hessian.h.shape(), (d_in, d_in), "hessian shape mismatch for {layer_name}");
+    assert_eq!(
+        hessian.h.shape(),
+        (d_in, d_in),
+        "hessian shape mismatch for {layer_name}"
+    );
 
     // Damping escalation: a rank-deficient calibration set (few tokens)
     // can leave H semidefinite; GPTQ's answer is more damping.
@@ -64,7 +68,9 @@ pub fn quantize_layer_obq(
             Ok(u) => break (u, damp),
             Err(_) if damp < cfg.damp * 1e4 => damp *= 10.0,
             Err(_) => {
-                return Err(QuantError::HessianNotInvertible { layer: layer_name.to_string() })
+                return Err(QuantError::HessianNotInvertible {
+                    layer: layer_name.to_string(),
+                })
             }
         }
     };
@@ -75,7 +81,13 @@ pub fn quantize_layer_obq(
 
     let mut work = w.clone();
     let mut codes = vec![0u8; d_in * d_out];
-    let mut params = vec![GroupParams { scale: 1.0, zero: 0 }; n_groups * d_out];
+    let mut params = vec![
+        GroupParams {
+            scale: 1.0,
+            zero: 0
+        };
+        n_groups * d_out
+    ];
 
     for i0 in (0..d_in).step_by(block) {
         let i1 = (i0 + block).min(d_in);
@@ -122,7 +134,7 @@ pub fn quantize_layer_obq(
         // W[i1.., :] −= U[i0..i1, i1..]ᵀ · errs.
         if i1 < d_in {
             let u_rest = u.slice_rows(i0, i1).slice_cols(i1, d_in); // blk × rest
-            // u_restᵀ (rest × blk) · errs (blk × d_out) = rest × d_out
+                                                                    // u_restᵀ (rest × blk) · errs (blk × d_out) = rest × d_out
             let delta = u_rest.matmul_tn(&errs);
             for r in i1..d_in {
                 for c in 0..d_out {
@@ -138,7 +150,12 @@ pub fn quantize_layer_obq(
     let recon_error = dw.hadamard(&hdw).sum() / (d_in * d_out) as f32;
 
     let packed = PackedTensor::from_codes(&codes, d_in, d_out, group_size, grid, params);
-    Ok(LayerQuantResult { packed, dequantized: work, recon_error, damp_used })
+    Ok(LayerQuantResult {
+        packed,
+        dequantized: work,
+        recon_error,
+        damp_used,
+    })
 }
 
 /// Round-to-nearest baseline: group quantization with no error
@@ -149,7 +166,13 @@ pub fn quantize_layer_rtn(w: &Matrix, grid: QuantGrid, cfg: &GridConfig) -> Laye
     let group_size = cfg.group_size.min(d_in).max(1);
     let n_groups = d_in.div_ceil(group_size);
     let mut codes = vec![0u8; d_in * d_out];
-    let mut params = vec![GroupParams { scale: 1.0, zero: 0 }; n_groups * d_out];
+    let mut params = vec![
+        GroupParams {
+            scale: 1.0,
+            zero: 0
+        };
+        n_groups * d_out
+    ];
     let mut deq = Matrix::zeros(d_in, d_out);
     for g in 0..n_groups {
         let j0 = g * group_size;
@@ -168,7 +191,12 @@ pub fn quantize_layer_rtn(w: &Matrix, grid: QuantGrid, cfg: &GridConfig) -> Laye
     let dw = w.sub(&deq);
     let recon_error = dw.frobenius_norm_sq() / (d_in * d_out) as f32;
     let packed = PackedTensor::from_codes(&codes, d_in, d_out, group_size, grid, params);
-    LayerQuantResult { packed, dequantized: deq, recon_error, damp_used: 0.0 }
+    LayerQuantResult {
+        packed,
+        dequantized: deq,
+        recon_error,
+        damp_used: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -202,7 +230,11 @@ mod tests {
         let x = x.add(&noise);
         let w = init::normal(d_in, d_out, 0.5, &mut rng);
         let h = make_hessian(&x);
-        let cfg = GridConfig { group_size: 8, block_size: 8, ..GridConfig::default() };
+        let cfg = GridConfig {
+            group_size: 8,
+            block_size: 8,
+            ..GridConfig::default()
+        };
         let grid = QuantGrid::int(3, true);
 
         let obq = quantize_layer_obq("test", &w, &h, grid, &cfg).unwrap();
@@ -220,8 +252,16 @@ mod tests {
         // With H ∝ I there is nothing to compensate; OBQ ≈ RTN.
         let mut rng = init::rng(1);
         let w = init::normal(16, 8, 0.5, &mut rng);
-        let lh = LayerHessian { h: Matrix::identity(16).scale(2.0), n_tokens: 1, mean_trace: 2.0 };
-        let cfg = GridConfig { group_size: 16, block_size: 8, ..GridConfig::default() };
+        let lh = LayerHessian {
+            h: Matrix::identity(16).scale(2.0),
+            n_tokens: 1,
+            mean_trace: 2.0,
+        };
+        let cfg = GridConfig {
+            group_size: 16,
+            block_size: 8,
+            ..GridConfig::default()
+        };
         let grid = QuantGrid::int(4, true);
         let obq = quantize_layer_obq("test", &w, &lh, grid, &cfg).unwrap();
         let rtn = quantize_layer_rtn(&w, grid, &cfg);
@@ -239,7 +279,11 @@ mod tests {
         let x = init::normal(40, 12, 1.0, &mut rng);
         let w = init::normal(12, 10, 0.4, &mut rng);
         let h = make_hessian(&x);
-        let cfg = GridConfig { group_size: 4, block_size: 4, ..GridConfig::default() };
+        let cfg = GridConfig {
+            group_size: 4,
+            block_size: 4,
+            ..GridConfig::default()
+        };
         let res = quantize_layer_obq("test", &w, &h, QuantGrid::int(4, true), &cfg).unwrap();
         let unpacked = res.packed.dequantize();
         for (a, b) in unpacked.as_slice().iter().zip(res.dequantized.as_slice()) {
@@ -265,7 +309,11 @@ mod tests {
         let x = init::normal(50, 10, 1.0, &mut rng);
         let w = init::normal(10, 8, 0.5, &mut rng);
         let h = make_hessian(&x);
-        let cfg = GridConfig { group_size: 10, block_size: 5, ..GridConfig::default() };
+        let cfg = GridConfig {
+            group_size: 10,
+            block_size: 5,
+            ..GridConfig::default()
+        };
         let e = |bits: u8| {
             let r = quantize_layer_obq("t", &w, &h, QuantGrid::int(bits, true), &cfg).unwrap();
             objective(&w, &r.dequantized, &x)
@@ -280,9 +328,8 @@ mod tests {
         let x = init::normal(30, 6, 1.0, &mut rng);
         let w = init::normal(6, 6, 0.5, &mut rng);
         let h = make_hessian(&x);
-        let res =
-            quantize_layer_obq("t", &w, &h, QuantGrid::int(2, true), &GridConfig::default())
-                .unwrap();
+        let res = quantize_layer_obq("t", &w, &h, QuantGrid::int(2, true), &GridConfig::default())
+            .unwrap();
         assert!(res.recon_error >= 0.0);
         assert!(res.recon_error > 0.0, "2-bit quantization must incur error");
     }
@@ -300,7 +347,11 @@ mod tests {
             w[(r, 0)] = 0.01 * r as f32;
             w[(r, 1)] = -0.01 * r as f32;
         }
-        let cfg = GridConfig { group_size: 4, block_size: 4, ..GridConfig::default() };
+        let cfg = GridConfig {
+            group_size: 4,
+            block_size: 4,
+            ..GridConfig::default()
+        };
         let res = quantize_layer_rtn(&w, QuantGrid::int(4, true), &cfg);
         // Small group must not inherit the large group's coarse scale.
         let small_err: f32 = (4..8)
@@ -317,11 +368,24 @@ mod tests {
         let w = init::normal(12, 6, 0.5, &mut rng);
         let h = make_hessian(&x);
         let grid = QuantGrid::int(3, true);
-        let small = GridConfig { group_size: 12, block_size: 1, ..GridConfig::default() };
-        let big = GridConfig { group_size: 12, block_size: 12, ..GridConfig::default() };
+        let small = GridConfig {
+            group_size: 12,
+            block_size: 1,
+            ..GridConfig::default()
+        };
+        let big = GridConfig {
+            group_size: 12,
+            block_size: 12,
+            ..GridConfig::default()
+        };
         let a = quantize_layer_obq("t", &w, &h, grid, &small).unwrap();
         let b = quantize_layer_obq("t", &w, &h, grid, &big).unwrap();
-        for (x1, x2) in a.dequantized.as_slice().iter().zip(b.dequantized.as_slice()) {
+        for (x1, x2) in a
+            .dequantized
+            .as_slice()
+            .iter()
+            .zip(b.dequantized.as_slice())
+        {
             assert!((x1 - x2).abs() < 1e-4, "{x1} vs {x2}");
         }
     }

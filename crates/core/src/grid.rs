@@ -3,6 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use aptq_tensor::num::{round_i32, round_i64, small_i32_f32, usize_f32};
+
 use crate::QuantError;
 
 /// Per-group quantization parameters.
@@ -70,17 +72,23 @@ impl QuantGrid {
         if !(1..=8).contains(&bits) {
             return Err(QuantError::UnsupportedBits { bits });
         }
-        Ok(QuantGrid { kind: GridKind::Int { bits, asymmetric } })
+        Ok(QuantGrid {
+            kind: GridKind::Int { bits, asymmetric },
+        })
     }
 
     /// Binary (sign) grid.
     pub fn binary() -> Self {
-        QuantGrid { kind: GridKind::Binary }
+        QuantGrid {
+            kind: GridKind::Binary,
+        }
     }
 
     /// FP4 E2M1 grid.
     pub fn fp4() -> Self {
-        QuantGrid { kind: GridKind::Fp4 }
+        QuantGrid {
+            kind: GridKind::Fp4,
+        }
     }
 
     /// The grid family.
@@ -112,28 +120,37 @@ impl QuantGrid {
                     lo = lo.min(0.0);
                     hi = hi.max(0.0);
                     let range = (hi - lo).max(1e-8);
-                    let scale = range / levels as f32;
-                    let zero = (-lo / scale).round() as i32;
+                    let scale = range / small_i32_f32(levels as i32);
+                    let zero = round_i32(-lo / scale);
                     GroupParams { scale, zero }
                 } else {
                     let amax = group.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-8);
                     // Symmetric signed range: codes −2^(b−1)..2^(b−1)−1
-                    let half = (1u32 << (bits - 1)) as f32 - 1.0;
+                    let half = small_i32_f32(1i32 << (bits - 1)) - 1.0;
                     let scale = amax / half.max(1.0);
-                    GroupParams { scale, zero: (1i32 << (bits - 1)) - 1 }
+                    GroupParams {
+                        scale,
+                        zero: (1i32 << (bits - 1)) - 1,
+                    }
                 }
             }
             GridKind::Binary => {
                 let mean_abs = if group.is_empty() {
                     1e-8
                 } else {
-                    group.iter().map(|v| v.abs()).sum::<f32>() / group.len() as f32
+                    group.iter().map(|v| v.abs()).sum::<f32>() / usize_f32(group.len())
                 };
-                GroupParams { scale: mean_abs.max(1e-8), zero: 0 }
+                GroupParams {
+                    scale: mean_abs.max(1e-8),
+                    zero: 0,
+                }
             }
             GridKind::Fp4 => {
                 let amax = group.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-8);
-                GroupParams { scale: amax / FP4_LEVELS[7], zero: 0 }
+                GroupParams {
+                    scale: amax / FP4_LEVELS[7],
+                    zero: 0,
+                }
             }
         }
     }
@@ -141,15 +158,12 @@ impl QuantGrid {
     /// Quantizes one value under fixed params; returns `(code, dequant)`.
     pub fn quantize(&self, w: f32, p: GroupParams) -> (u8, f32) {
         match self.kind {
-            GridKind::Int { bits, asymmetric } => {
+            GridKind::Int { bits, .. } => {
+                // Asymmetric and symmetric grids share the clamp; they
+                // differ only in the params fit by `fit_params`.
                 let levels = (1i64 << bits) - 1;
-                if asymmetric {
-                    let q = ((w / p.scale).round() as i64 + p.zero as i64).clamp(0, levels);
-                    (q as u8, (q as i32 - p.zero) as f32 * p.scale)
-                } else {
-                    let q = ((w / p.scale).round() as i64 + p.zero as i64).clamp(0, levels);
-                    (q as u8, (q as i32 - p.zero) as f32 * p.scale)
-                }
+                let q = (round_i64(w / p.scale) + i64::from(p.zero)).clamp(0, levels);
+                (q as u8, small_i32_f32(q as i32 - p.zero) * p.scale)
             }
             GridKind::Binary => {
                 if w >= 0.0 {
@@ -181,7 +195,7 @@ impl QuantGrid {
     /// Dequantizes a code under fixed params.
     pub fn dequantize(&self, code: u8, p: GroupParams) -> f32 {
         match self.kind {
-            GridKind::Int { .. } => (code as i32 - p.zero) as f32 * p.scale,
+            GridKind::Int { .. } => small_i32_f32(i32::from(code) - p.zero) * p.scale,
             GridKind::Binary => {
                 if code == 1 {
                     p.scale
@@ -238,7 +252,12 @@ pub struct GridConfig {
 
 impl Default for GridConfig {
     fn default() -> Self {
-        GridConfig { asymmetric: true, group_size: 32, block_size: 32, damp: 0.01 }
+        GridConfig {
+            asymmetric: true,
+            group_size: 32,
+            block_size: 32,
+            damp: 0.01,
+        }
     }
 }
 
@@ -264,7 +283,9 @@ mod tests {
     fn int_grid_roundtrip_error_bounded() {
         for bits in [2u8, 3, 4, 8] {
             let grid = QuantGrid::int(bits, true);
-            let group: Vec<f32> = (0..64).map(|i| ((i * 37 % 101) as f32) * 0.01 - 0.5).collect();
+            let group: Vec<f32> = (0..64)
+                .map(|i| ((i * 37 % 101) as f32) * 0.01 - 0.5)
+                .collect();
             let (_, deq, p) = grid.quantize_group(&group);
             for (w, d) in group.iter().zip(deq.iter()) {
                 assert!(
@@ -319,12 +340,19 @@ mod tests {
         let (_, deq, _) = grid.quantize_group(&[-1.0, 1.0]);
         assert!(deq[0] < 0.0);
         assert!(deq[1] > 0.0);
-        assert!((deq[0] + deq[1]).abs() < 0.2, "symmetric grid should be ~balanced");
+        assert!(
+            (deq[0] + deq[1]).abs() < 0.2,
+            "symmetric grid should be ~balanced"
+        );
     }
 
     #[test]
     fn degenerate_group_is_safe() {
-        for grid in [QuantGrid::int(4, true), QuantGrid::int(2, false), QuantGrid::fp4()] {
+        for grid in [
+            QuantGrid::int(4, true),
+            QuantGrid::int(2, false),
+            QuantGrid::fp4(),
+        ] {
             let (_, deq, p) = grid.quantize_group(&[0.0, 0.0, 0.0]);
             assert!(p.scale > 0.0);
             assert!(deq.iter().all(|d| d.is_finite()));
@@ -333,8 +361,14 @@ mod tests {
 
     #[test]
     fn try_int_rejects_bad_bits() {
-        assert!(matches!(QuantGrid::try_int(0, true), Err(QuantError::UnsupportedBits { bits: 0 })));
-        assert!(matches!(QuantGrid::try_int(9, true), Err(QuantError::UnsupportedBits { bits: 9 })));
+        assert!(matches!(
+            QuantGrid::try_int(0, true),
+            Err(QuantError::UnsupportedBits { bits: 0 })
+        ));
+        assert!(matches!(
+            QuantGrid::try_int(9, true),
+            Err(QuantError::UnsupportedBits { bits: 9 })
+        ));
         assert!(QuantGrid::try_int(8, false).is_ok());
     }
 
@@ -369,18 +403,31 @@ mod tests {
         let mut group = vec![6.0f32];
         group.extend((0..31).map(|i| {
             let mag = 0.4 + 0.1 * ((i % 4) as f32);
-            if i % 2 == 0 { mag } else { -mag }
+            if i % 2 == 0 {
+                mag
+            } else {
+                -mag
+            }
         }));
         let err = |grid: QuantGrid| {
             let (_, deq, _) = grid.quantize_group(&group);
-            group.iter().zip(deq.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+            group
+                .iter()
+                .zip(deq.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
         };
         assert!(err(QuantGrid::fp4()) < err(QuantGrid::int(4, false)));
     }
 
     #[test]
     fn dequantize_matches_quantize_output() {
-        for grid in [QuantGrid::int(4, true), QuantGrid::int(2, false), QuantGrid::fp4(), QuantGrid::binary()] {
+        for grid in [
+            QuantGrid::int(4, true),
+            QuantGrid::int(2, false),
+            QuantGrid::fp4(),
+            QuantGrid::binary(),
+        ] {
             let group: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.23).collect();
             let p = grid.fit_params(&group);
             for &w in &group {

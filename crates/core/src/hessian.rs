@@ -38,7 +38,10 @@ pub struct HessianAccumulator {
 impl HessianAccumulator {
     /// Creates an accumulator for a `dim`-dimensional input space.
     pub fn new(dim: usize) -> Self {
-        HessianAccumulator { h: Matrix::zeros(dim, dim), n_tokens: 0 }
+        HessianAccumulator {
+            h: Matrix::zeros(dim, dim),
+            n_tokens: 0,
+        }
     }
 
     /// Input dimension.
@@ -94,13 +97,18 @@ impl HessianAccumulator {
     /// Hessian trace") is taken **before** damping and normalized by the
     /// token count so layers are comparable.
     pub fn finish(self) -> LayerHessian {
+        crate::invariants::hessian_well_formed(&self.h, "HessianAccumulator::finish");
         let dim = self.h.rows();
         let mean_trace = if dim == 0 || self.n_tokens == 0 {
             0.0
         } else {
             linalg::mean_diagonal(&self.h) / self.n_tokens as f32
         };
-        LayerHessian { h: self.h, n_tokens: self.n_tokens, mean_trace }
+        LayerHessian {
+            h: self.h,
+            n_tokens: self.n_tokens,
+            mean_trace,
+        }
     }
 }
 
@@ -125,9 +133,15 @@ impl LayerHessian {
     /// Cholesky factorization always has a path to succeed.
     pub fn damped(&self, damp: f32) -> Matrix {
         let mut h = self.h.clone();
-        let mean_diag = if h.rows() == 0 { 0.0 } else { linalg::mean_diagonal(&h) };
+        let mean_diag = if h.rows() == 0 {
+            0.0
+        } else {
+            linalg::mean_diagonal(&h)
+        };
         let lambda = (damp * mean_diag).max(1e-6);
         linalg::damp_diagonal(&mut h, lambda);
+        crate::invariants::hessian_well_formed(&h, "LayerHessian::damped");
+        crate::invariants::damped_diagonal_positive(&h, "LayerHessian::damped");
         h
     }
 }
@@ -202,7 +216,10 @@ mod tests {
         let lh = acc.finish();
         assert_eq!(lh.mean_trace, 0.0);
         let damped = lh.damped(0.01);
-        assert!(linalg::cholesky(&damped).is_ok(), "floor damping must rescue zero Hessian");
+        assert!(
+            linalg::cholesky(&damped).is_ok(),
+            "floor damping must rescue zero Hessian"
+        );
     }
 
     #[test]

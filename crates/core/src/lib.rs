@@ -48,6 +48,7 @@ pub mod calib;
 pub mod engine;
 pub mod grid;
 pub mod hessian;
+pub mod invariants;
 pub mod methods;
 pub mod mixed;
 pub mod pack;
@@ -92,12 +93,17 @@ impl std::fmt::Display for QuantError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QuantError::HessianNotInvertible { layer } => {
-                write!(f, "hessian for layer {layer} is not invertible even after damping")
+                write!(
+                    f,
+                    "hessian for layer {layer} is not invertible even after damping"
+                )
             }
             QuantError::EmptyCalibration => {
                 write!(f, "calibration set is empty")
             }
-            QuantError::UnknownLayer { layer } => write!(f, "plan references unknown layer {layer}"),
+            QuantError::UnknownLayer { layer } => {
+                write!(f, "plan references unknown layer {layer}")
+            }
             QuantError::UnsupportedBits { bits } => {
                 write!(f, "unsupported bit-width {bits} (expected 1..=8)")
             }
@@ -116,12 +122,20 @@ mod tests {
 
     #[test]
     fn errors_format() {
-        let e = QuantError::HessianNotInvertible { layer: "layers.0.self_attn.q_proj".into() };
+        let e = QuantError::HessianNotInvertible {
+            layer: "layers.0.self_attn.q_proj".into(),
+        };
         assert!(e.to_string().contains("q_proj"));
         assert!(QuantError::EmptyCalibration.to_string().contains("empty"));
-        assert!(QuantError::UnsupportedBits { bits: 9 }.to_string().contains('9'));
-        assert!(QuantError::InvalidRatio { ratio: 1.5 }.to_string().contains("1.5"));
-        assert!(QuantError::UnknownLayer { layer: "x".into() }.to_string().contains('x'));
+        assert!(QuantError::UnsupportedBits { bits: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(QuantError::InvalidRatio { ratio: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(QuantError::UnknownLayer { layer: "x".into() }
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

@@ -88,7 +88,9 @@ mod tests {
     use aptq_lm::ModelConfig;
 
     fn calib() -> Vec<Vec<u32>> {
-        (0..6).map(|k| (0..16).map(|i| ((i * 5 + k) % 16) as u32).collect()).collect()
+        (0..6)
+            .map(|k| (0..16).map(|i| ((i * 5 + k) % 16) as u32).collect())
+            .collect()
     }
 
     #[test]
@@ -156,6 +158,9 @@ mod tests {
         // noise, so this is a sanity check only; the Table 3 comparison
         // on *trained* models lives in the workspace integration tests.
         assert!(d_trace.is_finite() && d_block.is_finite());
-        assert!(d_trace > 0.0 && d_block > 0.0, "half-2-bit quantization must perturb outputs");
+        assert!(
+            d_trace > 0.0 && d_block > 0.0,
+            "half-2-bit quantization must perturb outputs"
+        );
     }
 }

@@ -57,8 +57,9 @@ mod tests {
         let mut fpq_m = base.clone();
         let fpq_err = quantize(&mut fpq_m, &cfg).unwrap().total_recon_error();
         let mut rtn2 = base.clone();
-        let rtn2_err =
-            crate::methods::rtn::quantize(&mut rtn2, 2, &cfg).unwrap().total_recon_error();
+        let rtn2_err = crate::methods::rtn::quantize(&mut rtn2, 2, &cfg)
+            .unwrap()
+            .total_recon_error();
         assert!(fpq_err < rtn2_err);
     }
 }

@@ -35,7 +35,9 @@ mod tests {
     use aptq_lm::ModelConfig;
 
     fn calib() -> Vec<Vec<u32>> {
-        (0..6).map(|k| (0..16).map(|i| ((i * 3 + k) % 16) as u32).collect()).collect()
+        (0..6)
+            .map(|k| (0..16).map(|i| ((i * 3 + k) % 16) as u32).collect())
+            .collect()
     }
 
     #[test]
@@ -64,7 +66,10 @@ mod tests {
         let probe: Vec<u32> = (0..14).map(|i| ((i * 3) % 16) as u32).collect();
         let ref_logits = base.forward(&probe);
 
-        let cfg = GridConfig { group_size: 16, ..GridConfig::default() };
+        let cfg = GridConfig {
+            group_size: 16,
+            ..GridConfig::default()
+        };
         let mut gptq_model = base.clone();
         quantize(&mut gptq_model, calib().as_slice(), 3, &cfg).unwrap();
         let mut rtn_model = base.clone();

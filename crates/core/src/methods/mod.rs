@@ -52,7 +52,9 @@ pub fn apply_plan_obq(
     for (layer, bits) in plan.iter() {
         let lh = hessians
             .get(&layer)
-            .ok_or_else(|| QuantError::UnknownLayer { layer: layer.to_string() })?;
+            .ok_or_else(|| QuantError::UnknownLayer {
+                layer: layer.to_string(),
+            })?;
         let grid = QuantGrid::try_int(bits, cfg.asymmetric)?;
         let w = model.layer_weight(layer).clone();
         let res = engine::quantize_layer_obq(&layer.to_string(), &w, lh, grid, cfg)?;

@@ -111,15 +111,25 @@ mod tests {
     use aptq_lm::ModelConfig;
 
     fn calib() -> Vec<Vec<u32>> {
-        (0..4).map(|k| (0..12).map(|i| ((i * 3 + k) % 16) as u32).collect()).collect()
+        (0..4)
+            .map(|k| (0..12).map(|i| ((i * 3 + k) % 16) as u32).collect())
+            .collect()
     }
 
     #[test]
     fn owq_runs_and_costs_slightly_more_than_base() {
         let mut model = Model::new(&ModelConfig::test_tiny(16), 18);
         let report = quantize(&mut model, &calib(), 4, 1, &GridConfig::default()).unwrap();
-        assert!(report.avg_bits > 4.0, "outlier rows add storage: {}", report.avg_bits);
-        assert!(report.avg_bits < 5.0, "one outlier dim is cheap: {}", report.avg_bits);
+        assert!(
+            report.avg_bits > 4.0,
+            "outlier rows add storage: {}",
+            report.avg_bits
+        );
+        assert!(
+            report.avg_bits < 5.0,
+            "one outlier dim is cheap: {}",
+            report.avg_bits
+        );
         assert!(model.forward(&[1, 2, 3]).all_finite());
     }
 
@@ -171,6 +181,9 @@ mod tests {
             quantize(&mut m, &calib(), 2, k, &GridConfig::default()).unwrap();
             m.forward(&probe).sub(&ref_logits).frobenius_norm()
         };
-        assert!(drift(8) < drift(0), "outlier rows should reduce 2-bit drift");
+        assert!(
+            drift(8) < drift(0),
+            "outlier rows should reduce 2-bit drift"
+        );
     }
 }

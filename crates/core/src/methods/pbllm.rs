@@ -28,7 +28,9 @@ pub fn quantize(
     cfg: &GridConfig,
 ) -> Result<QuantReport, QuantError> {
     if !(0.0..=1.0).contains(&salient_ratio) {
-        return Err(QuantError::InvalidRatio { ratio: salient_ratio });
+        return Err(QuantError::InvalidRatio {
+            ratio: salient_ratio,
+        });
     }
     let hessians = collect_hessians(model, calibration, HessianMode::LayerInput)?;
     let grid = QuantGrid::binary();
@@ -131,7 +133,9 @@ mod tests {
     use aptq_lm::ModelConfig;
 
     fn calib() -> Vec<Vec<u32>> {
-        (0..4).map(|k| (0..12).map(|i| ((i * 7 + k) % 16) as u32).collect()).collect()
+        (0..4)
+            .map(|k| (0..12).map(|i| ((i * 7 + k) % 16) as u32).collect())
+            .collect()
     }
 
     #[test]
@@ -149,7 +153,9 @@ mod tests {
         let base = Model::new(&ModelConfig::test_tiny(16), 16);
         let err = |r: f32| {
             let mut m = base.clone();
-            quantize(&mut m, &calib(), r, &GridConfig::default()).unwrap().total_recon_error()
+            quantize(&mut m, &calib(), r, &GridConfig::default())
+                .unwrap()
+                .total_recon_error()
         };
         assert!(err(0.3) < err(0.1));
         assert!(err(0.1) < err(0.0) + 1e-9);

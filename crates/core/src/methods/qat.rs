@@ -44,7 +44,14 @@ pub struct QatConfig {
 
 impl Default for QatConfig {
     fn default() -> Self {
-        QatConfig { steps: 30, batch_size: 8, seq_len: 24, temperature: 1.0, lr: 1e-4, seed: 77 }
+        QatConfig {
+            steps: 30,
+            batch_size: 8,
+            seq_len: 24,
+            temperature: 1.0,
+            lr: 1e-4,
+            seed: 77,
+        }
     }
 }
 
@@ -61,7 +68,13 @@ pub fn quantize(
 ) -> Result<QuantReport, QuantError> {
     let mut rng = init::rng(qat.seed);
     let teacher = model.clone();
-    let mut adam = Adam::new(model, AdamConfig { lr: qat.lr, ..AdamConfig::default() });
+    let mut adam = Adam::new(
+        model,
+        AdamConfig {
+            lr: qat.lr,
+            ..AdamConfig::default()
+        },
+    );
 
     for _ in 0..qat.steps {
         // 1. Self-generate a batch from the fp teacher (data-free).
@@ -72,7 +85,10 @@ pub fn quantize(
                     &teacher,
                     &prompt,
                     qat.seq_len,
-                    SampleConfig { temperature: qat.temperature, top_k: 0 },
+                    SampleConfig {
+                        temperature: qat.temperature,
+                        top_k: 0,
+                    },
                     &mut rng,
                 )
                 .expect("teacher generation cannot fail on valid prompts")
@@ -103,7 +119,12 @@ mod tests {
     #[test]
     fn qat_runs_and_produces_finite_model() {
         let mut model = Model::new(&ModelConfig::test_tiny(16), 28);
-        let qat = QatConfig { steps: 3, batch_size: 2, seq_len: 8, ..QatConfig::default() };
+        let qat = QatConfig {
+            steps: 3,
+            batch_size: 2,
+            seq_len: 8,
+            ..QatConfig::default()
+        };
         let report = quantize(&mut model, 4, &qat, &GridConfig::default()).unwrap();
         assert!(report.method.contains("QAT"));
         assert_eq!(report.avg_bits, 4.0);
@@ -113,7 +134,12 @@ mod tests {
     #[test]
     fn qat_is_deterministic_for_fixed_seed() {
         let cfg = GridConfig::default();
-        let qat = QatConfig { steps: 2, batch_size: 2, seq_len: 8, ..QatConfig::default() };
+        let qat = QatConfig {
+            steps: 2,
+            batch_size: 2,
+            seq_len: 8,
+            ..QatConfig::default()
+        };
         let mut a = Model::new(&ModelConfig::test_tiny(16), 29);
         let mut b = a.clone();
         quantize(&mut a, 4, &qat, &cfg).unwrap();
@@ -133,7 +159,10 @@ mod tests {
                     &base,
                     &[i as u32],
                     12,
-                    SampleConfig { temperature: 1.0, top_k: 0 },
+                    SampleConfig {
+                        temperature: 1.0,
+                        top_k: 0,
+                    },
                     &mut init::rng(123),
                 )
                 .unwrap()
@@ -144,10 +173,19 @@ mod tests {
         let mut rtn_m = base.clone();
         rtn::quantize(&mut rtn_m, 2, &cfg).unwrap();
         let mut qat_m = base.clone();
-        let qat = QatConfig { steps: 12, batch_size: 4, seq_len: 12, lr: 3e-4, ..QatConfig::default() };
+        let qat = QatConfig {
+            steps: 12,
+            batch_size: 4,
+            seq_len: 12,
+            lr: 3e-4,
+            ..QatConfig::default()
+        };
         quantize(&mut qat_m, 2, &qat, &cfg).unwrap();
 
         let (lr_, lq) = (loss(&rtn_m), loss(&qat_m));
-        assert!(lq < lr_ * 1.1, "QAT should not be much worse than RTN: {lq} vs {lr_}");
+        assert!(
+            lq < lr_ * 1.1,
+            "QAT should not be much worse than RTN: {lq} vs {lr_}"
+        );
     }
 }

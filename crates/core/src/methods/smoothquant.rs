@@ -56,13 +56,13 @@ pub fn quantize(
 
     // Pass 2: fold scales into (norm gain, weights), then RTN.
     let mut outcomes = Vec::new();
-    for b in 0..model.config().n_layers {
+    for (b, block_stats) in stats.iter().enumerate() {
         // Attention family: q/k/v read the norm1 output.
         apply_family(
             model,
             b,
             &[LayerKind::Q, LayerKind::K, LayerKind::V],
-            &stats[b].attn,
+            &block_stats.attn,
             alpha,
             true,
         );
@@ -71,7 +71,7 @@ pub fn quantize(
             model,
             b,
             &[LayerKind::Gate, LayerKind::Up],
-            &stats[b].ffn,
+            &block_stats.ffn,
             alpha,
             false,
         );
@@ -89,7 +89,11 @@ pub fn quantize(
             });
         }
     }
-    Ok(QuantReport::new(format!("SmoothQuant-{bits}bit"), model, outcomes))
+    Ok(QuantReport::new(
+        format!("SmoothQuant-{bits}bit"),
+        model,
+        outcomes,
+    ))
 }
 
 /// Computes `s`, folds `1/s` into the norm gain and `s` into the family's
@@ -107,9 +111,9 @@ fn apply_family(
     let mut w_max = vec![1e-8f32; d];
     for &kind in kinds {
         let w = model.layer_weight(LayerRef { block, kind });
-        for i in 0..d {
+        for (i, wm) in w_max.iter_mut().enumerate() {
             for &v in w.row(i) {
-                w_max[i] = w_max[i].max(v.abs());
+                *wm = wm.max(v.abs());
             }
         }
     }
@@ -131,7 +135,11 @@ fn apply_family(
     }
     // Fold into the producing norm: gain ← gain / s.
     let blk = &mut model.blocks_mut()[block];
-    let gain = if is_attn { blk.norm1.gain_mut() } else { blk.norm2.gain_mut() };
+    let gain = if is_attn {
+        blk.norm1.gain_mut()
+    } else {
+        blk.norm2.gain_mut()
+    };
     for (g, &si) in gain.iter_mut().zip(s.iter()) {
         *g /= si;
     }
@@ -140,7 +148,10 @@ fn apply_family(
 fn collect_act_stats(model: &Model, calibration: &[Vec<u32>]) -> Vec<BlockActStats> {
     let d = model.config().d_model;
     let mut stats: Vec<BlockActStats> = (0..model.config().n_layers)
-        .map(|_| BlockActStats { attn: vec![0.0; d], ffn: vec![0.0; d] })
+        .map(|_| BlockActStats {
+            attn: vec![0.0; d],
+            ffn: vec![0.0; d],
+        })
         .collect();
     for seg in calibration.iter().filter(|s| !s.is_empty()) {
         let (_, cap) = model.forward_capture(seg);
@@ -164,7 +175,9 @@ mod tests {
     use aptq_lm::ModelConfig;
 
     fn calib() -> Vec<Vec<u32>> {
-        (0..4).map(|k| (0..12).map(|i| ((i * 3 + k) % 16) as u32).collect()).collect()
+        (0..4)
+            .map(|k| (0..12).map(|i| ((i * 3 + k) % 16) as u32).collect())
+            .collect()
     }
 
     #[test]
@@ -175,12 +188,12 @@ mod tests {
         let base = Model::new(&ModelConfig::test_tiny(16), 22);
         let mut folded = base.clone();
         let stats = collect_act_stats(&base, &calib());
-        for b in 0..base.config().n_layers {
+        for (b, block_stats) in stats.iter().enumerate() {
             apply_family(
                 &mut folded,
                 b,
                 &[LayerKind::Q, LayerKind::K, LayerKind::V],
-                &stats[b].attn,
+                &block_stats.attn,
                 0.5,
                 true,
             );
@@ -188,7 +201,7 @@ mod tests {
                 &mut folded,
                 b,
                 &[LayerKind::Gate, LayerKind::Up],
-                &stats[b].ffn,
+                &block_stats.ffn,
                 0.5,
                 false,
             );
@@ -197,7 +210,10 @@ mod tests {
         let a = base.forward(&probe);
         let b = folded.forward(&probe);
         let rel = a.sub(&b).frobenius_norm() / a.frobenius_norm();
-        assert!(rel < 1e-3, "scale folding must be function-preserving: {rel}");
+        assert!(
+            rel < 1e-3,
+            "scale folding must be function-preserving: {rel}"
+        );
     }
 
     #[test]
@@ -244,6 +260,9 @@ mod tests {
         let (ds, dr) = (drift(&sq), drift(&rtn));
         // Weight-only RTN is not hurt by activation outliers, so parity is
         // acceptable; what must not happen is smoothing blowing up.
-        assert!(ds < dr * 2.0, "smoothing must stay in RTN's ballpark: {ds} vs {dr}");
+        assert!(
+            ds < dr * 2.0,
+            "smoothing must stay in RTN's ballpark: {ds} vs {dr}"
+        );
     }
 }

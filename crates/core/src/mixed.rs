@@ -57,7 +57,11 @@ impl MixedPrecisionAllocator {
         if !(0.0..=1.0).contains(&r) {
             return Err(QuantError::InvalidRatio { ratio: r });
         }
-        Ok(MixedPrecisionAllocator { high_bits: 4, low_bits: 2, ratio: r })
+        Ok(MixedPrecisionAllocator {
+            high_bits: 4,
+            low_bits: 2,
+            ratio: r,
+        })
     }
 
     /// Produces a [`QuantPlan`] under the given policy.
@@ -73,7 +77,11 @@ impl MixedPrecisionAllocator {
         policy: AllocationPolicy,
     ) -> QuantPlan {
         let mut plan = QuantPlan::uniform(model, self.low_bits);
-        let total: usize = model.layer_refs().iter().map(|&r| model.layer_weight(r).len()).sum();
+        let total: usize = model
+            .layer_refs()
+            .iter()
+            .map(|&r| model.layer_weight(r).len())
+            .sum();
         let target = self.ratio as f64 * total as f64;
         if target <= 0.0 {
             return plan;
@@ -92,6 +100,30 @@ impl MixedPrecisionAllocator {
             plan.set_bits(r, self.high_bits);
             covered += model.layer_weight(r).len() as f64;
         }
+        if crate::invariants::ENABLED && total > 0 {
+            let max_share = model
+                .layer_refs()
+                .iter()
+                .map(|&r| model.layer_weight(r).len())
+                .fold(0usize, usize::max) as f64
+                / total as f64;
+            crate::invariants::budget_conserved(
+                plan.avg_bits(model),
+                self.high_bits,
+                self.low_bits,
+                self.ratio,
+                max_share as f32,
+                "MixedPrecisionAllocator::allocate",
+            );
+            if policy == AllocationPolicy::HessianTrace {
+                crate::invariants::allocation_monotone(
+                    &plan,
+                    sensitivity,
+                    self.high_bits,
+                    "MixedPrecisionAllocator::allocate",
+                );
+            }
+        }
         plan
     }
 }
@@ -105,8 +137,9 @@ mod tests {
 
     fn setup() -> (Model, SensitivityReport) {
         let model = Model::new(&ModelConfig::test_tiny(16), 5);
-        let segs: Vec<Vec<u32>> =
-            (0..3).map(|k| (0..12).map(|i| ((i + 2 * k) % 16) as u32).collect()).collect();
+        let segs: Vec<Vec<u32>> = (0..3)
+            .map(|k| (0..12).map(|i| ((i + 2 * k) % 16) as u32).collect())
+            .collect();
         let hs = crate::collect_hessians(&model, &segs, HessianMode::AttentionAware).unwrap();
         (model, SensitivityReport::from_hessians(&hs))
     }
@@ -140,7 +173,10 @@ mod tests {
                 (avg - want).abs() < 0.5,
                 "r={r}: avg {avg} too far from Eq18 {want}"
             );
-            assert!(avg >= want - 1e-4, "greedy cover must reach the target ratio");
+            assert!(
+                avg >= want - 1e-4,
+                "greedy cover must reach the target ratio"
+            );
         }
     }
 
@@ -170,7 +206,10 @@ mod tests {
             .iter()
             .filter(|&&kind| plan.bits_for(LayerRef { block: last, kind }) == Some(2))
             .count();
-        assert!(low_in_last > 0, "half ratio must leave the last block partly low-bit");
+        assert!(
+            low_in_last > 0,
+            "half ratio must leave the last block partly low-bit"
+        );
     }
 
     #[test]

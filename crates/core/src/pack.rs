@@ -5,8 +5,8 @@
 //! format; [`PackedTensor::dequantize`] reconstructs the dense matrix the
 //! simulated-quantization evaluation uses.
 
+use aptq_tensor::num::usize_f32;
 use aptq_tensor::Matrix;
-use bytes::{BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
 use crate::grid::{GroupParams, QuantGrid};
@@ -16,26 +16,26 @@ use crate::grid::{GroupParams, QuantGrid};
 /// # Panics
 ///
 /// Panics if `bits` is 0, above 8, or any code exceeds the bit-width.
-pub fn pack_codes(codes: &[u8], bits: u8) -> Bytes {
+pub fn pack_codes(codes: &[u8], bits: u8) -> Vec<u8> {
     assert!((1..=8).contains(&bits), "bits must be in 1..=8");
     let mask = ((1u16 << bits) - 1) as u8;
-    let mut buf = BytesMut::with_capacity((codes.len() * bits as usize).div_ceil(8));
+    let mut buf = Vec::with_capacity((codes.len() * bits as usize).div_ceil(8));
     let mut acc: u16 = 0;
     let mut nbits = 0u8;
     for &c in codes {
         assert!(c <= mask, "code {c} exceeds {bits}-bit range");
-        acc |= (c as u16) << nbits;
+        acc |= u16::from(c) << nbits;
         nbits += bits;
         while nbits >= 8 {
-            buf.put_u8((acc & 0xFF) as u8);
+            buf.push((acc & 0xFF) as u8);
             acc >>= 8;
             nbits -= 8;
         }
     }
     if nbits > 0 {
-        buf.put_u8((acc & 0xFF) as u8);
+        buf.push((acc & 0xFF) as u8);
     }
-    buf.freeze()
+    buf
 }
 
 /// Unpacks `count` codes of width `bits` from a buffer produced by
@@ -47,8 +47,12 @@ pub fn pack_codes(codes: &[u8], bits: u8) -> Bytes {
 pub fn unpack_codes(data: &[u8], bits: u8, count: usize) -> Vec<u8> {
     assert!((1..=8).contains(&bits), "bits must be in 1..=8");
     let needed = (count * bits as usize).div_ceil(8);
-    assert!(data.len() >= needed, "buffer too short: {} < {needed}", data.len());
-    let mask = ((1u16 << bits) - 1) as u16;
+    assert!(
+        data.len() >= needed,
+        "buffer too short: {} < {needed}",
+        data.len()
+    );
+    let mask = (1u16 << bits) - 1;
     let mut out = Vec::with_capacity(count);
     let mut acc: u32 = 0;
     let mut nbits = 0u8;
@@ -83,8 +87,7 @@ pub struct PackedTensor {
     /// The grid codes were produced with.
     pub grid: QuantGrid,
     /// Packed codes (row-major).
-    #[serde(with = "serde_bytes_compat")]
-    pub data: Bytes,
+    pub data: Vec<u8>,
     /// `(n_groups × d_out)` parameters, group-major.
     pub params: Vec<GroupParams>,
 }
@@ -106,12 +109,14 @@ impl PackedTensor {
         assert_eq!(codes.len(), d_in * d_out, "code count mismatch");
         let n_groups = d_in.div_ceil(group_size);
         assert_eq!(params.len(), n_groups * d_out, "params count mismatch");
+        let data = pack_codes(codes, grid.bits());
+        crate::invariants::pack_roundtrip(codes, &data, grid.bits(), "PackedTensor::from_codes");
         PackedTensor {
             d_in,
             d_out,
             group_size,
             grid,
-            data: pack_codes(codes, grid.bits()),
+            data,
             params,
         }
     }
@@ -129,7 +134,7 @@ impl PackedTensor {
 
     /// Effective bits per weight including group metadata.
     pub fn effective_bits(&self) -> f32 {
-        self.storage_bytes() as f32 * 8.0 / (self.d_in * self.d_out) as f32
+        usize_f32(self.storage_bytes()) * 8.0 / usize_f32(self.d_in * self.d_out)
     }
 
     /// Reconstructs the dense dequantized matrix.
@@ -144,21 +149,6 @@ impl PackedTensor {
             }
         }
         m
-    }
-}
-
-/// Serde adapter: `bytes::Bytes` as a plain byte vector.
-mod serde_bytes_compat {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
     }
 }
 
@@ -202,12 +192,19 @@ mod tests {
         let w = Matrix::from_fn(d_in, d_out, |i, j| ((i * 3 + j) as f32 * 0.37).sin());
         let n_groups = d_in / group_size;
         let mut codes = vec![0u8; d_in * d_out];
-        let mut params = vec![GroupParams { scale: 1.0, zero: 0 }; n_groups * d_out];
+        let mut params = vec![
+            GroupParams {
+                scale: 1.0,
+                zero: 0
+            };
+            n_groups * d_out
+        ];
         let mut expect = Matrix::zeros(d_in, d_out);
         for g in 0..n_groups {
             for j in 0..d_out {
-                let col: Vec<f32> =
-                    (0..group_size).map(|r| w[(g * group_size + r, j)]).collect();
+                let col: Vec<f32> = (0..group_size)
+                    .map(|r| w[(g * group_size + r, j)])
+                    .collect();
                 let p = grid.fit_params(&col);
                 params[g * d_out + j] = p;
                 for r in 0..group_size {
@@ -228,7 +225,13 @@ mod tests {
         let d_in = 64;
         let d_out = 64;
         let codes = vec![0u8; d_in * d_out];
-        let params = vec![GroupParams { scale: 1.0, zero: 0 }; (d_in / 32) * d_out];
+        let params = vec![
+            GroupParams {
+                scale: 1.0,
+                zero: 0
+            };
+            (d_in / 32) * d_out
+        ];
         let packed = PackedTensor::from_codes(&codes, d_in, d_out, 32, grid, params);
         let eff = packed.effective_bits();
         assert!(eff > 4.0, "metadata adds overhead: {eff}");
@@ -239,7 +242,13 @@ mod tests {
     fn storage_shrinks_with_fewer_bits() {
         let d_in = 32;
         let d_out = 32;
-        let params4 = vec![GroupParams { scale: 1.0, zero: 0 }; d_out];
+        let params4 = vec![
+            GroupParams {
+                scale: 1.0,
+                zero: 0
+            };
+            d_out
+        ];
         let p4 = PackedTensor::from_codes(
             &vec![0u8; d_in * d_out],
             d_in,
@@ -268,7 +277,13 @@ mod tests {
             2,
             2,
             grid,
-            vec![GroupParams { scale: 0.5, zero: 1 }; 2],
+            vec![
+                GroupParams {
+                    scale: 0.5,
+                    zero: 1
+                };
+                2
+            ],
         );
         let json = serde_json::to_string(&packed).unwrap();
         let back: PackedTensor = serde_json::from_str(&json).unwrap();

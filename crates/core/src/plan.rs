@@ -26,7 +26,9 @@ pub struct QuantPlan {
 impl QuantPlan {
     /// A plan assigning the same bit-width to every layer.
     pub fn uniform(model: &Model, bits: u8) -> Self {
-        QuantPlan { bits: model.layer_refs().into_iter().map(|r| (r, bits)).collect() }
+        QuantPlan {
+            bits: model.layer_refs().into_iter().map(|r| (r, bits)).collect(),
+        }
     }
 
     /// Builds a plan from explicit assignments.
@@ -151,14 +153,20 @@ mod tests {
         }
         let ratio = plan.high_bit_ratio(&m, 4);
         let avg = plan.avg_bits(&m);
-        assert!((avg - eq18_average_bits(ratio)).abs() < 1e-4, "{avg} vs Eq18({ratio})");
+        assert!(
+            (avg - eq18_average_bits(ratio)).abs() < 1e-4,
+            "{avg} vs Eq18({ratio})"
+        );
     }
 
     #[test]
     fn set_bits_overrides() {
         let m = model();
         let mut plan = QuantPlan::uniform(&m, 4);
-        let r = LayerRef { block: 0, kind: LayerKind::Q };
+        let r = LayerRef {
+            block: 0,
+            kind: LayerKind::Q,
+        };
         plan.set_bits(r, 2);
         assert_eq!(plan.bits_for(r), Some(2));
         assert!(plan.avg_bits(&m) < 4.0);

@@ -47,8 +47,18 @@ impl QuantReport {
             quantized_bytes += o.storage_bytes;
             fp16_bytes += n * 2;
         }
-        let avg_bits = if total_weights == 0.0 { 0.0 } else { (weighted / total_weights) as f32 };
-        QuantReport { method: method.into(), avg_bits, layers, quantized_bytes, fp16_bytes }
+        let avg_bits = if total_weights == 0.0 {
+            0.0
+        } else {
+            (weighted / total_weights) as f32
+        };
+        QuantReport {
+            method: method.into(),
+            avg_bits,
+            layers,
+            quantized_bytes,
+            fp16_bytes,
+        }
     }
 
     /// Compression ratio vs fp16 (>1 means smaller).

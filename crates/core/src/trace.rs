@@ -66,7 +66,10 @@ impl SensitivityReport {
     pub fn from_hessians(hessians: &BTreeMap<LayerRef, LayerHessian>) -> Self {
         let entries = hessians
             .iter()
-            .map(|(&layer, lh)| LayerSensitivity { layer, mean_trace: lh.mean_trace })
+            .map(|(&layer, lh)| LayerSensitivity {
+                layer,
+                mean_trace: lh.mean_trace,
+            })
             .collect();
         Self::sorted(entries)
     }
@@ -98,11 +101,15 @@ impl SensitivityReport {
                         let w = model.layer_weight(layer);
                         lh.mean_trace * rtn_mean_sq_error(w, low_bits, cfg)
                     }
-                    SensitivityMetric::EmpiricalLoss => panic!(
-                        "EmpiricalLoss needs probe data; call empirical_sensitivity()"
-                    ),
+                    SensitivityMetric::EmpiricalLoss => {
+                        // audit:allow(panic): documented under `# Panics`; callers route this variant to empirical_sensitivity()
+                        panic!("EmpiricalLoss needs probe data; call empirical_sensitivity()")
+                    }
                 };
-                LayerSensitivity { layer, mean_trace: score }
+                LayerSensitivity {
+                    layer,
+                    mean_trace: score,
+                }
             })
             .collect();
         Self::sorted(entries)
@@ -135,7 +142,10 @@ impl SensitivityReport {
 
     /// The trace value for one layer, if ranked.
     pub fn trace_for(&self, layer: LayerRef) -> Option<f32> {
-        self.entries.iter().find(|e| e.layer == layer).map(|e| e.mean_trace)
+        self.entries
+            .iter()
+            .find(|e| e.layer == layer)
+            .map(|e| e.mean_trace)
     }
 
     /// Mean squared per-weight sensitivity score over all entries.
@@ -151,7 +161,12 @@ impl SensitivityReport {
     pub fn to_markdown(&self) -> String {
         let mut s = String::from("| rank | layer | avg Hessian trace |\n|---|---|---|\n");
         for (i, e) in self.entries.iter().enumerate() {
-            s.push_str(&format!("| {} | {} | {:.6} |\n", i + 1, e.layer, e.mean_trace));
+            s.push_str(&format!(
+                "| {} | {} | {:.6} |\n",
+                i + 1,
+                e.layer,
+                e.mean_trace
+            ));
         }
         s
     }
@@ -182,7 +197,10 @@ pub fn empirical_sensitivity(
                 cfg,
             );
             *perturbed.layer_weight_mut(layer) = res.dequantized;
-            LayerSensitivity { layer, mean_trace: probe_loss(&perturbed, probe) - base }
+            LayerSensitivity {
+                layer,
+                mean_trace: probe_loss(&perturbed, probe) - base,
+            }
         })
         .collect();
     SensitivityReport::sorted(entries)
@@ -201,17 +219,26 @@ pub fn empirical_sensitivity(
 ///
 /// Panics if `h` is not square or `n_probes == 0`.
 pub fn hutchinson_trace(h: &aptq_tensor::Matrix, n_probes: usize, seed: u64) -> f32 {
-    assert_eq!(h.rows(), h.cols(), "hutchinson_trace: square matrix required");
+    assert_eq!(
+        h.rows(),
+        h.cols(),
+        "hutchinson_trace: square matrix required"
+    );
     assert!(n_probes > 0, "hutchinson_trace: need at least one probe");
     use rand::Rng;
     let mut rng = aptq_tensor::init::rng(seed);
     let n = h.rows();
     let mut acc = 0.0f64;
     for _ in 0..n_probes {
-        let z: Vec<f32> =
-            (0..n).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
+        let z: Vec<f32> = (0..n)
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
         let hz = h.matvec(&z);
-        acc += z.iter().zip(hz.iter()).map(|(&a, &b)| (a * b) as f64).sum::<f64>();
+        acc += z
+            .iter()
+            .zip(hz.iter())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum::<f64>();
     }
     (acc / n_probes as f64) as f32
 }
@@ -258,14 +285,15 @@ fn rtn_mean_sq_error(w: &aptq_tensor::Matrix, bits: u8, cfg: &GridConfig) -> f32
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aptq_lm::{LayerKind, Model, ModelConfig};
     use crate::hessian::HessianMode;
+    use aptq_lm::{LayerKind, Model, ModelConfig};
 
     #[test]
     fn ranking_is_descending_and_complete() {
         let model = Model::new(&ModelConfig::test_tiny(16), 2);
-        let segs: Vec<Vec<u32>> =
-            (0..3).map(|k| (0..12).map(|i| ((i + k) % 16) as u32).collect()).collect();
+        let segs: Vec<Vec<u32>> = (0..3)
+            .map(|k| (0..12).map(|i| ((i + k) % 16) as u32).collect())
+            .collect();
         let hs = crate::collect_hessians(&model, &segs, HessianMode::AttentionAware).unwrap();
         let report = SensitivityReport::from_hessians(&hs);
         assert_eq!(report.len(), model.layer_refs().len());
@@ -283,8 +311,9 @@ mod tests {
         // If every layer had the same sensitivity the mixed-precision
         // allocator would be meaningless.
         let model = Model::new(&ModelConfig::test_tiny(16), 3);
-        let segs: Vec<Vec<u32>> =
-            (0..3).map(|k| (0..12).map(|i| ((i * 2 + k) % 16) as u32).collect()).collect();
+        let segs: Vec<Vec<u32>> = (0..3)
+            .map(|k| (0..12).map(|i| ((i * 2 + k) % 16) as u32).collect())
+            .collect();
         let hs = crate::collect_hessians(&model, &segs, HessianMode::AttentionAware).unwrap();
         let report = SensitivityReport::from_hessians(&hs);
         let hi = report.entries().first().unwrap().mean_trace;
@@ -298,15 +327,23 @@ mod tests {
         let segs = vec![(0..12).map(|i| (i % 16) as u32).collect::<Vec<u32>>()];
         let hs = crate::collect_hessians(&model, &segs, HessianMode::AttentionAware).unwrap();
         let cfg = GridConfig::default();
-        let raw = SensitivityReport::with_metric(
-            &hs, &model, SensitivityMetric::MeanTrace, 2, &cfg);
+        let raw =
+            SensitivityReport::with_metric(&hs, &model, SensitivityMetric::MeanTrace, 2, &cfg);
         let weighted = SensitivityReport::with_metric(
-            &hs, &model, SensitivityMetric::TraceTimesPerturbation, 2, &cfg);
+            &hs,
+            &model,
+            SensitivityMetric::TraceTimesPerturbation,
+            2,
+            &cfg,
+        );
         assert_eq!(raw.len(), weighted.len());
         // Rankings generally differ because weight magnitudes vary.
         let raw_order: Vec<_> = raw.entries().iter().map(|e| e.layer).collect();
         let weighted_order: Vec<_> = weighted.entries().iter().map(|e| e.layer).collect();
-        assert_ne!(raw_order, weighted_order, "weighting should reshuffle at least one layer");
+        assert_ne!(
+            raw_order, weighted_order,
+            "weighting should reshuffle at least one layer"
+        );
         assert!(weighted.mean_score() > 0.0);
         // Raw metric must agree with from_hessians.
         let legacy = SensitivityReport::from_hessians(&hs);
@@ -331,8 +368,9 @@ mod tests {
     #[test]
     fn empirical_sensitivity_ranks_all_layers() {
         let model = Model::new(&ModelConfig::test_tiny(16), 8);
-        let probe: Vec<Vec<u32>> =
-            (0..3).map(|k| (0..10).map(|i| ((i + k) % 16) as u32).collect()).collect();
+        let probe: Vec<Vec<u32>> = (0..3)
+            .map(|k| (0..10).map(|i| ((i + k) % 16) as u32).collect())
+            .collect();
         let report = empirical_sensitivity(&model, &probe, 2, &GridConfig::default());
         assert_eq!(report.len(), model.layer_refs().len());
         // Entries are finite and sorted descending.

@@ -2,9 +2,13 @@
 
 use aptq_core::engine::{quantize_layer_obq, quantize_layer_rtn};
 use aptq_core::grid::{GridConfig, QuantGrid};
-use aptq_core::hessian::HessianAccumulator;
+use aptq_core::hessian::{HessianAccumulator, HessianMode};
+use aptq_core::invariants;
+use aptq_core::mixed::{AllocationPolicy, MixedPrecisionAllocator};
 use aptq_core::pack::{pack_codes, unpack_codes};
 use aptq_core::plan::eq18_average_bits;
+use aptq_core::trace::SensitivityReport;
+use aptq_lm::{Model, ModelConfig};
 use aptq_tensor::Matrix;
 use proptest::prelude::*;
 
@@ -137,6 +141,77 @@ proptest! {
             if w.abs() > 1e-6 {
                 prop_assert_eq!(w.signum(), d.signum());
             }
+        }
+    }
+
+    #[test]
+    fn packing_roundtrips_at_mixed_precision_widths(
+        codes in proptest::collection::vec(0u8..4, 0..240),
+        bits in 2u8..=4,
+    ) {
+        // The widths the APTQ 2/4 scheme (and the 3-bit ablation) store:
+        // codes drawn from 0..4 are valid under every width in 2..=4.
+        let packed = pack_codes(&codes, bits);
+        let back = unpack_codes(&packed, bits, codes.len());
+        prop_assert_eq!(back.len(), codes.len());
+        prop_assert_eq!(back, codes);
+        // I6 is also enforced as a debug invariant at the same boundary.
+        invariants::pack_roundtrip(&codes, &packed, bits, "property test");
+    }
+
+    #[test]
+    fn hessian_accumulator_stays_symmetric_and_finite(
+        batches in proptest::collection::vec(matrix(7, 5), 1..5),
+        weight in 0.1f32..4.0,
+    ) {
+        // Eq. 7: H = 2·ΣX̃ᵀX̃ is a Gram sum — symmetric PSD, and finite
+        // for finite inputs, regardless of how updates are interleaved.
+        let mut acc = HessianAccumulator::new(5);
+        for (k, x) in batches.iter().enumerate() {
+            match k % 3 {
+                0 => acc.update(x),
+                1 => acc.update_weighted(x, weight),
+                _ => acc.update_weighted_uncounted(x, weight),
+            }
+        }
+        let lh = acc.finish();
+        invariants::hessian_well_formed(&lh.h, "property test");
+        for i in 0..5 {
+            prop_assert!(lh.h[(i, i)] >= 0.0, "Gram diagonal must be non-negative");
+            for j in 0..5 {
+                prop_assert!(lh.h[(i, j)].is_finite());
+            }
+        }
+        prop_assert!(lh.mean_trace >= 0.0);
+        // Dampening must yield a strictly positive diagonal (I3).
+        invariants::damped_diagonal_positive(&lh.damped(0.01), "property test");
+    }
+}
+
+proptest! {
+    // Each case builds a model and collects Hessians, so keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn mixed_allocation_tracks_eq18_budget(r in 0.0f32..=1.0) {
+        // Eq. 18: average bits = 4R + 2(1−R). The layer-wise greedy cover
+        // may overshoot by at most one layer's weight share.
+        let model = Model::new(&ModelConfig::test_tiny(16), 5);
+        let segs: Vec<Vec<u32>> =
+            (0..3).map(|k| (0..12).map(|i| ((i + 2 * k) % 16) as u32).collect()).collect();
+        let hs = aptq_core::collect_hessians(&model, &segs, HessianMode::AttentionAware)
+            .expect("hessian collection on a fresh tiny model must succeed");
+        let sens = SensitivityReport::from_hessians(&hs);
+        let alloc = MixedPrecisionAllocator::two_four(r)
+            .expect("ratio sampled from [0,1] is always valid");
+        for policy in [AllocationPolicy::HessianTrace, AllocationPolicy::ManualBlockwise] {
+            let plan = alloc.allocate(&model, &sens, policy);
+            let avg = plan.avg_bits(&model);
+            let want = eq18_average_bits(r);
+            prop_assert!(avg >= want - 1e-4,
+                "{policy}: achieved {avg} must reach Eq.18 target {want}");
+            prop_assert!(avg <= want + 2.0 * 0.35 + 1e-4,
+                "{policy}: achieved {avg} overshoots Eq.18 target {want} by more than one layer");
         }
     }
 }

@@ -86,6 +86,8 @@ mod tests {
         let e = EvalError::Quant(aptq_core::QuantError::EmptyCalibration);
         assert!(e.to_string().contains("quantization"));
         assert!(e.source().is_some());
-        assert!(EvalError::EmptyInput("segments").to_string().contains("segments"));
+        assert!(EvalError::EmptyInput("segments")
+            .to_string()
+            .contains("segments"));
     }
 }

@@ -45,10 +45,14 @@ mod tests {
     fn random_model_ppl_near_vocab_size() {
         // An untrained model is roughly uniform: PPL ≈ |V|.
         let model = Model::new(&ModelConfig::test_tiny(16), 1);
-        let segs: Vec<Vec<u32>> =
-            (0..4).map(|k| (0..20).map(|i| ((i * 7 + k) % 16) as u32).collect()).collect();
+        let segs: Vec<Vec<u32>> = (0..4)
+            .map(|k| (0..20).map(|i| ((i * 7 + k) % 16) as u32).collect())
+            .collect();
         let ppl = perplexity(&model, &segs).unwrap();
-        assert!(ppl > 8.0 && ppl < 40.0, "untrained PPL {ppl} should be near |V|=16");
+        assert!(
+            ppl > 8.0 && ppl < 40.0,
+            "untrained PPL {ppl} should be near |V|=16"
+        );
     }
 
     #[test]
@@ -86,7 +90,10 @@ mod tests {
         let trainer = aptq_lm::Trainer::new(aptq_lm::TrainerConfig {
             steps: 80,
             batch_size: 8,
-            adam: aptq_lm::adam::AdamConfig { lr: 4e-3, ..Default::default() },
+            adam: aptq_lm::adam::AdamConfig {
+                lr: 4e-3,
+                ..Default::default()
+            },
             log_every: 0,
         });
         trainer.run(&mut model, |_| gen.segments(8, 24));

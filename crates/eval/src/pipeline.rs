@@ -106,22 +106,39 @@ impl Method {
             Method::Fp16 => None,
             Method::Rtn { bits } => Some(methods::rtn::quantize(model, bits, cfg)?),
             Method::Gptq { bits } => Some(methods::gptq::quantize(model, calibration, bits, cfg)?),
-            Method::Owq { bits, outlier_dims } => {
-                Some(methods::owq::quantize(model, calibration, bits, outlier_dims, cfg)?)
-            }
-            Method::SmoothQuant { bits } => {
-                Some(methods::smoothquant::quantize(model, calibration, bits, 0.5, cfg)?)
-            }
+            Method::Owq { bits, outlier_dims } => Some(methods::owq::quantize(
+                model,
+                calibration,
+                bits,
+                outlier_dims,
+                cfg,
+            )?),
+            Method::SmoothQuant { bits } => Some(methods::smoothquant::quantize(
+                model,
+                calibration,
+                bits,
+                0.5,
+                cfg,
+            )?),
             Method::Fpq => Some(methods::fpq::quantize(model, cfg)?),
-            Method::LlmQat { bits } => {
-                Some(methods::qat::quantize(model, bits, &QatConfig::default(), cfg)?)
-            }
-            Method::PbLlm { salient_ratio } => {
-                Some(methods::pbllm::quantize(model, calibration, salient_ratio, cfg)?)
-            }
-            Method::AptqUniform { bits } => {
-                Some(methods::aptq::quantize_uniform(model, calibration, bits, cfg)?)
-            }
+            Method::LlmQat { bits } => Some(methods::qat::quantize(
+                model,
+                bits,
+                &QatConfig::default(),
+                cfg,
+            )?),
+            Method::PbLlm { salient_ratio } => Some(methods::pbllm::quantize(
+                model,
+                calibration,
+                salient_ratio,
+                cfg,
+            )?),
+            Method::AptqUniform { bits } => Some(methods::aptq::quantize_uniform(
+                model,
+                calibration,
+                bits,
+                cfg,
+            )?),
             Method::AptqMixed { ratio } => Some(
                 methods::aptq::quantize_mixed(
                     model,
@@ -208,7 +225,9 @@ mod tests {
     use aptq_lm::ModelConfig;
 
     fn calib() -> Vec<Vec<u32>> {
-        (0..4).map(|k| (0..12).map(|i| ((i * 3 + k) % 16) as u32).collect()).collect()
+        (0..4)
+            .map(|k| (0..12).map(|i| ((i * 3 + k) % 16) as u32).collect())
+            .collect()
     }
 
     #[test]
@@ -219,7 +238,10 @@ mod tests {
             Method::Fp16,
             Method::Rtn { bits: 4 },
             Method::Gptq { bits: 4 },
-            Method::Owq { bits: 4, outlier_dims: 1 },
+            Method::Owq {
+                bits: 4,
+                outlier_dims: 1,
+            },
             Method::SmoothQuant { bits: 4 },
             Method::Fpq,
             Method::PbLlm { salient_ratio: 0.2 },
@@ -249,7 +271,9 @@ mod tests {
     fn labels_match_paper_rows() {
         assert_eq!(Method::AptqMixed { ratio: 0.75 }.label(), "APTQ-75%");
         assert_eq!(Method::Fp16.label(), "FP16");
-        assert!(Method::PbLlm { salient_ratio: 0.2 }.label().contains("PB-LLM-20%"));
+        assert!(Method::PbLlm { salient_ratio: 0.2 }
+            .label()
+            .contains("PB-LLM-20%"));
     }
 
     #[test]

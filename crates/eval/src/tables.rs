@@ -54,8 +54,12 @@ pub fn render_ascii_chart(
     if all_points.is_empty() {
         return format!("{title}: (no data)\n");
     }
-    let (mut x_lo, mut x_hi, mut y_lo, mut y_hi) =
-        (f32::INFINITY, f32::NEG_INFINITY, f32::INFINITY, f32::NEG_INFINITY);
+    let (mut x_lo, mut x_hi, mut y_lo, mut y_hi) = (
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+    );
     for &(x, y) in &all_points {
         x_lo = x_lo.min(x);
         x_hi = x_hi.max(x);

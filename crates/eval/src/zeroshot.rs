@@ -98,7 +98,11 @@ pub fn evaluate_suites(model: &Model, suites: &[TaskSuite]) -> Result<Vec<SuiteR
         results.push(evaluate_suite(model, s)?);
     }
     let mean = results.iter().map(|r| r.accuracy).sum::<f32>() / results.len().max(1) as f32;
-    results.push(SuiteResult { name: "Mean".to_string(), accuracy: mean, n_items: 0 });
+    results.push(SuiteResult {
+        name: "Mean".to_string(),
+        accuracy: mean,
+        n_items: 0,
+    });
     Ok(results)
 }
 
@@ -174,7 +178,10 @@ mod tests {
         let (model, grammar, tok) = setup();
         let mut suite = TaskSuite::generate(ZeroShotTask::Agreement, &grammar, &tok, 1, 5);
         suite.items.clear();
-        assert!(matches!(evaluate_suite(&model, &suite), Err(EvalError::EmptyInput(_))));
+        assert!(matches!(
+            evaluate_suite(&model, &suite),
+            Err(EvalError::EmptyInput(_))
+        ));
     }
 
     #[test]

@@ -65,12 +65,20 @@ pub struct PretrainBudget {
 impl PretrainBudget {
     /// The budget used by the experiment harness (minutes of CPU).
     pub fn full() -> Self {
-        PretrainBudget { steps: 800, batch_size: 12, seq_len: 44 }
+        PretrainBudget {
+            steps: 800,
+            batch_size: 12,
+            seq_len: 44,
+        }
     }
 
     /// A light budget for integration tests (seconds of CPU).
     pub fn quick() -> Self {
-        PretrainBudget { steps: 120, batch_size: 8, seq_len: 32 }
+        PretrainBudget {
+            steps: 120,
+            batch_size: 8,
+            seq_len: 32,
+        }
     }
 }
 
@@ -110,7 +118,11 @@ pub fn load_or_train(
     let cache_path = cache_dir.map(|d| {
         d.join(format!(
             "{}-s{}b{}l{}-v{vocab}-{}",
-            "ckpt", budget.steps, budget.batch_size, budget.seq_len, size.file_name()
+            "ckpt",
+            budget.steps,
+            budget.batch_size,
+            budget.seq_len,
+            size.file_name()
         ))
     });
 
@@ -118,7 +130,12 @@ pub fn load_or_train(
         if path.exists() {
             let json = std::fs::read_to_string(path)?;
             let model = Model::from_json(&json)?;
-            return Ok(TrainedStack { grammar, tokenizer, model, final_loss: f32::NAN });
+            return Ok(TrainedStack {
+                grammar,
+                tokenizer,
+                model,
+                final_loss: f32::NAN,
+            });
         }
     }
 
@@ -135,10 +152,15 @@ pub fn load_or_train(
     let trainer = Trainer::new(TrainerConfig {
         steps,
         batch_size: budget.batch_size,
-        adam: AdamConfig { lr: 3e-3, ..AdamConfig::default() },
+        adam: AdamConfig {
+            lr: 3e-3,
+            ..AdamConfig::default()
+        },
         log_every: 0,
     });
-    let report = trainer.run(&mut model, |_| gen.segments(budget.batch_size, budget.seq_len));
+    let report = trainer.run(&mut model, |_| {
+        gen.segments(budget.batch_size, budget.seq_len)
+    });
 
     if let Some(path) = &cache_path {
         if let Some(parent) = path.parent() {
@@ -147,7 +169,12 @@ pub fn load_or_train(
         std::fs::write(path, model.to_json()?)?;
     }
 
-    Ok(TrainedStack { grammar, tokenizer, model, final_loss: report.final_loss })
+    Ok(TrainedStack {
+        grammar,
+        tokenizer,
+        model,
+        final_loss: report.final_loss,
+    })
 }
 
 /// Default cache directory (`assets/` next to the workspace root when
@@ -181,7 +208,11 @@ mod tests {
     #[test]
     fn checkpoint_cache_roundtrips() {
         let dir = std::env::temp_dir().join(format!("aptq-zoo-test-{}", std::process::id()));
-        let budget = PretrainBudget { steps: 4, batch_size: 2, seq_len: 16 };
+        let budget = PretrainBudget {
+            steps: 4,
+            batch_size: 2,
+            seq_len: 16,
+        };
         let a = load_or_train(ModelSize::Small, budget, Some(&dir)).unwrap();
         let b = load_or_train(ModelSize::Small, budget, Some(&dir)).unwrap();
         assert_eq!(a.model.forward(&[1, 2, 3]), b.model.forward(&[1, 2, 3]));
@@ -190,7 +221,13 @@ mod tests {
 
     #[test]
     fn sizes_have_distinct_configs() {
-        assert!(ModelSize::Medium.config(100).param_count() > ModelSize::Small.config(100).param_count());
-        assert_ne!(ModelSize::Small.paper_name(), ModelSize::Medium.paper_name());
+        assert!(
+            ModelSize::Medium.config(100).param_count()
+                > ModelSize::Small.config(100).param_count()
+        );
+        assert_ne!(
+            ModelSize::Small.paper_name(),
+            ModelSize::Medium.paper_name()
+        );
     }
 }

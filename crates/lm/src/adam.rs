@@ -21,7 +21,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 3e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: 1.0 }
+        AdamConfig {
+            lr: 3e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: 1.0,
+        }
     }
 }
 
@@ -42,7 +48,12 @@ impl Adam {
     /// Creates optimizer state sized for `model`.
     pub fn new(model: &Model, cfg: AdamConfig) -> Self {
         let n = model.config().param_count();
-        Adam { cfg, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+        Adam {
+            cfg,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
     }
 
     /// Current step count.
@@ -152,7 +163,12 @@ impl Adam {
             update(p.as_mut_slice(), &g, offset);
             offset += g.len();
         }
-        assert_eq!(offset, self.m.len(), "adam: parameter walk covered {offset} of {}", self.m.len());
+        assert_eq!(
+            offset,
+            self.m.len(),
+            "adam: parameter walk covered {offset} of {}",
+            self.m.len()
+        );
     }
 }
 
@@ -179,7 +195,13 @@ mod tests {
     fn adam_reduces_loss_on_fixed_batch() {
         let cfg = ModelConfig::test_tiny(16);
         let mut model = Model::new(&cfg, 3);
-        let mut adam = Adam::new(&model, AdamConfig { lr: 5e-3, ..AdamConfig::default() });
+        let mut adam = Adam::new(
+            &model,
+            AdamConfig {
+                lr: 5e-3,
+                ..AdamConfig::default()
+            },
+        );
         let seqs: Vec<Vec<u32>> = vec![vec![1, 2, 3, 4, 5, 6], vec![2, 4, 6, 8, 10, 12]];
         let loss_of = |m: &Model| -> f32 {
             seqs.iter().map(|s| m.sequence_loss(s)).sum::<f32>() / seqs.len() as f32
@@ -213,7 +235,11 @@ mod tests {
         let before = model.forward(&[1, 2, 3]);
         let mut adam = Adam::new(
             &model,
-            AdamConfig { lr: 1e-3, clip_norm: 1e-6, ..AdamConfig::default() },
+            AdamConfig {
+                lr: 1e-3,
+                clip_norm: 1e-6,
+                ..AdamConfig::default()
+            },
         );
         let (_, g) = model.sequence_grads(&[1, 2, 3, 4]);
         adam.step(&mut model, &g);

@@ -64,7 +64,10 @@ impl MultiHeadAttention {
     ///
     /// Panics if `n_heads` does not divide `d_model`.
     pub fn new(d_model: usize, n_heads: usize, rng: &mut StdRng) -> Self {
-        assert!(n_heads > 0 && d_model % n_heads == 0, "n_heads must divide d_model");
+        assert!(
+            n_heads > 0 && d_model.is_multiple_of(n_heads),
+            "n_heads must divide d_model"
+        );
         let d_head = d_model / n_heads;
         MultiHeadAttention {
             wq: Linear::new(d_model, d_model, rng),
@@ -175,7 +178,14 @@ impl MultiHeadAttention {
         }
 
         let out = self.wo.forward(&concat);
-        let cache = AttentionCache { x: x.clone(), q_rot: q, k_rot: k, v, probs, concat };
+        let cache = AttentionCache {
+            x: x.clone(),
+            q_rot: q,
+            k_rot: k,
+            v,
+            probs,
+            concat,
+        };
         (out, cache)
     }
 
@@ -183,6 +193,11 @@ impl MultiHeadAttention {
     ///
     /// Given the upstream gradient `dy` (`T × d_model`) and the forward
     /// cache, returns `(dx, grads)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy`'s shape does not match the cached activation
+    /// shape `(T, d_model)`.
     pub fn backward(
         &self,
         cache: &AttentionCache,
@@ -191,7 +206,11 @@ impl MultiHeadAttention {
     ) -> (Matrix, AttentionGrads) {
         let t = cache.x.rows();
         let d_model = self.wq.d_in();
-        assert_eq!(dy.shape(), (t, d_model), "attention backward: dy shape mismatch");
+        assert_eq!(
+            dy.shape(),
+            (t, d_model),
+            "attention backward: dy shape mismatch"
+        );
 
         // O projection.
         let (dconcat, dwo) = self.wo.backward(&cache.concat, dy);
@@ -258,7 +277,12 @@ mod tests {
     use super::*;
     use aptq_tensor::init;
 
-    fn setup(t: usize, d: usize, heads: usize, seed: u64) -> (MultiHeadAttention, Matrix, RopeTable) {
+    fn setup(
+        t: usize,
+        d: usize,
+        heads: usize,
+        seed: u64,
+    ) -> (MultiHeadAttention, Matrix, RopeTable) {
         let mut rng = init::rng(seed);
         let attn = MultiHeadAttention::new(d, heads, &mut rng);
         let x = init::normal(t, d, 1.0, &mut rng);

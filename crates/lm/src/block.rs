@@ -71,7 +71,15 @@ impl TransformerBlock {
         let (ffn_out, c_ffn) = self.ffn.forward(&normed2);
         let mut y = h;
         y.add_assign(&ffn_out);
-        (y, BlockForwardCache { norm1: c_norm1, attn: c_attn, norm2: c_norm2, ffn: c_ffn })
+        (
+            y,
+            BlockForwardCache {
+                norm1: c_norm1,
+                attn: c_attn,
+                norm2: c_norm2,
+                ffn: c_ffn,
+            },
+        )
     }
 
     /// Fast forward pass without cache (inference / evaluation).
@@ -100,7 +108,15 @@ impl TransformerBlock {
         let mut dx = dh;
         dx.add_assign(&dx_from_attn);
 
-        (dx, BlockGrads { attn: attn_grads, ffn: ffn_grads, dnorm1, dnorm2 })
+        (
+            dx,
+            BlockGrads {
+                attn: attn_grads,
+                ffn: ffn_grads,
+                dnorm1,
+                dnorm2,
+            },
+        )
     }
 }
 

@@ -100,7 +100,9 @@ mod tests {
             ffn_input: Matrix::zeros(5, 8),
             ffn_hidden: Matrix::zeros(5, 16),
         };
-        let cap = ModelCapture { blocks: vec![block.clone(), block] };
+        let cap = ModelCapture {
+            blocks: vec![block.clone(), block],
+        };
         assert_eq!(cap.n_blocks(), 2);
         assert_eq!(cap.seq_len(), 5);
     }

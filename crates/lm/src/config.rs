@@ -125,15 +125,17 @@ impl ModelConfig {
             || self.d_ff == 0
             || self.max_seq_len == 0
         {
-            return Err(LmError::InvalidConfig("all dimensions must be positive".into()));
+            return Err(LmError::InvalidConfig(
+                "all dimensions must be positive".into(),
+            ));
         }
-        if self.d_model % self.n_heads != 0 {
+        if !self.d_model.is_multiple_of(self.n_heads) {
             return Err(LmError::InvalidConfig(format!(
                 "n_heads {} must divide d_model {}",
                 self.n_heads, self.d_model
             )));
         }
-        if self.d_head() % 2 != 0 {
+        if !self.d_head().is_multiple_of(2) {
             return Err(LmError::InvalidConfig(format!(
                 "head dimension {} must be even for RoPE",
                 self.d_head()

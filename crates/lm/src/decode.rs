@@ -50,9 +50,16 @@ impl<'m> DecodeSession<'m> {
     pub fn new(model: &'m Model) -> Self {
         let d = model.config().d_model;
         let layers = (0..model.config().n_layers)
-            .map(|_| LayerKv { k_rot: Matrix::zeros(0, d), v: Matrix::zeros(0, d) })
+            .map(|_| LayerKv {
+                k_rot: Matrix::zeros(0, d),
+                v: Matrix::zeros(0, d),
+            })
             .collect();
-        DecodeSession { model, layers, pos: 0 }
+        DecodeSession {
+            model,
+            layers,
+            pos: 0,
+        }
     }
 
     /// Number of tokens consumed so far.
@@ -84,7 +91,10 @@ impl<'m> DecodeSession<'m> {
     pub fn feed(&mut self, token: u32) -> Result<Vec<f32>, LmError> {
         let cfg = self.model.config();
         if token as usize >= cfg.vocab_size {
-            return Err(LmError::TokenOutOfRange { token, vocab: cfg.vocab_size });
+            return Err(LmError::TokenOutOfRange {
+                token,
+                vocab: cfg.vocab_size,
+            });
         }
         if self.pos >= cfg.max_seq_len {
             return Err(LmError::InvalidConfig(format!(
@@ -100,7 +110,8 @@ impl<'m> DecodeSession<'m> {
 
         // Embedding row.
         let mut x = Matrix::zeros(1, d_model);
-        x.row_mut(0).copy_from_slice(self.model.embed().row(token as usize));
+        x.row_mut(0)
+            .copy_from_slice(self.model.embed().row(token as usize));
 
         for (li, block) in self.model.blocks().iter().enumerate() {
             // Attention sub-layer.

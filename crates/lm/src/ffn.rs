@@ -88,7 +88,15 @@ impl SwiGlu {
             *o = silu(gv) * uv;
         }
         let y = self.down.forward(&hidden);
-        (y, SwiGluCache { x: x.clone(), g, u, hidden })
+        (
+            y,
+            SwiGluCache {
+                x: x.clone(),
+                g,
+                u,
+                hidden,
+            },
+        )
     }
 
     /// Backward pass; returns `(dx, grads)`.

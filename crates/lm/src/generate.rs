@@ -18,7 +18,10 @@ pub struct SampleConfig {
 
 impl Default for SampleConfig {
     fn default() -> Self {
-        SampleConfig { temperature: 1.0, top_k: 0 }
+        SampleConfig {
+            temperature: 1.0,
+            top_k: 0,
+        }
     }
 }
 
@@ -130,13 +133,19 @@ mod tests {
     #[test]
     fn greedy_rejects_empty_prompt() {
         let m = model();
-        assert!(matches!(generate_greedy(&m, &[], 3), Err(LmError::EmptyInput)));
+        assert!(matches!(
+            generate_greedy(&m, &[], 3),
+            Err(LmError::EmptyInput)
+        ));
     }
 
     #[test]
     fn sampling_respects_vocab_and_seed() {
         let m = model();
-        let cfg = SampleConfig { temperature: 1.2, top_k: 4 };
+        let cfg = SampleConfig {
+            temperature: 1.2,
+            top_k: 4,
+        };
         let a = generate_sampled(&m, &[1], 10, cfg, &mut init::rng(5)).unwrap();
         let b = generate_sampled(&m, &[1], 10, cfg, &mut init::rng(5)).unwrap();
         assert_eq!(a, b, "same seed must give same sample");
@@ -146,7 +155,10 @@ mod tests {
     #[test]
     fn zero_temperature_falls_back_to_greedy() {
         let m = model();
-        let cfg = SampleConfig { temperature: 0.0, top_k: 0 };
+        let cfg = SampleConfig {
+            temperature: 0.0,
+            top_k: 0,
+        };
         let sampled = generate_sampled(&m, &[2, 3], 4, cfg, &mut init::rng(1)).unwrap();
         let greedy = generate_greedy(&m, &[2, 3], 4).unwrap();
         assert_eq!(sampled, greedy);

@@ -88,7 +88,9 @@ mod tests {
 
     #[test]
     fn errors_format() {
-        assert!(LmError::TokenOutOfRange { token: 9, vocab: 4 }.to_string().contains('9'));
+        assert!(LmError::TokenOutOfRange { token: 9, vocab: 4 }
+            .to_string()
+            .contains('9'));
         assert!(!LmError::EmptyInput.to_string().is_empty());
         assert!(LmError::Checkpoint("x".into()).to_string().contains('x'));
         assert!(LmError::InvalidConfig("y".into()).to_string().contains('y'));

@@ -28,7 +28,9 @@ pub struct Linear {
 impl Linear {
     /// Creates a layer with Kaiming-scaled random weights.
     pub fn new(d_in: usize, d_out: usize, rng: &mut StdRng) -> Self {
-        Linear { weight: init::kaiming(d_in, d_out, rng) }
+        Linear {
+            weight: init::kaiming(d_in, d_out, rng),
+        }
     }
 
     /// Wraps an existing weight matrix (`d_in × d_out`).
@@ -116,7 +118,11 @@ mod tests {
             let lm = lin.forward(&x).sum();
             lin.weight_mut()[(i, j)] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((dw[(i, j)] - fd).abs() < 1e-2, "dw({i},{j}): {} vs {fd}", dw[(i, j)]);
+            assert!(
+                (dw[(i, j)] - fd).abs() < 1e-2,
+                "dw({i},{j}): {} vs {fd}",
+                dw[(i, j)]
+            );
         }
         // Check dx entries.
         for (i, j) in [(0, 0), (1, 2)] {

@@ -49,7 +49,10 @@ impl LayerKind {
 
     /// Whether this projection lives in the attention sub-layer.
     pub fn is_attention(self) -> bool {
-        matches!(self, LayerKind::Q | LayerKind::K | LayerKind::V | LayerKind::O)
+        matches!(
+            self,
+            LayerKind::Q | LayerKind::K | LayerKind::V | LayerKind::O
+        )
     }
 
     /// The HuggingFace-style layer name used in reports (matches the
@@ -110,7 +113,11 @@ impl ModelGrads {
     pub fn add_assign(&mut self, other: &ModelGrads) {
         self.embed.add_assign(&other.embed);
         self.lm_head.add_assign(&other.lm_head);
-        assert_eq!(self.blocks.len(), other.blocks.len(), "grad merge: block count");
+        assert_eq!(
+            self.blocks.len(),
+            other.blocks.len(),
+            "grad merge: block count"
+        );
         for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
             a.attn.dwq.add_assign(&b.attn.dwq);
             a.attn.dwk.add_assign(&b.attn.dwk);
@@ -166,10 +173,22 @@ impl ModelGrads {
             s += b.ffn.dgate.frobenius_norm_sq() as f64;
             s += b.ffn.dup.frobenius_norm_sq() as f64;
             s += b.ffn.ddown.frobenius_norm_sq() as f64;
-            s += b.dnorm1.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
-            s += b.dnorm2.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            s += b
+                .dnorm1
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>();
+            s += b
+                .dnorm2
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>();
         }
-        s += self.dfinal_norm.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+        s += self
+            .dfinal_norm
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>();
         (s.sqrt()) as f32
     }
 }
@@ -205,11 +224,20 @@ impl Model {
         cfg.validate().expect("invalid model config");
         let mut rng = init::rng(seed);
         let embed = init::normal(cfg.vocab_size, cfg.d_model, 0.02, &mut rng);
-        let blocks = (0..cfg.n_layers).map(|_| TransformerBlock::new(cfg, &mut rng)).collect();
+        let blocks = (0..cfg.n_layers)
+            .map(|_| TransformerBlock::new(cfg, &mut rng))
+            .collect();
         let final_norm = RmsNorm::new(cfg.d_model, cfg.norm_eps);
         let lm_head = init::kaiming(cfg.d_model, cfg.vocab_size, &mut rng);
         let rope = RopeTable::new(cfg.d_head(), cfg.max_seq_len, cfg.rope_theta);
-        Model { cfg: cfg.clone(), embed, blocks, final_norm, lm_head, rope }
+        Model {
+            cfg: cfg.clone(),
+            embed,
+            blocks,
+            final_norm,
+            lm_head,
+            rope,
+        }
     }
 
     /// Model configuration.
@@ -359,7 +387,10 @@ impl Model {
         }
         for &t in tokens {
             if t as usize >= self.cfg.vocab_size {
-                return Err(LmError::TokenOutOfRange { token: t, vocab: self.cfg.vocab_size });
+                return Err(LmError::TokenOutOfRange {
+                    token: t,
+                    vocab: self.cfg.vocab_size,
+                });
             }
         }
         Ok(self.forward(tokens))
@@ -454,8 +485,10 @@ impl Model {
             block_grads[idx] = Some(grads);
             dx = dxi;
         }
-        let block_grads: Vec<BlockGrads> =
-            block_grads.into_iter().map(|g| g.expect("grad missing")).collect();
+        let block_grads: Vec<BlockGrads> = block_grads
+            .into_iter()
+            .map(|g| g.expect("grad missing"))
+            .collect();
 
         // Embedding gradient: scatter rows.
         let mut dembed = Matrix::zeros(self.cfg.vocab_size, self.cfg.d_model);
@@ -469,7 +502,12 @@ impl Model {
 
         (
             loss,
-            ModelGrads { embed: dembed, blocks: block_grads, dfinal_norm, lm_head: dlm_head },
+            ModelGrads {
+                embed: dembed,
+                blocks: block_grads,
+                dfinal_norm,
+                lm_head: dlm_head,
+            },
         )
     }
 
@@ -524,15 +562,30 @@ mod tests {
         let m = tiny();
         let refs = m.layer_refs();
         assert_eq!(refs.len(), 2 * 7);
-        assert_eq!(refs[0], LayerRef { block: 0, kind: LayerKind::Q });
-        assert_eq!(refs[7], LayerRef { block: 1, kind: LayerKind::Q });
+        assert_eq!(
+            refs[0],
+            LayerRef {
+                block: 0,
+                kind: LayerKind::Q
+            }
+        );
+        assert_eq!(
+            refs[7],
+            LayerRef {
+                block: 1,
+                kind: LayerKind::Q
+            }
+        );
         assert_eq!(refs[6].kind, LayerKind::Down);
     }
 
     #[test]
     fn layer_weight_access_roundtrip() {
         let mut m = tiny();
-        let r = LayerRef { block: 1, kind: LayerKind::Gate };
+        let r = LayerRef {
+            block: 1,
+            kind: LayerKind::Gate,
+        };
         let before = m.layer_weight(r).clone();
         m.layer_weight_mut(r).scale_assign(0.0);
         assert_eq!(m.layer_weight(r).frobenius_norm(), 0.0);
@@ -544,7 +597,10 @@ mod tests {
         assert_eq!(LayerKind::K.hf_name(), "self_attn.k_proj");
         assert!(LayerKind::K.is_attention());
         assert!(!LayerKind::Down.is_attention());
-        let r = LayerRef { block: 3, kind: LayerKind::V };
+        let r = LayerRef {
+            block: 3,
+            kind: LayerKind::V,
+        };
         assert_eq!(r.to_string(), "layers.3.self_attn.v_proj");
     }
 
@@ -568,7 +624,10 @@ mod tests {
         let uniform = (16f32).ln();
         // Random logits push the CE a bit above ln(V); it must stay in the
         // same ballpark and never fall below the uniform floor minus noise.
-        assert!(loss > uniform - 0.5 && loss < uniform + 2.5, "loss {loss} vs ln(V)={uniform}");
+        assert!(
+            loss > uniform - 0.5 && loss < uniform + 2.5,
+            "loss {loss} vs ln(V)={uniform}"
+        );
     }
 
     #[test]
@@ -612,7 +671,10 @@ mod tests {
         }
         // Check one attention weight entry.
         {
-            let r = LayerRef { block: 0, kind: LayerKind::Q };
+            let r = LayerRef {
+                block: 0,
+                kind: LayerKind::Q,
+            };
             let (i, j) = (2, 3);
             let grad = grads.blocks[0].attn.dwq[(i, j)];
             let orig = m.layer_weight(r)[(i, j)];
@@ -622,7 +684,10 @@ mod tests {
             let lm = m.sequence_loss(&tokens);
             m.layer_weight_mut(r)[(i, j)] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((grad - fd).abs() < 2e-2 * (1.0 + fd.abs()), "wq: {grad} vs {fd}");
+            assert!(
+                (grad - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "wq: {grad} vs {fd}"
+            );
         }
     }
 
@@ -650,7 +715,10 @@ mod tests {
 
     #[test]
     fn from_json_rejects_garbage() {
-        assert!(matches!(Model::from_json("not json"), Err(LmError::Checkpoint(_))));
+        assert!(matches!(
+            Model::from_json("not json"),
+            Err(LmError::Checkpoint(_))
+        ));
     }
 
     #[test]

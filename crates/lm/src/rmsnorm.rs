@@ -35,7 +35,10 @@ pub struct RmsNormCache {
 impl RmsNorm {
     /// Creates an RMSNorm over `dim` features with unit gain.
     pub fn new(dim: usize, eps: f32) -> Self {
-        RmsNorm { gain: vec![1.0; dim], eps }
+        RmsNorm {
+            gain: vec![1.0; dim],
+            eps,
+        }
     }
 
     /// Feature dimension.
@@ -76,7 +79,13 @@ impl RmsNorm {
                 *v = *v * inv * g;
             }
         }
-        (out, RmsNormCache { x: x.clone(), inv_rms })
+        (
+            out,
+            RmsNormCache {
+                x: x.clone(),
+                inv_rms,
+            },
+        )
     }
 
     /// Backward pass.
@@ -85,8 +94,16 @@ impl RmsNorm {
     ///
     /// With `r = inv_rms`, `x̂ = x·r`: `y = g ⊙ x̂`, and
     /// `dx = r·(g⊙dy − x̂ · mean(x̂ ⊙ g ⊙ dy))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy`'s shape does not match the cached input shape.
     pub fn backward(&self, cache: &RmsNormCache, dy: &Matrix) -> (Matrix, Vec<f32>) {
-        assert_eq!(dy.shape(), cache.x.shape(), "RmsNorm backward: shape mismatch");
+        assert_eq!(
+            dy.shape(),
+            cache.x.shape(),
+            "RmsNorm backward: shape mismatch"
+        );
         let n = self.gain.len() as f32;
         let mut dx = Matrix::zeros(dy.rows(), dy.cols());
         let mut dgain = vec![0.0f32; self.gain.len()];
@@ -160,10 +177,14 @@ mod tests {
             let mut xm = x.clone();
             xm[(i, j)] -= eps;
             let fd = (loss(&norm, &xp) - loss(&norm, &xm)) / (2.0 * eps);
-            assert!((dx[(i, j)] - fd).abs() < 1e-2, "dx({i},{j}): {} vs {fd}", dx[(i, j)]);
+            assert!(
+                (dx[(i, j)] - fd).abs() < 1e-2,
+                "dx({i},{j}): {} vs {fd}",
+                dx[(i, j)]
+            );
         }
         // dgain check.
-        for j in 0..5 {
+        for (j, &dg) in dgain.iter().enumerate() {
             let orig = norm.gain()[j];
             norm.gain_mut()[j] = orig + eps;
             let lp = loss(&norm, &x);
@@ -171,7 +192,7 @@ mod tests {
             let lm = loss(&norm, &x);
             norm.gain_mut()[j] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((dgain[j] - fd).abs() < 1e-2, "dgain[{j}]: {} vs {fd}", dgain[j]);
+            assert!((dg - fd).abs() < 1e-2, "dgain[{j}]: {dg} vs {fd}");
         }
     }
 

@@ -37,7 +37,10 @@ impl RopeTable {
     ///
     /// Panics if `d_head` is odd or zero.
     pub fn new(d_head: usize, max_seq: usize, theta: f32) -> Self {
-        assert!(d_head > 0 && d_head % 2 == 0, "RoPE requires even, positive d_head");
+        assert!(
+            d_head > 0 && d_head.is_multiple_of(2),
+            "RoPE requires even, positive d_head"
+        );
         let half = d_head / 2;
         let mut cos = Vec::with_capacity(max_seq * half);
         let mut sin = Vec::with_capacity(max_seq * half);
@@ -49,7 +52,12 @@ impl RopeTable {
                 sin.push(angle.sin());
             }
         }
-        RopeTable { d_head, max_seq, cos, sin }
+        RopeTable {
+            d_head,
+            max_seq,
+            cos,
+            sin,
+        }
     }
 
     /// Head dimension the table was built for.
@@ -69,7 +77,11 @@ impl RopeTable {
     /// Panics if `row.len() != d_head` or `pos >= max_seq`.
     pub fn apply_row(&self, row: &mut [f32], pos: usize) {
         assert_eq!(row.len(), self.d_head, "RoPE: row length mismatch");
-        assert!(pos < self.max_seq, "RoPE: position {pos} beyond table {}", self.max_seq);
+        assert!(
+            pos < self.max_seq,
+            "RoPE: position {pos} beyond table {}",
+            self.max_seq
+        );
         let half = self.d_head / 2;
         let base = pos * half;
         for i in 0..half {
@@ -89,7 +101,11 @@ impl RopeTable {
     /// Panics if `row.len() != d_head` or `pos >= max_seq`.
     pub fn apply_row_inverse(&self, row: &mut [f32], pos: usize) {
         assert_eq!(row.len(), self.d_head, "RoPE: row length mismatch");
-        assert!(pos < self.max_seq, "RoPE: position {pos} beyond table {}", self.max_seq);
+        assert!(
+            pos < self.max_seq,
+            "RoPE: position {pos} beyond table {}",
+            self.max_seq
+        );
         let half = self.d_head / 2;
         let base = pos * half;
         for i in 0..half {

@@ -1,7 +1,7 @@
 //! Batch-parallel pretraining loop.
 //!
 //! The paper quantizes *pretrained* checkpoints; our substitute models are
-//! pretrained here, on the synthetic corpus, with Adam and crossbeam
+//! pretrained here, on the synthetic corpus, with Adam and scoped
 //! parallelism over the batch (each sequence's forward/backward is
 //! independent; gradients are merged on the main thread).
 
@@ -62,6 +62,10 @@ impl Trainer {
     ///
     /// `next_batch` is called once per step with the step index and must
     /// return a non-empty batch of token sequences (each of length ≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next_batch` returns an empty batch.
     pub fn run(
         &self,
         model: &mut Model,
@@ -95,7 +99,7 @@ impl Trainer {
 }
 
 /// Computes the mean loss and summed gradients of a batch, parallelizing
-/// over sequences with crossbeam.
+/// over sequences with scoped threads.
 pub fn batch_grads(model: &Model, batch: &[Vec<u32>]) -> (f32, ModelGrads) {
     let threads = available_threads().min(batch.len());
     if threads <= 1 || batch.len() == 1 {
@@ -111,7 +115,7 @@ pub fn batch_grads(model: &Model, batch: &[Vec<u32>]) -> (f32, ModelGrads) {
     }
 
     let chunk = batch.len().div_ceil(threads);
-    let results: Vec<(f32, ModelGrads)> = crossbeam_scope(model, batch, chunk);
+    let results: Vec<(f32, ModelGrads)> = scoped_chunk_grads(model, batch, chunk);
     let mut iter = results.into_iter();
     let (mut loss, mut grads) = iter.next().expect("at least one chunk");
     for (l, g) in iter {
@@ -121,13 +125,12 @@ pub fn batch_grads(model: &Model, batch: &[Vec<u32>]) -> (f32, ModelGrads) {
     (loss / batch.len() as f32, grads)
 }
 
-fn crossbeam_scope(model: &Model, batch: &[Vec<u32>], chunk: usize) -> Vec<(f32, ModelGrads)> {
-    let mut out = Vec::new();
-    crossbeam::scope(|scope| {
+fn scoped_chunk_grads(model: &Model, batch: &[Vec<u32>], chunk: usize) -> Vec<(f32, ModelGrads)> {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = batch
             .chunks(chunk)
             .map(|seqs| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut iter = seqs.iter();
                     let first = iter.next().expect("non-empty chunk");
                     let (mut loss, mut grads) = model.sequence_grads(first);
@@ -140,12 +143,11 @@ fn crossbeam_scope(model: &Model, batch: &[Vec<u32>], chunk: usize) -> Vec<(f32,
                 })
             })
             .collect();
-        for h in handles {
-            out.push(h.join().expect("training worker panicked"));
-        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("training worker panicked"))
+            .collect()
     })
-    .expect("crossbeam scope failed");
-    out
 }
 
 fn mean(xs: &[f32]) -> f32 {
@@ -169,7 +171,10 @@ mod tests {
         let trainer = Trainer::new(TrainerConfig {
             steps: 60,
             batch_size: 4,
-            adam: AdamConfig { lr: 5e-3, ..AdamConfig::default() },
+            adam: AdamConfig {
+                lr: 5e-3,
+                ..AdamConfig::default()
+            },
             log_every: 0,
         });
         // Deterministic repeating pattern: trivially learnable.

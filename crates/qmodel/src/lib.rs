@@ -90,9 +90,15 @@ mod tests {
 
     #[test]
     fn errors_format() {
-        assert!(QModelError::MissingLayer("x".into()).to_string().contains('x'));
-        assert!(QModelError::TokenOutOfRange { token: 5, vocab: 2 }.to_string().contains('5'));
-        assert!(QModelError::SequenceTooLong { len: 9, max: 4 }.to_string().contains('9'));
+        assert!(QModelError::MissingLayer("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(QModelError::TokenOutOfRange { token: 5, vocab: 2 }
+            .to_string()
+            .contains('5'));
+        assert!(QModelError::SequenceTooLong { len: 9, max: 4 }
+            .to_string()
+            .contains('9'));
         let e = QModelError::Quant(aptq_core::QuantError::EmptyCalibration);
         assert!(std::error::Error::source(&e).is_some());
     }

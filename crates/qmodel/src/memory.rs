@@ -85,7 +85,11 @@ mod tests {
 
     #[test]
     fn degenerate_is_benign() {
-        let m = MemoryBreakdown { packed_bytes: 0, float_bytes: 0, fp16_projection_bytes: 0 };
+        let m = MemoryBreakdown {
+            packed_bytes: 0,
+            float_bytes: 0,
+            fp16_projection_bytes: 0,
+        };
         assert_eq!(m.total_compression(), 0.0);
         assert_eq!(m.projection_bits(), 0.0);
     }

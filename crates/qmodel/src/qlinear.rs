@@ -91,8 +91,12 @@ impl QuantizedLinear {
             // over the whole matrix; rows are bit-aligned only when
             // (d_out × bits) % 8 == 0, so unpack from the global stream.
             let start_bit = r0 * d_out * bits;
-            let codes = if start_bit % 8 == 0 {
-                unpack_codes(&self.packed.data[start_bit / 8..], grid.bits(), rows * d_out)
+            let codes = if start_bit.is_multiple_of(8) {
+                unpack_codes(
+                    &self.packed.data[start_bit / 8..],
+                    grid.bits(),
+                    rows * d_out,
+                )
             } else {
                 // Fallback: unpack from the stream start (correct but
                 // slower); only reachable for exotic shapes.
@@ -145,7 +149,10 @@ mod tests {
         for bits in [2u8, 3, 4] {
             let mut rng = init::rng(bits as u64);
             let w = init::normal(24, 10, 0.5, &mut rng);
-            let cfg = GridConfig { group_size: 8, ..GridConfig::default() };
+            let cfg = GridConfig {
+                group_size: 8,
+                ..GridConfig::default()
+            };
             let res = quantize_layer_rtn(&w, QuantGrid::int(bits, true), &cfg);
             let qlin = QuantizedLinear::new(res.packed);
             let x = init::normal(5, 24, 1.0, &mut rng);
@@ -164,8 +171,12 @@ mod tests {
         let mut acc = HessianAccumulator::new(16);
         acc.update(&x_cal);
         let w = init::normal(16, 12, 0.4, &mut rng);
-        let cfg = GridConfig { group_size: 8, ..GridConfig::default() };
-        let res = quantize_layer_obq("t", &w, &acc.finish(), QuantGrid::int(4, true), &cfg).unwrap();
+        let cfg = GridConfig {
+            group_size: 8,
+            ..GridConfig::default()
+        };
+        let res =
+            quantize_layer_obq("t", &w, &acc.finish(), QuantGrid::int(4, true), &cfg).unwrap();
         let qlin = QuantizedLinear::new(res.packed);
         let x = init::normal(3, 16, 1.0, &mut rng);
         let y = qlin.forward(&x);
@@ -181,7 +192,10 @@ mod tests {
         // the fallback path.
         let mut rng = init::rng(11);
         let w = init::normal(12, 5, 0.5, &mut rng);
-        let cfg = GridConfig { group_size: 4, ..GridConfig::default() };
+        let cfg = GridConfig {
+            group_size: 4,
+            ..GridConfig::default()
+        };
         let res = quantize_layer_rtn(&w, QuantGrid::int(2, true), &cfg);
         let qlin = QuantizedLinear::new(res.packed);
         let x = init::normal(2, 12, 1.0, &mut rng);

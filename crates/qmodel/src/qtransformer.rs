@@ -151,7 +151,10 @@ impl QuantizedModel {
         let mut x = Matrix::zeros(t, d);
         for (i, &tok) in tokens.iter().enumerate() {
             if tok as usize >= self.cfg.vocab_size {
-                return Err(QModelError::TokenOutOfRange { token: tok, vocab: self.cfg.vocab_size });
+                return Err(QModelError::TokenOutOfRange {
+                    token: tok,
+                    vocab: self.cfg.vocab_size,
+                });
             }
             x.row_mut(i).copy_from_slice(self.embed.row(tok as usize));
         }
@@ -244,10 +247,10 @@ mod tests {
 
     fn setup() -> (Model, Vec<Vec<u32>>, BTreeMap<LayerRef, LayerHessian>) {
         let model = Model::new(&ModelConfig::test_tiny(16), 51);
-        let calib: Vec<Vec<u32>> =
-            (0..4).map(|k| (0..12).map(|i| ((i * 3 + k) % 16) as u32).collect()).collect();
-        let hs =
-            aptq_core::collect_hessians(&model, &calib, HessianMode::AttentionAware).unwrap();
+        let calib: Vec<Vec<u32>> = (0..4)
+            .map(|k| (0..12).map(|i| ((i * 3 + k) % 16) as u32).collect())
+            .collect();
+        let hs = aptq_core::collect_hessians(&model, &calib, HessianMode::AttentionAware).unwrap();
         (model, calib, hs)
     }
 
@@ -309,9 +312,15 @@ mod tests {
         let cfg = GridConfig::default();
         let q = QuantizedModel::quantize_from(&model, &QuantPlan::uniform(&model, 4), &hs, &cfg)
             .unwrap();
-        assert!(matches!(q.forward(&[99]), Err(QModelError::TokenOutOfRange { .. })));
+        assert!(matches!(
+            q.forward(&[99]),
+            Err(QModelError::TokenOutOfRange { .. })
+        ));
         let long: Vec<u32> = (0..40).map(|i| (i % 16) as u32).collect();
-        assert!(matches!(q.forward(&long), Err(QModelError::SequenceTooLong { .. })));
+        assert!(matches!(
+            q.forward(&long),
+            Err(QModelError::SequenceTooLong { .. })
+        ));
     }
 
     #[test]

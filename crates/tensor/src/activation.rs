@@ -49,7 +49,10 @@ pub fn softmax(m: &Matrix) -> Matrix {
 pub fn softmax_jvp_row(p: &[f32], dz: &[f32]) -> Vec<f32> {
     assert_eq!(p.len(), dz.len(), "softmax_jvp_row: length mismatch");
     let dot: f32 = p.iter().zip(dz.iter()).map(|(&a, &b)| a * b).sum();
-    p.iter().zip(dz.iter()).map(|(&pi, &di)| pi * (di - dot)).collect()
+    p.iter()
+        .zip(dz.iter())
+        .map(|(&pi, &di)| pi * (di - dot))
+        .collect()
 }
 
 /// Vector-Jacobian product of softmax for one row.
@@ -120,7 +123,10 @@ pub fn log_softmax(m: &Matrix) -> Matrix {
 ///
 /// Panics if `target >= logits.len()`.
 pub fn cross_entropy_row(logits: &[f32], target: usize) -> f32 {
-    assert!(target < logits.len(), "cross_entropy_row: target out of range");
+    assert!(
+        target < logits.len(),
+        "cross_entropy_row: target out of range"
+    );
     log_sum_exp(logits) - logits[target]
 }
 

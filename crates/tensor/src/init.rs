@@ -6,6 +6,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::num::usize_f32;
 use crate::Matrix;
 
 /// Returns a deterministic RNG for the given seed.
@@ -30,14 +31,14 @@ pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Matrix {
 
 /// Xavier/Glorot uniform initialization for a `fan_in × fan_out` weight.
 pub fn xavier(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
-    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let limit = (6.0 / usize_f32(fan_in + fan_out)).sqrt();
     uniform(fan_in, fan_out, limit, rng)
 }
 
 /// Kaiming/He-style initialization scaled by `1/sqrt(fan_in)`, the usual
 /// choice for transformer projections.
 pub fn kaiming(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
-    normal(fan_in, fan_out, 1.0 / (fan_in as f32).sqrt(), rng)
+    normal(fan_in, fan_out, 1.0 / usize_f32(fan_in).sqrt(), rng)
 }
 
 #[cfg(test)]
@@ -63,7 +64,11 @@ mod tests {
     fn normal_moments_are_plausible() {
         let m = normal(64, 64, 0.5, &mut rng(2));
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / (m.len() as f32);
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 0.25).abs() < 0.05, "var {var}");
@@ -83,7 +88,11 @@ mod tests {
         // Std of b should be ~8x smaller.
         let std = |m: &Matrix| {
             let mu = m.mean();
-            (m.as_slice().iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / m.len() as f32)
+            (m.as_slice()
+                .iter()
+                .map(|&v| (v - mu) * (v - mu))
+                .sum::<f32>()
+                / m.len() as f32)
                 .sqrt()
         };
         assert!(std(&a) > 4.0 * std(&b));

@@ -7,7 +7,7 @@
 //! set of numerical primitives:
 //!
 //! - [`Matrix`]: a row-major dense `f32` matrix with shape-checked ops.
-//! - Blocked, crossbeam-parallel [`Matrix::matmul`].
+//! - Blocked, thread-parallel [`Matrix::matmul`].
 //! - [`linalg`]: Cholesky factorization/inversion (the heart of the GPTQ
 //!   update machinery), triangular solves, damping, traces.
 //! - [`activation`]: numerically stable softmax and friends.
@@ -33,6 +33,7 @@ pub mod activation;
 pub mod init;
 pub mod linalg;
 pub mod matrix;
+pub mod num;
 pub mod parallel;
 pub mod stats;
 
@@ -85,7 +86,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = TensorError::NotPositiveDefinite { pivot: 3, value: -0.5 };
+        let e = TensorError::NotPositiveDefinite {
+            pivot: 3,
+            value: -0.5,
+        };
         assert!(e.to_string().contains("pivot 3"));
         let e = TensorError::NotSquare { rows: 2, cols: 3 };
         assert!(e.to_string().contains("2x3"));

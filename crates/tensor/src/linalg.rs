@@ -6,6 +6,7 @@
 //! (Eqs. 16–17 of the paper) is obtained from a Cholesky factorization,
 //! exactly as GPTQ's "Cholesky reformulation" prescribes.
 
+use crate::num::{narrow_f32, usize_f32};
 use crate::{Matrix, TensorError};
 
 /// Computes the lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
@@ -38,7 +39,7 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, TensorError> {
     let ad = a.as_slice();
     for i in 0..n {
         for j in 0..=i {
-            let mut sum = ad[i * n + j] as f64;
+            let mut sum = f64::from(ad[i * n + j]);
             for k in 0..j {
                 sum -= l[i * n + k] * l[j * n + k];
             }
@@ -46,7 +47,7 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, TensorError> {
                 if sum <= 0.0 {
                     return Err(TensorError::NotPositiveDefinite {
                         pivot: i,
-                        value: sum as f32,
+                        value: narrow_f32(sum),
                     });
                 }
                 l[i * n + j] = sum.sqrt();
@@ -55,7 +56,11 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, TensorError> {
             }
         }
     }
-    Ok(Matrix::from_vec(n, n, l.into_iter().map(|v| v as f32).collect()))
+    Ok(Matrix::from_vec(
+        n,
+        n,
+        l.into_iter().map(narrow_f32).collect(),
+    ))
 }
 
 /// Solves `L·y = b` for lower-triangular `L` (forward substitution).
@@ -69,15 +74,15 @@ pub fn solve_lower(l: &Matrix, b: &[f32]) -> Vec<f32> {
     assert_eq!(b.len(), n, "solve_lower: length mismatch");
     let mut y = vec![0.0f64; n];
     for i in 0..n {
-        let mut sum = b[i] as f64;
+        let mut sum = f64::from(b[i]);
         for k in 0..i {
-            sum -= l[(i, k)] as f64 * y[k];
+            sum -= f64::from(l[(i, k)]) * y[k];
         }
-        let d = l[(i, i)] as f64;
+        let d = f64::from(l[(i, i)]);
         assert!(d != 0.0, "solve_lower: zero diagonal at {i}");
         y[i] = sum / d;
     }
-    y.into_iter().map(|v| v as f32).collect()
+    y.into_iter().map(narrow_f32).collect()
 }
 
 /// Solves `Lᵀ·x = y` for lower-triangular `L` (backward substitution).
@@ -91,15 +96,15 @@ pub fn solve_lower_transpose(l: &Matrix, y: &[f32]) -> Vec<f32> {
     assert_eq!(y.len(), n, "solve_lower_transpose: length mismatch");
     let mut x = vec![0.0f64; n];
     for i in (0..n).rev() {
-        let mut sum = y[i] as f64;
+        let mut sum = f64::from(y[i]);
         for k in i + 1..n {
-            sum -= l[(k, i)] as f64 * x[k];
+            sum -= f64::from(l[(k, i)]) * x[k];
         }
-        let d = l[(i, i)] as f64;
+        let d = f64::from(l[(i, i)]);
         assert!(d != 0.0, "solve_lower_transpose: zero diagonal at {i}");
         x[i] = sum / d;
     }
-    x.into_iter().map(|v| v as f32).collect()
+    x.into_iter().map(narrow_f32).collect()
 }
 
 /// Inverts a symmetric positive-definite matrix via Cholesky.
@@ -174,7 +179,7 @@ pub fn mean_diagonal(a: &Matrix) -> f32 {
     let n = a.rows();
     assert_eq!(a.cols(), n, "mean_diagonal: matrix must be square");
     assert!(n > 0, "mean_diagonal: empty matrix");
-    a.trace() / n as f32
+    a.trace() / usize_f32(n)
 }
 
 /// Symmetrizes a matrix in place: `A ← (A + Aᵀ)/2`.
@@ -196,7 +201,10 @@ pub fn symmetrize(a: &mut Matrix) {
 
 fn require_square(a: &Matrix) -> Result<usize, TensorError> {
     if a.rows() != a.cols() {
-        Err(TensorError::NotSquare { rows: a.rows(), cols: a.cols() })
+        Err(TensorError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        })
     } else {
         Ok(a.rows())
     }
@@ -279,7 +287,11 @@ mod tests {
         for i in 0..7 {
             for j in 0..7 {
                 let want = if i == j { 1.0 } else { 0.0 };
-                assert!((prod[(i, j)] - want).abs() < 1e-3, "({i},{j}) {}", prod[(i, j)]);
+                assert!(
+                    (prod[(i, j)] - want).abs() < 1e-3,
+                    "({i},{j}) {}",
+                    prod[(i, j)]
+                );
             }
         }
     }

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::num::{narrow_f32, usize_f32};
 use crate::parallel;
 
 /// A dense, row-major `f32` matrix.
@@ -31,12 +32,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -75,10 +84,19 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "from_rows: row {i} has length {} != {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "from_rows: row {i} has length {} != {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)` at every position.
@@ -148,7 +166,11 @@ impl Matrix {
     ///
     /// Panics if `i >= rows`.
     pub fn row(&self, i: usize) -> &[f32] {
-        assert!(i < self.rows, "row index {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -158,7 +180,11 @@ impl Matrix {
     ///
     /// Panics if `i >= rows`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
-        assert!(i < self.rows, "row index {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -168,7 +194,11 @@ impl Matrix {
     ///
     /// Panics if `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<f32> {
-        assert!(j < self.cols, "col index {j} out of bounds for {} cols", self.cols);
+        assert!(
+            j < self.cols,
+            "col index {j} out of bounds for {} cols",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -178,7 +208,11 @@ impl Matrix {
     ///
     /// Panics on index or length mismatch.
     pub fn set_col(&mut self, j: usize, values: &[f32]) {
-        assert!(j < self.cols, "col index {j} out of bounds for {} cols", self.cols);
+        assert!(
+            j < self.cols,
+            "col index {j} out of bounds for {} cols",
+            self.cols
+        );
         assert_eq!(values.len(), self.rows, "set_col: length mismatch");
         for (i, &v) in values.iter().enumerate() {
             self[(i, j)] = v;
@@ -204,7 +238,7 @@ impl Matrix {
 
     /// Matrix product `self × rhs` using a blocked, parallel kernel.
     ///
-    /// Parallelizes over row bands with crossbeam when the output is large
+    /// Parallelizes over row bands with scoped threads when the output is large
     /// enough to amortize thread spawn cost.
     ///
     /// # Panics
@@ -218,7 +252,12 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         parallel::matmul_into(
-            &self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data,
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
         );
         out
     }
@@ -287,13 +326,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.cols, "matvec: length mismatch");
         (0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v.iter())
-                    .map(|(&a, &b)| a * b)
-                    .sum()
-            })
+            .map(|i| self.row(i).iter().zip(v.iter()).map(|(&a, &b)| a * b).sum())
             .collect()
     }
 
@@ -351,7 +384,11 @@ impl Matrix {
     /// Returns `self * scalar`.
     pub fn scale(&self, scalar: f32) -> Matrix {
         let data = self.data.iter().map(|&a| a * scalar).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place multiplication by a scalar.
@@ -364,7 +401,11 @@ impl Matrix {
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -388,7 +429,11 @@ impl Matrix {
             .zip(rhs.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Copies a contiguous block of rows `[start, end)` into a new matrix.
@@ -397,7 +442,10 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > rows`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "slice_rows: bad range {start}..{end}");
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows: bad range {start}..{end}"
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,
@@ -411,11 +459,13 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > cols`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "slice_cols: bad range {start}..{end}");
+        assert!(
+            start <= end && end <= self.cols,
+            "slice_cols: bad range {start}..{end}"
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for i in 0..self.rows {
-            out.row_mut(i)
-                .copy_from_slice(&self.row(i)[start..end]);
+            out.row_mut(i).copy_from_slice(&self.row(i)[start..end]);
         }
         out
     }
@@ -480,17 +530,28 @@ impl Matrix {
 
     /// Frobenius norm `sqrt(Σ aᵢⱼ²)`.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|&a| (a as f64) * (a as f64)).sum::<f64>().sqrt() as f32
+        narrow_f32(
+            self.data
+                .iter()
+                .map(|&a| f64::from(a) * f64::from(a))
+                .sum::<f64>()
+                .sqrt(),
+        )
     }
 
     /// Squared Frobenius norm, accumulated in f64.
     pub fn frobenius_norm_sq(&self) -> f32 {
-        self.data.iter().map(|&a| (a as f64) * (a as f64)).sum::<f64>() as f32
+        narrow_f32(
+            self.data
+                .iter()
+                .map(|&a| f64::from(a) * f64::from(a))
+                .sum::<f64>(),
+        )
     }
 
     /// Sum of all elements (f64 accumulator).
     pub fn sum(&self) -> f32 {
-        self.data.iter().map(|&a| a as f64).sum::<f64>() as f32
+        narrow_f32(self.data.iter().map(|&a| f64::from(a)).sum::<f64>())
     }
 
     /// Mean of all elements.
@@ -500,7 +561,7 @@ impl Matrix {
         if self.data.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / usize_f32(self.data.len())
         }
     }
 
@@ -516,7 +577,7 @@ impl Matrix {
     /// Panics if the matrix is not square.
     pub fn trace(&self) -> f32 {
         assert_eq!(self.rows, self.cols, "trace: matrix must be square");
-        (0..self.rows).map(|i| self[(i, i)] as f64).sum::<f64>() as f32
+        narrow_f32((0..self.rows).map(|i| f64::from(self[(i, i)])).sum::<f64>())
     }
 
     /// Returns the diagonal as a vector.
@@ -539,14 +600,20 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (i, j): (usize, usize)) -> &f32 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -745,7 +812,11 @@ mod tests {
                 for k in 0..70 {
                     acc += a[(i, k)] * b[(k, j)];
                 }
-                assert!((c[(i, j)] - acc).abs() < 1e-3, "({i},{j}): {} vs {acc}", c[(i, j)]);
+                assert!(
+                    (c[(i, j)] - acc).abs() < 1e-3,
+                    "({i},{j}): {} vs {acc}",
+                    c[(i, j)]
+                );
             }
         }
     }

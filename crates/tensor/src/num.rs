@@ -1,0 +1,101 @@
+//! Audited numeric conversions.
+//!
+//! The workspace audit (rule A002) bans bare `as` casts between float
+//! and integer domains in hot-path code, because `as` silently accepts
+//! lossy conversions. The conversions that hot paths genuinely need are
+//! gathered here behind named functions, each annotated once with its
+//! range argument; call sites stay cast-free and grep-able.
+//!
+//! Widening `f32 → f64` never needs this module — use `f64::from`.
+
+/// Narrows an `f64` accumulator to the `f32` storage domain,
+/// rounding to nearest.
+///
+/// This is the one place the workspace deliberately gives up precision:
+/// kernels accumulate in `f64` and publish results in `f32` (the model's
+/// storage dtype), so the rounding here is the contract, not a bug.
+#[inline]
+#[must_use]
+pub fn narrow_f32(x: f64) -> f32 {
+    // audit:allow(cast): deliberate f64→f32 rounding at accumulator boundaries
+    x as f32
+}
+
+/// Converts a count or dimension to `f64`. Exact for `n < 2^53`, far
+/// above any tensor dimension this workspace can allocate.
+#[inline]
+#[must_use]
+pub fn usize_f64(n: usize) -> f64 {
+    // audit:allow(cast): counts are < 2^53, conversion is exact
+    n as f64
+}
+
+/// Converts a count or dimension to `f32`. Exact for `n ≤ 2^24`; model
+/// dimensions and group sizes here are at most a few thousand.
+#[inline]
+#[must_use]
+pub fn usize_f32(n: usize) -> f32 {
+    // audit:allow(cast): dims/counts ≤ 2^24, conversion is exact
+    n as f32
+}
+
+/// Rounds to the nearest integer as `i64`, saturating at the `i64`
+/// range like `as` does since Rust 1.45.
+#[inline]
+#[must_use]
+pub fn round_i64(x: f32) -> i64 {
+    // audit:allow(cast): `as` saturates; value is clamped by callers anyway
+    x.round() as i64
+}
+
+/// Rounds to the nearest integer as `i32`, saturating at the `i32`
+/// range.
+#[inline]
+#[must_use]
+pub fn round_i32(x: f32) -> i32 {
+    // audit:allow(cast): `as` saturates; value is clamped by callers anyway
+    x.round() as i32
+}
+
+/// Converts a small integer (quantization codes, level counts, zero
+/// points — all `|v| < 2^24`) to `f32` exactly.
+#[inline]
+#[must_use]
+pub fn small_i32_f32(v: i32) -> f32 {
+    // audit:allow(cast): quantization codes/levels are < 2^24, exact in f32
+    v as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_rounds_to_nearest() {
+        assert_eq!(narrow_f32(1.0), 1.0);
+        let x = 1.0f64 + 1e-12;
+        assert_eq!(narrow_f32(x), 1.0);
+    }
+
+    #[test]
+    fn usize_conversions_are_exact_in_range() {
+        assert_eq!(usize_f64(1 << 30), (1u64 << 30) as f64);
+        assert_eq!(usize_f32(4096), 4096.0);
+        assert_eq!(usize_f32(1 << 24), 16_777_216.0);
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_and_saturating() {
+        assert_eq!(round_i64(2.5), 3);
+        assert_eq!(round_i64(-2.5), -3);
+        assert_eq!(round_i32(f32::INFINITY), i32::MAX);
+        assert_eq!(round_i32(f32::NEG_INFINITY), i32::MIN);
+        assert_eq!(round_i64(f32::NAN), 0);
+    }
+
+    #[test]
+    fn small_int_to_f32_exact() {
+        assert_eq!(small_i32_f32(255), 255.0);
+        assert_eq!(small_i32_f32(-15), -15.0);
+    }
+}

@@ -1,4 +1,4 @@
-//! Blocked, crossbeam-parallel matrix-multiply kernel.
+//! Blocked, scoped-thread-parallel matrix-multiply kernel.
 //!
 //! The kernel is deliberately simple: row-band parallelism with a
 //! cache-blocked inner loop (i-k-j order so the innermost loop streams
@@ -34,21 +34,20 @@ pub fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut
     let threads = available_threads().min(m);
     let rows_per = m.div_ceil(threads);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = out;
         let mut row0 = 0usize;
         while row0 < m {
             let band_rows = rows_per.min(m - row0);
             let (band, tail) = rest.split_at_mut(band_rows * n);
             let a_band = &a[row0 * k..(row0 + band_rows) * k];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 matmul_band(a_band, k, b, n, band);
             });
             rest = tail;
             row0 += band_rows;
         }
-    })
-    .expect("matmul worker thread panicked");
+    });
 }
 
 /// Sequential blocked kernel for a band of rows.
@@ -102,8 +101,12 @@ mod tests {
     }
 
     fn check(m: usize, k: usize, n: usize) {
-        let a: Vec<f32> = (0..m * k).map(|i| ((i * 31 % 97) as f32) * 0.02 - 1.0).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| ((i * 17 % 89) as f32) * 0.03 - 1.3).collect();
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 31 % 97) as f32) * 0.02 - 1.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 17 % 89) as f32) * 0.03 - 1.3)
+            .collect();
         let mut out = vec![0.0f32; m * n];
         matmul_into(&a, m, k, &b, n, &mut out);
         let want = naive(&a, m, k, &b, n);

@@ -1,12 +1,14 @@
 //! Summary statistics used by quantizer grids, sensitivity reports and
 //! the experiment harness.
 
+use crate::num::{narrow_f32, usize_f64};
+
 /// Mean of a slice (f64 accumulator); `0.0` for empty input.
 pub fn mean(xs: &[f32]) -> f32 {
     if xs.is_empty() {
         return 0.0;
     }
-    (xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64) as f32
+    narrow_f32(xs.iter().map(|&x| f64::from(x)).sum::<f64>() / usize_f64(xs.len()))
 }
 
 /// Population variance; `0.0` for inputs shorter than 2.
@@ -14,8 +16,8 @@ pub fn variance(xs: &[f32]) -> f32 {
     if xs.len() < 2 {
         return 0.0;
     }
-    let m = mean(xs) as f64;
-    (xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / xs.len() as f64) as f32
+    let m = f64::from(mean(xs));
+    narrow_f32(xs.iter().map(|&x| (f64::from(x) - m).powi(2)).sum::<f64>() / usize_f64(xs.len()))
 }
 
 /// Population standard deviation.
@@ -51,10 +53,12 @@ pub fn quantile(xs: &[f32], q: f32) -> f32 {
     assert!((0.0..=1.0).contains(&q), "quantile: q={q} outside [0,1]");
     let mut v: Vec<f32> = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let pos = q as f64 * (v.len() - 1) as f64;
+    let pos = f64::from(q) * usize_f64(v.len() - 1);
+    // audit:allow(cast): pos ∈ [0, len−1] by the q-range assert above
     let lo = pos.floor() as usize;
+    // audit:allow(cast): pos ∈ [0, len−1] by the q-range assert above
     let hi = pos.ceil() as usize;
-    let frac = (pos - lo as f64) as f32;
+    let frac = narrow_f32(pos - usize_f64(lo));
     v[lo] * (1.0 - frac) + v[hi] * frac
 }
 
@@ -63,7 +67,7 @@ pub fn mean_abs(xs: &[f32]) -> f32 {
     if xs.is_empty() {
         return 0.0;
     }
-    (xs.iter().map(|&x| (x as f64).abs()).sum::<f64>() / xs.len() as f64) as f32
+    narrow_f32(xs.iter().map(|&x| f64::from(x).abs()).sum::<f64>() / usize_f64(xs.len()))
 }
 
 /// Root-mean-square error between two slices.
@@ -79,9 +83,9 @@ pub fn rmse(a: &[f32], b: &[f32]) -> f32 {
     let s: f64 = a
         .iter()
         .zip(b.iter())
-        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .map(|(&x, &y)| f64::from(x - y).powi(2))
         .sum();
-    (s / a.len() as f64).sqrt() as f32
+    narrow_f32((s / usize_f64(a.len())).sqrt())
 }
 
 /// Pearson correlation between two slices; `0.0` when either side has no
@@ -95,14 +99,14 @@ pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
     if a.len() < 2 {
         return 0.0;
     }
-    let ma = mean(a) as f64;
-    let mb = mean(b) as f64;
+    let ma = f64::from(mean(a));
+    let mb = f64::from(mean(b));
     let mut cov = 0.0f64;
     let mut va = 0.0f64;
     let mut vb = 0.0f64;
     for (&x, &y) in a.iter().zip(b.iter()) {
-        let dx = x as f64 - ma;
-        let dy = y as f64 - mb;
+        let dx = f64::from(x) - ma;
+        let dy = f64::from(y) - mb;
         cov += dx * dy;
         va += dx * dx;
         vb += dy * dy;
@@ -110,7 +114,7 @@ pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
     if va == 0.0 || vb == 0.0 {
         return 0.0;
     }
-    (cov / (va.sqrt() * vb.sqrt())) as f32
+    narrow_f32(cov / (va.sqrt() * vb.sqrt()))
 }
 
 #[cfg(test)]

@@ -48,7 +48,13 @@ impl<'a> CorpusGenerator<'a> {
         style: CorpusStyle,
         seed: u64,
     ) -> Self {
-        CorpusGenerator { grammar, tokenizer, style, rng: StdRng::seed_from_u64(seed), buffer: Vec::new() }
+        CorpusGenerator {
+            grammar,
+            tokenizer,
+            style,
+            rng: StdRng::seed_from_u64(seed),
+            buffer: Vec::new(),
+        }
     }
 
     /// Produces one segment of exactly `len` tokens (starting with
@@ -148,7 +154,11 @@ impl<'a> CorpusGenerator<'a> {
         let ci = self.rng.gen_range(0..self.grammar.categories.len());
         let ni = self.zipf_index(self.grammar.categories[ci].nouns.len());
         let fact = self.grammar.fact_for(ci, ni);
-        let number = if self.rng.gen_bool(0.3) { Number::Plural } else { Number::Singular };
+        let number = if self.rng.gen_bool(0.3) {
+            Number::Plural
+        } else {
+            Number::Singular
+        };
         let noun = noun_form(self.grammar, fact.category, fact.noun, number);
         let copula = match number {
             Number::Singular => "is",
@@ -173,7 +183,11 @@ impl<'a> CorpusGenerator<'a> {
     fn pick_noun(&mut self) -> (usize, usize, Number) {
         let ci = self.rng.gen_range(0..self.grammar.categories.len());
         let ni = self.zipf_index(self.grammar.categories[ci].nouns.len());
-        let number = if self.rng.gen_bool(0.35) { Number::Plural } else { Number::Singular };
+        let number = if self.rng.gen_bool(0.35) {
+            Number::Plural
+        } else {
+            Number::Singular
+        };
         (ci, ni, number)
     }
 
@@ -272,7 +286,9 @@ mod tests {
         let mut freq_count = 0usize;
         let mut rare_count = 0usize;
         for f in &g.facts {
-            let noun_id = t.token_id(g.categories[f.category].nouns[f.noun].singular).unwrap();
+            let noun_id = t
+                .token_id(g.categories[f.category].nouns[f.noun].singular)
+                .unwrap();
             let n = seg
                 .windows(2)
                 .filter(|w| w[0] == noun_id && w[1] == is_id)
@@ -315,7 +331,10 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked > 50, "expected many noun-verb bigrams, got {checked}");
+        assert!(
+            checked > 50,
+            "expected many noun-verb bigrams, got {checked}"
+        );
     }
 
     #[test]
@@ -329,8 +348,12 @@ mod tests {
             for n in &c.nouns {
                 for &vi in &n.allowed_verbs {
                     let v = &c.verbs[vi];
-                    allowed_pairs.insert((t.token_id(n.singular).unwrap(), t.token_id(v.singular).unwrap()));
-                    allowed_pairs.insert((t.token_id(n.plural).unwrap(), t.token_id(v.plural).unwrap()));
+                    allowed_pairs.insert((
+                        t.token_id(n.singular).unwrap(),
+                        t.token_id(v.singular).unwrap(),
+                    ));
+                    allowed_pairs
+                        .insert((t.token_id(n.plural).unwrap(), t.token_id(v.plural).unwrap()));
                 }
             }
             for v in &c.verbs {
@@ -342,7 +365,12 @@ mod tests {
             .categories
             .iter()
             .flat_map(|c| c.nouns.iter())
-            .flat_map(|n| [t.token_id(n.singular).unwrap(), t.token_id(n.plural).unwrap()])
+            .flat_map(|n| {
+                [
+                    t.token_id(n.singular).unwrap(),
+                    t.token_id(n.plural).unwrap(),
+                ]
+            })
             .collect();
         let mut gen = CorpusGenerator::new(&g, &t, CorpusStyle::WebC4, 23);
         let seg = gen.segment(8000);

@@ -177,8 +177,8 @@ impl Grammar {
         ];
 
         let attributes = vec![
-            "black", "silver", "ancient", "small", "bright", "quiet", "northern", "scarce",
-            "pale", "sturdy", "crooked", "smooth",
+            "black", "silver", "ancient", "small", "bright", "quiet", "northern", "scarce", "pale",
+            "sturdy", "crooked", "smooth",
         ];
 
         // One fact per noun. Attribute assignment is a fixed permutation
@@ -191,15 +191,28 @@ impl Grammar {
         for (ci, cat) in categories.iter().enumerate() {
             for ni in 0..cat.nouns.len() {
                 let attribute = attributes[(ci * 3 + ni * 5) % attributes.len()];
-                let frequency =
-                    if ni < 4 { FactFrequency::Frequent } else { FactFrequency::Rare };
-                facts.push(Fact { category: ci, noun: ni, attribute, frequency });
+                let frequency = if ni < 4 {
+                    FactFrequency::Frequent
+                } else {
+                    FactFrequency::Rare
+                };
+                facts.push(Fact {
+                    category: ci,
+                    noun: ni,
+                    attribute,
+                    frequency,
+                });
             }
         }
 
         let noise_words = vec!["hmm", "oh", "well", "indeed", "also", "then"];
 
-        Grammar { categories, attributes, facts, noise_words }
+        Grammar {
+            categories,
+            attributes,
+            facts,
+            noise_words,
+        }
     }
 
     /// Looks up the fact for a noun.
@@ -259,7 +272,9 @@ impl Grammar {
     pub fn disallowed_verbs(&self, category: usize, noun: usize) -> Vec<usize> {
         let cat = &self.categories[category];
         let allowed = &cat.nouns[noun].allowed_verbs;
-        (0..cat.verbs.len()).filter(|v| !allowed.contains(v)).collect()
+        (0..cat.verbs.len())
+            .filter(|v| !allowed.contains(v))
+            .collect()
     }
 }
 
@@ -279,7 +294,13 @@ fn nouns(pairs: &[(&'static str, &'static str)]) -> Vec<Noun> {
 }
 
 fn verbs(pairs: &[(&'static str, &'static str)]) -> Vec<Verb> {
-    pairs.iter().map(|&(s, p)| Verb { singular: s, plural: p }).collect()
+    pairs
+        .iter()
+        .map(|&(s, p)| Verb {
+            singular: s,
+            plural: p,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -305,8 +326,11 @@ mod tests {
         let g = Grammar::standard();
         for (ci, cat) in g.categories.iter().enumerate() {
             for ni in 0..cat.nouns.len() {
-                let matching: Vec<_> =
-                    g.facts.iter().filter(|f| f.category == ci && f.noun == ni).collect();
+                let matching: Vec<_> = g
+                    .facts
+                    .iter()
+                    .filter(|f| f.category == ci && f.noun == ni)
+                    .collect();
                 assert_eq!(matching.len(), 1, "noun ({ci},{ni})");
             }
         }
@@ -315,8 +339,16 @@ mod tests {
     #[test]
     fn facts_split_between_frequent_and_rare() {
         let g = Grammar::standard();
-        let freq = g.facts.iter().filter(|f| f.frequency == FactFrequency::Frequent).count();
-        let rare = g.facts.iter().filter(|f| f.frequency == FactFrequency::Rare).count();
+        let freq = g
+            .facts
+            .iter()
+            .filter(|f| f.frequency == FactFrequency::Frequent)
+            .count();
+        let rare = g
+            .facts
+            .iter()
+            .filter(|f| f.frequency == FactFrequency::Rare)
+            .count();
         assert_eq!(freq, 16);
         assert_eq!(rare, 16);
     }
@@ -327,9 +359,16 @@ mod tests {
         // be solvable without reading the noun.
         let g = Grammar::standard();
         for ci in 0..g.categories.len() {
-            let attrs: HashSet<&str> =
-                g.facts.iter().filter(|f| f.category == ci).map(|f| f.attribute).collect();
-            assert!(attrs.len() >= 3, "category {ci} facts too uniform: {attrs:?}");
+            let attrs: HashSet<&str> = g
+                .facts
+                .iter()
+                .filter(|f| f.category == ci)
+                .map(|f| f.attribute)
+                .collect();
+            assert!(
+                attrs.len() >= 3,
+                "category {ci} facts too uniform: {attrs:?}"
+            );
         }
     }
 

@@ -175,7 +175,13 @@ fn continuation_item(grammar: &Grammar, tokenizer: &Tokenizer, rng: &mut StdRng)
     let v1 = rng.gen_range(0..cat1.verbs.len());
     let prompt = encode_prompt(
         tokenizer,
-        &["the", cat1.nouns[n1].singular, cat1.verbs[v1].singular, "and", "the"],
+        &[
+            "the",
+            cat1.nouns[n1].singular,
+            cat1.verbs[v1].singular,
+            "and",
+            "the",
+        ],
     );
 
     // Correct ending: noun + one of *its own* affordance verbs (singular).
@@ -267,7 +273,11 @@ fn agreement_item(grammar: &Grammar, tokenizer: &Tokenizer, rng: &mut StdRng) ->
     let cat = &grammar.categories[ci];
     let ni = rng.gen_range(0..cat.nouns.len());
     let plural = rng.gen_bool(0.5);
-    let noun = if plural { cat.nouns[ni].plural } else { cat.nouns[ni].singular };
+    let noun = if plural {
+        cat.nouns[ni].plural
+    } else {
+        cat.nouns[ni].singular
+    };
     let prompt = encode_prompt(tokenizer, &["the", noun]);
 
     let vi = rng.gen_range(0..cat.verbs.len());

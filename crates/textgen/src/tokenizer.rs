@@ -69,7 +69,10 @@ impl Tokenizer {
 
     /// Encodes a slice of words (avoids string assembly in generators).
     pub fn encode_words(&self, words: &[&str]) -> Vec<u32> {
-        words.iter().map(|w| self.token_id(w).unwrap_or(UNK)).collect()
+        words
+            .iter()
+            .map(|w| self.token_id(w).unwrap_or(UNK))
+            .collect()
     }
 
     /// Decodes ids back to space-joined words (`<unk>` for bad ids).
@@ -117,14 +120,21 @@ mod tests {
     #[test]
     fn encode_words_matches_encode() {
         let t = tok();
-        assert_eq!(t.encode_words(&["the", "saw", "cuts"]), t.encode("the saw cuts"));
+        assert_eq!(
+            t.encode_words(&["the", "saw", "cuts"]),
+            t.encode("the saw cuts")
+        );
     }
 
     #[test]
     fn vocab_is_stable_and_reasonably_sized() {
         let t = tok();
         assert_eq!(t.vocab_size(), tok().vocab_size());
-        assert!(t.vocab_size() > 110 && t.vocab_size() < 145, "{}", t.vocab_size());
+        assert!(
+            t.vocab_size() > 110 && t.vocab_size() < 145,
+            "{}",
+            t.vocab_size()
+        );
     }
 
     #[test]

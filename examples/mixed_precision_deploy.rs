@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\npacked model: {packed_bytes} bytes vs fp16 {fp16_bytes} bytes ({:.2}x smaller)",
         fp16_bytes as f32 / packed_bytes as f32
     );
-    println!("achieved average bits (plan): {:.2}", plan.avg_bits(&stack.model));
+    println!(
+        "achieved average bits (plan): {:.2}",
+        plan.avg_bits(&stack.model)
+    );
 
     // Serialization round-trip of one packed layer (the storage format is
     // plain serde).
@@ -63,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json = serde_json::to_string(tensor)?;
     let restored: PackedTensor = serde_json::from_str(&json)?;
     assert_eq!(&restored.dequantize(), &tensor.dequantize());
-    println!("serde round-trip of {name}: OK ({} bytes of JSON)", json.len());
+    println!(
+        "serde round-trip of {name}: OK ({} bytes of JSON)",
+        json.len()
+    );
 
     // Generation from the quantized model.
     let prompt = stack.tokenizer.encode("<bos> the wild");

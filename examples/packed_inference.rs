@@ -10,12 +10,12 @@
 //! ```
 
 use aptq::eval::zoo::{load_or_train, ModelSize, PretrainBudget};
+use aptq::qmodel::QuantizedModel;
 use aptq::quant::grid::GridConfig;
 use aptq::quant::methods::apply_plan_obq;
 use aptq::quant::mixed::{AllocationPolicy, MixedPrecisionAllocator};
 use aptq::quant::trace::empirical_sensitivity;
 use aptq::quant::{collect_hessians, HessianMode};
-use aptq::qmodel::QuantizedModel;
 use aptq::textgen::corpus::{CorpusGenerator, CorpusStyle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,12 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = reference.forward(&probe);
     let max_diff = a.sub(&b).abs_max();
     println!("packed vs simulated forward, max |Δlogit|: {max_diff:.2e}");
-    assert!(max_diff < 1e-4, "packed execution must match simulated quantization");
+    assert!(
+        max_diff < 1e-4,
+        "packed execution must match simulated quantization"
+    );
 
     // Generate directly from packed storage.
     let mut prompt = vec![aptq::textgen::tokenizer::BOS];
     prompt.extend(stack.tokenizer.encode("the sharp saw"));
     let out = qmodel.generate_greedy(&prompt, 10)?;
-    println!("\npacked-model continuation: {}", stack.tokenizer.decode(&out));
+    println!(
+        "\npacked-model continuation: {}",
+        stack.tokenizer.decode(&out)
+    );
     Ok(())
 }

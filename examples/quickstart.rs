@@ -9,8 +9,8 @@
 //! cargo run --example quickstart --release
 //! ```
 
-use aptq::eval::pipeline::{quantize_clone, Method};
 use aptq::eval::perplexity;
+use aptq::eval::pipeline::{quantize_clone, Method};
 use aptq::eval::zoo::{load_or_train, ModelSize, PretrainBudget};
 use aptq::quant::grid::GridConfig;
 use aptq::textgen::corpus::{CorpusGenerator, CorpusStyle};
@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    substitution).
     println!("pretraining TinyLlama-S on the synthetic corpus…");
     let stack = load_or_train(ModelSize::Small, PretrainBudget::quick(), None)?;
-    println!("  done (final training loss {:.3} nats/token)", stack.final_loss);
+    println!(
+        "  done (final training loss {:.3} nats/token)",
+        stack.final_loss
+    );
 
     // 2. Calibration data: fresh segments from the training distribution,
     //    as the paper samples 128 segments of C4.
@@ -45,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Method::AptqUniform { bits: 4 },
         Method::AptqMixed { ratio: 0.75 },
     ] {
-        let (quantized, measured_bits) =
-            quantize_clone(&stack.model, method, &calibration, &cfg)?;
+        let (quantized, measured_bits) = quantize_clone(&stack.model, method, &calibration, &cfg)?;
         let ppl = perplexity(&quantized, &eval_segments)?;
         println!(
             "{:<24} avg {:.2} bits → perplexity {ppl:.3} (Δ {:+.3})",

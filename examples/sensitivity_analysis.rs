@@ -32,10 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The allocation the paper's Figure 1 sketches: high bits where the
     // trace is high.
     let allocator = MixedPrecisionAllocator::two_four(0.75)?;
-    let trace_plan =
-        allocator.allocate(&stack.model, &sensitivity, AllocationPolicy::HessianTrace);
-    let block_plan =
-        allocator.allocate(&stack.model, &sensitivity, AllocationPolicy::ManualBlockwise);
+    let trace_plan = allocator.allocate(&stack.model, &sensitivity, AllocationPolicy::HessianTrace);
+    let block_plan = allocator.allocate(
+        &stack.model,
+        &sensitivity,
+        AllocationPolicy::ManualBlockwise,
+    );
 
     println!("bit allocation at R = 75% (4-bit ratio):\n");
     println!("| layer | trace rank | APTQ bits | manual block-wise bits |");

@@ -9,8 +9,8 @@
 //! cargo run --example zero_shot_eval --release
 //! ```
 
-use aptq::eval::pipeline::{quantize_clone, Method};
 use aptq::eval::evaluate_suites;
+use aptq::eval::pipeline::{quantize_clone, Method};
 use aptq::eval::zoo::{load_or_train, ModelSize, PretrainBudget};
 use aptq::quant::grid::GridConfig;
 use aptq::textgen::corpus::{CorpusGenerator, CorpusStyle};
@@ -28,17 +28,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|&t| TaskSuite::generate(t, &stack.grammar, &stack.tokenizer, 80, 2718))
         .collect();
 
-    let methods =
-        [Method::Fp16, Method::AptqMixed { ratio: 0.9 }, Method::Rtn { bits: 2 }];
+    let methods = [
+        Method::Fp16,
+        Method::AptqMixed { ratio: 0.9 },
+        Method::Rtn { bits: 2 },
+    ];
 
-    println!("\n| Method | {} | Mean |", ZeroShotTask::ALL.map(|t| t.paper_name()).join(" | "));
+    println!(
+        "\n| Method | {} | Mean |",
+        ZeroShotTask::ALL.map(|t| t.paper_name()).join(" | ")
+    );
     println!("|---|---|---|---|---|---|---|");
     for method in methods {
         let (model, _) =
             quantize_clone(&stack.model, method, &calibration, &GridConfig::default())?;
         let results = evaluate_suites(&model, &suites)?;
-        let cells: Vec<String> =
-            results.iter().map(|r| format!("{:.1}", r.accuracy * 100.0)).collect();
+        let cells: Vec<String> = results
+            .iter()
+            .map(|r| format!("{:.1}", r.accuracy * 100.0))
+            .collect();
         println!("| {} | {} |", method.label(), cells.join(" | "));
     }
     println!("\n(chance: 25.0 for the four 4-way suites, 50.0 for WinoGrande)");

@@ -40,8 +40,13 @@ fn eval_wiki() -> Vec<Vec<u32>> {
 }
 
 fn ppl_of(method: Method) -> f32 {
-    let (model, _) =
-        quantize_clone(&stack().model, method, &calibration(), &GridConfig::default()).unwrap();
+    let (model, _) = quantize_clone(
+        &stack().model,
+        method,
+        &calibration(),
+        &GridConfig::default(),
+    )
+    .unwrap();
     perplexity(&model, &eval_c4()).unwrap()
 }
 
@@ -51,8 +56,14 @@ fn trained_model_beats_uniform_on_both_corpora() {
     let vocab = s.tokenizer.vocab_size() as f32;
     let c4 = perplexity(&s.model, &eval_c4()).unwrap();
     let wiki = perplexity(&s.model, &eval_wiki()).unwrap();
-    assert!(c4 < vocab * 0.25, "C4 PPL {c4} should be far below |V| {vocab}");
-    assert!(wiki < vocab * 0.5, "Wiki PPL {wiki} should be far below |V| {vocab}");
+    assert!(
+        c4 < vocab * 0.25,
+        "C4 PPL {c4} should be far below |V| {vocab}"
+    );
+    assert!(
+        wiki < vocab * 0.5,
+        "Wiki PPL {wiki} should be far below |V| {vocab}"
+    );
 }
 
 #[test]
@@ -79,7 +90,11 @@ fn four_bit_quantization_is_nearly_lossless() {
             "{}: PPL {q} should be near fp16 {fp16}",
             method.label()
         );
-        assert!(q >= fp16 * 0.90, "{}: quantization cannot beat fp16 by much", method.label());
+        assert!(
+            q >= fp16 * 0.90,
+            "{}: quantization cannot beat fp16 by much",
+            method.label()
+        );
     }
 }
 
@@ -89,8 +104,14 @@ fn aptq_mixed_degrades_gracefully_with_ratio() {
     let p90 = ppl_of(Method::AptqMixed { ratio: 0.9 });
     let p50 = ppl_of(Method::AptqMixed { ratio: 0.5 });
     let fp16 = ppl_of(Method::Fp16);
-    assert!(p90 < p50, "more 4-bit weights must help: R=0.9 {p90} vs R=0.5 {p50}");
-    assert!(p90 < fp16 * 2.0, "APTQ-90% should stay near fp16: {p90} vs {fp16}");
+    assert!(
+        p90 < p50,
+        "more 4-bit weights must help: R=0.9 {p90} vs R=0.5 {p50}"
+    );
+    assert!(
+        p90 < fp16 * 2.0,
+        "APTQ-90% should stay near fp16: {p90} vs {fp16}"
+    );
 }
 
 #[test]
@@ -114,7 +135,10 @@ fn sensitivity_allocation_is_competitive_with_manual_blockwise() {
     );
     // And both mixed schemes must beat naive uniform 2-bit RTN by a mile.
     let rtn2 = ppl_of(Method::Rtn { bits: 2 });
-    assert!(total_trace / 2.0 < rtn2, "mixed 2/4 must beat uniform 2-bit RTN");
+    assert!(
+        total_trace / 2.0 < rtn2,
+        "mixed 2/4 must beat uniform 2-bit RTN"
+    );
 }
 
 #[test]
@@ -139,7 +163,10 @@ fn trained_model_zero_shot_above_chance_and_quantization_degrades() {
     let fp = evaluate_suites(&s.model, &suites).unwrap();
     let fp_mean = fp.last().unwrap().accuracy;
     // Chance mean over the 5 suites = (0.25*4 + 0.5)/5 = 0.3.
-    assert!(fp_mean > 0.40, "trained fp16 mean accuracy {fp_mean} should beat chance 0.30");
+    assert!(
+        fp_mean > 0.40,
+        "trained fp16 mean accuracy {fp_mean} should beat chance 0.30"
+    );
 
     let (q2, _) = quantize_clone(
         &s.model,
@@ -174,9 +201,18 @@ fn agreement_task_is_easiest_for_trained_model() {
 fn wiki_distribution_shift_shows_up_in_ppl() {
     // Calibration/training is C4-style; Wiki is shifted. On the fp16
     // model Wiki PPL should differ from C4 PPL (the Table 1 columns are
-    // genuinely different distributions).
+    // genuinely different distributions). Uses a larger eval sample than
+    // the shared 16-segment helpers: at 16 segments the gap estimate is
+    // noisy enough to dip below threshold on unlucky seeds.
     let s = stack();
-    let c4 = perplexity(&s.model, &eval_c4()).unwrap();
-    let wiki = perplexity(&s.model, &eval_wiki()).unwrap();
-    assert!((c4 - wiki).abs() / c4 > 0.02, "C4 {c4} and Wiki {wiki} should differ");
+    let c4_corpus =
+        CorpusGenerator::new(&s.grammar, &s.tokenizer, CorpusStyle::WebC4, 9002).segments(48, 48);
+    let wiki_corpus =
+        CorpusGenerator::new(&s.grammar, &s.tokenizer, CorpusStyle::Wiki, 9003).segments(48, 48);
+    let c4 = perplexity(&s.model, &c4_corpus).unwrap();
+    let wiki = perplexity(&s.model, &wiki_corpus).unwrap();
+    assert!(
+        (c4 - wiki).abs() / c4 > 0.02,
+        "C4 {c4} and Wiki {wiki} should differ"
+    );
 }

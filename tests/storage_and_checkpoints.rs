@@ -24,7 +24,10 @@ fn packed_model_is_roughly_four_times_smaller_at_4bit() {
         fp16_total += w.len() * 2;
     }
     let ratio = fp16_total as f32 / packed_total as f32;
-    assert!(ratio > 3.0 && ratio < 4.0, "4-bit + metadata should give ~3.5x: {ratio}");
+    assert!(
+        ratio > 3.0 && ratio < 4.0,
+        "4-bit + metadata should give ~3.5x: {ratio}"
+    );
 }
 
 #[test]
@@ -66,7 +69,10 @@ fn packed_tensor_survives_serde_and_reinstall() {
         &w,
         &h,
         QuantGrid::int(4, true),
-        &GridConfig { group_size: 8, ..GridConfig::default() },
+        &GridConfig {
+            group_size: 8,
+            ..GridConfig::default()
+        },
     )
     .unwrap();
 

@@ -1,0 +1,464 @@
+//! Offline vendored mini-serde.
+//!
+//! The build container has no crates.io access, so the workspace ships a
+//! deliberately small, value-based replacement for `serde`'s data model:
+//! a [`Serialize`] trait lowering values into a self-describing
+//! [`Content`] tree, and a [`Deserialize`] trait lifting them back out.
+//! `serde_json` (also vendored) renders `Content` to JSON text and
+//! parses it back. The `#[derive(Serialize, Deserialize)]` macros are
+//! re-exported from the vendored `serde_derive`.
+//!
+//! Deviations from upstream serde, chosen for simplicity:
+//!
+//! - Maps serialize as a sequence of `[key, value]` pairs, so non-string
+//!   keys (e.g. `BTreeMap<LayerRef, u8>`) round-trip without a key
+//!   stringification story. JSON output is therefore an array of pairs
+//!   rather than an object for map-typed fields.
+//! - Non-finite floats serialize as `Null` and deserialize as `NaN`.
+//! - There is no zero-copy deserialization and no lifetime parameter.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// The self-describing value tree both traits speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`; also the encoding of `None` and non-finite floats.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// A binary float (finite).
+    F64(f64),
+    /// A string (also the encoding of unit enum variants).
+    Str(String),
+    /// A sequence (also the encoding of maps, as `[key, value]` pairs).
+    Seq(Vec<Content>),
+    /// A string-keyed record: structs and payload-carrying enum variants.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a field of a struct-shaped [`Content::Map`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] if `self` is not a map or the field is absent.
+    pub fn field<'a>(&'a self, ty: &str, name: &str) -> Result<&'a Content, DeError> {
+        match self {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError(format!("missing field `{name}` while reading {ty}"))),
+            other => Err(DeError(format!(
+                "expected a map for {ty}, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) => "integer",
+            Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure: a message naming the type and the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An unrecognized enum variant tag.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Self {
+        DeError(format!("unknown variant `{tag}` for {ty}"))
+    }
+
+    /// A content tree whose shape does not match the target type.
+    pub fn invalid_shape(ty: &str) -> Self {
+        DeError(format!("content shape does not match {ty}"))
+    }
+
+    fn expected(ty: &str, found: &Content) -> Self {
+        DeError(format!("expected {ty}, found {}", found.kind_name()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lowers a value into the [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into a self-describing value.
+    fn to_content(&self) -> Content;
+}
+
+/// Lifts a value out of the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value, erroring on shape mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the content tree does not match `Self`.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let wide = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::expected(stringify!($t), c))?,
+                    other => return Err(DeError::expected(stringify!($t), other)),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::expected(stringify!($t), c))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                match i64::try_from(*self) {
+                    Ok(v) => Content::I64(v),
+                    Err(_) => Content::U64(u64::from(*self)),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let wide = match c {
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| DeError::expected(stringify!($t), c))?,
+                    Content::U64(v) => *v,
+                    other => return Err(DeError::expected(stringify!($t), other)),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::expected(stringify!($t), c))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        (*self as u64).to_content()
+    }
+}
+
+impl Deserialize for usize {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v = u64::from_content(c)?;
+        usize::try_from(v).map_err(|_| DeError::expected("usize", c))
+    }
+}
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        Content::I64(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v = i64::from_content(c)?;
+        isize::try_from(v).map_err(|_| DeError::expected("isize", c))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        if self.is_finite() {
+            Content::F64(*self)
+        } else {
+            Content::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        // Widening f32 → f64 is exact, so Display shortest-round-trip
+        // output of the f64 reproduces the original f32 on re-parse.
+        f64::from(*self).to_content()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(f64::from_content(c)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_content(c)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v = Vec::<T>::from_content(c)?;
+        let n = v.len();
+        <[T; N]>::try_from(v)
+            .map_err(|_| DeError(format!("expected an array of length {N}, found {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+fn pair_to_content<K: Serialize, V: Serialize>(k: &K, v: &V) -> Content {
+    Content::Seq(vec![k.to_content(), v.to_content()])
+}
+
+fn content_to_pair<K: Deserialize, V: Deserialize>(c: &Content) -> Result<(K, V), DeError> {
+    match c {
+        Content::Seq(kv) if kv.len() == 2 => {
+            Ok((K::from_content(&kv[0])?, V::from_content(&kv[1])?))
+        }
+        other => Err(DeError::expected("a [key, value] pair", other)),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(|(k, v)| pair_to_content(k, v)).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(content_to_pair).collect(),
+            other => Err(DeError::expected("a map (pair sequence)", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(|(k, v)| pair_to_content(k, v)).collect())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(content_to_pair).collect(),
+            other => Err(DeError::expected("a map (pair sequence)", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                match c {
+                    Content::Seq(items) if items.len() == LEN => {
+                        Ok(($($t::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected("a tuple sequence", other)),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u8::from_content(&42u8.to_content()), Ok(42));
+        assert_eq!(i64::from_content(&(-7i64).to_content()), Ok(-7));
+        assert_eq!(usize::from_content(&123usize.to_content()), Ok(123));
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+        assert_eq!(
+            String::from_content(&"hé".to_string().to_content()),
+            Ok("hé".to_string())
+        );
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for v in [0.1f32, -3.75, f32::MIN_POSITIVE, 1.0e30] {
+            assert_eq!(f32::from_content(&v.to_content()), Ok(v));
+        }
+        assert!(f32::from_content(&f32::NAN.to_content()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn u64_beyond_i64_round_trips() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::from_content(&big.to_content()), Ok(big));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_content(&v.to_content()), Ok(v));
+        let mut m = BTreeMap::new();
+        m.insert((1u8, 2u8), "x".to_string());
+        assert_eq!(
+            BTreeMap::<(u8, u8), String>::from_content(&m.to_content()),
+            Ok(m)
+        );
+        let o: Option<f64> = Some(2.5);
+        assert_eq!(Option::<f64>::from_content(&o.to_content()), Ok(o));
+        assert_eq!(Option::<f64>::from_content(&Content::Null), Ok(None));
+    }
+
+    #[test]
+    fn narrowing_is_checked() {
+        assert!(u8::from_content(&300u32.to_content()).is_err());
+        assert!(u32::from_content(&(-1i32).to_content()).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Derive macros for the workspace's vendored mini-serde.
+//!
+//! The build container has no crates.io access, so `syn`/`quote` are not
+//! available; the item is parsed directly from the [`proc_macro`] token
+//! stream and the generated impls are assembled as source text. Supported
+//! shapes — which cover every derive site in this workspace — are:
+//!
+//! - non-generic structs with named fields,
+//! - non-generic enums whose variants are units or carry named fields.
+//!
+//! Anything else (tuple structs, generics, tuple variants) produces a
+//! `compile_error!` naming the unsupported construct. Field-level
+//! `#[serde(...)]` attributes are accepted and ignored: the value-based
+//! data model has no use for them, and erroring would make the stub
+//! gratuitously incompatible.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the workspace mini-serde trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the workspace mini-serde trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// A parsed item: name plus shape.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Vec<String>)>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .unwrap_or_default()
+        }
+    };
+    let src = match (mode, &item) {
+        (Mode::Serialize, Item::Struct { name, fields }) => ser_struct(name, fields),
+        (Mode::Deserialize, Item::Struct { name, fields }) => de_struct(name, fields),
+        (Mode::Serialize, Item::Enum { name, variants }) => ser_enum(name, variants),
+        (Mode::Deserialize, Item::Enum { name, variants }) => de_enum(name, variants),
+    };
+    src.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"mini-serde derive generated invalid code: {e}\");")
+            .parse()
+            .unwrap_or_default()
+    })
+}
+
+fn ser_struct(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_content(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_struct(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content(\
+                 ::serde::Content::field(__c, {name:?}, {f:?})?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name} {{ {entries} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn ser_enum(name: &str, variants: &[(String, Vec<String>)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(v, fields)| {
+            if fields.is_empty() {
+                format!(
+                    "{name}::{v} => \
+                     ::serde::Content::Str(::std::string::String::from({v:?})),"
+                )
+            } else {
+                let binds = fields.join(", ");
+                let entries: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), \
+                             ::serde::Serialize::to_content({f})),"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                     (::std::string::String::from({v:?}), \
+                      ::serde::Content::Map(::std::vec![{entries}]))]),"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_enum(name: &str, variants: &[(String, Vec<String>)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, fields)| fields.is_empty())
+        .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let payload_arms: String = variants
+        .iter()
+        .filter(|(_, fields)| !fields.is_empty())
+        .map(|(v, fields)| {
+            let tag = format!("{name}::{v}");
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::Content::field(__inner, {tag:?}, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!("{v:?} => ::std::result::Result::Ok({name}::{v} {{ {entries} }}),")
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __c {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(\
+                             ::serde::DeError::unknown_variant({name:?}, __other)),\n\
+                     }},\n\
+                     ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         let _ = __inner;\n\
+                         match __tag.as_str() {{\n\
+                             {payload_arms}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::unknown_variant({name:?}, __other)),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(\
+                         ::serde::DeError::invalid_shape({name:?})),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Parses the derive input down to names only; types are irrelevant to
+/// the value-based data model (field types are recovered via inference
+/// at the `Deserialize::from_content` call sites).
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = ident_at(&tokens, i).ok_or("mini-serde derive: expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&tokens, i)
+        .ok_or("mini-serde derive: expected a type name")?
+        .to_string();
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "mini-serde derive: `{name}` is generic, which is unsupported"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "mini-serde derive: `{name}` is a tuple struct, which is unsupported"
+            ));
+        }
+        _ => return Err(format!("mini-serde derive: `{name}` has no braced body")),
+    };
+    match kw.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => {
+            let variants = parse_variants(body, &name)?;
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!(
+            "mini-serde derive: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+/// Parses `name: Type, ...` named fields, skipping attributes and
+/// visibility, tracking `<`/`>` depth so generic argument commas do not
+/// split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = ident_at(&tokens, i).ok_or_else(|| {
+            format!(
+                "mini-serde derive: expected a field name, got `{}`",
+                tokens[i]
+            )
+        })?;
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "mini-serde derive: field `{field}` is missing `: Type`"
+                ))
+            }
+        }
+        skip_type_to_comma(&tokens, &mut i);
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Parses enum variants: `Name`, `Name { fields }`; tuple variants are
+/// rejected.
+fn parse_variants(
+    body: TokenStream,
+    enum_name: &str,
+) -> Result<Vec<(String, Vec<String>)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = ident_at(&tokens, i)
+            .ok_or_else(|| format!("mini-serde derive: expected a variant of `{enum_name}`"))?;
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "mini-serde derive: tuple variant `{enum_name}::{variant}` is unsupported"
+                ));
+            }
+            _ => Vec::new(),
+        };
+        // Skip any discriminant (`= expr`) up to the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((variant, fields));
+    }
+    Ok(variants)
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past `#[...]` attributes (including doc comments) and
+/// `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past a type, stopping after the field-separating comma (or
+/// at end of stream). Tracks angle-bracket depth so `BTreeMap<K, V>`
+/// commas do not terminate the field.
+fn skip_type_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}

@@ -1,0 +1,411 @@
+//! Offline vendored mini `serde_json`.
+//!
+//! Renders the vendored mini-serde [`Content`] tree to JSON text and
+//! parses JSON text back into it. Format notes inherited from the data
+//! model: maps appear as arrays of `[key, value]` pairs, non-finite
+//! floats as `null`. Floats round-trip exactly: Rust's `Display` for
+//! `f64` emits the shortest decimal that re-parses to the same bits.
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Infallible for this mini implementation; the `Result` mirrors the
+/// upstream `serde_json` signature so call sites stay unchanged.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let content = Parser::new(text).parse_document()?;
+    Ok(T::from_content(&content)?)
+}
+
+fn write_content(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => {
+            let mut buf = itoa_buffer();
+            let _ = fmt::Write::write_fmt(&mut buf, format_args!("{v}"));
+            out.push_str(&buf);
+        }
+        Content::U64(v) => {
+            let mut buf = itoa_buffer();
+            let _ = fmt::Write::write_fmt(&mut buf, format_args!("{v}"));
+            out.push_str(&buf);
+        }
+        Content::F64(v) => {
+            if v.is_finite() {
+                let mut buf = itoa_buffer();
+                let _ = fmt::Write::write_fmt(&mut buf, format_args!("{v}"));
+                // `Display` omits the decimal point for integral floats;
+                // keep it so the parser reads the token back as a float.
+                if !buf.contains(['.', 'e', 'E']) {
+                    buf.push_str(".0");
+                }
+                out.push_str(&buf);
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_json_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(k, out);
+                out.push(':');
+                write_content(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn itoa_buffer() -> String {
+    String::with_capacity(24)
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let mut buf = String::new();
+                let _ = fmt::Write::write_fmt(&mut buf, format_args!("\\u{:04x}", c as u32));
+                out.push_str(&buf);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Content, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Content::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected a string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(cp) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            self.pos = end;
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-ASCII \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&3u8).as_deref(), Ok("3"));
+        assert_eq!(from_str::<u8>("3"), Ok(3));
+        assert_eq!(from_str::<i64>("-12"), Ok(-12));
+        assert_eq!(to_string(&true).as_deref(), Ok("true"));
+        let x: f32 = 0.1;
+        let s = to_string(&x).expect("serialize f32");
+        assert_eq!(from_str::<f32>(&s), Ok(x));
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let big: u64 = (1 << 60) + 12345;
+        let s = to_string(&big).expect("serialize u64");
+        assert_eq!(from_str::<u64>(&s), Ok(big));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a\"b\\c\nd\té\u{1F600}".to_string();
+        let j = to_string(&s).expect("serialize string");
+        assert_eq!(from_str::<String>(&j), Ok(s));
+        // Escaped surrogate-pair form also parses.
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\""),
+            Ok("\u{1F600}".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![vec![1.5f64], vec![], vec![-2.0, 3.0]];
+        let s = to_string(&v).expect("serialize nested vec");
+        assert_eq!(from_str::<Vec<Vec<f64>>>(&s), Ok(v));
+    }
+
+    #[test]
+    fn whitespace_tolerated_and_garbage_rejected() {
+        assert_eq!(from_str::<Vec<u8>>(" [ 1 , 2 ]  "), Ok(vec![1, 2]));
+        assert!(from_str::<Vec<u8>>("[1,2] trailing").is_err());
+        assert!(from_str::<u8>("[").is_err());
+        assert!(from_str::<u8>("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let s = to_string(&2.0f64).expect("serialize");
+        assert_eq!(s, "2.0");
+        assert_eq!(from_str::<f64>(&s), Ok(2.0));
+    }
+}
