@@ -19,4 +19,11 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> determinism suite (scheduler thread-count invariance)"
+for threads in 1 4; do
+    echo "    APTQ_THREADS=$threads"
+    APTQ_THREADS=$threads cargo test -q -p aptq-core --test determinism
+    APTQ_THREADS=$threads cargo test -q -p aptq-eval --test determinism
+done
+
 echo "All checks passed."

@@ -1,0 +1,81 @@
+//! Criterion benches for the `QuantSession` caches and the parallel
+//! OBQ layer scheduler: cold vs warm Hessian capture, and sequential
+//! vs multi-threaded `apply_plan_obq_threads` on the same plan.
+
+use aptq_core::grid::GridConfig;
+use aptq_core::methods::apply_plan_obq_threads;
+use aptq_core::{HessianMode, QuantPlan, QuantSession};
+use aptq_lm::{Model, ModelConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn calibration() -> Vec<Vec<u32>> {
+    (0..16)
+        .map(|k| (0..24).map(|i| ((i * 7 + k * 3) % 16) as u32).collect())
+        .collect()
+}
+
+fn bench_session_cache(c: &mut Criterion) {
+    let model = Model::new(&ModelConfig::test_tiny(16), 7);
+    let mut group = c.benchmark_group("session_hessian_cache");
+    group.sample_size(10);
+    group.bench_function("cold_capture", |b| {
+        b.iter(|| {
+            let mut session = QuantSession::new(calibration());
+            black_box(
+                session
+                    .hessians(&model, HessianMode::AttentionAware)
+                    .unwrap(),
+            );
+        });
+    });
+    group.bench_function("warm_capture", |b| {
+        let mut session = QuantSession::new(calibration());
+        session
+            .hessians(&model, HessianMode::AttentionAware)
+            .unwrap();
+        b.iter(|| {
+            black_box(
+                session
+                    .hessians(&model, HessianMode::AttentionAware)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let model = Model::new(&ModelConfig::test_tiny(16), 8);
+    let cfg = GridConfig::default();
+    let plan = QuantPlan::uniform(&model, 4);
+    let mut session = QuantSession::new(calibration());
+    let hessians = session
+        .hessians(&model, HessianMode::AttentionAware)
+        .unwrap();
+    let mut group = c.benchmark_group("obq_scheduler");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let mut m = model.clone();
+                black_box(
+                    apply_plan_obq_threads("bench", &mut m, &plan, &hessians, &cfg, threads)
+                        .unwrap(),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = session;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    targets = bench_session_cache, bench_scheduler
+);
+criterion_main!(session);

@@ -16,7 +16,7 @@ fn smoke_experiment() -> Experiment {
 }
 
 fn bench_table1(c: &mut Criterion) {
-    let exp = smoke_experiment();
+    let mut exp = smoke_experiment();
     let mut group = c.benchmark_group("table1_ppl_rows");
     group.sample_size(10);
     group.bench_function("gptq4", |b| {
@@ -37,7 +37,7 @@ fn bench_table1(c: &mut Criterion) {
 }
 
 fn bench_table2(c: &mut Criterion) {
-    let exp = smoke_experiment();
+    let mut exp = smoke_experiment();
     let mut group = c.benchmark_group("table2_zeroshot_rows");
     group.sample_size(10);
     group.bench_function("fp16", |b| {
@@ -50,7 +50,7 @@ fn bench_table2(c: &mut Criterion) {
 }
 
 fn bench_table3(c: &mut Criterion) {
-    let exp = smoke_experiment();
+    let mut exp = smoke_experiment();
     let mut group = c.benchmark_group("table3_ablation_rows");
     group.sample_size(10);
     group.bench_function("trace50", |b| {
@@ -73,7 +73,7 @@ fn bench_table3(c: &mut Criterion) {
 }
 
 fn bench_fig2(c: &mut Criterion) {
-    let exp = smoke_experiment();
+    let mut exp = smoke_experiment();
     let mut group = c.benchmark_group("fig2_ratio_sweep");
     group.sample_size(10);
     group.bench_function("sweep_3pts", |b| {

@@ -20,12 +20,10 @@ use aptq_bench::{emit, Experiment, ExperimentScale};
 use aptq_core::grid::GridConfig;
 use aptq_core::methods::apply_plan_obq;
 use aptq_core::mixed::{AllocationPolicy, MixedPrecisionAllocator};
-use aptq_core::trace::{
-    empirical_sensitivity, hutchinson_trace, SensitivityMetric, SensitivityReport,
-};
-use aptq_core::{collect_hessians, HessianMode};
+use aptq_core::trace::{hutchinson_trace, SensitivityMetric, SensitivityReport};
+use aptq_core::HessianMode;
 use aptq_eval::perplexity;
-use aptq_eval::pipeline::{quantize_clone, Method};
+use aptq_eval::pipeline::{quantize_clone, quantize_clone_session, Method};
 use aptq_eval::zoo::ModelSize;
 use aptq_lm::Model;
 
@@ -36,26 +34,34 @@ fn main() {
         ExperimentScale::full()
     };
     eprintln!("[ablations] preparing experiment…");
-    let exp = Experiment::prepare(ModelSize::Small, scale, true).expect("experiment setup");
+    let mut exp = Experiment::prepare(ModelSize::Small, scale, true).expect("experiment setup");
     let mut out = String::from("## Ablation studies (TinyLlama-S, SyntheticC4 perplexity)\n\n");
 
-    out.push_str(&group_size_ablation(&exp));
-    out.push_str(&damping_ablation(&exp));
+    // One QuantSession spans every study: the Hessians depend only on
+    // the calibration set and the capture mode (not on GridConfig), so
+    // the grid sweeps below all reuse the two cached capture passes.
+    out.push_str(&group_size_ablation(&mut exp));
+    out.push_str(&damping_ablation(&mut exp));
     out.push_str(&calibration_size_ablation(&exp));
-    out.push_str(&hessian_mode_ablation(&exp));
-    out.push_str(&sensitivity_metric_ablation(&exp));
-    out.push_str(&hutchinson_ablation(&exp));
+    out.push_str(&hessian_mode_ablation(&mut exp));
+    out.push_str(&sensitivity_metric_ablation(&mut exp));
+    out.push_str(&hutchinson_ablation(&mut exp));
+    eprintln!(
+        "[ablations] session reuse: {} capture passes, {} sensitivity probes",
+        exp.session.capture_passes(),
+        exp.session.sensitivity_passes()
+    );
 
     emit("ablations.md", &out).expect("write results");
 }
 
-fn ppl_with(exp: &Experiment, method: Method, cfg: &GridConfig) -> f32 {
-    let (model, _) =
-        quantize_clone(&exp.stack.model, method, &exp.calibration, cfg).expect("quantization");
+fn ppl_with(exp: &mut Experiment, method: Method, cfg: &GridConfig) -> f32 {
+    let (model, _) = quantize_clone_session(&exp.stack.model, method, &mut exp.session, cfg)
+        .expect("quantization");
     perplexity(&model, &exp.eval_c4).expect("ppl")
 }
 
-fn group_size_ablation(exp: &Experiment) -> String {
+fn group_size_ablation(exp: &mut Experiment) -> String {
     let mut s = String::from(
         "### A. Group size (GPTQ)\n\n| group | 4-bit PPL | 2-bit PPL |\n|---|---|---|\n",
     );
@@ -73,7 +79,7 @@ fn group_size_ablation(exp: &Experiment) -> String {
     s
 }
 
-fn damping_ablation(exp: &Experiment) -> String {
+fn damping_ablation(exp: &mut Experiment) -> String {
     let mut s = String::from("### B. Hessian damping (GPTQ 2-bit)\n\n| damp | PPL |\n|---|---|\n");
     for damp in [0.001f32, 0.01, 0.1, 1.0] {
         let cfg = GridConfig { damp, ..exp.grid };
@@ -89,8 +95,11 @@ fn calibration_size_ablation(exp: &Experiment) -> String {
     let mut s = String::from(
         "### C. Calibration size (APTQ 2-bit uniform)\n\n| segments | PPL |\n|---|---|\n",
     );
-    for n in [4usize, 16, exp.calibration.len()] {
-        let calib = &exp.calibration[..n.min(exp.calibration.len())];
+    // Sub-sampled calibration sets are distinct snapshots, so this study
+    // deliberately bypasses the shared session and its caches.
+    let full = exp.session.calibration();
+    for n in [4usize, 16, full.len()] {
+        let calib = &full[..n.min(full.len())];
         let (model, _) = quantize_clone(
             &exp.stack.model,
             Method::AptqUniform { bits: 2 },
@@ -106,14 +115,15 @@ fn calibration_size_ablation(exp: &Experiment) -> String {
     s
 }
 
-fn hessian_mode_ablation(exp: &Experiment) -> String {
+fn hessian_mode_ablation(exp: &mut Experiment) -> String {
     let mut s = String::from(
         "### D. Layer-input vs attention-aware Hessians (uniform bits)\n\n\
          | bits | GPTQ (layer-input) | APTQ (attention-aware) |\n|---|---|---|\n",
     );
+    let grid = exp.grid;
     for bits in [2u8, 3, 4] {
-        let g = ppl_with(exp, Method::Gptq { bits }, &exp.grid);
-        let a = ppl_with(exp, Method::AptqUniform { bits }, &exp.grid);
+        let g = ppl_with(exp, Method::Gptq { bits }, &grid);
+        let a = ppl_with(exp, Method::AptqUniform { bits }, &grid);
         s.push_str(&format!("| {bits} | {g:.3} | {a:.3} |\n"));
         eprintln!("[ablations] bits={bits}: gptq {g:.3}, aptq {a:.3}");
     }
@@ -121,15 +131,20 @@ fn hessian_mode_ablation(exp: &Experiment) -> String {
     s
 }
 
-fn sensitivity_metric_ablation(exp: &Experiment) -> String {
+fn sensitivity_metric_ablation(exp: &mut Experiment) -> String {
     let mut s = String::from(
         "### E. Allocation signal at R = 50% (avg 3.0 bits)\n\n| signal | PPL |\n|---|---|\n",
     );
     let model: &Model = &exp.stack.model;
-    let hessians =
-        collect_hessians(model, &exp.calibration, HessianMode::AttentionAware).expect("hessians");
+    let hessians = exp
+        .session
+        .hessians(model, HessianMode::AttentionAware)
+        .expect("hessians");
+    let empirical = exp
+        .session
+        .sensitivity(model, 2, &exp.grid)
+        .expect("sensitivity");
     let allocator = MixedPrecisionAllocator::two_four(0.5).expect("ratio");
-    let probe = &exp.calibration[..exp.calibration.len().clamp(1, 16)];
 
     let run = |label: &str, sensitivity: &SensitivityReport, policy: AllocationPolicy| {
         let plan = allocator.allocate(model, sensitivity, policy);
@@ -154,7 +169,6 @@ fn sensitivity_metric_ablation(exp: &Experiment) -> String {
         2,
         &exp.grid,
     );
-    let empirical = empirical_sensitivity(model, probe, 2, &exp.grid);
 
     s.push_str(&run(
         "mean-trace (paper literal)",
@@ -180,11 +194,13 @@ fn sensitivity_metric_ablation(exp: &Experiment) -> String {
     s
 }
 
-fn hutchinson_ablation(exp: &Experiment) -> String {
+fn hutchinson_ablation(exp: &mut Experiment) -> String {
     let mut s = String::from(
         "### F. Hutchinson vs exact Hessian trace\n\n| probes | mean relative error |\n|---|---|\n",
     );
-    let hessians = collect_hessians(&exp.stack.model, &exp.calibration, HessianMode::LayerInput)
+    let hessians = exp
+        .session
+        .hessians(&exp.stack.model, HessianMode::LayerInput)
         .expect("hessians");
     for probes in [4usize, 16, 64, 256] {
         let mut rel = 0.0f64;

@@ -14,7 +14,7 @@ fn main() {
         ExperimentScale::full()
     };
     eprintln!("[fig2] preparing experiment…");
-    let exp = Experiment::prepare(ModelSize::Small, scale, true).expect("experiment setup");
+    let mut exp = Experiment::prepare(ModelSize::Small, scale, true).expect("experiment setup");
 
     // The APTQ curve: R ∈ {0.5 … 1.0}.
     let ratios = [0.5f32, 0.6, 0.7, 0.75, 0.8, 0.9, 1.0];
@@ -29,7 +29,7 @@ fn main() {
         eprintln!("[fig2] APTQ sweep R={r}…");
         match exp.perplexity_row(method) {
             Ok(row) => {
-                aptq_curve.push((method.nominal_avg_bits(), row.metrics[0].1));
+                aptq_curve.push((row.avg_bits, row.metrics[0].1));
                 outcomes.push(row);
             }
             Err(e) => eprintln!("[fig2] R={r} failed: {e}"),
@@ -53,7 +53,7 @@ fn main() {
         match exp.perplexity_row(m) {
             Ok(row) => {
                 if !matches!(m, Method::Fp16) {
-                    ref_points.push((m.nominal_avg_bits().min(6.0), row.metrics[0].1));
+                    ref_points.push((row.avg_bits.min(6.0), row.metrics[0].1));
                 }
                 outcomes.push(row);
             }

@@ -14,7 +14,7 @@ fn main() {
         ExperimentScale::full()
     };
     eprintln!("[table1] preparing experiment (pretraining TinyLlama-S if not cached)…");
-    let exp = Experiment::prepare(ModelSize::Small, scale, true).expect("experiment setup");
+    let mut exp = Experiment::prepare(ModelSize::Small, scale, true).expect("experiment setup");
 
     let rows = [
         Method::Fp16,
@@ -38,6 +38,21 @@ fn main() {
             Err(e) => eprintln!("[table1] {m} failed: {e}"),
         }
     }
+
+    // The session must have captured activations exactly once per
+    // Hessian mode (LayerInput for GPTQ/OWQ/PB-LLM, AttentionAware for
+    // the APTQ rows) — the whole point of sharing it across rows.
+    assert_eq!(
+        exp.session.capture_passes(),
+        2,
+        "expected one capture pass per Hessian mode"
+    );
+    eprintln!(
+        "[table1] session reuse: {} capture passes, {} sensitivity probes across {} rows",
+        exp.session.capture_passes(),
+        exp.session.sensitivity_passes(),
+        rows.len()
+    );
 
     let md = render_markdown(
         "Table 1: Perplexity of quantized LLaMa models on C4 and WikiText-2 (synthetic stand-ins)",

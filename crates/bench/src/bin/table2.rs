@@ -35,7 +35,7 @@ fn main() {
     let mut full = String::new();
     for size in [ModelSize::Small, ModelSize::Medium] {
         eprintln!("[table2] preparing {}…", size.paper_name());
-        let exp = Experiment::prepare(size, scale, true).expect("experiment setup");
+        let mut exp = Experiment::prepare(size, scale, true).expect("experiment setup");
         let mut outcomes = Vec::new();
         for m in rows {
             eprintln!("[table2] {} / {m}…", size.paper_name());

@@ -14,7 +14,7 @@ fn main() {
         ExperimentScale::full()
     };
     eprintln!("[table3] preparing experiment…");
-    let exp = Experiment::prepare(ModelSize::Small, scale, true).expect("experiment setup");
+    let mut exp = Experiment::prepare(ModelSize::Small, scale, true).expect("experiment setup");
 
     let rows = [
         Method::ManualBlockwise { ratio: 0.75 },

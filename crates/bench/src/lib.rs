@@ -18,7 +18,8 @@
 use std::path::PathBuf;
 
 use aptq_core::grid::GridConfig;
-use aptq_eval::pipeline::{quantize_clone, EvalOutcome, Method};
+use aptq_core::QuantSession;
+use aptq_eval::pipeline::{quantize_clone_session, EvalOutcome, Method};
 use aptq_eval::zoo::{load_or_train, ModelSize, PretrainBudget, TrainedStack};
 use aptq_eval::{evaluate_suites, perplexity, EvalError};
 use aptq_textgen::corpus::{CorpusGenerator, CorpusStyle};
@@ -72,8 +73,10 @@ impl ExperimentScale {
 pub struct Experiment {
     /// Trained model + language stack.
     pub stack: TrainedStack,
-    /// Calibration segments (SyntheticC4, as in the paper).
-    pub calibration: Vec<Vec<u32>>,
+    /// Shared quantization session: owns the calibration snapshot and
+    /// caches Hessians/sensitivities across every method row, so a
+    /// multi-method table performs one capture pass per [`aptq_core::HessianMode`].
+    pub session: QuantSession,
     /// Held-out SyntheticC4 eval segments.
     pub eval_c4: Vec<Vec<u32>>,
     /// Held-out SyntheticWiki eval segments.
@@ -101,9 +104,7 @@ impl Experiment {
 
         // Calibration from the training distribution (seed differs from
         // training so segments are fresh), eval from held-out seeds.
-        let mut calib_gen =
-            CorpusGenerator::new(&stack.grammar, &stack.tokenizer, CorpusStyle::WebC4, 40_001);
-        let calibration = calib_gen.segments(scale.n_calib, scale.calib_len);
+        let session = stack.calibration_session(scale.n_calib, scale.calib_len);
         let mut c4_gen =
             CorpusGenerator::new(&stack.grammar, &stack.tokenizer, CorpusStyle::WebC4, 50_002);
         let eval_c4 = c4_gen.segments(scale.n_eval, scale.eval_len);
@@ -126,7 +127,7 @@ impl Experiment {
 
         Ok(Experiment {
             stack,
-            calibration,
+            session,
             eval_c4,
             eval_wiki,
             suites,
@@ -140,14 +141,14 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates quantization/evaluation failures.
-    pub fn perplexity_row(&self, method: Method) -> Result<EvalOutcome, EvalError> {
+    pub fn perplexity_row(&mut self, method: Method) -> Result<EvalOutcome, EvalError> {
         let (model, measured) =
-            quantize_clone(&self.stack.model, method, &self.calibration, &self.grid)?;
+            quantize_clone_session(&self.stack.model, method, &mut self.session, &self.grid)?;
         let c4 = perplexity(&model, &self.eval_c4)?;
         let wiki = perplexity(&model, &self.eval_wiki)?;
         Ok(EvalOutcome {
             method: method.label(),
-            avg_bits: method.nominal_avg_bits(),
+            avg_bits: method.nominal_avg_bits_for(&self.stack.model),
             measured_bits: measured,
             metrics: vec![("C4".to_string(), c4), ("WikiText-2".to_string(), wiki)],
         })
@@ -159,13 +160,13 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates quantization/evaluation failures.
-    pub fn zeroshot_row(&self, method: Method) -> Result<EvalOutcome, EvalError> {
+    pub fn zeroshot_row(&mut self, method: Method) -> Result<EvalOutcome, EvalError> {
         let (model, measured) =
-            quantize_clone(&self.stack.model, method, &self.calibration, &self.grid)?;
+            quantize_clone_session(&self.stack.model, method, &mut self.session, &self.grid)?;
         let results = evaluate_suites(&model, &self.suites)?;
         Ok(EvalOutcome {
             method: method.label(),
-            avg_bits: method.nominal_avg_bits(),
+            avg_bits: method.nominal_avg_bits_for(&self.stack.model),
             measured_bits: measured,
             metrics: results
                 .into_iter()
@@ -207,7 +208,8 @@ mod tests {
 
     #[test]
     fn smoke_experiment_prepares_and_runs_one_row() {
-        let exp = Experiment::prepare(ModelSize::Small, ExperimentScale::smoke(), false).unwrap();
+        let mut exp =
+            Experiment::prepare(ModelSize::Small, ExperimentScale::smoke(), false).unwrap();
         assert_eq!(exp.suites.len(), 5);
         let fp16 = exp.perplexity_row(Method::Fp16).unwrap();
         assert_eq!(fp16.metrics.len(), 2);
@@ -221,7 +223,8 @@ mod tests {
 
     #[test]
     fn zeroshot_row_has_six_columns() {
-        let exp = Experiment::prepare(ModelSize::Small, ExperimentScale::smoke(), false).unwrap();
+        let mut exp =
+            Experiment::prepare(ModelSize::Small, ExperimentScale::smoke(), false).unwrap();
         let row = exp.zeroshot_row(Method::Fp16).unwrap();
         assert_eq!(row.metrics.len(), 6); // 5 suites + mean
         assert_eq!(row.metrics.last().unwrap().0, "Mean");

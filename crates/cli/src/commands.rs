@@ -2,8 +2,8 @@
 
 use aptq_core::grid::GridConfig;
 use aptq_core::mixed::{AllocationPolicy, MixedPrecisionAllocator};
-use aptq_core::trace::{empirical_sensitivity, SensitivityMetric, SensitivityReport};
-use aptq_core::{collect_hessians, HessianMode};
+use aptq_core::trace::{SensitivityMetric, SensitivityReport};
+use aptq_core::{HessianMode, QuantSession};
 use aptq_eval::pipeline::Method;
 use aptq_eval::zoo::{load_or_train, ModelSize, PretrainBudget};
 use aptq_eval::{evaluate_suites, perplexity};
@@ -98,14 +98,14 @@ pub fn quantize(flags: &Flags) -> Result<(), String> {
     let out = get_or(flags, "out", "quantized.json");
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
-    let calib = calibration(
+    let mut session = QuantSession::new(calibration(
         &grammar,
         &tok,
         get_usize(flags, "segments", 64)?,
         model.config().max_seq_len,
-    );
+    ));
     let report = method
-        .apply(&mut model, &calib, &GridConfig::default())
+        .apply(&mut model, &mut session, &GridConfig::default())
         .map_err(|e| e.to_string())?;
     if let Some(r) = &report {
         eprintln!("{}", r.summary());
@@ -123,17 +123,20 @@ pub fn pack(flags: &Flags) -> Result<(), String> {
     let out = get_or(flags, "out", "packed.json");
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
-    let calib = calibration(
+    let mut session = QuantSession::new(calibration(
         &grammar,
         &tok,
         get_usize(flags, "segments", 64)?,
         model.config().max_seq_len,
-    );
+    ));
     let cfg = GridConfig::default();
 
-    let hessians =
-        collect_hessians(&model, &calib, HessianMode::AttentionAware).map_err(|e| e.to_string())?;
-    let sensitivity = empirical_sensitivity(&model, &calib[..calib.len().clamp(1, 16)], 2, &cfg);
+    let hessians = session
+        .hessians(&model, HessianMode::AttentionAware)
+        .map_err(|e| e.to_string())?;
+    let sensitivity = session
+        .sensitivity(&model, 2, &cfg)
+        .map_err(|e| e.to_string())?;
     let allocator = MixedPrecisionAllocator::two_four(ratio).map_err(|e| e.to_string())?;
     let plan = allocator.allocate(&model, &sensitivity, AllocationPolicy::HessianTrace);
     let qmodel =
@@ -185,17 +188,21 @@ pub fn sensitivity(flags: &Flags) -> Result<(), String> {
     let model = load_model(require(flags, "model")?)?;
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
-    let calib = calibration(
+    let mut session = QuantSession::new(calibration(
         &grammar,
         &tok,
         get_usize(flags, "segments", 32)?,
         model.config().max_seq_len,
-    );
+    ));
     let cfg = GridConfig::default();
     let report = match get_or(flags, "metric", "empirical") {
-        "empirical" => empirical_sensitivity(&model, &calib[..calib.len().clamp(1, 16)], 2, &cfg),
+        "empirical" => (*session
+            .sensitivity(&model, 2, &cfg)
+            .map_err(|e| e.to_string())?)
+        .clone(),
         metric @ ("trace" | "weighted") => {
-            let hessians = collect_hessians(&model, &calib, HessianMode::AttentionAware)
+            let hessians = session
+                .hessians(&model, HessianMode::AttentionAware)
                 .map_err(|e| e.to_string())?;
             let m = if metric == "trace" {
                 SensitivityMetric::MeanTrace

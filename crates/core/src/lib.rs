@@ -54,6 +54,7 @@ pub mod mixed;
 pub mod pack;
 pub mod plan;
 pub mod report;
+pub mod session;
 pub mod trace;
 
 pub use calib::collect_hessians;
@@ -61,6 +62,7 @@ pub use hessian::{HessianMode, LayerHessian};
 pub use mixed::{AllocationPolicy, MixedPrecisionAllocator};
 pub use plan::QuantPlan;
 pub use report::QuantReport;
+pub use session::QuantSession;
 
 /// Errors surfaced by the quantization pipelines.
 #[derive(Debug)]

@@ -11,13 +11,13 @@
 
 use aptq_lm::Model;
 
-use crate::calib::collect_hessians;
 use crate::grid::GridConfig;
 use crate::hessian::HessianMode;
 use crate::methods::apply_plan_obq;
 use crate::mixed::{AllocationPolicy, MixedPrecisionAllocator};
 use crate::plan::QuantPlan;
 use crate::report::QuantReport;
+use crate::session::QuantSession;
 use crate::trace::SensitivityReport;
 use crate::QuantError;
 
@@ -33,7 +33,22 @@ pub fn quantize_uniform(
     bits: u8,
     cfg: &GridConfig,
 ) -> Result<QuantReport, QuantError> {
-    let hessians = collect_hessians(model, calibration, HessianMode::AttentionAware)?;
+    let mut session = QuantSession::new(calibration.to_vec());
+    quantize_uniform_session(model, &mut session, bits, cfg)
+}
+
+/// [`quantize_uniform`] drawing Hessians from a shared [`QuantSession`].
+///
+/// # Errors
+///
+/// Propagates calibration and engine errors.
+pub fn quantize_uniform_session(
+    model: &mut Model,
+    session: &mut QuantSession,
+    bits: u8,
+    cfg: &GridConfig,
+) -> Result<QuantReport, QuantError> {
+    let hessians = session.hessians(model, HessianMode::AttentionAware)?;
     let plan = QuantPlan::uniform(model, bits);
     apply_plan_obq(&format!("APTQ-{bits}bit"), model, &plan, &hessians, cfg)
 }
@@ -56,20 +71,35 @@ pub fn quantize_mixed(
     policy: AllocationPolicy,
     cfg: &GridConfig,
 ) -> Result<(QuantReport, SensitivityReport), QuantError> {
+    let mut session = QuantSession::new(calibration.to_vec());
+    quantize_mixed_session(model, &mut session, ratio, policy, cfg)
+}
+
+/// [`quantize_mixed`] drawing Hessians and the sensitivity ranking from
+/// a shared [`QuantSession`], so repeated mixed rows (different ratios,
+/// both policies) reuse one capture pass and one probe.
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidRatio`] for `ratio ∉ [0,1]` and
+/// [`QuantError::EmptyCalibration`] for a degenerate calibration set
+/// (empty, or without any segment of ≥ 2 tokens); otherwise propagates
+/// calibration and engine errors.
+pub fn quantize_mixed_session(
+    model: &mut Model,
+    session: &mut QuantSession,
+    ratio: f32,
+    policy: AllocationPolicy,
+    cfg: &GridConfig,
+) -> Result<(QuantReport, SensitivityReport), QuantError> {
     let allocator = MixedPrecisionAllocator::two_four(ratio)?;
-    let hessians = collect_hessians(model, calibration, HessianMode::AttentionAware)?;
+    let hessians = session.hessians(model, HessianMode::AttentionAware)?;
     // Allocation signal: empirical per-layer low-bit loss increase on a
     // probe slice of the calibration set. Layer-local Hessian traces
     // cannot see error *compounding* through downstream blocks, which
     // dominates at our model depth (DESIGN.md §3 documents this
     // deviation; the trace variants are compared in the ablation bench).
-    let probe_len = calibration.len().clamp(1, 16);
-    let sensitivity = crate::trace::empirical_sensitivity(
-        model,
-        &calibration[..probe_len],
-        allocator.low_bits,
-        cfg,
-    );
+    let sensitivity = session.sensitivity(model, allocator.low_bits, cfg)?;
     let plan = allocator.allocate(model, &sensitivity, policy);
     let name = match policy {
         AllocationPolicy::HessianTrace => format!("APTQ-{:.0}%", ratio * 100.0),
@@ -78,7 +108,7 @@ pub fn quantize_mixed(
         }
     };
     let report = apply_plan_obq(&name, model, &plan, &hessians, cfg)?;
-    Ok((report, sensitivity))
+    Ok((report, (*sensitivity).clone()))
 }
 
 #[cfg(test)]
@@ -120,6 +150,30 @@ mod tests {
                 (report.avg_bits - want).abs() < 0.5,
                 "r={r}: got {} want ≈{want}",
                 report.avg_bits
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_rejects_degenerate_calibration() {
+        // Empty set, single empty segment, and a one-token segment must
+        // all surface EmptyCalibration instead of NaN scores or a panic
+        // in the probe slice.
+        let cases: [Vec<Vec<u32>>; 3] = [Vec::new(), vec![Vec::new()], vec![vec![3u32]]];
+        for calibration in cases {
+            let mut model = Model::new(&ModelConfig::test_tiny(16), 13);
+            assert!(
+                matches!(
+                    quantize_mixed(
+                        &mut model,
+                        &calibration,
+                        0.5,
+                        AllocationPolicy::HessianTrace,
+                        &GridConfig::default()
+                    ),
+                    Err(QuantError::EmptyCalibration)
+                ),
+                "calibration {calibration:?} must be rejected"
             );
         }
     }

@@ -5,12 +5,12 @@
 
 use aptq_lm::Model;
 
-use crate::calib::collect_hessians;
 use crate::grid::GridConfig;
 use crate::hessian::HessianMode;
 use crate::methods::apply_plan_obq;
 use crate::plan::QuantPlan;
 use crate::report::QuantReport;
+use crate::session::QuantSession;
 use crate::QuantError;
 
 /// Quantizes the model with GPTQ at a uniform bit-width.
@@ -24,7 +24,22 @@ pub fn quantize(
     bits: u8,
     cfg: &GridConfig,
 ) -> Result<QuantReport, QuantError> {
-    let hessians = collect_hessians(model, calibration, HessianMode::LayerInput)?;
+    let mut session = QuantSession::new(calibration.to_vec());
+    quantize_session(model, &mut session, bits, cfg)
+}
+
+/// [`quantize`] drawing Hessians from a shared [`QuantSession`].
+///
+/// # Errors
+///
+/// Propagates calibration and engine errors.
+pub fn quantize_session(
+    model: &mut Model,
+    session: &mut QuantSession,
+    bits: u8,
+    cfg: &GridConfig,
+) -> Result<QuantReport, QuantError> {
+    let hessians = session.hessians(model, HessianMode::LayerInput)?;
     let plan = QuantPlan::uniform(model, bits);
     apply_plan_obq(&format!("GPTQ-{bits}bit"), model, &plan, &hessians, cfg)
 }

@@ -21,21 +21,36 @@ pub mod rtn;
 pub mod smoothquant;
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use aptq_lm::{LayerRef, Model};
 
 use crate::engine;
+use crate::engine::LayerQuantResult;
 use crate::grid::{GridConfig, QuantGrid};
 use crate::hessian::LayerHessian;
 use crate::plan::QuantPlan;
 use crate::report::{LayerOutcome, QuantReport};
 use crate::QuantError;
 
+/// Worker threads for the layer-job scheduler: the `APTQ_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// [`aptq_tensor::parallel::available_threads`].
+pub fn scheduler_threads() -> usize {
+    std::env::var("APTQ_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(aptq_tensor::parallel::available_threads)
+}
+
 /// Quantizes every layer of `plan` with the OBQ engine under the given
 /// Hessians, installing dequantized weights into the model in place.
 ///
 /// This is the shared backbone of GPTQ, APTQ and OWQ; they differ only
 /// in the Hessians, the plan, and (for OWQ) which rows are exempted.
+/// Per-layer solves run on [`scheduler_threads`] worker threads; see
+/// [`apply_plan_obq_threads`] for the determinism contract.
 ///
 /// # Errors
 ///
@@ -48,16 +63,51 @@ pub fn apply_plan_obq(
     hessians: &BTreeMap<LayerRef, LayerHessian>,
     cfg: &GridConfig,
 ) -> Result<QuantReport, QuantError> {
-    let mut outcomes = Vec::with_capacity(plan.len());
+    apply_plan_obq_threads(method, model, plan, hessians, cfg, scheduler_threads())
+}
+
+/// [`apply_plan_obq`] with an explicit worker-thread count.
+///
+/// Each layer's OBQ solve depends only on its own (pre-quantization)
+/// weight and Hessian, so the solves fan out across scoped threads while
+/// the model is borrowed immutably; dequantized weights are then
+/// installed sequentially in canonical plan order. Reports and installed
+/// weights are bit-identical for every `threads` value, including 1.
+///
+/// On failure the model is left unmodified and the error of the earliest
+/// plan entry is returned, independent of thread count.
+///
+/// # Errors
+///
+/// Propagates engine failures; returns [`QuantError::UnknownLayer`] if
+/// the Hessian map is missing a planned layer.
+pub fn apply_plan_obq_threads(
+    method: &str,
+    model: &mut Model,
+    plan: &QuantPlan,
+    hessians: &BTreeMap<LayerRef, LayerHessian>,
+    cfg: &GridConfig,
+    threads: usize,
+) -> Result<QuantReport, QuantError> {
+    // Validate every job up front so errors are deterministic.
+    let mut jobs = Vec::with_capacity(plan.len());
     for (layer, bits) in plan.iter() {
-        let lh = hessians
-            .get(&layer)
-            .ok_or_else(|| QuantError::UnknownLayer {
+        if !hessians.contains_key(&layer) {
+            return Err(QuantError::UnknownLayer {
                 layer: layer.to_string(),
-            })?;
-        let grid = QuantGrid::try_int(bits, cfg.asymmetric)?;
-        let w = model.layer_weight(layer).clone();
-        let res = engine::quantize_layer_obq(&layer.to_string(), &w, lh, grid, cfg)?;
+            });
+        }
+        jobs.push((layer, bits, QuantGrid::try_int(bits, cfg.asymmetric)?));
+    }
+
+    let solved = solve_jobs(model, &jobs, hessians, cfg, threads);
+    let mut results = Vec::with_capacity(jobs.len());
+    for res in solved {
+        results.push(res?);
+    }
+
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for (&(layer, bits, _), res) in jobs.iter().zip(results) {
         let storage = res.packed.storage_bytes();
         *model.layer_weight_mut(layer) = res.dequantized;
         outcomes.push(LayerOutcome {
@@ -68,6 +118,61 @@ pub fn apply_plan_obq(
         });
     }
     Ok(QuantReport::new(method, model, outcomes))
+}
+
+/// Runs the read-only per-layer solves, returning results in job order.
+fn solve_jobs(
+    model: &Model,
+    jobs: &[(LayerRef, u8, QuantGrid)],
+    hessians: &BTreeMap<LayerRef, LayerHessian>,
+    cfg: &GridConfig,
+    threads: usize,
+) -> Vec<Result<LayerQuantResult, QuantError>> {
+    let solve = |&(layer, _, grid): &(LayerRef, u8, QuantGrid)| {
+        engine::quantize_layer_obq(
+            &layer.to_string(),
+            model.layer_weight(layer),
+            &hessians[&layer],
+            grid,
+            cfg,
+        )
+    };
+    let threads = threads.clamp(1, jobs.len().max(1));
+    if threads <= 1 {
+        return jobs.iter().map(solve).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<LayerQuantResult, QuantError>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let next = &next;
+        let solve = &solve;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        local.push((i, solve(&jobs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, res) in handle.join().expect("OBQ scheduler worker panicked") {
+                slots[i] = Some(res);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every scheduled layer job produced a result"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -9,10 +9,10 @@
 use aptq_lm::Model;
 use aptq_tensor::Matrix;
 
-use crate::calib::collect_hessians;
 use crate::grid::{GridConfig, QuantGrid};
 use crate::hessian::HessianMode;
 use crate::report::{LayerOutcome, QuantReport};
+use crate::session::QuantSession;
 use crate::QuantError;
 
 /// Quantizes the model PB-LLM style.
@@ -27,12 +27,28 @@ pub fn quantize(
     salient_ratio: f32,
     cfg: &GridConfig,
 ) -> Result<QuantReport, QuantError> {
+    let mut session = QuantSession::new(calibration.to_vec());
+    quantize_session(model, &mut session, salient_ratio, cfg)
+}
+
+/// [`quantize`] drawing Hessians from a shared [`QuantSession`].
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidRatio`] for a salient ratio outside
+/// `[0, 1]`; propagates calibration errors.
+pub fn quantize_session(
+    model: &mut Model,
+    session: &mut QuantSession,
+    salient_ratio: f32,
+    cfg: &GridConfig,
+) -> Result<QuantReport, QuantError> {
     if !(0.0..=1.0).contains(&salient_ratio) {
         return Err(QuantError::InvalidRatio {
             ratio: salient_ratio,
         });
     }
-    let hessians = collect_hessians(model, calibration, HessianMode::LayerInput)?;
+    let hessians = session.hessians(model, HessianMode::LayerInput)?;
     let grid = QuantGrid::binary();
     let mut outcomes = Vec::new();
 

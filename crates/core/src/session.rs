@@ -1,0 +1,299 @@
+//! Shared calibration/Hessian state for multi-method quantization runs.
+//!
+//! Regenerating a paper table quantizes the *same* pretrained model with
+//! many methods, and every OBQ-family method starts from the same
+//! expensive step: a full forward pass over the calibration set to
+//! accumulate per-layer Hessians ([`crate::calib::collect_hessians`]).
+//! GPTQ, OWQ and PB-LLM share [`HessianMode::LayerInput`]; every APTQ
+//! row shares [`HessianMode::AttentionAware`]; the mixed-precision rows
+//! additionally share one empirical sensitivity probe. A [`QuantSession`]
+//! owns the calibration snapshot and memoizes both products, so one
+//! activation-capture pass serves every method row that shares a mode.
+//!
+//! Cache entries are keyed by `(mode, model fingerprint)` — a hash over
+//! every weight bit — so a mutated model (e.g. a quantized clone fed
+//! back in) never observes stale Hessians. Freshly collected Hessians
+//! are re-validated against the [`crate::invariants`] layer (symmetry,
+//! finiteness) at the cache boundary in debug builds.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use aptq_lm::{LayerRef, Model};
+use aptq_tensor::Matrix;
+
+use crate::grid::GridConfig;
+use crate::hessian::{HessianMode, LayerHessian};
+use crate::trace::SensitivityReport;
+use crate::QuantError;
+
+/// Shared Hessians for one model fingerprint + mode.
+pub type SharedHessians = Arc<BTreeMap<LayerRef, LayerHessian>>;
+
+/// Owns a calibration set plus lazily-populated Hessian and sensitivity
+/// caches, shared across every method applied during one experiment run.
+#[derive(Debug, Clone)]
+pub struct QuantSession {
+    calibration: Vec<Vec<u32>>,
+    hessians: BTreeMap<(u8, u64), SharedHessians>,
+    sensitivities: BTreeMap<(u64, u8, u64), Arc<SensitivityReport>>,
+    capture_passes: usize,
+    sensitivity_passes: usize,
+}
+
+impl QuantSession {
+    /// Creates a session over a calibration snapshot.
+    pub fn new(calibration: Vec<Vec<u32>>) -> Self {
+        QuantSession {
+            calibration,
+            hessians: BTreeMap::new(),
+            sensitivities: BTreeMap::new(),
+            capture_passes: 0,
+            sensitivity_passes: 0,
+        }
+    }
+
+    /// The calibration segments this session was built over.
+    pub fn calibration(&self) -> &[Vec<u32>] {
+        &self.calibration
+    }
+
+    /// How many activation-capture passes ([`crate::collect_hessians`]
+    /// runs) this session has performed. A full multi-method table run
+    /// should show exactly one per [`HessianMode`] in play.
+    pub fn capture_passes(&self) -> usize {
+        self.capture_passes
+    }
+
+    /// How many empirical sensitivity probes this session has run.
+    pub fn sensitivity_passes(&self) -> usize {
+        self.sensitivity_passes
+    }
+
+    /// Calibration Hessians for `model` under `mode`, collected on first
+    /// use and served from the cache afterwards.
+    ///
+    /// The returned map is shared ([`Arc`]) so callers can hold it while
+    /// also mutating the model: the Hessians describe the model *at
+    /// collection time*, which is exactly what the OBQ solves need.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::calib::collect_hessians`] failures
+    /// (e.g. [`QuantError::EmptyCalibration`]).
+    pub fn hessians(
+        &mut self,
+        model: &Model,
+        mode: HessianMode,
+    ) -> Result<SharedHessians, QuantError> {
+        let key = (mode_key(mode), fingerprint(model));
+        if let Some(cached) = self.hessians.get(&key) {
+            return Ok(Arc::clone(cached));
+        }
+        let fresh = crate::calib::collect_hessians(model, &self.calibration, mode)?;
+        self.capture_passes += 1;
+        if crate::invariants::ENABLED {
+            for (layer, lh) in &fresh {
+                crate::invariants::hessian_well_formed(
+                    &lh.h,
+                    &format!("QuantSession::hessians({mode}, {layer})"),
+                );
+            }
+        }
+        let shared = Arc::new(fresh);
+        self.hessians.insert(key, Arc::clone(&shared));
+        Ok(shared)
+    }
+
+    /// Empirical per-layer sensitivity of `model` at `low_bits` under
+    /// `cfg`, probed on a slice of the calibration set (at most 16
+    /// segments) and cached per `(model, low_bits, cfg)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::EmptyCalibration`] when the calibration set
+    /// is empty or no probe segment has at least two tokens; propagates
+    /// probe failures otherwise.
+    pub fn sensitivity(
+        &mut self,
+        model: &Model,
+        low_bits: u8,
+        cfg: &GridConfig,
+    ) -> Result<Arc<SensitivityReport>, QuantError> {
+        if self.calibration.is_empty() {
+            return Err(QuantError::EmptyCalibration);
+        }
+        let key = (fingerprint(model), low_bits, grid_key(cfg));
+        if let Some(cached) = self.sensitivities.get(&key) {
+            return Ok(Arc::clone(cached));
+        }
+        let probe_len = self.calibration.len().clamp(1, 16);
+        let report = crate::trace::empirical_sensitivity(
+            model,
+            &self.calibration[..probe_len],
+            low_bits,
+            cfg,
+        )?;
+        self.sensitivity_passes += 1;
+        let shared = Arc::new(report);
+        self.sensitivities.insert(key, Arc::clone(&shared));
+        Ok(shared)
+    }
+}
+
+fn mode_key(mode: HessianMode) -> u8 {
+    match mode {
+        HessianMode::LayerInput => 0,
+        HessianMode::AttentionAware => 1,
+    }
+}
+
+/// FNV-1a over every weight bit of the model (embedding, LM head, all
+/// transformer layer weights). Any weight mutation — quantization
+/// installing dequantized values, finetuning — changes the fingerprint,
+/// so cache entries can never serve a stale model state.
+fn fingerprint(model: &Model) -> u64 {
+    let mut h = Fnv::new();
+    h.eat_matrix(model.embed());
+    h.eat_matrix(model.lm_head());
+    for layer in model.layer_refs() {
+        h.eat_matrix(model.layer_weight(layer));
+    }
+    h.finish()
+}
+
+/// Grid parameters that influence the sensitivity probe (RTN fit).
+fn grid_key(cfg: &GridConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.eat_u64(cfg.group_size as u64);
+    h.eat_u64(cfg.block_size as u64);
+    h.eat_u64(u64::from(cfg.asymmetric));
+    h.eat_u64(u64::from(cfg.damp.to_bits()));
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn eat_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn eat_matrix(&mut self, m: &Matrix) {
+        self.eat_u64(m.rows() as u64);
+        self.eat_u64(m.cols() as u64);
+        for &v in m.as_slice() {
+            self.0 = (self.0 ^ u64::from(v.to_bits())).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptq_lm::ModelConfig;
+
+    fn calib() -> Vec<Vec<u32>> {
+        (0..6)
+            .map(|k| (0..16).map(|i| ((i * 5 + k) % 16) as u32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn hessians_are_collected_once_per_mode() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 5);
+        let mut session = QuantSession::new(calib());
+        let a = session.hessians(&model, HessianMode::LayerInput).unwrap();
+        let b = session.hessians(&model, HessianMode::LayerInput).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert_eq!(session.capture_passes(), 1);
+        session
+            .hessians(&model, HessianMode::AttentionAware)
+            .unwrap();
+        session
+            .hessians(&model, HessianMode::AttentionAware)
+            .unwrap();
+        assert_eq!(session.capture_passes(), 2);
+    }
+
+    #[test]
+    fn mutated_model_invalidates_cache() {
+        let mut model = Model::new(&ModelConfig::test_tiny(16), 6);
+        let mut session = QuantSession::new(calib());
+        session.hessians(&model, HessianMode::LayerInput).unwrap();
+        let r = model.layer_refs()[0];
+        model.layer_weight_mut(r)[(0, 0)] += 1.0;
+        session.hessians(&model, HessianMode::LayerInput).unwrap();
+        assert_eq!(
+            session.capture_passes(),
+            2,
+            "a weight change must force a fresh capture pass"
+        );
+    }
+
+    #[test]
+    fn sensitivity_is_probed_once_per_config() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 7);
+        let mut session = QuantSession::new(calib());
+        let cfg = GridConfig::default();
+        let a = session.sensitivity(&model, 2, &cfg).unwrap();
+        let b = session.sensitivity(&model, 2, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(session.sensitivity_passes(), 1);
+        // A different grid config is a different probe.
+        let other = GridConfig {
+            group_size: 16,
+            ..cfg
+        };
+        session.sensitivity(&model, 2, &other).unwrap();
+        assert_eq!(session.sensitivity_passes(), 2);
+    }
+
+    #[test]
+    fn empty_calibration_is_rejected() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 8);
+        let mut session = QuantSession::new(Vec::new());
+        assert!(matches!(
+            session.hessians(&model, HessianMode::LayerInput),
+            Err(QuantError::EmptyCalibration)
+        ));
+        assert!(matches!(
+            session.sensitivity(&model, 2, &GridConfig::default()),
+            Err(QuantError::EmptyCalibration)
+        ));
+        assert_eq!(session.capture_passes(), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_weight_family() {
+        let base = Model::new(&ModelConfig::test_tiny(16), 9);
+        let f0 = fingerprint(&base);
+        assert_eq!(
+            f0,
+            fingerprint(&base.clone()),
+            "clone must fingerprint equal"
+        );
+
+        let mut m = base.clone();
+        m.embed_mut()[(0, 0)] += 0.5;
+        assert_ne!(f0, fingerprint(&m), "embedding change must be visible");
+
+        let mut m = base.clone();
+        let r = *base.layer_refs().last().unwrap();
+        m.layer_weight_mut(r)[(0, 0)] += 0.5;
+        assert_ne!(f0, fingerprint(&m), "layer weight change must be visible");
+    }
+}

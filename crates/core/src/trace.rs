@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::grid::{GridConfig, QuantGrid};
 use crate::hessian::LayerHessian;
+use crate::QuantError;
 
 /// How layer sensitivity is scored from the Hessian.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -178,32 +179,131 @@ impl SensitivityReport {
 /// increase over `probe` segments.
 ///
 /// The probe should be a small slice of the calibration set (8 segments
-/// is plenty); cost is `n_layers × (RTN + probe forward passes)`.
+/// is plenty); cost is `n_layers × (RTN + probe forward passes)`,
+/// spread across [`crate::methods::scheduler_threads`] workers.
+///
+/// # Errors
+///
+/// Returns [`QuantError::EmptyCalibration`] when no probe segment has at
+/// least two tokens (a shorter segment yields no next-token targets, so
+/// the loss signal would be vacuous).
 pub fn empirical_sensitivity(
     model: &Model,
     probe: &[Vec<u32>],
     low_bits: u8,
     cfg: &GridConfig,
-) -> SensitivityReport {
+) -> Result<SensitivityReport, QuantError> {
+    empirical_sensitivity_threads(
+        model,
+        probe,
+        low_bits,
+        cfg,
+        crate::methods::scheduler_threads(),
+    )
+}
+
+/// [`empirical_sensitivity`] with an explicit worker-thread count.
+///
+/// Each worker owns a single scratch clone of the model and swaps the
+/// one perturbed layer weight in and out around its probe passes, so
+/// memory stays at `threads + 1` model copies instead of one clone per
+/// layer. Results are bit-identical for every `threads` value.
+///
+/// # Errors
+///
+/// Returns [`QuantError::EmptyCalibration`] when no probe segment has at
+/// least two tokens.
+pub fn empirical_sensitivity_threads(
+    model: &Model,
+    probe: &[Vec<u32>],
+    low_bits: u8,
+    cfg: &GridConfig,
+    threads: usize,
+) -> Result<SensitivityReport, QuantError> {
+    if probe.iter().all(|s| s.len() < 2) {
+        return Err(QuantError::EmptyCalibration);
+    }
     let base = probe_loss(model, probe);
-    let entries = model
-        .layer_refs()
-        .into_iter()
-        .map(|layer| {
-            let mut perturbed = model.clone();
-            let res = crate::engine::quantize_layer_rtn(
-                perturbed.layer_weight(layer),
-                QuantGrid::int(low_bits, cfg.asymmetric),
-                cfg,
-            );
-            *perturbed.layer_weight_mut(layer) = res.dequantized;
-            LayerSensitivity {
-                layer,
-                mean_trace: probe_loss(&perturbed, probe) - base,
+    let layers = model.layer_refs();
+    let threads = threads.clamp(1, layers.len().max(1));
+
+    let entries: Vec<LayerSensitivity> = if threads <= 1 {
+        let mut scratch = model.clone();
+        layers
+            .iter()
+            .map(|&layer| probe_one_layer(&mut scratch, model, layer, base, probe, low_bits, cfg))
+            .collect()
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<LayerSensitivity>> = vec![None; layers.len()];
+        std::thread::scope(|scope| {
+            let next = &next;
+            let layers = &layers;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut scratch = model.clone();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= layers.len() {
+                                break;
+                            }
+                            local.push((
+                                i,
+                                probe_one_layer(
+                                    &mut scratch,
+                                    model,
+                                    layers[i],
+                                    base,
+                                    probe,
+                                    low_bits,
+                                    cfg,
+                                ),
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, entry) in handle.join().expect("sensitivity probe worker panicked") {
+                    slots[i] = Some(entry);
+                }
             }
-        })
-        .collect();
-    SensitivityReport::sorted(entries)
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every probed layer produced an entry"))
+            .collect()
+    };
+    Ok(SensitivityReport::sorted(entries))
+}
+
+/// RTN-perturbs one layer inside `scratch` (taking the pristine weight
+/// from `reference`), measures the probe loss increase, and restores the
+/// original weight before returning.
+fn probe_one_layer(
+    scratch: &mut Model,
+    reference: &Model,
+    layer: LayerRef,
+    base: f32,
+    probe: &[Vec<u32>],
+    low_bits: u8,
+    cfg: &GridConfig,
+) -> LayerSensitivity {
+    let res = crate::engine::quantize_layer_rtn(
+        reference.layer_weight(layer),
+        QuantGrid::int(low_bits, cfg.asymmetric),
+        cfg,
+    );
+    let original = std::mem::replace(scratch.layer_weight_mut(layer), res.dequantized);
+    let loss = probe_loss(scratch, probe);
+    *scratch.layer_weight_mut(layer) = original;
+    LayerSensitivity {
+        layer,
+        mean_trace: loss - base,
+    }
 }
 
 /// Hutchinson stochastic trace estimator: `tr(H) ≈ mean(zᵀHz)` over
@@ -371,12 +471,45 @@ mod tests {
         let probe: Vec<Vec<u32>> = (0..3)
             .map(|k| (0..10).map(|i| ((i + k) % 16) as u32).collect())
             .collect();
-        let report = empirical_sensitivity(&model, &probe, 2, &GridConfig::default());
+        let report = empirical_sensitivity(&model, &probe, 2, &GridConfig::default()).unwrap();
         assert_eq!(report.len(), model.layer_refs().len());
         // Entries are finite and sorted descending.
         for w in report.entries().windows(2) {
             assert!(w[0].mean_trace >= w[1].mean_trace);
             assert!(w[0].mean_trace.is_finite());
+        }
+    }
+
+    #[test]
+    fn empirical_sensitivity_rejects_degenerate_probes() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 8);
+        let cases: [Vec<Vec<u32>>; 3] = [
+            Vec::new(),       // empty probe set
+            vec![Vec::new()], // single empty segment
+            vec![vec![3u32]], // one-token segment: no next-token target
+        ];
+        for probe in cases {
+            assert!(
+                matches!(
+                    empirical_sensitivity(&model, &probe, 2, &GridConfig::default()),
+                    Err(QuantError::EmptyCalibration)
+                ),
+                "probe {probe:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_sensitivity_is_thread_count_invariant() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 9);
+        let probe: Vec<Vec<u32>> = (0..4)
+            .map(|k| (0..12).map(|i| ((i * 3 + k) % 16) as u32).collect())
+            .collect();
+        let cfg = GridConfig::default();
+        let seq = empirical_sensitivity_threads(&model, &probe, 2, &cfg, 1).unwrap();
+        for threads in [2usize, 4] {
+            let par = empirical_sensitivity_threads(&model, &probe, 2, &cfg, threads).unwrap();
+            assert_eq!(seq, par, "{threads}-thread probe must be bit-identical");
         }
     }
 

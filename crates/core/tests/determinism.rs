@@ -1,0 +1,140 @@
+//! Determinism suite for the layer-job scheduler and the session caches.
+//!
+//! Contract: the parallel OBQ scheduler and the parallel sensitivity
+//! probe are *bit-identical* to their sequential paths at any thread
+//! count, and session-cached Hessians equal freshly collected ones.
+//! `ci/check.sh` additionally runs this suite under `APTQ_THREADS=1`
+//! and `APTQ_THREADS=4` to exercise the env-driven default path.
+
+use std::sync::Arc;
+
+use aptq_core::grid::GridConfig;
+use aptq_core::methods::apply_plan_obq_threads;
+use aptq_core::mixed::{AllocationPolicy, MixedPrecisionAllocator};
+use aptq_core::trace::empirical_sensitivity_threads;
+use aptq_core::{collect_hessians, HessianMode, QuantPlan, QuantSession};
+use aptq_lm::{Model, ModelConfig};
+
+fn calib() -> Vec<Vec<u32>> {
+    (0..8)
+        .map(|k| (0..16).map(|i| ((i * 5 + k) % 16) as u32).collect())
+        .collect()
+}
+
+fn plans_under_test(model: &Model, sensitivity_cfg: &GridConfig) -> Vec<QuantPlan> {
+    let mut session = QuantSession::new(calib());
+    let sensitivity = session
+        .sensitivity(model, 2, sensitivity_cfg)
+        .expect("sensitivity probe");
+    let allocator = MixedPrecisionAllocator::two_four(0.5).expect("ratio");
+    vec![
+        QuantPlan::uniform(model, 4),
+        QuantPlan::uniform(model, 2),
+        allocator.allocate(model, &sensitivity, AllocationPolicy::HessianTrace),
+        allocator.allocate(model, &sensitivity, AllocationPolicy::ManualBlockwise),
+    ]
+}
+
+#[test]
+fn scheduler_bit_identical_across_thread_counts() {
+    let cfg = GridConfig::default();
+    for mode in [HessianMode::LayerInput, HessianMode::AttentionAware] {
+        let base = Model::new(&ModelConfig::test_tiny(16), 42);
+        let hessians = collect_hessians(&base, &calib(), mode).unwrap();
+        for (p, plan) in plans_under_test(&base, &cfg).iter().enumerate() {
+            let mut seq_model = base.clone();
+            let seq_report =
+                apply_plan_obq_threads("ref", &mut seq_model, plan, &hessians, &cfg, 1).unwrap();
+            for threads in [2usize, 4] {
+                let mut par_model = base.clone();
+                let par_report =
+                    apply_plan_obq_threads("ref", &mut par_model, plan, &hessians, &cfg, threads)
+                        .unwrap();
+                assert_eq!(
+                    seq_report, par_report,
+                    "{mode} plan {p}: report differs at {threads} threads"
+                );
+                for layer in base.layer_refs() {
+                    assert_eq!(
+                        seq_model.layer_weight(layer),
+                        par_model.layer_weight(layer),
+                        "{mode} plan {p}: weight {layer} differs at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduler_errors_deterministically_and_leaves_model_untouched() {
+    let base = Model::new(&ModelConfig::test_tiny(16), 43);
+    let hessians = collect_hessians(&base, &calib(), HessianMode::LayerInput).unwrap();
+    let plan = QuantPlan::uniform(&base, 9); // unsupported width
+    for threads in [1usize, 4] {
+        let mut model = base.clone();
+        let err = apply_plan_obq_threads(
+            "x",
+            &mut model,
+            &plan,
+            &hessians,
+            &GridConfig::default(),
+            threads,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            aptq_core::QuantError::UnsupportedBits { bits: 9 }
+        ));
+        for layer in base.layer_refs() {
+            assert_eq!(
+                base.layer_weight(layer),
+                model.layer_weight(layer),
+                "failed run must not mutate weights ({threads} threads)"
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_session_hessians_equal_fresh_collection() {
+    let model = Model::new(&ModelConfig::test_tiny(16), 44);
+    let mut session = QuantSession::new(calib());
+    for mode in [HessianMode::LayerInput, HessianMode::AttentionAware] {
+        // Warm the cache, then compare the cached copy against a fresh
+        // collect_hessians run.
+        session.hessians(&model, mode).unwrap();
+        let cached = session.hessians(&model, mode).unwrap();
+        let fresh = collect_hessians(&model, &calib(), mode).unwrap();
+        assert_eq!(cached.len(), fresh.len());
+        for (layer, fresh_lh) in &fresh {
+            let cached_lh = &cached[layer];
+            assert_eq!(cached_lh.n_tokens, fresh_lh.n_tokens, "{mode} {layer}");
+            assert_eq!(cached_lh.mean_trace, fresh_lh.mean_trace, "{mode} {layer}");
+            assert_eq!(
+                cached_lh.h.as_slice(),
+                fresh_lh.h.as_slice(),
+                "{mode} {layer}: cached Hessian must be bit-identical"
+            );
+        }
+    }
+    assert_eq!(
+        session.capture_passes(),
+        2,
+        "exactly one capture pass per mode"
+    );
+}
+
+#[test]
+fn session_sensitivity_matches_direct_probe() {
+    let model = Model::new(&ModelConfig::test_tiny(16), 45);
+    let cfg = GridConfig::default();
+    let mut session = QuantSession::new(calib());
+    let via_session = session.sensitivity(&model, 2, &cfg).unwrap();
+    let probe_len = calib().len().clamp(1, 16);
+    let direct = empirical_sensitivity_threads(&model, &calib()[..probe_len], 2, &cfg, 1).unwrap();
+    assert_eq!(*Arc::clone(&via_session), direct);
+    // Cache hit: no extra probe.
+    session.sensitivity(&model, 2, &cfg).unwrap();
+    assert_eq!(session.sensitivity_passes(), 1);
+}

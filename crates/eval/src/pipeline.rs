@@ -5,7 +5,7 @@ use aptq_core::grid::GridConfig;
 use aptq_core::methods;
 use aptq_core::methods::qat::QatConfig;
 use aptq_core::mixed::AllocationPolicy;
-use aptq_core::QuantReport;
+use aptq_core::{QuantReport, QuantSession};
 use aptq_lm::Model;
 use serde::{Deserialize, Serialize};
 
@@ -89,7 +89,10 @@ impl Method {
         }
     }
 
-    /// Applies the method to `model` in place.
+    /// Applies the method to `model` in place, drawing calibration data,
+    /// Hessians and sensitivity rankings from `session` so consecutive
+    /// method rows over the same model share one activation-capture pass
+    /// per [`aptq_core::HessianMode`].
     ///
     /// Returns the quantization report (`None` for [`Method::Fp16`]).
     ///
@@ -99,23 +102,25 @@ impl Method {
     pub fn apply(
         &self,
         model: &mut Model,
-        calibration: &[Vec<u32>],
+        session: &mut QuantSession,
         cfg: &GridConfig,
     ) -> Result<Option<QuantReport>, EvalError> {
         let report = match *self {
             Method::Fp16 => None,
             Method::Rtn { bits } => Some(methods::rtn::quantize(model, bits, cfg)?),
-            Method::Gptq { bits } => Some(methods::gptq::quantize(model, calibration, bits, cfg)?),
-            Method::Owq { bits, outlier_dims } => Some(methods::owq::quantize(
+            Method::Gptq { bits } => {
+                Some(methods::gptq::quantize_session(model, session, bits, cfg)?)
+            }
+            Method::Owq { bits, outlier_dims } => Some(methods::owq::quantize_session(
                 model,
-                calibration,
+                session,
                 bits,
                 outlier_dims,
                 cfg,
             )?),
             Method::SmoothQuant { bits } => Some(methods::smoothquant::quantize(
                 model,
-                calibration,
+                session.calibration(),
                 bits,
                 0.5,
                 cfg,
@@ -127,22 +132,19 @@ impl Method {
                 &QatConfig::default(),
                 cfg,
             )?),
-            Method::PbLlm { salient_ratio } => Some(methods::pbllm::quantize(
+            Method::PbLlm { salient_ratio } => Some(methods::pbllm::quantize_session(
                 model,
-                calibration,
+                session,
                 salient_ratio,
                 cfg,
             )?),
-            Method::AptqUniform { bits } => Some(methods::aptq::quantize_uniform(
-                model,
-                calibration,
-                bits,
-                cfg,
+            Method::AptqUniform { bits } => Some(methods::aptq::quantize_uniform_session(
+                model, session, bits, cfg,
             )?),
             Method::AptqMixed { ratio } => Some(
-                methods::aptq::quantize_mixed(
+                methods::aptq::quantize_mixed_session(
                     model,
-                    calibration,
+                    session,
                     ratio,
                     AllocationPolicy::HessianTrace,
                     cfg,
@@ -150,9 +152,9 @@ impl Method {
                 .0,
             ),
             Method::ManualBlockwise { ratio } => Some(
-                methods::aptq::quantize_mixed(
+                methods::aptq::quantize_mixed_session(
                     model,
-                    calibration,
+                    session,
                     ratio,
                     AllocationPolicy::ManualBlockwise,
                     cfg,
@@ -163,7 +165,29 @@ impl Method {
         Ok(report)
     }
 
+    /// [`apply`](Method::apply) with a raw calibration slice: builds a
+    /// throwaway [`QuantSession`]. Kept for callers quantizing a single
+    /// method where there is nothing to share.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization failures.
+    pub fn apply_with_calibration(
+        &self,
+        model: &mut Model,
+        calibration: &[Vec<u32>],
+        cfg: &GridConfig,
+    ) -> Result<Option<QuantReport>, EvalError> {
+        let mut session = QuantSession::new(calibration.to_vec());
+        self.apply(model, &mut session, cfg)
+    }
+
     /// Nominal average bit-width (the "Avg bit" table column; fp16 = 16).
+    ///
+    /// For [`Method::Owq`] the fp16 outlier overhead depends on the model
+    /// shape — this model-free variant reports the base width; use
+    /// [`nominal_avg_bits_for`](Method::nominal_avg_bits_for) where a
+    /// model is available.
     pub fn nominal_avg_bits(&self) -> f32 {
         match *self {
             Method::Fp16 => 16.0,
@@ -171,13 +195,26 @@ impl Method {
             | Method::Gptq { bits }
             | Method::SmoothQuant { bits }
             | Method::LlmQat { bits }
-            | Method::AptqUniform { bits } => bits as f32,
-            Method::Owq { bits, .. } => bits as f32 + 0.01,
+            | Method::AptqUniform { bits }
+            | Method::Owq { bits, .. } => bits as f32,
             Method::Fpq => 4.0,
             Method::PbLlm { salient_ratio } => methods::pbllm::average_bits(salient_ratio),
             Method::AptqMixed { ratio } | Method::ManualBlockwise { ratio } => {
                 aptq_core::plan::eq18_average_bits(ratio)
             }
+        }
+    }
+
+    /// Nominal average bit-width including model-shape-dependent
+    /// overheads: for [`Method::Owq`] the true fp16 outlier-row storage
+    /// (`(16 − bits) · exempted/total`), matching what
+    /// `QuantReport::avg_bits` measures after quantization.
+    pub fn nominal_avg_bits_for(&self, model: &Model) -> f32 {
+        match *self {
+            Method::Owq { bits, outlier_dims } => {
+                bits as f32 + methods::owq::extra_avg_bits(model, outlier_dims, bits)
+            }
+            _ => self.nominal_avg_bits(),
         }
     }
 }
@@ -202,7 +239,8 @@ pub struct EvalOutcome {
 }
 
 /// Applies `method` to a clone of `model` and returns the quantized
-/// clone plus its report metadata.
+/// clone plus its report metadata. Builds a throwaway [`QuantSession`];
+/// use [`quantize_clone_session`] to share capture passes across rows.
 ///
 /// # Errors
 ///
@@ -213,8 +251,25 @@ pub fn quantize_clone(
     calibration: &[Vec<u32>],
     cfg: &GridConfig,
 ) -> Result<(Model, f32), EvalError> {
+    let mut session = QuantSession::new(calibration.to_vec());
+    quantize_clone_session(model, method, &mut session, cfg)
+}
+
+/// [`quantize_clone`] drawing shared state from `session`. Because the
+/// base model is cloned before quantization, its fingerprint — and thus
+/// the session's Hessian cache — stays valid across any number of rows.
+///
+/// # Errors
+///
+/// Propagates quantization failures.
+pub fn quantize_clone_session(
+    model: &Model,
+    method: Method,
+    session: &mut QuantSession,
+    cfg: &GridConfig,
+) -> Result<(Model, f32), EvalError> {
     let mut m = model.clone();
-    let report = method.apply(&mut m, calibration, cfg)?;
+    let report = method.apply(&mut m, session, cfg)?;
     let measured = report.as_ref().map(|r| r.avg_bits).unwrap_or(16.0);
     Ok((m, measured))
 }
@@ -281,5 +336,68 @@ mod tests {
         assert_eq!(Method::AptqMixed { ratio: 1.0 }.nominal_avg_bits(), 4.0);
         assert_eq!(Method::AptqMixed { ratio: 0.5 }.nominal_avg_bits(), 3.0);
         assert!((Method::AptqMixed { ratio: 0.75 }.nominal_avg_bits() - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn owq_nominal_bits_match_measured_storage() {
+        let base = Model::new(&ModelConfig::test_tiny(16), 33);
+        for outlier_dims in [1usize, 3] {
+            let method = Method::Owq {
+                bits: 4,
+                outlier_dims,
+            };
+            let (_, measured) =
+                quantize_clone(&base, method, &calib(), &GridConfig::default()).unwrap();
+            let nominal = method.nominal_avg_bits_for(&base);
+            assert!(
+                (nominal - measured).abs() < 1e-3,
+                "outlier_dims={outlier_dims}: nominal {nominal} vs measured {measured}"
+            );
+            assert!(nominal > 4.0, "fp16 rows must add storage");
+        }
+        // Model-free variant stays at the base width.
+        assert_eq!(
+            Method::Owq {
+                bits: 4,
+                outlier_dims: 1
+            }
+            .nominal_avg_bits(),
+            4.0
+        );
+    }
+
+    #[test]
+    fn one_capture_pass_per_hessian_mode_across_methods() {
+        let base = Model::new(&ModelConfig::test_tiny(16), 34);
+        let cfg = GridConfig::default();
+        let mut session = QuantSession::new(calib());
+        // A Table-1-style multi-method sweep: three LayerInput consumers,
+        // three AttentionAware consumers, plus methods needing neither.
+        let rows = [
+            Method::Fp16,
+            Method::Gptq { bits: 4 },
+            Method::Owq {
+                bits: 4,
+                outlier_dims: 1,
+            },
+            Method::PbLlm { salient_ratio: 0.2 },
+            Method::AptqUniform { bits: 4 },
+            Method::AptqMixed { ratio: 0.75 },
+            Method::AptqMixed { ratio: 0.5 },
+            Method::ManualBlockwise { ratio: 0.5 },
+        ];
+        for m in rows {
+            quantize_clone_session(&base, m, &mut session, &cfg).unwrap();
+        }
+        assert_eq!(
+            session.capture_passes(),
+            2,
+            "exactly one activation-capture pass per HessianMode"
+        );
+        assert_eq!(
+            session.sensitivity_passes(),
+            1,
+            "mixed rows share one sensitivity probe"
+        );
     }
 }

@@ -9,6 +9,7 @@
 
 use std::path::{Path, PathBuf};
 
+use aptq_core::QuantSession;
 use aptq_lm::adam::AdamConfig;
 use aptq_lm::{Model, ModelConfig, Trainer, TrainerConfig};
 use aptq_textgen::corpus::{CorpusGenerator, CorpusStyle};
@@ -94,6 +95,19 @@ pub struct TrainedStack {
     pub model: Model,
     /// Final training loss (nats/token).
     pub final_loss: f32,
+}
+
+impl TrainedStack {
+    /// Builds a [`QuantSession`] over fresh calibration segments drawn
+    /// from the training distribution (C4-style corpus; the seed differs
+    /// from training so the segments are unseen). Segment length is
+    /// clamped to the model's maximum context.
+    pub fn calibration_session(&self, n_segments: usize, seg_len: usize) -> QuantSession {
+        let mut gen =
+            CorpusGenerator::new(&self.grammar, &self.tokenizer, CorpusStyle::WebC4, 40_001);
+        let len = seg_len.min(self.model.config().max_seq_len);
+        QuantSession::new(gen.segments(n_segments, len))
+    }
 }
 
 /// Trains (or loads from `cache_dir`) a model of the given size.
@@ -217,6 +231,24 @@ mod tests {
         let b = load_or_train(ModelSize::Small, budget, Some(&dir)).unwrap();
         assert_eq!(a.model.forward(&[1, 2, 3]), b.model.forward(&[1, 2, 3]));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn calibration_session_clamps_to_context() {
+        let budget = PretrainBudget {
+            steps: 2,
+            batch_size: 2,
+            seq_len: 16,
+        };
+        let stack = load_or_train(ModelSize::Small, budget, None).unwrap();
+        let session = stack.calibration_session(3, 10_000);
+        assert_eq!(session.calibration().len(), 3);
+        let max_seq = stack.model.config().max_seq_len;
+        assert!(session
+            .calibration()
+            .iter()
+            .all(|s| !s.is_empty() && s.len() <= max_seq));
+        assert_eq!(session.capture_passes(), 0);
     }
 
     #[test]

@@ -14,8 +14,7 @@ use aptq::qmodel::QuantizedModel;
 use aptq::quant::grid::GridConfig;
 use aptq::quant::methods::apply_plan_obq;
 use aptq::quant::mixed::{AllocationPolicy, MixedPrecisionAllocator};
-use aptq::quant::trace::empirical_sensitivity;
-use aptq::quant::{collect_hessians, HessianMode};
+use aptq::quant::{HessianMode, QuantSession};
 use aptq::textgen::corpus::{CorpusGenerator, CorpusStyle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,12 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stack = load_or_train(ModelSize::Small, PretrainBudget::quick(), None)?;
     let mut calib_gen =
         CorpusGenerator::new(&stack.grammar, &stack.tokenizer, CorpusStyle::WebC4, 99);
-    let calibration = calib_gen.segments(24, 48);
+    let mut session = QuantSession::new(calib_gen.segments(24, 48));
     let cfg = GridConfig::default();
 
-    // APTQ-75% plan: attention-aware Hessians + empirical-loss allocation.
-    let hessians = collect_hessians(&stack.model, &calibration, HessianMode::AttentionAware)?;
-    let sensitivity = empirical_sensitivity(&stack.model, &calibration[..8], 2, &cfg);
+    // APTQ-75% plan: attention-aware Hessians + empirical-loss allocation,
+    // both captured once and cached by the session.
+    let hessians = session.hessians(&stack.model, HessianMode::AttentionAware)?;
+    let sensitivity = session.sensitivity(&stack.model, 2, &cfg)?;
     let plan = MixedPrecisionAllocator::two_four(0.75)?.allocate(
         &stack.model,
         &sensitivity,
