@@ -10,8 +10,14 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> aptq-audit"
-cargo run -q -p aptq-audit
+echo "==> aptq-audit (ratchet against results/audit-baseline.json)"
+# Fails on findings not in the committed baseline (exit 1) and on stale
+# baseline entries whose findings are already fixed (exit 3) — the
+# baseline may only shrink. The full report is archived as an artifact.
+mkdir -p results
+cargo run -q -p aptq-audit -- \
+    --ratchet results/audit-baseline.json \
+    --json-out results/audit.json
 
 echo "==> cargo build --release"
 cargo build --workspace --release
@@ -24,6 +30,8 @@ for threads in 1 4; do
     echo "    APTQ_THREADS=$threads"
     APTQ_THREADS=$threads cargo test -q -p aptq-core --test determinism
     APTQ_THREADS=$threads cargo test -q -p aptq-eval --test determinism
+    APTQ_THREADS=$threads cargo test -q -p aptq-lm batch_grads_bit_identical
+    APTQ_THREADS=$threads cargo test -q -p aptq-textgen --test determinism
 done
 
 echo "All checks passed."

@@ -1,0 +1,275 @@
+//! Findings ratchet: a committed baseline that may only shrink.
+//!
+//! Introducing new rules into an existing codebase always leaves a tail
+//! of pre-existing findings that cannot all be fixed in the same
+//! change. Instead of weakening the rules, the audit supports a
+//! *ratchet*: known findings live in `results/audit-baseline.json`, CI
+//! runs `aptq-audit --ratchet results/audit-baseline.json`, and
+//!
+//! - a finding **not** in the baseline fails the build (exit 1) — the
+//!   debt may not grow;
+//! - a baseline entry with no matching finding **also** fails the build
+//!   (exit 3) — fixed debt must be removed from the baseline, so the
+//!   file monotonically shrinks toward empty.
+//!
+//! Entries are keyed `(rule, path, message)` — deliberately *without*
+//! line/column, so unrelated edits that shift a finding a few lines do
+//! not churn the baseline. The key is a multiset: two identical
+//! findings in one file need two baseline entries.
+//!
+//! `aptq-audit --write-baseline <path>` regenerates the file from the
+//! current findings; the format is versioned, line-oriented JSON so
+//! diffs review cleanly.
+
+use std::collections::BTreeMap;
+
+use crate::{json_str, Finding};
+
+/// Format version written to / required from baseline files.
+pub const BASELINE_VERSION: u32 = 1;
+
+/// One accepted finding, identified independently of line numbers.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub path: String,
+    pub message: String,
+}
+
+impl BaselineEntry {
+    fn of(f: &Finding) -> BaselineEntry {
+        BaselineEntry {
+            rule: f.rule.to_string(),
+            path: f.path.clone(),
+            message: f.message.clone(),
+        }
+    }
+}
+
+/// Result of diffing current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct RatchetDiff {
+    /// Findings with no baseline entry — new debt, fails the build.
+    pub new: Vec<Finding>,
+    /// Baseline entries with no matching finding — stale, the baseline
+    /// must be shrunk.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl RatchetDiff {
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Diffs `findings` against `baseline` as multisets keyed
+/// `(rule, path, message)`.
+pub fn diff(findings: &[Finding], baseline: &[BaselineEntry]) -> RatchetDiff {
+    let mut budget: BTreeMap<BaselineEntry, usize> = BTreeMap::new();
+    for e in baseline {
+        *budget.entry(e.clone()).or_insert(0) += 1;
+    }
+    let mut out = RatchetDiff::default();
+    for f in findings {
+        let key = BaselineEntry::of(f);
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => out.new.push(f.clone()),
+        }
+    }
+    for (key, n) in budget {
+        for _ in 0..n {
+            out.stale.push(key.clone());
+        }
+    }
+    out
+}
+
+/// Renders findings as a baseline document. One entry per line so the
+/// file diffs and reviews like a ledger:
+///
+/// ```text
+/// {"version":1,"entries":[
+/// {"rule":"D006","path":"crates/core/src/grid.rs","message":"..."},
+/// ...
+/// ]}
+/// ```
+pub fn render(findings: &[Finding]) -> String {
+    let mut entries: Vec<BaselineEntry> = findings.iter().map(BaselineEntry::of).collect();
+    entries.sort();
+    let mut out = format!("{{\"version\":{BASELINE_VERSION},\"entries\":[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"message\":{}}}{}\n",
+            json_str(&e.rule),
+            json_str(&e.path),
+            json_str(&e.message),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Parses a baseline document produced by [`render`]. The parser is
+/// deliberately line-oriented (the audit crate is zero-dependency): one
+/// entry object per line, fields extracted by key.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let head = text.lines().next().unwrap_or("");
+    let version = field(head, "version").and_then(|v| v.parse::<u32>().ok());
+    if version != Some(BASELINE_VERSION) {
+        return Err(format!(
+            "baseline version mismatch: expected {BASELINE_VERSION}, file header is `{head}` \
+             (regenerate with --write-baseline)"
+        ));
+    }
+    let mut entries = Vec::new();
+    for line in text.lines().skip(1) {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "]}" {
+            continue;
+        }
+        let entry = BaselineEntry {
+            rule: string_field(line, "rule")
+                .ok_or_else(|| format!("baseline entry missing `rule`: {line}"))?,
+            path: string_field(line, "path")
+                .ok_or_else(|| format!("baseline entry missing `path`: {line}"))?,
+            message: string_field(line, "message")
+                .ok_or_else(|| format!("baseline entry missing `message`: {line}"))?,
+        };
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// Extracts the raw (unquoted) value following `"key":` on a line.
+fn field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+/// Extracts and unescapes a JSON string value following `"key":`.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn finding(rule: &'static str, path: &str, message: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            path: path.into(),
+            line: 1,
+            col: 1,
+            message: message.into(),
+            help: String::new(),
+            suggestion: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let findings = vec![
+            finding("D006", "crates/core/src/a.rs", "fn `x` needs docs"),
+            finding(
+                "D003",
+                "crates/lm/src/b.rs",
+                "msg with \"quotes\" and \\slash",
+            ),
+        ];
+        let doc = render(&findings);
+        let parsed = parse(&doc).expect("roundtrip parses");
+        assert_eq!(parsed.len(), 2);
+        assert!(diff(&findings, &parsed).is_clean());
+    }
+
+    #[test]
+    fn new_findings_are_flagged() {
+        let base = parse(&render(&[finding("D001", "a.rs", "old")])).unwrap();
+        let now = vec![
+            finding("D001", "a.rs", "old"),
+            finding("D002", "b.rs", "new"),
+        ];
+        let d = diff(&now, &base);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].rule, "D002");
+        assert!(d.stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_flagged() {
+        let base = parse(&render(&[
+            finding("D001", "a.rs", "fixed since"),
+            finding("D003", "c.rs", "still here"),
+        ]))
+        .unwrap();
+        let now = vec![finding("D003", "c.rs", "still here")];
+        let d = diff(&now, &base);
+        assert!(d.new.is_empty());
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].rule, "D001");
+    }
+
+    #[test]
+    fn duplicate_findings_need_duplicate_entries() {
+        let two = vec![
+            finding("D003", "a.rs", "same"),
+            finding("D003", "a.rs", "same"),
+        ];
+        let base_one = parse(&render(&two[..1])).unwrap();
+        let d = diff(&two, &base_one);
+        assert_eq!(d.new.len(), 1, "multiset semantics: one budgeted, one new");
+    }
+
+    #[test]
+    fn line_numbers_do_not_matter() {
+        let mut f = finding("D004", "a.rs", "clock");
+        let base = parse(&render(std::slice::from_ref(&f))).unwrap();
+        f.line = 999;
+        f.col = 40;
+        assert!(diff(std::slice::from_ref(&f), &base).is_clean());
+    }
+
+    #[test]
+    fn version_mismatch_is_an_error() {
+        assert!(parse("{\"version\":99,\"entries\":[\n]}\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_renders_and_parses() {
+        let doc = render(&[]);
+        assert_eq!(parse(&doc).unwrap(), Vec::new());
+    }
+}

@@ -1,0 +1,526 @@
+//! The determinism & concurrency rule set (D001–D006).
+//!
+//! PR 2 made quantization parallel; the reproduction's headline
+//! guarantee — bit-identical Table 1/2/3 numbers at any thread count —
+//! now rests on conventions. These rules enforce them:
+//!
+//! | Code | Scope | What it enforces |
+//! |------|-------|------------------|
+//! | D001 | `crates/*/src`, non-test | no `thread::spawn` / `thread::scope` / `thread::Builder` outside `aptq_tensor::parallel` — one concurrency choke point |
+//! | D002 | `crates/*/src`, non-test | no `std::env::var` outside the designated config module (`crates/tensor/src/parallel.rs`) |
+//! | D003 | `crates/*/src`, non-test | no `HashMap` / `HashSet` where iteration order can reach outputs — use `BTreeMap` / `BTreeSet` |
+//! | D004 | library crates (`bench` and `src/bin` exempt), non-test | no `Instant::now` / `SystemTime` / entropy-seeded RNG |
+//! | D005 | all of `crates/` | no `static mut`, interior-mutable `static`s, or `thread_local!` globals |
+//! | D006 | `crates/*/src`, non-test | a `pub fn` whose body transitively reaches `aptq_tensor::parallel` (via the symbol index) must carry a `# Determinism` doc section |
+//!
+//! Escape hatches mirror A001/A002: `// audit:allow(<kind>): <reason>`
+//! on the offending line or the comment-only line above, with kinds
+//! `thread`, `env`, `order`, `nondet`, `global`, and — for D006 — a
+//! `# Determinism` doc section on the function (that *is* the fix).
+//!
+//! D001–D005 are per-line rules over the lexical scan; D006 runs on the
+//! [`crate::index::SymbolIndex`] call graph: name-resolved call edges
+//! plus path-qualified references, propagated to a fixpoint, so a
+//! helper chain `pub api → private helper → parallel::run_indexed`
+//! still flags the public entry point.
+
+use crate::index::{FileIndex, FnId, SymbolIndex};
+use crate::scan::word_occurrences;
+use crate::{Finding, Severity};
+
+/// The one file allowed to spawn threads and read thread configuration
+/// from the environment.
+pub const PARALLEL_MODULE_FILE: &str = "crates/tensor/src/parallel.rs";
+
+/// The module path D006 tracks reachability to.
+pub const PARALLEL_MODULE_PATH: &str = "aptq_tensor::parallel";
+
+/// Per-crate designated config modules: the only library files where
+/// `std::env` reads are legal without an annotation.
+pub const ENV_CONFIG_MODULES: &[&str] = &[PARALLEL_MODULE_FILE];
+
+/// True for library source files: `crates/<name>/src/**`.
+fn in_lib_src(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/") && rel_path.contains("/src/")
+}
+
+/// True for files exempt from the wall-clock/entropy rule: bench
+/// binaries (the whole `crates/bench` tree) and `src/bin/` entry points
+/// are allowed to time and report.
+fn clock_exempt(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/bench/") || rel_path.contains("/src/bin/")
+}
+
+/// Runs D001–D005 over one scanned file.
+pub fn check_file(file: &FileIndex) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let rel_path = file.rel_path.as_str();
+    let f = &file.scanned;
+
+    for (idx, line) in f.lines.iter().enumerate() {
+        let code = &line.code;
+
+        // D001 — thread spawns outside the choke point.
+        if in_lib_src(rel_path) && rel_path != PARALLEL_MODULE_FILE && !line.in_test {
+            for pat in ["thread::spawn", "thread::scope", "thread::Builder"] {
+                for col in word_occurrences(code, pat) {
+                    if !f.allowed(idx, "thread") {
+                        findings.push(Finding {
+                            rule: "D001",
+                            severity: Severity::Error,
+                            path: rel_path.to_string(),
+                            line: idx + 1,
+                            col: col + 1,
+                            message: format!(
+                                "`{pat}` outside `aptq_tensor::parallel` — the workspace's one \
+                                 concurrency choke point"
+                            ),
+                            help: "spawning threads elsewhere lets scheduling reach results; \
+                                   express the fan-out through the parallel module instead, or \
+                                   annotate with `// audit:allow(thread): <reason>`"
+                                .into(),
+                            suggestion: "use `aptq_tensor::parallel::run_indexed` / \
+                                         `run_indexed_with` (index-ordered, bit-identical at any \
+                                         thread count)"
+                                .into(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // D002 — env reads outside the designated config module.
+        if in_lib_src(rel_path) && !ENV_CONFIG_MODULES.contains(&rel_path) && !line.in_test {
+            for col in word_occurrences(code, "env::var") {
+                if !f.allowed(idx, "env") {
+                    findings.push(Finding {
+                        rule: "D002",
+                        severity: Severity::Error,
+                        path: rel_path.to_string(),
+                        line: idx + 1,
+                        col: col + 1,
+                        message: "`std::env::var` outside the designated config module".into(),
+                        help: "scattered environment reads make runs irreproducible from the \
+                               command line alone; resolve configuration once in \
+                               `aptq_tensor::parallel` (thread knobs) or annotate with \
+                               `// audit:allow(env): <reason>`"
+                            .into(),
+                        suggestion: "take the value as a parameter, or read it via \
+                                     `aptq_tensor::parallel::thread_count()`"
+                            .into(),
+                    });
+                }
+            }
+        }
+
+        // D003 — order-dependent collections in result-producing code.
+        if in_lib_src(rel_path) && !line.in_test {
+            for pat in ["HashMap", "HashSet"] {
+                for col in word_occurrences(code, pat) {
+                    if !f.allowed(idx, "order") {
+                        let btree = if pat == "HashMap" {
+                            "BTreeMap"
+                        } else {
+                            "BTreeSet"
+                        };
+                        findings.push(Finding {
+                            rule: "D003",
+                            severity: Severity::Error,
+                            path: rel_path.to_string(),
+                            line: idx + 1,
+                            col: col + 1,
+                            message: format!(
+                                "`{pat}` in result-producing library code — iteration order is \
+                                 randomized per process"
+                            ),
+                            help: format!(
+                                "if any iteration over this collection can reach an output \
+                                 (serialization, reports, accumulation), two runs will differ; \
+                                 use `{btree}`, or annotate with `// audit:allow(order): <why \
+                                 iteration order cannot reach outputs>`"
+                            ),
+                            suggestion: format!("replace `{pat}` with `{btree}`"),
+                        });
+                    }
+                }
+            }
+        }
+
+        // D004 — wall clock / entropy in library crates.
+        if in_lib_src(rel_path) && !clock_exempt(rel_path) && !line.in_test {
+            for pat in [
+                "Instant::now",
+                "SystemTime",
+                "thread_rng",
+                "from_entropy",
+                "random_seed",
+            ] {
+                for col in word_occurrences(code, pat) {
+                    if !f.allowed(idx, "nondet") {
+                        findings.push(Finding {
+                            rule: "D004",
+                            severity: Severity::Error,
+                            path: rel_path.to_string(),
+                            line: idx + 1,
+                            col: col + 1,
+                            message: format!(
+                                "`{pat}` in library code — wall clock / entropy cannot feed \
+                                 reproducible results"
+                            ),
+                            help: "library crates must be replayable from their inputs; inject \
+                                   timestamps or seeds from the caller (bench binaries under \
+                                   `crates/bench` and `src/bin` are exempt), or annotate with \
+                                   `// audit:allow(nondet): <reason>`"
+                                .into(),
+                            suggestion: "accept a seed/timestamp parameter instead".into(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // D005 — mutable / interior-mutable globals, everywhere.
+        if rel_path.starts_with("crates/") {
+            if let Some(col) = static_global_col(code) {
+                if !f.allowed(idx, "global") {
+                    findings.push(Finding {
+                        rule: "D005",
+                        severity: Severity::Error,
+                        path: rel_path.to_string(),
+                        line: idx + 1,
+                        col: col + 1,
+                        message: "mutable or interior-mutable global state".into(),
+                        help: "global state couples otherwise-independent calls and makes \
+                               results depend on call ordering across threads; pass state \
+                               explicitly (sessions, parameters), or annotate with \
+                               `// audit:allow(global): <reason>` after review"
+                            .into(),
+                        suggestion: "thread the state through a struct owned by the caller \
+                                     (see `QuantSession`)"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Returns the column of a `static mut` / interior-mutable `static` /
+/// `thread_local!` declaration on this line of code text, if any.
+fn static_global_col(code: &str) -> Option<usize> {
+    if let Some(col) = word_occurrences(code, "thread_local!").first() {
+        return Some(*col);
+    }
+    let trimmed = code.trim_start();
+    let lead = code.chars().count() - trimmed.chars().count();
+    let at = trimmed.find("static ")?;
+    // Must be a declaration: only modifiers before the keyword, which
+    // also rules out `'static` lifetimes mid-expression.
+    let prefix = &trimmed[..at];
+    if !prefix
+        .split_whitespace()
+        .all(|t| t == "pub" || t.starts_with("pub("))
+    {
+        return None;
+    }
+    if prefix.trim_end().ends_with('\'') || prefix.contains('&') {
+        return None;
+    }
+    let rest = &trimmed[at + "static ".len()..];
+    const INTERIOR: &[&str] = &[
+        "Mutex<",
+        "RwLock<",
+        "RefCell<",
+        "Cell<",
+        "UnsafeCell<",
+        "OnceLock<",
+        "OnceCell<",
+        "LazyLock<",
+        "LazyCell<",
+        "AtomicBool",
+        "AtomicU",
+        "AtomicI",
+        "AtomicPtr",
+    ];
+    if rest.trim_start().starts_with("mut ") || INTERIOR.iter().any(|t| rest.contains(t)) {
+        Some(lead + at)
+    } else {
+        None
+    }
+}
+
+/// Runs the full determinism rule set (D001–D006) over an index.
+pub fn check_index(index: &SymbolIndex) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in index.files() {
+        findings.extend(check_file(file));
+    }
+    findings.extend(rule_d006_determinism_docs(index));
+    findings
+}
+
+/// D006: every non-test `pub fn` in library code whose body transitively
+/// reaches `aptq_tensor::parallel` must document its determinism
+/// contract in a `# Determinism` doc section.
+fn rule_d006_determinism_docs(index: &SymbolIndex) -> Vec<Finding> {
+    let reaches = parallel_reachability(index);
+    let mut findings = Vec::new();
+    for (id, item) in index.fns() {
+        let file = index.file(id);
+        let rel_path = file.rel_path.as_str();
+        if !in_lib_src(rel_path) || rel_path.contains("/src/bin/") {
+            continue;
+        }
+        if !item.is_pub || item.in_test || item.has_determinism_doc {
+            continue;
+        }
+        if !reaches[id.0][id.1] {
+            continue;
+        }
+        if file.scanned.allowed(item.line, "determinism") {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "D006",
+            severity: Severity::Error,
+            path: rel_path.to_string(),
+            line: item.line + 1,
+            col: 1,
+            message: format!(
+                "public function `{}` transitively reaches `{PARALLEL_MODULE_PATH}` but its doc \
+                 comment has no `# Determinism` section",
+                item.name
+            ),
+            help: "callers of parallel code need the thread-count contract in writing; state \
+                   whether results are bit-identical across thread counts and why, or annotate \
+                   with `// audit:allow(determinism): <reason>`"
+                .into(),
+            suggestion: "add a `/// # Determinism` doc section".into(),
+        });
+    }
+    findings
+}
+
+/// Computes, per function item, whether its body transitively reaches
+/// `aptq_tensor::parallel`: seeded by functions *defined in* the
+/// parallel module and by call sites that name it (directly or through
+/// a `use` import), then propagated over name-resolved call edges to a
+/// fixpoint.
+fn parallel_reachability(index: &SymbolIndex) -> Vec<Vec<bool>> {
+    let by_name = index.fns_by_name();
+    let mut reaches: Vec<Vec<bool>> = index
+        .files()
+        .iter()
+        .map(|f| vec![f.rel_path == PARALLEL_MODULE_FILE; f.items.len()])
+        .collect();
+
+    // Direct references: a call whose written or import-expanded path
+    // names the parallel module.
+    let direct = |file: &FileIndex, call_path: &str| -> bool {
+        if call_path.contains(PARALLEL_MODULE_PATH) {
+            return true;
+        }
+        let first = call_path.split("::").next().unwrap_or(call_path);
+        file.imports
+            .get(first)
+            .or_else(|| {
+                // `use aptq_tensor::parallel::thread_count;` imports the
+                // terminal name itself.
+                file.imports.get(call_path)
+            })
+            .is_some_and(|full| full.contains(PARALLEL_MODULE_PATH))
+    };
+
+    loop {
+        let mut changed = false;
+        for (id, item) in index.fns() {
+            if reaches[id.0][id.1] {
+                continue;
+            }
+            let file = index.file(id);
+            let hit = item.calls.iter().any(|call| {
+                direct(file, &call.path)
+                    || by_name
+                        .get(call.name.as_str())
+                        .is_some_and(|defs: &Vec<FnId>| {
+                            defs.iter().any(|&(fi, ii)| reaches[fi][ii])
+                        })
+            });
+            if hit {
+                reaches[id.0][id.1] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return reaches;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_one(rel: &str, src: &str) -> Vec<Finding> {
+        let idx = SymbolIndex::build(&[(rel.to_string(), src.to_string())]);
+        check_index(&idx)
+    }
+
+    #[test]
+    fn d001_fires_outside_parallel_module() {
+        let f = check_one(
+            "crates/core/src/x.rs",
+            "fn f() {\n    std::thread::scope(|s| {});\n}\n",
+        );
+        assert_eq!(f.iter().filter(|f| f.rule == "D001").count(), 1);
+    }
+
+    #[test]
+    fn d001_is_silent_in_parallel_module_and_tests() {
+        let f = check_one(
+            "crates/tensor/src/parallel.rs",
+            "fn f() {\n    std::thread::scope(|s| {});\n}\n",
+        );
+        assert!(f.iter().all(|f| f.rule != "D001"));
+        let g = check_one(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n",
+        );
+        assert!(g.iter().all(|f| f.rule != "D001"));
+    }
+
+    #[test]
+    fn d002_fires_and_respects_config_module() {
+        let f = check_one(
+            "crates/eval/src/x.rs",
+            "fn f() -> Option<String> {\n    std::env::var(\"X\").ok()\n}\n",
+        );
+        assert_eq!(f.iter().filter(|f| f.rule == "D002").count(), 1);
+        let g = check_one(
+            "crates/tensor/src/parallel.rs",
+            "fn f() -> Option<String> {\n    std::env::var(\"X\").ok()\n}\n",
+        );
+        assert!(g.iter().all(|f| f.rule != "D002"));
+    }
+
+    #[test]
+    fn d003_fires_on_hash_collections() {
+        let f = check_one(
+            "crates/textgen/src/x.rs",
+            "use std::collections::HashMap;\nfn f() -> HashMap<String, u32> {\n    HashMap::new()\n}\n",
+        );
+        assert_eq!(f.iter().filter(|f| f.rule == "D003").count(), 3);
+        assert!(f[0].suggestion.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn d004_fires_in_lib_but_not_bench() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        let f = check_one("crates/core/src/x.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "D004").count(), 1);
+        assert!(check_one("crates/bench/src/bin/table1.rs", src)
+            .iter()
+            .all(|f| f.rule != "D004"));
+        assert!(check_one("crates/cli/src/bin/tool.rs", src)
+            .iter()
+            .all(|f| f.rule != "D004"));
+    }
+
+    #[test]
+    fn d005_fires_on_static_mut_and_interior_mutability() {
+        for src in [
+            "static mut COUNTER: u32 = 0;\n",
+            "pub static CACHE: Mutex<Vec<u32>> = Mutex::new(Vec::new());\n",
+            "thread_local! { static TL: RefCell<u32> = RefCell::new(0); }\n",
+        ] {
+            let f = check_one("crates/core/src/x.rs", src);
+            assert_eq!(f.iter().filter(|f| f.rule == "D005").count(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn d005_ignores_immutable_statics_and_lifetimes() {
+        for src in [
+            "static NAMES: &[&str] = &[\"a\"];\n",
+            "pub const X: u32 = 1;\n",
+            "fn f(x: &'static str) -> &'static str { x }\n",
+        ] {
+            let f = check_one("crates/core/src/x.rs", src);
+            assert!(f.iter().all(|f| f.rule != "D005"), "{src}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn d006_flags_transitive_pub_reach() {
+        let sources = vec![
+            (
+                "crates/tensor/src/parallel.rs".to_string(),
+                "pub fn run_indexed(n: usize) -> usize { n }\n".to_string(),
+            ),
+            (
+                "crates/core/src/x.rs".to_string(),
+                "pub fn api() -> usize {\n    helper()\n}\n\nfn helper() -> usize {\n    aptq_tensor::parallel::run_indexed(3)\n}\n"
+                    .to_string(),
+            ),
+        ];
+        let idx = SymbolIndex::build(&sources);
+        let f: Vec<Finding> = check_index(&idx)
+            .into_iter()
+            .filter(|f| f.rule == "D006")
+            .collect();
+        // `api` is flagged (pub, undocumented, transitive); `helper` is
+        // private; `run_indexed` sits in the parallel module itself and
+        // is flagged there too.
+        assert!(
+            f.iter()
+                .any(|x| x.path == "crates/core/src/x.rs" && x.message.contains("`api`")),
+            "{f:?}"
+        );
+        assert!(f.iter().all(|x| !x.message.contains("`helper`")));
+    }
+
+    #[test]
+    fn d006_satisfied_by_determinism_doc() {
+        let sources = vec![
+            (
+                "crates/tensor/src/parallel.rs".to_string(),
+                "/// # Determinism\n/// Index-ordered.\npub fn run_indexed(n: usize) -> usize { n }\n"
+                    .to_string(),
+            ),
+            (
+                "crates/core/src/x.rs".to_string(),
+                "/// Quantizes.\n///\n/// # Determinism\n/// Bit-identical at any thread count.\npub fn api() -> usize {\n    aptq_tensor::parallel::run_indexed(3)\n}\n"
+                    .to_string(),
+            ),
+        ];
+        let idx = SymbolIndex::build(&sources);
+        let f: Vec<Finding> = check_index(&idx)
+            .into_iter()
+            .filter(|f| f.rule == "D006")
+            .collect();
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d006_resolves_use_imports() {
+        let sources = vec![
+            (
+                "crates/tensor/src/parallel.rs".to_string(),
+                "/// # Determinism\n/// ok.\npub fn thread_count() -> usize { 1 }\n".to_string(),
+            ),
+            (
+                "crates/lm/src/x.rs".to_string(),
+                "use aptq_tensor::parallel::thread_count;\n\npub fn api() -> usize {\n    thread_count()\n}\n"
+                    .to_string(),
+            ),
+        ];
+        let idx = SymbolIndex::build(&sources);
+        let f: Vec<Finding> = check_index(&idx)
+            .into_iter()
+            .filter(|f| f.rule == "D006")
+            .collect();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`api`"));
+    }
+}

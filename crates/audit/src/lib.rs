@@ -18,15 +18,28 @@
 //! - **A005** — every crate dependency must resolve through
 //!   `[workspace.dependencies]`.
 //!
+//! plus the determinism & concurrency rule set **D001–D006** (see
+//! [`determinism`]): thread-spawn containment, env-read containment,
+//! ordered collections, wall-clock/entropy bans, global-state bans, and
+//! `# Determinism` doc coverage for public functions that transitively
+//! reach `aptq_tensor::parallel` — resolved over a workspace-wide
+//! symbol index ([`index`]) rather than per-file text.
+//!
 //! Run it as `cargo run -p aptq-audit` (text diagnostics, rustc style)
-//! or `cargo run -p aptq-audit -- --json` (machine-readable). Library
-//! consumers call [`audit_workspace`], or [`rules::check_source`] /
+//! or `cargo run -p aptq-audit -- --json` (machine-readable). CI runs
+//! `--ratchet results/audit-baseline.json`, which fails on findings
+//! *not* in the committed baseline and on stale baseline entries — debt
+//! may only shrink (see [`baseline`]). Library consumers call
+//! [`audit_workspace`], or [`rules::check_source`] /
 //! [`rules::check_manifest`] on in-memory sources.
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod baseline;
+pub mod determinism;
+pub mod index;
 pub mod rules;
 pub mod scan;
 
@@ -62,6 +75,8 @@ pub struct Finding {
     pub col: usize,
     pub message: String,
     pub help: String,
+    /// A concrete, mechanical fix (may be empty when none applies).
+    pub suggestion: String,
 }
 
 impl Finding {
@@ -73,23 +88,28 @@ impl Finding {
     ///   = help: convert to `Result`, ...
     /// ```
     pub fn render_text(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}[{}]: {}\n --> {}:{}:{}\n  = help: {}\n",
             self.severity, self.rule, self.message, self.path, self.line, self.col, self.help
-        )
+        );
+        if !self.suggestion.is_empty() {
+            out.push_str(&format!("  = suggestion: {}\n", self.suggestion));
+        }
+        out
     }
 
     /// Renders the finding as a JSON object (single line).
     pub fn render_json(&self) -> String {
         format!(
-            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\"help\":{}}}",
+            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\"help\":{},\"suggestion\":{}}}",
             json_str(self.rule),
             json_str(&self.severity.to_string()),
             json_str(&self.path),
             self.line,
             self.col,
             json_str(&self.message),
-            json_str(&self.help)
+            json_str(&self.help),
+            json_str(&self.suggestion)
         )
     }
 }
@@ -109,9 +129,12 @@ impl fmt::Display for AuditError {
 
 impl std::error::Error for AuditError {}
 
-/// Walks the workspace rooted at `root` and runs every rule. Findings
-/// come back sorted by path, then line, then rule, so output is stable
-/// across filesystems.
+/// Walks the workspace rooted at `root` and runs every rule: the A-rule
+/// lexical pass per file, then the D-rule pass over a workspace-wide
+/// [`index::SymbolIndex`] (D006 needs cross-file call-graph
+/// reachability, so it cannot run per file). Findings come back sorted
+/// by path, then line, then rule, so output is stable across
+/// filesystems.
 pub fn audit_workspace(root: &Path) -> Result<Vec<Finding>, AuditError> {
     let mut rs_files = Vec::new();
     let mut manifests = Vec::new();
@@ -135,14 +158,19 @@ pub fn audit_workspace(root: &Path) -> Result<Vec<Finding>, AuditError> {
     }
 
     let mut findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(rs_files.len());
     for path in &rs_files {
         let source = read(path)?;
         findings.extend(rules::check_source(&rel(root, path), &source));
+        sources.push((rel(root, path), source));
     }
     for path in &manifests {
         let source = read(path)?;
         findings.extend(rules::check_manifest(&rel(root, path), &source));
     }
+
+    let index = index::SymbolIndex::build(&sources);
+    findings.extend(determinism::check_index(&index));
 
     findings.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
@@ -238,12 +266,14 @@ mod tests {
             col: 7,
             message: "msg with \"quotes\"".into(),
             help: "do the thing".into(),
+            suggestion: "use `BTreeMap`".into(),
         };
         let doc = render_json_report(&[f]);
         assert!(doc.starts_with("{\"findings\":["));
         assert!(doc.ends_with("\"count\":1}"));
         assert!(doc.contains("\\\"quotes\\\""));
         assert!(doc.contains("\"line\":3"));
+        assert!(doc.contains("\"suggestion\":\"use `BTreeMap`\""));
     }
 
     #[test]
@@ -256,11 +286,13 @@ mod tests {
             col: 2,
             message: "bad cast".into(),
             help: "fix it".into(),
+            suggestion: "write `f32::from(x)`".into(),
         };
         let text = f.render_text();
         assert!(text.starts_with("error[A002]: bad cast\n"));
         assert!(text.contains(" --> crates/tensor/src/matrix.rs:10:2\n"));
         assert!(text.contains("= help: fix it"));
+        assert!(text.contains("= suggestion: write `f32::from(x)`"));
     }
 
     #[test]

@@ -1,22 +1,35 @@
 //! CLI entry point for the workspace audit.
 //!
 //! ```text
-//! cargo run -p aptq-audit            # text diagnostics, exit 1 on findings
-//! cargo run -p aptq-audit -- --json  # JSON report on stdout
+//! cargo run -p aptq-audit                 # text diagnostics, exit 1 on findings
+//! cargo run -p aptq-audit -- --json       # JSON report on stdout
+//! cargo run -p aptq-audit -- --json-out results/audit.json
+//! cargo run -p aptq-audit -- --ratchet results/audit-baseline.json
+//! cargo run -p aptq-audit -- --write-baseline results/audit-baseline.json
 //! cargo run -p aptq-audit -- --root /path/to/workspace
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! In `--ratchet` mode findings listed in the baseline are accepted;
+//! only *new* findings fail (exit 1), and baseline entries that no
+//! longer match any finding fail too (exit 3) so the baseline can only
+//! shrink. `--write-baseline` regenerates the file from the current
+//! findings and exits 0.
+//!
+//! Exit codes: `0` clean, `1` findings (or new-vs-baseline findings),
+//! `2` usage or I/O error, `3` stale baseline entries only.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use aptq_audit::{audit_workspace, render_json_report};
+use aptq_audit::{audit_workspace, baseline, render_json_report};
 
 struct Options {
     json: bool,
     quiet: bool,
     root: PathBuf,
+    ratchet: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    json_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -24,30 +37,46 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         quiet: false,
         root: default_root(),
+        ratchet: None,
+        write_baseline: None,
+        json_out: None,
     };
     let mut args = std::env::args().skip(1);
+    let path_arg = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("{flag} requires a path"))
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
             "-q" | "--quiet" => opts.quiet = true,
-            "--root" => {
-                let v = args
-                    .next()
-                    .ok_or_else(|| "--root requires a path".to_string())?;
-                opts.root = PathBuf::from(v);
+            "--root" => opts.root = path_arg(&mut args, "--root")?,
+            "--ratchet" => opts.ratchet = Some(path_arg(&mut args, "--ratchet")?),
+            "--write-baseline" => {
+                opts.write_baseline = Some(path_arg(&mut args, "--write-baseline")?)
             }
+            "--json-out" => opts.json_out = Some(path_arg(&mut args, "--json-out")?),
             "-h" | "--help" => {
                 println!(
                     "aptq-audit: workspace static-analysis pass\n\n\
-                     USAGE: aptq-audit [--json] [--quiet] [--root <dir>]\n\n\
+                     USAGE: aptq-audit [--json] [--quiet] [--root <dir>]\n\
+                            [--ratchet <baseline.json>] [--write-baseline <baseline.json>]\n\
+                            [--json-out <report.json>]\n\n\
                      Rules: A001 panic sites, A002 float casts, A003 panic docs,\n\
-                     A004 unsafe allowlist, A005 workspace dependencies.\n\
-                     Exit codes: 0 clean, 1 findings, 2 error."
+                     A004 unsafe allowlist, A005 workspace dependencies,\n\
+                     D001 thread containment, D002 env containment, D003 ordered\n\
+                     collections, D004 wall-clock/entropy, D005 global state,\n\
+                     D006 determinism docs.\n\
+                     Exit codes: 0 clean, 1 findings, 2 error, 3 stale baseline."
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    if opts.ratchet.is_some() && opts.write_baseline.is_some() {
+        return Err("--ratchet and --write-baseline are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -55,6 +84,7 @@ fn parse_args() -> Result<Options, String> {
 /// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo,
 /// the current directory otherwise.
 fn default_root() -> PathBuf {
+    // audit:allow(env): resolving the workspace root in the CLI binary, not library code
     if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
         let p = PathBuf::from(manifest);
         if let Some(root) = p.parent().and_then(|c| c.parent()) {
@@ -81,6 +111,78 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = &opts.json_out {
+        if let Err(e) = std::fs::write(path, render_json_report(&findings) + "\n") {
+            eprintln!("aptq-audit: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, baseline::render(&findings)) {
+            eprintln!("aptq-audit: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !opts.quiet {
+            println!(
+                "audit: wrote baseline with {} entr{} to {}",
+                findings.len(),
+                if findings.len() == 1 { "y" } else { "ies" },
+                path.display()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &opts.ratchet {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("aptq-audit: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let base = match baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("aptq-audit: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let diff = baseline::diff(&findings, &base);
+        if opts.json {
+            println!("{}", render_json_report(&diff.new));
+        } else if !opts.quiet {
+            for f in &diff.new {
+                println!("{}", f.render_text());
+            }
+            for e in &diff.stale {
+                println!(
+                    "stale baseline entry: [{}] {} — {}\n  = fix: the finding is gone; \
+                     remove this entry from {} (or regenerate with --write-baseline)\n",
+                    e.rule,
+                    e.path,
+                    e.message,
+                    path.display()
+                );
+            }
+            println!(
+                "audit: {} finding(s) total, {} accepted by baseline, {} new, {} stale",
+                findings.len(),
+                findings.len() - diff.new.len(),
+                diff.new.len(),
+                diff.stale.len()
+            );
+        }
+        return if !diff.new.is_empty() {
+            ExitCode::from(1)
+        } else if !diff.stale.is_empty() {
+            ExitCode::from(3)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     if opts.json {
         println!("{}", render_json_report(&findings));
     } else if !opts.quiet {
@@ -88,7 +190,7 @@ fn main() -> ExitCode {
             println!("{}", f.render_text());
         }
         if findings.is_empty() {
-            println!("audit: clean ({} rules, 0 findings)", 5);
+            println!("audit: clean ({} rules, 0 findings)", 11);
         } else {
             println!("audit: {} finding(s)", findings.len());
         }

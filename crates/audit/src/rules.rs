@@ -7,6 +7,16 @@
 //! | A003 | all `crates/*/src` | `pub fn` containing an unannotated `assert!`/`panic!` must document `# Panics` |
 //! | A004 | whole workspace | `unsafe` forbidden outside the allowlist |
 //! | A005 | every `Cargo.toml` | dependencies must resolve via `[workspace.dependencies]` |
+//! | D001 | `crates/*/src`, non-test | thread spawns only inside `aptq_tensor::parallel` (`// audit:allow(thread)`) |
+//! | D002 | `crates/*/src`, non-test | `std::env::var` only in the designated config module (`// audit:allow(env)`) |
+//! | D003 | `crates/*/src`, non-test | no `HashMap`/`HashSet` — use `BTreeMap`/`BTreeSet` (`// audit:allow(order)`) |
+//! | D004 | library crates, non-test (`bench`/`src/bin` exempt) | no wall clock / entropy (`// audit:allow(nondet)`) |
+//! | D005 | all of `crates/` | no `static mut` / interior-mutable globals / `thread_local!` (`// audit:allow(global)`) |
+//! | D006 | `crates/*/src`, non-test | `pub fn` transitively reaching `aptq_tensor::parallel` documents `# Determinism` |
+//!
+//! The A-rules live in this module; the D-rules live in
+//! [`crate::determinism`] because D006 needs the workspace-wide symbol
+//! index ([`crate::index`]) rather than one file at a time.
 //!
 //! A `.expect("non-empty message")` is treated as self-annotating: the
 //! message *is* the reason, matching the burn-down policy in ISSUE /
@@ -14,7 +24,7 @@
 //! allow"). Message-less or computed-argument `expect` still needs an
 //! annotation.
 
-use crate::scan::{scan, ScannedFile};
+use crate::scan::{scan, word_occurrences, ScannedFile};
 use crate::{Finding, Severity};
 
 /// Files (workspace-relative, forward slashes) where `unsafe` is
@@ -58,35 +68,6 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
-/// Returns the 0-based char column of each occurrence of `needle` in
-/// `code` that starts at a word boundary. The boundary check (previous
-/// char not alphanumeric/underscore) only applies when the needle opens
-/// with an identifier character — it keeps `debug_assert!` from
-/// matching `assert!`, while `.unwrap()` still matches right after its
-/// receiver.
-fn word_occurrences(code: &str, needle: &str) -> Vec<usize> {
-    let chars: Vec<char> = code.chars().collect();
-    let pat: Vec<char> = needle.chars().collect();
-    let needs_boundary = pat
-        .first()
-        .is_some_and(|c| c.is_alphanumeric() || *c == '_');
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i + pat.len() <= chars.len() {
-        if chars[i..i + pat.len()] == pat[..] {
-            let boundary = !needs_boundary || i == 0 || {
-                let p = chars[i - 1];
-                !(p.is_alphanumeric() || p == '_')
-            };
-            if boundary {
-                out.push(i);
-            }
-        }
-        i += 1;
-    }
-    out
-}
-
 /// A001: `.unwrap()`, message-less `.expect(`, and `panic!`-family
 /// macros in non-test library code need an annotation.
 fn rule_a001_panic_sites(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Finding>) {
@@ -95,7 +76,7 @@ fn rule_a001_panic_sites(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Fin
             continue;
         }
         let code = &line.code;
-        let mut sites: Vec<(usize, String, String)> = Vec::new();
+        let mut sites: Vec<(usize, String, String, String)> = Vec::new();
         for col in word_occurrences(code, ".unwrap()") {
             sites.push((
                 col,
@@ -103,6 +84,7 @@ fn rule_a001_panic_sites(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Fin
                 "convert to `Result`, use a descriptive `.expect(\"...\")`, or annotate \
                  with `// audit:allow(panic): <reason>`"
                     .into(),
+                "replace `.unwrap()` with `.expect(\"<why this cannot fail>\")`".into(),
             ));
         }
         for col in word_occurrences(code, ".expect(") {
@@ -128,6 +110,7 @@ fn rule_a001_panic_sites(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Fin
                     "give `.expect` a descriptive string literal, or annotate with \
                      `// audit:allow(panic): <reason>`"
                         .into(),
+                    "write `.expect(\"<invariant that guarantees Some/Ok>\")`".into(),
                 ));
             }
         }
@@ -139,10 +122,11 @@ fn rule_a001_panic_sites(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Fin
                     "return an error instead, or annotate with \
                      `// audit:allow(panic): <reason>`"
                         .into(),
+                    format!("replace `{mac}` with a `Result`/`Option` return"),
                 ));
             }
         }
-        for (col, msg, help) in sites {
+        for (col, msg, help, suggestion) in sites {
             if !f.allowed(idx, "panic") {
                 findings.push(Finding {
                     rule: "A001",
@@ -152,6 +136,7 @@ fn rule_a001_panic_sites(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Fin
                     col: col + 1,
                     message: msg,
                     help,
+                    suggestion,
                 });
             }
         }
@@ -218,6 +203,7 @@ fn rule_a002_float_casts(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Fin
                     help: "use `f64::from`/`From`/`TryFrom` where lossless, or annotate \
                            with `// audit:allow(cast): <reason>` stating the value range"
                         .into(),
+                    suggestion: "annotate with `// audit:allow(cast): <value range proof>`".into(),
                 });
             }
         }
@@ -318,6 +304,7 @@ fn rule_a003_panic_docs(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Find
                     help: "add a `/// # Panics` section describing the condition, or \
                            annotate the site with `// audit:allow(panic): <reason>`"
                         .into(),
+                    suggestion: "add a `/// # Panics` doc section".into(),
                 });
             }
         }
@@ -348,6 +335,7 @@ fn rule_a004_unsafe(rel_path: &str, f: &ScannedFile, findings: &mut Vec<Finding>
                 help: "rewrite in safe Rust, or add the file to `UNSAFE_ALLOWLIST` in \
                        crates/audit/src/rules.rs with a review note"
                     .into(),
+                suggestion: String::new(),
             });
         }
     }
@@ -398,6 +386,7 @@ pub fn check_manifest(rel_path: &str, source: &str) -> Vec<Finding> {
                     "declare `{name}` once in the root [workspace.dependencies] table and \
                      use `{name}.workspace = true` here"
                 ),
+                suggestion: format!("write `{name}.workspace = true`"),
             });
         }
     }

@@ -250,6 +250,35 @@ pub fn scan(source: &str) -> ScannedFile {
     ScannedFile { lines }
 }
 
+/// Returns the 0-based char column of each occurrence of `needle` in
+/// `code` that starts at a word boundary. The boundary check (previous
+/// char not alphanumeric/underscore) only applies when the needle opens
+/// with an identifier character — it keeps `debug_assert!` from
+/// matching `assert!`, while `.unwrap()` still matches right after its
+/// receiver.
+pub fn word_occurrences(code: &str, needle: &str) -> Vec<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    let pat: Vec<char> = needle.chars().collect();
+    let needs_boundary = pat
+        .first()
+        .is_some_and(|c| c.is_alphanumeric() || *c == '_');
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + pat.len() <= chars.len() {
+        if chars[i..i + pat.len()] == pat[..] {
+            let boundary = !needs_boundary || i == 0 || {
+                let p = chars[i - 1];
+                !(p.is_alphanumeric() || p == '_')
+            };
+            if boundary {
+                out.push(i);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Byte offset of the `i`-th char of `s`.
 fn char_byte_at(s: &str, i: usize) -> usize {
     s.char_indices().nth(i).map_or(s.len(), |(b, _)| b)

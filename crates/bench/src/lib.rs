@@ -191,6 +191,7 @@ pub fn emit(name: &str, content: &str) -> Result<(), EvalError> {
 
 /// `results/` under the workspace root.
 pub fn results_dir() -> PathBuf {
+    // audit:allow(env): CARGO_MANIFEST_DIR is a cargo-injected build constant, not runtime config
     if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
         let p = PathBuf::from(dir);
         p.ancestors()

@@ -44,6 +44,11 @@ pub struct LayerQuantResult {
 /// # Panics
 ///
 /// Panics if shapes disagree.
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS`: the column sweep is sequential
+/// and matrix products reduce in fixed index order.
 pub fn quantize_layer_obq(
     layer_name: &str,
     w: &Matrix,
@@ -160,6 +165,11 @@ pub fn quantize_layer_obq(
 
 /// Round-to-nearest baseline: group quantization with no error
 /// compensation (the RTN row of Table 2).
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS`: per-group rounding has no
+/// cross-thread reduction.
 pub fn quantize_layer_rtn(w: &Matrix, grid: QuantGrid, cfg: &GridConfig) -> LayerQuantResult {
     let d_in = w.rows();
     let d_out = w.cols();

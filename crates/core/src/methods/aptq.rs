@@ -27,6 +27,11 @@ use crate::QuantError;
 /// # Errors
 ///
 /// Propagates calibration and engine errors.
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` — the layer fan-out is
+/// index-ordered (see [`crate::methods::apply_plan_obq`]).
 pub fn quantize_uniform(
     model: &mut Model,
     calibration: &[Vec<u32>],
@@ -42,6 +47,11 @@ pub fn quantize_uniform(
 /// # Errors
 ///
 /// Propagates calibration and engine errors.
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS`, and independent of what the
+/// session has already cached.
 pub fn quantize_uniform_session(
     model: &mut Model,
     session: &mut QuantSession,
@@ -64,6 +74,12 @@ pub fn quantize_uniform_session(
 ///
 /// Returns [`QuantError::InvalidRatio`] for `ratio ∉ [0,1]`, otherwise
 /// propagates calibration and engine errors.
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` — allocation ranks by a total
+/// order (score, then layer index) and the layer fan-out is
+/// index-ordered.
 pub fn quantize_mixed(
     model: &mut Model,
     calibration: &[Vec<u32>],
@@ -85,6 +101,11 @@ pub fn quantize_mixed(
 /// [`QuantError::EmptyCalibration`] for a degenerate calibration set
 /// (empty, or without any segment of ≥ 2 tokens); otherwise propagates
 /// calibration and engine errors.
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS`, and independent of what the
+/// session has already cached.
 pub fn quantize_mixed_session(
     model: &mut Model,
     session: &mut QuantSession,

@@ -21,7 +21,6 @@ pub mod rtn;
 pub mod smoothquant;
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use aptq_lm::{LayerRef, Model};
 
@@ -33,15 +32,17 @@ use crate::plan::QuantPlan;
 use crate::report::{LayerOutcome, QuantReport};
 use crate::QuantError;
 
-/// Worker threads for the layer-job scheduler: the `APTQ_THREADS`
-/// environment variable when set to a positive integer, otherwise
-/// [`aptq_tensor::parallel::available_threads`].
+/// Worker threads for the layer-job scheduler. Thread configuration is
+/// centralized in [`aptq_tensor::parallel::thread_count`] (the
+/// `APTQ_THREADS` override with a hardware-cap fallback); this is a
+/// thin alias kept for call-site readability.
+///
+/// # Determinism
+///
+/// The count varies with the environment, but every scheduler fed by it
+/// is bit-identical across thread counts.
 pub fn scheduler_threads() -> usize {
-    std::env::var("APTQ_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(aptq_tensor::parallel::available_threads)
+    aptq_tensor::parallel::thread_count()
 }
 
 /// Quantizes every layer of `plan` with the OBQ engine under the given
@@ -49,8 +50,12 @@ pub fn scheduler_threads() -> usize {
 ///
 /// This is the shared backbone of GPTQ, APTQ and OWQ; they differ only
 /// in the Hessians, the plan, and (for OWQ) which rows are exempted.
-/// Per-layer solves run on [`scheduler_threads`] worker threads; see
-/// [`apply_plan_obq_threads`] for the determinism contract.
+/// Per-layer solves run on [`scheduler_threads`] worker threads.
+///
+/// # Determinism
+///
+/// Bit-identical for every `APTQ_THREADS` value; see
+/// [`apply_plan_obq_threads`] for the contract.
 ///
 /// # Errors
 ///
@@ -67,6 +72,8 @@ pub fn apply_plan_obq(
 }
 
 /// [`apply_plan_obq`] with an explicit worker-thread count.
+///
+/// # Determinism
 ///
 /// Each layer's OBQ solve depends only on its own (pre-quantization)
 /// weight and Hessian, so the solves fan out across scoped threads while
@@ -137,42 +144,7 @@ fn solve_jobs(
             cfg,
         )
     };
-    let threads = threads.clamp(1, jobs.len().max(1));
-    if threads <= 1 {
-        return jobs.iter().map(solve).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<Result<LayerQuantResult, QuantError>>> =
-        (0..jobs.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let next = &next;
-        let solve = &solve;
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        local.push((i, solve(&jobs[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, res) in handle.join().expect("OBQ scheduler worker panicked") {
-                slots[i] = Some(res);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every scheduled layer job produced a result"))
-        .collect()
+    aptq_tensor::parallel::run_indexed(jobs.len(), threads, |i| solve(&jobs[i]))
 }
 
 #[cfg(test)]

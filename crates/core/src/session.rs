@@ -81,6 +81,11 @@ impl QuantSession {
     ///
     /// Propagates [`crate::calib::collect_hessians`] failures
     /// (e.g. [`QuantError::EmptyCalibration`]).
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS`; the cache key is
+    /// content-addressed, so hits and misses return the same values.
     pub fn hessians(
         &mut self,
         model: &Model,
@@ -114,6 +119,12 @@ impl QuantSession {
     /// Returns [`QuantError::EmptyCalibration`] when the calibration set
     /// is empty or no probe segment has at least two tokens; propagates
     /// probe failures otherwise.
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS`: layer probes run via
+    /// `aptq_tensor::parallel::run_indexed_with`, which returns results
+    /// in layer-index order regardless of scheduling.
     pub fn sensitivity(
         &mut self,
         model: &Model,

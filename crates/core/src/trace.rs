@@ -86,6 +86,11 @@ impl SensitivityReport {
     ///
     /// Panics for [`SensitivityMetric::EmpiricalLoss`], which needs
     /// probe data — use [`empirical_sensitivity`] instead.
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS`: trace and perturbation are
+    /// per-layer sequential reductions over fixed-order weights.
     pub fn with_metric(
         hessians: &BTreeMap<LayerRef, LayerHessian>,
         model: &Model,
@@ -182,6 +187,11 @@ impl SensitivityReport {
 /// is plenty); cost is `n_layers × (RTN + probe forward passes)`,
 /// spread across [`crate::methods::scheduler_threads`] workers.
 ///
+/// # Determinism
+///
+/// Bit-identical for every `APTQ_THREADS` value; see
+/// [`empirical_sensitivity_threads`] for the contract.
+///
 /// # Errors
 ///
 /// Returns [`QuantError::EmptyCalibration`] when no probe segment has at
@@ -207,7 +217,14 @@ pub fn empirical_sensitivity(
 /// Each worker owns a single scratch clone of the model and swaps the
 /// one perturbed layer weight in and out around its probe passes, so
 /// memory stays at `threads + 1` model copies instead of one clone per
-/// layer. Results are bit-identical for every `threads` value.
+/// layer.
+///
+/// # Determinism
+///
+/// Results are bit-identical for every `threads` value: each layer's
+/// probe reads only the pristine reference model plus its own restored
+/// scratch state, and entries are collected in layer order via
+/// [`aptq_tensor::parallel::run_indexed_with`].
 ///
 /// # Errors
 ///
@@ -227,56 +244,12 @@ pub fn empirical_sensitivity_threads(
     let layers = model.layer_refs();
     let threads = threads.clamp(1, layers.len().max(1));
 
-    let entries: Vec<LayerSensitivity> = if threads <= 1 {
-        let mut scratch = model.clone();
-        layers
-            .iter()
-            .map(|&layer| probe_one_layer(&mut scratch, model, layer, base, probe, low_bits, cfg))
-            .collect()
-    } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut slots: Vec<Option<LayerSensitivity>> = vec![None; layers.len()];
-        std::thread::scope(|scope| {
-            let next = &next;
-            let layers = &layers;
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(move || {
-                        let mut scratch = model.clone();
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= layers.len() {
-                                break;
-                            }
-                            local.push((
-                                i,
-                                probe_one_layer(
-                                    &mut scratch,
-                                    model,
-                                    layers[i],
-                                    base,
-                                    probe,
-                                    low_bits,
-                                    cfg,
-                                ),
-                            ));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (i, entry) in handle.join().expect("sensitivity probe worker panicked") {
-                    slots[i] = Some(entry);
-                }
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every probed layer produced an entry"))
-            .collect()
-    };
+    let entries: Vec<LayerSensitivity> = aptq_tensor::parallel::run_indexed_with(
+        layers.len(),
+        threads,
+        || model.clone(),
+        |scratch, i| probe_one_layer(scratch, model, layers[i], base, probe, low_bits, cfg),
+    );
     Ok(SensitivityReport::sorted(entries))
 }
 

@@ -194,6 +194,7 @@ pub fn load_or_train(
 /// Default cache directory (`assets/` next to the workspace root when
 /// run via cargo, else the current directory).
 pub fn default_cache_dir() -> PathBuf {
+    // audit:allow(env): CARGO_MANIFEST_DIR is a cargo-injected build constant, not runtime config
     if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
         // crates/<name> → workspace root.
         let p = PathBuf::from(dir);

@@ -3,9 +3,10 @@
 //! The paper quantizes *pretrained* checkpoints; our substitute models are
 //! pretrained here, on the synthetic corpus, with Adam and scoped
 //! parallelism over the batch (each sequence's forward/backward is
-//! independent; gradients are merged on the main thread).
+//! independent; gradients are merged in batch order on the main thread,
+//! so training is bit-identical at any thread count).
 
-use aptq_tensor::parallel::available_threads;
+use aptq_tensor::parallel::thread_count;
 
 use crate::adam::{Adam, AdamConfig};
 use crate::model::{Model, ModelGrads};
@@ -63,6 +64,11 @@ impl Trainer {
     /// `next_batch` is called once per step with the step index and must
     /// return a non-empty batch of token sequences (each of length ≥ 2).
     ///
+    /// # Determinism
+    ///
+    /// For a fixed model seed and batch stream the trained weights are
+    /// bit-identical at any thread count (see [`batch_grads`]).
+    ///
     /// # Panics
     ///
     /// Panics if `next_batch` returns an empty batch.
@@ -99,55 +105,39 @@ impl Trainer {
 }
 
 /// Computes the mean loss and summed gradients of a batch, parallelizing
-/// over sequences with scoped threads.
+/// over sequences via [`aptq_tensor::parallel::run_indexed`] with
+/// [`aptq_tensor::parallel::thread_count`] workers.
+///
+/// # Determinism
+///
+/// Bit-identical for every thread count: per-sequence (loss, grads)
+/// pairs come back in batch order and are reduced sequentially in that
+/// order, so the floating-point summation order never depends on how
+/// sequences were distributed across workers. (The cost is holding one
+/// gradient set per sequence instead of one per worker — fine at the
+/// batch sizes this repo trains with.)
 pub fn batch_grads(model: &Model, batch: &[Vec<u32>]) -> (f32, ModelGrads) {
-    let threads = available_threads().min(batch.len());
-    if threads <= 1 || batch.len() == 1 {
-        let mut iter = batch.iter();
-        let first = iter.next().expect("non-empty batch");
-        let (mut loss, mut grads) = model.sequence_grads(first);
-        for seq in iter {
-            let (l, g) = model.sequence_grads(seq);
-            loss += l;
-            grads.add_assign(&g);
-        }
-        return (loss / batch.len() as f32, grads);
-    }
+    batch_grads_threads(model, batch, thread_count())
+}
 
-    let chunk = batch.len().div_ceil(threads);
-    let results: Vec<(f32, ModelGrads)> = scoped_chunk_grads(model, batch, chunk);
-    let mut iter = results.into_iter();
-    let (mut loss, mut grads) = iter.next().expect("at least one chunk");
+/// [`batch_grads`] with an explicit worker-thread count.
+///
+/// # Determinism
+///
+/// Same contract as [`batch_grads`]: results are bit-identical for
+/// every `threads` value, including 1.
+pub fn batch_grads_threads(model: &Model, batch: &[Vec<u32>], threads: usize) -> (f32, ModelGrads) {
+    let per_seq: Vec<(f32, ModelGrads)> =
+        aptq_tensor::parallel::run_indexed(batch.len(), threads.min(batch.len()), |i| {
+            model.sequence_grads(&batch[i])
+        });
+    let mut iter = per_seq.into_iter();
+    let (mut loss, mut grads) = iter.next().expect("non-empty batch");
     for (l, g) in iter {
         loss += l;
         grads.add_assign(&g);
     }
     (loss / batch.len() as f32, grads)
-}
-
-fn scoped_chunk_grads(model: &Model, batch: &[Vec<u32>], chunk: usize) -> Vec<(f32, ModelGrads)> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = batch
-            .chunks(chunk)
-            .map(|seqs| {
-                scope.spawn(move || {
-                    let mut iter = seqs.iter();
-                    let first = iter.next().expect("non-empty chunk");
-                    let (mut loss, mut grads) = model.sequence_grads(first);
-                    for seq in iter {
-                        let (l, g) = model.sequence_grads(seq);
-                        loss += l;
-                        grads.add_assign(&g);
-                    }
-                    (loss, grads)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("training worker panicked"))
-            .collect()
-    })
 }
 
 fn mean(xs: &[f32]) -> f32 {
@@ -218,5 +208,25 @@ mod tests {
             (grads_par.global_norm() - grads_seq.global_norm()).abs() < 1e-3,
             "parallel and sequential grads must agree"
         );
+    }
+
+    #[test]
+    fn batch_grads_bit_identical_across_thread_counts() {
+        let cfg = ModelConfig::test_tiny(12);
+        let model = Model::new(&cfg, 7);
+        let mut rng = aptq_tensor::init::rng(3);
+        let batch: Vec<Vec<u32>> = (0..7)
+            .map(|_| (0..9).map(|_| rng.gen_range(0..12u32)).collect())
+            .collect();
+        let (loss_1, grads_1) = batch_grads_threads(&model, &batch, 1);
+        for threads in [2usize, 4, 8] {
+            let (loss_n, grads_n) = batch_grads_threads(&model, &batch, threads);
+            assert_eq!(loss_1, loss_n, "loss differs at {threads} threads");
+            assert_eq!(
+                grads_1.global_norm(),
+                grads_n.global_norm(),
+                "grads differ at {threads} threads"
+            );
+        }
     }
 }

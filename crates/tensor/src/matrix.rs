@@ -244,6 +244,12 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS`: each output row is computed
+    /// by exactly one thread with a fixed-order inner reduction, so the
+    /// band split never regroups floating-point sums.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,

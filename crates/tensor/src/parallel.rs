@@ -1,10 +1,23 @@
-//! Blocked, scoped-thread-parallel matrix-multiply kernel.
+//! The workspace's single concurrency choke point.
 //!
-//! The kernel is deliberately simple: row-band parallelism with a
-//! cache-blocked inner loop (i-k-j order so the innermost loop streams
-//! both the `b` panel and the output row). It is not BLAS, but it is
-//! fast enough to pretrain the tiny LLaMA-family models and run the
-//! quantization pipelines in seconds on a laptop-class CPU.
+//! Every thread spawned anywhere in the workspace is spawned *here*
+//! (audit rule D001), and the worker-thread count is resolved *here*
+//! ([`thread_count`], the one sanctioned `APTQ_THREADS` read — audit
+//! rule D002). Library code parallelizes exclusively through the
+//! helpers in this module:
+//!
+//! - [`matmul_into`] — the blocked, row-band-parallel matmul kernel;
+//! - [`run_indexed`] / [`run_indexed_with`] — a scoped worker pool over
+//!   `0..n` job indices whose results come back in index order, so the
+//!   output is bit-identical at every thread count.
+//!
+//! The matmul kernel is deliberately simple: row-band parallelism with
+//! a cache-blocked inner loop (i-k-j order so the innermost loop
+//! streams both the `b` panel and the output row). It is not BLAS, but
+//! it is fast enough to pretrain the tiny LLaMA-family models and run
+//! the quantization pipelines in seconds on a laptop-class CPU.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Minimum number of multiply-accumulate operations (m·k·n) before
 /// threads are spawned. Thread spawn costs tens of microseconds; small
@@ -17,6 +30,13 @@ const KBLOCK: usize = 64;
 
 /// Computes `out = a × b` where `a` is `m×k` and `b` is `k×n`, all
 /// row-major. `out` must be zero-initialized with length `m*n`.
+///
+/// # Determinism
+///
+/// Bit-identical at every thread count: parallelism splits the output
+/// into row bands, each output element is accumulated by exactly one
+/// worker in the same k-blocked order as the sequential kernel, so the
+/// band boundaries never change any floating-point operation order.
 ///
 /// # Panics
 ///
@@ -31,7 +51,7 @@ pub fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut
         return;
     }
 
-    let threads = available_threads().min(m);
+    let threads = thread_count().min(m);
     let rows_per = m.div_ceil(threads);
 
     std::thread::scope(|scope| {
@@ -74,12 +94,122 @@ fn matmul_band(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
     }
 }
 
-/// Number of worker threads to use for parallel kernels.
+/// Number of worker threads the hardware supports for parallel kernels
+/// (capped at 8; spawning past that buys nothing for these workloads).
+///
+/// # Determinism
+///
+/// The value is machine-dependent, but it only ever feeds worker-pool
+/// *sizes* — every helper in this module produces results independent
+/// of the pool size, so hardware variation never reaches outputs.
 pub fn available_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
+}
+
+/// Resolved worker-thread count for every parallel code path in the
+/// workspace: the `APTQ_THREADS` environment variable when set to a
+/// positive integer, otherwise [`available_threads`].
+///
+/// This is the single sanctioned runtime-configuration read (audit rule
+/// D002): schedulers and kernels must take their thread count from here
+/// instead of consulting the environment themselves, so one knob
+/// controls the whole process.
+///
+/// # Determinism
+///
+/// The returned count varies with the environment and hardware, but all
+/// consumers in this module and in the OBQ/sensitivity schedulers are
+/// bit-identical across thread counts, so the knob affects wall-clock
+/// only, never results.
+pub fn thread_count() -> usize {
+    std::env::var("APTQ_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(available_threads)
+}
+
+/// Runs `job(i)` for every `i` in `0..n` on a scoped worker pool of at
+/// most `threads` threads, returning results in index order.
+///
+/// Workers pull indices from a shared atomic counter, so load-balancing
+/// is dynamic; results land in their index slot regardless of which
+/// worker computed them.
+///
+/// # Determinism
+///
+/// Bit-identical at every `threads` value (including 1): each job
+/// depends only on its index and the captured immutable state, and the
+/// returned `Vec` is ordered by index, not completion time.
+pub fn run_indexed<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(n, threads, || (), |_, i| job(i))
+}
+
+/// [`run_indexed`] with per-worker scratch state: `init()` runs once on
+/// each worker thread (and once total on the sequential path), and each
+/// job receives `&mut` access to its worker's state.
+///
+/// This is the shape schedulers with expensive per-worker setup need —
+/// e.g. the sensitivity probe clones the model once per worker instead
+/// of once per layer.
+///
+/// # Determinism
+///
+/// Bit-identical at every `threads` value provided each `job(state, i)`
+/// leaves `state` equivalent to how it found it (the scratch contract):
+/// under that contract a job's result depends only on `i`, never on
+/// which worker ran it or what that worker ran before.
+pub fn run_indexed_with<S, T, I, F>(n: usize, threads: usize, init: I, job: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| job(&mut state, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let next = &next;
+        let init = &init;
+        let job = &job;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, job(&mut state, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("indexed worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every scheduled index produced a result"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -153,5 +283,45 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn run_indexed_preserves_order_at_any_thread_count() {
+        let sequential = run_indexed(37, 1, |i| i * i);
+        for threads in [2usize, 4, 16] {
+            assert_eq!(run_indexed(37, threads, |i| i * i), sequential);
+        }
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn run_indexed_with_gives_each_worker_its_own_state() {
+        // Each worker's scratch counts the jobs it ran; the *results*
+        // must not depend on that split.
+        let out = run_indexed_with(
+            100,
+            4,
+            || 0usize,
+            |seen, i| {
+                *seen += 1;
+                i * 3
+            },
+        );
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_prefers_env_override() {
+        // Serialized against other env-sensitive tests by using a value
+        // no other test sets.
+        std::env::set_var("APTQ_THREADS", "3");
+        assert_eq!(thread_count(), 3);
+        std::env::set_var("APTQ_THREADS", "0");
+        assert_eq!(thread_count(), available_threads(), "0 is not positive");
+        std::env::set_var("APTQ_THREADS", "lots");
+        assert_eq!(thread_count(), available_threads());
+        std::env::remove_var("APTQ_THREADS");
+        assert_eq!(thread_count(), available_threads());
     }
 }

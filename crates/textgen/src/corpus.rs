@@ -311,9 +311,10 @@ mod tests {
         let (g, t) = setup();
         let mut gen = CorpusGenerator::new(&g, &t, CorpusStyle::WebC4, 13);
         let seg = gen.segment(8000);
-        // Build noun->category and verb->category maps over token ids.
-        let mut noun_cat = std::collections::HashMap::new();
-        let mut verb_cat = std::collections::HashMap::new();
+        // Build noun->category and verb->category maps over token ids
+        // (BTreeMap so even test scaffolding iterates deterministically).
+        let mut noun_cat = std::collections::BTreeMap::new();
+        let mut verb_cat = std::collections::BTreeMap::new();
         for (ci, c) in g.categories.iter().enumerate() {
             for n in &c.nouns {
                 noun_cat.insert(t.token_id(n.singular).unwrap(), ci);

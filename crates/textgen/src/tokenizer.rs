@@ -1,6 +1,6 @@
 //! Word-level tokenizer over the closed synthetic vocabulary.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -15,7 +15,9 @@ pub const UNK: u32 = 1;
 /// [`Grammar`].
 ///
 /// Ids `0` and `1` are reserved for `<bos>` and `<unk>`; words follow in
-/// the grammar's deterministic order.
+/// the grammar's deterministic order. The reverse index is a `BTreeMap`
+/// (audit rule D003) so every observable iteration — serialization
+/// included — is byte-identical across processes.
 ///
 /// # Example
 ///
@@ -29,7 +31,7 @@ pub const UNK: u32 = 1;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tokenizer {
     words: Vec<String>,
-    index: HashMap<String, u32>,
+    index: BTreeMap<String, u32>,
 }
 
 impl Tokenizer {

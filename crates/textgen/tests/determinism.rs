@@ -1,0 +1,78 @@
+//! Cross-run determinism for the text substrate (audit rule D003).
+//!
+//! The tokenizer's reverse index and every corpus path must be free of
+//! iteration-order dependence: two independent constructions — which is
+//! exactly what two separate *process* runs perform, since nothing here
+//! reads ambient state — must produce byte-identical output. A
+//! `HashMap` in any observable path breaks this: its per-instance
+//! `RandomState` seed reorders iteration (and hence serialization) on
+//! every construction, which is why [`aptq_textgen::Tokenizer`] keys its
+//! index with a `BTreeMap`.
+
+use aptq_textgen::corpus::{CorpusGenerator, CorpusStyle};
+use aptq_textgen::{Grammar, Tokenizer};
+
+/// One full independent construction: grammar → tokenizer → corpus
+/// segments, everything serialized/flattened to bytes.
+fn one_run() -> (String, Vec<u8>) {
+    let grammar = Grammar::standard();
+    let tokenizer = Tokenizer::from_grammar(&grammar);
+    let tok_json = serde_json::to_string(&tokenizer).expect("tokenizer serializes");
+
+    let mut bytes = Vec::new();
+    for (style, seed) in [
+        (CorpusStyle::WebC4, 7u64),
+        (CorpusStyle::Wiki, 7),
+        (CorpusStyle::WebC4, 1009),
+    ] {
+        let mut gen = CorpusGenerator::new(&grammar, &tokenizer, style, seed);
+        for seg in gen.segments(4, 96) {
+            bytes.extend(seg.iter().flat_map(|id| id.to_le_bytes()));
+        }
+    }
+    (tok_json, bytes)
+}
+
+#[test]
+fn tokenizer_and_corpus_are_byte_identical_across_runs() {
+    let (tok_a, corpus_a) = one_run();
+    let (tok_b, corpus_b) = one_run();
+    assert_eq!(
+        tok_a, tok_b,
+        "tokenizer serialization must not depend on construction order"
+    );
+    assert_eq!(corpus_a, corpus_b, "corpus bytes must be reproducible");
+}
+
+#[test]
+fn tokenizer_serialization_iterates_index_in_sorted_order() {
+    let tokenizer = Tokenizer::from_grammar(&Grammar::standard());
+    let json = serde_json::to_string(&tokenizer).expect("tokenizer serializes");
+    // The serialized index must list its keys sorted — the observable
+    // fingerprint of the BTreeMap conversion. Extract the key sequence
+    // from the "index" object.
+    // The vendored serde stub serializes maps as `[["key",id],...]`
+    // pair arrays, so each key is the quoted string opening a pair.
+    let at = json.find("\"index\":").expect("index field present");
+    let pairs = &json[at + "\"index\":".len()..];
+    let mut keys: Vec<&str> = Vec::new();
+    let mut rest = pairs;
+    while let Some(p) = rest.find("[\"") {
+        let tail = &rest[p + 2..];
+        let Some(end) = tail.find('"') else { break };
+        keys.push(&tail[..end]);
+        rest = &tail[end + 1..];
+    }
+    assert!(keys.len() > 100, "expected the full vocab, got {keys:?}");
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "index keys must serialize in sorted order");
+}
+
+#[test]
+fn tokenizer_roundtrips_through_json() {
+    let tokenizer = Tokenizer::from_grammar(&Grammar::standard());
+    let json = serde_json::to_string(&tokenizer).expect("serialize");
+    let back: Tokenizer = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(tokenizer, back);
+}
