@@ -34,4 +34,10 @@ for threads in 1 4; do
     APTQ_THREADS=$threads cargo test -q -p aptq-textgen --test determinism
 done
 
+echo "==> telemetry snapshot (archived as results/telemetry.json)"
+# The bench asserts the counters' structural invariants (zero qlinear
+# fallbacks, O(T) KV write traffic, Hessian cache hits) and writes the
+# Recorder snapshot under results/.
+cargo run -q -p aptq-bench --bin telemetry --release > /dev/null
+
 echo "All checks passed."

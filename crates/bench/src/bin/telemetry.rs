@@ -1,0 +1,123 @@
+//! Small instrumented end-to-end run emitting `results/telemetry.json`.
+//!
+//! Exercises every instrumented layer with deterministic work units —
+//! quantization scheduler + session caches (`quant/…`), perplexity
+//! (`eval/ppl/…`), packed-weight forward (`qmodel/qlinear/…`) and
+//! KV-cache decoding (`decode/…`) — merges the recorders into one
+//! snapshot, and asserts the structural invariants the counters exist
+//! to protect:
+//!
+//! - the packed forward never takes a re-unpack fallback and touches
+//!   each code exactly once, even for byte-misaligned shapes;
+//! - a 256-token decode moves O(T) KV bytes (no O(T²) cache regrowth);
+//! - repeated method rows hit the session's Hessian cache instead of
+//!   re-running activation capture.
+//!
+//! Run via `cargo run -p aptq-bench --bin telemetry --release`; CI
+//! archives the snapshot (see `ci/check.sh`).
+
+use aptq_core::engine::quantize_layer_rtn;
+use aptq_core::grid::{GridConfig, QuantGrid};
+use aptq_core::QuantSession;
+use aptq_eval::perplexity_recorded;
+use aptq_eval::pipeline::{quantize_clone_session, Method};
+use aptq_lm::decode::DecodeSession;
+use aptq_lm::{Model, ModelConfig};
+use aptq_obs::Recorder;
+use aptq_qmodel::QuantizedLinear;
+use aptq_tensor::init;
+
+fn main() {
+    let mut rec = Recorder::new();
+
+    // --- Quantization: two Hessian modes, one repeat row per mode so
+    // the session cache must serve hits.
+    let cfg = ModelConfig {
+        max_seq_len: 256,
+        ..ModelConfig::test_tiny(16)
+    };
+    let model = Model::new(&cfg, 7);
+    let calib: Vec<Vec<u32>> = (0..6)
+        .map(|k| (0..24).map(|i| ((i * 5 + k) % 16) as u32).collect())
+        .collect();
+    let grid = GridConfig::default();
+    let mut session = QuantSession::new(calib);
+    let rows = [
+        Method::Gptq { bits: 4 },
+        Method::Gptq { bits: 2 },
+        Method::AptqUniform { bits: 4 },
+        Method::AptqMixed { ratio: 0.75 },
+    ];
+    let mut quantized = None;
+    for method in rows {
+        let (m, _) = quantize_clone_session(&model, method, &mut session, &grid)
+            .expect("method row must quantize");
+        quantized = Some(m);
+    }
+    rec.merge(&session.take_metrics());
+    assert!(
+        rec.get("quant/session/capture_passes") >= 1,
+        "at least one Hessian capture pass must be recorded"
+    );
+    assert!(
+        rec.get("quant/session/hessian_hits") >= 1,
+        "repeated rows must hit the session Hessian cache"
+    );
+    assert!(rec.get("quant/obq/layers_solved") >= 1);
+
+    // --- Perplexity over the last quantized clone.
+    let eval_segs: Vec<Vec<u32>> = (0..4)
+        .map(|k| (0..32).map(|i| ((i * 7 + k) % 16) as u32).collect())
+        .collect();
+    let ppl = perplexity_recorded(&quantized.expect("rows ran"), &eval_segs, &mut rec)
+        .expect("perplexity must evaluate");
+    assert!(ppl.is_finite() && ppl > 1.0, "PPL {ppl} out of range");
+    assert!(rec.get("eval/ppl/tokens_predicted") >= 1);
+
+    // --- Packed-weight forward at a byte-misaligned shape: 3-bit codes
+    // with d_out = 5 put most group rows off byte boundaries.
+    let (d_in, d_out) = (24, 5);
+    let mut rng = init::rng(13);
+    let w = init::normal(d_in, d_out, 0.5, &mut rng);
+    let qcfg = GridConfig {
+        group_size: 8,
+        ..GridConfig::default()
+    };
+    let res = quantize_layer_rtn(&w, QuantGrid::int(3, true), &qcfg);
+    let qlin = QuantizedLinear::new(res.packed);
+    let x = init::normal(4, d_in, 1.0, &mut rng);
+    let y = qlin.forward_recorded(&x, &mut rec);
+    let want = x.matmul(&res.dequantized);
+    for (a, b) in y.as_slice().iter().zip(want.as_slice()) {
+        assert!((a - b).abs() < 1e-4, "packed forward diverged: {a} vs {b}");
+    }
+    assert_eq!(
+        rec.get("qmodel/qlinear/fallback_entries"),
+        0,
+        "the bit-offset unpacker must never fall back"
+    );
+    assert_eq!(
+        rec.get("qmodel/qlinear/codes_unpacked"),
+        (d_in * d_out) as u64,
+        "3-bit forward must unpack each code exactly once"
+    );
+
+    // --- 256-token decode through the preallocated KV cache.
+    let mut decode = DecodeSession::new(&model);
+    for i in 0..256u32 {
+        decode
+            .feed(i % 16)
+            .expect("decode must not exhaust context");
+    }
+    let used = decode.cache_bytes() as u64;
+    let metrics = decode.take_metrics();
+    assert_eq!(metrics.get("decode/tokens"), 256);
+    assert_eq!(
+        metrics.get("decode/kv_bytes_moved"),
+        used,
+        "KV write traffic must equal used bytes — O(T), not O(T²)"
+    );
+    rec.merge(&metrics);
+
+    aptq_bench::emit("telemetry.json", &rec.to_json()).expect("emit telemetry.json");
+}

@@ -13,7 +13,7 @@ use aptq_lm::Model;
 
 use crate::grid::GridConfig;
 use crate::hessian::HessianMode;
-use crate::methods::apply_plan_obq;
+use crate::methods::apply_plan_obq_recorded;
 use crate::mixed::{AllocationPolicy, MixedPrecisionAllocator};
 use crate::plan::QuantPlan;
 use crate::report::QuantReport;
@@ -60,7 +60,14 @@ pub fn quantize_uniform_session(
 ) -> Result<QuantReport, QuantError> {
     let hessians = session.hessians(model, HessianMode::AttentionAware)?;
     let plan = QuantPlan::uniform(model, bits);
-    apply_plan_obq(&format!("APTQ-{bits}bit"), model, &plan, &hessians, cfg)
+    apply_plan_obq_recorded(
+        &format!("APTQ-{bits}bit"),
+        model,
+        &plan,
+        &hessians,
+        cfg,
+        session.metrics_mut(),
+    )
 }
 
 /// Mixed-precision APTQ (`APTQ-R%`): 2/4-bit allocation by Hessian
@@ -128,7 +135,8 @@ pub fn quantize_mixed_session(
             format!("ManualBlockwise-{:.0}%", ratio * 100.0)
         }
     };
-    let report = apply_plan_obq(&name, model, &plan, &hessians, cfg)?;
+    let report =
+        apply_plan_obq_recorded(&name, model, &plan, &hessians, cfg, session.metrics_mut())?;
     Ok((report, (*sensitivity).clone()))
 }
 

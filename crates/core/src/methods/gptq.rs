@@ -7,7 +7,7 @@ use aptq_lm::Model;
 
 use crate::grid::GridConfig;
 use crate::hessian::HessianMode;
-use crate::methods::apply_plan_obq;
+use crate::methods::apply_plan_obq_recorded;
 use crate::plan::QuantPlan;
 use crate::report::QuantReport;
 use crate::session::QuantSession;
@@ -41,7 +41,14 @@ pub fn quantize_session(
 ) -> Result<QuantReport, QuantError> {
     let hessians = session.hessians(model, HessianMode::LayerInput)?;
     let plan = QuantPlan::uniform(model, bits);
-    apply_plan_obq(&format!("GPTQ-{bits}bit"), model, &plan, &hessians, cfg)
+    apply_plan_obq_recorded(
+        &format!("GPTQ-{bits}bit"),
+        model,
+        &plan,
+        &hessians,
+        cfg,
+        session.metrics_mut(),
+    )
 }
 
 #[cfg(test)]

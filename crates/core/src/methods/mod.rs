@@ -23,6 +23,7 @@ pub mod smoothquant;
 use std::collections::BTreeMap;
 
 use aptq_lm::{LayerRef, Model};
+use aptq_obs::Recorder;
 
 use crate::engine;
 use crate::engine::LayerQuantResult;
@@ -71,6 +72,34 @@ pub fn apply_plan_obq(
     apply_plan_obq_threads(method, model, plan, hessians, cfg, scheduler_threads())
 }
 
+/// [`apply_plan_obq`] recording scheduler work into `rec` under
+/// `quant/obq/…`: layer solves, column updates (one per input
+/// dimension of each solved layer), quantized weights and packed
+/// storage bytes. Counters are accumulated in canonical plan order
+/// during the sequential install phase, so the recorder never crosses
+/// a thread boundary.
+///
+/// # Determinism
+///
+/// Bit-identical reports, installed weights *and counters* at any
+/// `APTQ_THREADS` value; see [`apply_plan_obq_threads`].
+///
+/// # Errors
+///
+/// Propagates engine failures; returns [`QuantError::UnknownLayer`] if
+/// the Hessian map is missing a planned layer. On failure `rec` is
+/// left untouched.
+pub fn apply_plan_obq_recorded(
+    method: &str,
+    model: &mut Model,
+    plan: &QuantPlan,
+    hessians: &BTreeMap<LayerRef, LayerHessian>,
+    cfg: &GridConfig,
+    rec: &mut Recorder,
+) -> Result<QuantReport, QuantError> {
+    apply_plan_obq_threads_recorded(method, model, plan, hessians, cfg, scheduler_threads(), rec)
+}
+
 /// [`apply_plan_obq`] with an explicit worker-thread count.
 ///
 /// # Determinism
@@ -96,6 +125,38 @@ pub fn apply_plan_obq_threads(
     cfg: &GridConfig,
     threads: usize,
 ) -> Result<QuantReport, QuantError> {
+    let mut scratch = Recorder::new();
+    apply_plan_obq_threads_recorded(method, model, plan, hessians, cfg, threads, &mut scratch)
+}
+
+/// [`apply_plan_obq_threads`] recording into `rec` (see
+/// [`apply_plan_obq_recorded`] for the counter set).
+///
+/// # Determinism
+///
+/// Each layer's OBQ solve depends only on its own (pre-quantization)
+/// weight and Hessian, so the solves fan out across scoped threads
+/// while the model is borrowed immutably; dequantized weights are then
+/// installed — and counters accumulated — sequentially in canonical
+/// plan order. Reports, installed weights and counters are
+/// bit-identical for every `threads` value, including 1.
+///
+/// On failure the model and `rec` are left unmodified and the error of
+/// the earliest plan entry is returned, independent of thread count.
+///
+/// # Errors
+///
+/// Propagates engine failures; returns [`QuantError::UnknownLayer`] if
+/// the Hessian map is missing a planned layer.
+pub fn apply_plan_obq_threads_recorded(
+    method: &str,
+    model: &mut Model,
+    plan: &QuantPlan,
+    hessians: &BTreeMap<LayerRef, LayerHessian>,
+    cfg: &GridConfig,
+    threads: usize,
+    rec: &mut Recorder,
+) -> Result<QuantReport, QuantError> {
     // Validate every job up front so errors are deterministic.
     let mut jobs = Vec::with_capacity(plan.len());
     for (layer, bits) in plan.iter() {
@@ -116,6 +177,11 @@ pub fn apply_plan_obq_threads(
     let mut outcomes = Vec::with_capacity(jobs.len());
     for (&(layer, bits, _), res) in jobs.iter().zip(results) {
         let storage = res.packed.storage_bytes();
+        let (d_in, d_out) = (res.packed.d_in, res.packed.d_out);
+        rec.incr("quant/obq/layers_solved");
+        rec.add("quant/obq/column_updates", d_in as u64);
+        rec.add("quant/obq/weights_quantized", (d_in * d_out) as u64);
+        rec.add("quant/obq/packed_bytes", storage as u64);
         *model.layer_weight_mut(layer) = res.dequantized;
         outcomes.push(LayerOutcome {
             layer,

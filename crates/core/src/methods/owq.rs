@@ -68,6 +68,10 @@ pub fn quantize_session(
             }
         }
         let storage = res.packed.storage_bytes() + keep.len() * d_out * 2;
+        session.metrics_mut().incr("quant/owq/layers_solved");
+        session
+            .metrics_mut()
+            .add("quant/owq/outlier_rows_kept", keep.len() as u64);
         *model.layer_weight_mut(layer) = deq;
         outcomes.push(LayerOutcome {
             layer,

@@ -100,6 +100,10 @@ pub fn quantize_session(
 
         // Storage: 1 bit per binarized weight + 2 bytes per salient
         // weight + index overhead (2 bytes per salient index) + group scales.
+        session.metrics_mut().incr("quant/pbllm/layers_binarized");
+        session
+            .metrics_mut()
+            .add("quant/pbllm/salient_weights", n_salient as u64);
         let n_bin = d_in * d_out - n_salient;
         let storage = n_bin.div_ceil(8) + n_salient * 4 + d_in.div_ceil(group) * d_out * 2;
         let eff_bits = (storage * 8) as f32 / (d_in * d_out) as f32;

@@ -45,8 +45,25 @@ pub fn pack_codes(codes: &[u8], bits: u8) -> Vec<u8> {
 ///
 /// Panics if the buffer is too short for `count` codes.
 pub fn unpack_codes(data: &[u8], bits: u8, count: usize) -> Vec<u8> {
+    unpack_codes_at(data, bits, 0, count)
+}
+
+/// Unpacks `count` codes starting at code index `start` (i.e. bit
+/// offset `start * bits`) from a buffer produced by [`pack_codes`].
+///
+/// This is the random-access variant the packed-weight forward pass
+/// needs: a group whose first code does not land on a byte boundary is
+/// decoded directly from its bit offset instead of re-unpacking the
+/// whole stream (which would turn a per-group O(group) walk into
+/// O(d_in · d_out) *per group*).
+///
+/// # Panics
+///
+/// Panics if the buffer is too short for `start + count` codes.
+pub fn unpack_codes_at(data: &[u8], bits: u8, start: usize, count: usize) -> Vec<u8> {
     assert!((1..=8).contains(&bits), "bits must be in 1..=8");
-    let needed = (count * bits as usize).div_ceil(8);
+    let start_bit = start * bits as usize;
+    let needed = (start_bit + count * bits as usize).div_ceil(8);
     assert!(
         data.len() >= needed,
         "buffer too short: {} < {needed}",
@@ -54,12 +71,19 @@ pub fn unpack_codes(data: &[u8], bits: u8, count: usize) -> Vec<u8> {
     );
     let mask = (1u16 << bits) - 1;
     let mut out = Vec::with_capacity(count);
+    let mut idx = start_bit / 8;
+    let skip = (start_bit % 8) as u8;
     let mut acc: u32 = 0;
     let mut nbits = 0u8;
-    let mut idx = 0usize;
+    if count > 0 && skip > 0 {
+        // Prime the accumulator with the tail of the straddled byte.
+        acc = u32::from(data[idx]) >> skip;
+        nbits = 8 - skip;
+        idx += 1;
+    }
     for _ in 0..count {
         while nbits < bits {
-            acc |= (data[idx] as u32) << nbits;
+            acc |= u32::from(data[idx]) << nbits;
             idx += 1;
             nbits += 8;
         }
@@ -165,6 +189,35 @@ mod tests {
             let back = unpack_codes(&packed, bits, codes.len());
             assert_eq!(back, codes, "bits={bits}");
         }
+    }
+
+    #[test]
+    fn unpack_at_matches_full_unpack_every_offset() {
+        // Every (bits, start) combination — including starts whose bit
+        // offset straddles a byte — must agree with the full unpack.
+        for bits in 1..=8u8 {
+            let max = 1usize << bits;
+            let codes: Vec<u8> = (0..61).map(|i| (i * 5 % max) as u8).collect();
+            let packed = pack_codes(&codes, bits);
+            for start in 0..codes.len() {
+                let rest = codes.len() - start;
+                for count in [0, 1.min(rest), 3.min(rest), rest] {
+                    let got = unpack_codes_at(&packed, bits, start, count);
+                    assert_eq!(
+                        got,
+                        &codes[start..start + count],
+                        "bits={bits} start={start} count={count}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too short")]
+    fn unpack_at_rejects_out_of_range() {
+        let packed = pack_codes(&[1, 2, 3], 4);
+        let _ = unpack_codes_at(&packed, 4, 3, 2);
     }
 
     #[test]

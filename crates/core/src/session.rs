@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use aptq_lm::{LayerRef, Model};
+use aptq_obs::Recorder;
 use aptq_tensor::Matrix;
 
 use crate::grid::GridConfig;
@@ -39,6 +40,7 @@ pub struct QuantSession {
     sensitivities: BTreeMap<(u64, u8, u64), Arc<SensitivityReport>>,
     capture_passes: usize,
     sensitivity_passes: usize,
+    metrics: Recorder,
 }
 
 impl QuantSession {
@@ -50,7 +52,28 @@ impl QuantSession {
             sensitivities: BTreeMap::new(),
             capture_passes: 0,
             sensitivity_passes: 0,
+            metrics: Recorder::new(),
         }
+    }
+
+    /// The session's metrics recorder: capture passes, cache hits and
+    /// misses under `quant/session/…`, plus everything the OBQ
+    /// scheduler records under `quant/obq/…` when driven through the
+    /// `*_session` method entry points.
+    pub fn metrics(&self) -> &Recorder {
+        &self.metrics
+    }
+
+    /// Mutable access for instrumented pipelines that record their own
+    /// counters (e.g. the OBQ scheduler) into the session's recorder.
+    pub fn metrics_mut(&mut self) -> &mut Recorder {
+        &mut self.metrics
+    }
+
+    /// Takes the accumulated metrics out of the session, leaving an
+    /// empty recorder behind — the bench binaries' snapshot hook.
+    pub fn take_metrics(&mut self) -> Recorder {
+        std::mem::take(&mut self.metrics)
     }
 
     /// The calibration segments this session was built over.
@@ -93,10 +116,13 @@ impl QuantSession {
     ) -> Result<SharedHessians, QuantError> {
         let key = (mode_key(mode), fingerprint(model));
         if let Some(cached) = self.hessians.get(&key) {
+            self.metrics.incr("quant/session/hessian_hits");
             return Ok(Arc::clone(cached));
         }
+        self.metrics.incr("quant/session/hessian_misses");
         let fresh = crate::calib::collect_hessians(model, &self.calibration, mode)?;
         self.capture_passes += 1;
+        self.metrics.incr("quant/session/capture_passes");
         if crate::invariants::ENABLED {
             for (layer, lh) in &fresh {
                 crate::invariants::hessian_well_formed(
@@ -136,8 +162,10 @@ impl QuantSession {
         }
         let key = (fingerprint(model), low_bits, grid_key(cfg));
         if let Some(cached) = self.sensitivities.get(&key) {
+            self.metrics.incr("quant/session/sensitivity_hits");
             return Ok(Arc::clone(cached));
         }
+        self.metrics.incr("quant/session/sensitivity_misses");
         let probe_len = self.calibration.len().clamp(1, 16);
         let report = crate::trace::empirical_sensitivity(
             model,
@@ -146,6 +174,7 @@ impl QuantSession {
             cfg,
         )?;
         self.sensitivity_passes += 1;
+        self.metrics.incr("quant/session/sensitivity_probes");
         let shared = Arc::new(report);
         self.sensitivities.insert(key, Arc::clone(&shared));
         Ok(shared)
@@ -238,6 +267,29 @@ mod tests {
             .hessians(&model, HessianMode::AttentionAware)
             .unwrap();
         assert_eq!(session.capture_passes(), 2);
+    }
+
+    #[test]
+    fn metrics_track_hits_and_misses() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 5);
+        let mut session = QuantSession::new(calib());
+        session.hessians(&model, HessianMode::LayerInput).unwrap();
+        session.hessians(&model, HessianMode::LayerInput).unwrap();
+        session.hessians(&model, HessianMode::LayerInput).unwrap();
+        let m = session.metrics();
+        assert_eq!(m.get("quant/session/capture_passes"), 1);
+        assert_eq!(m.get("quant/session/hessian_misses"), 1);
+        assert_eq!(m.get("quant/session/hessian_hits"), 2);
+
+        let cfg = GridConfig::default();
+        session.sensitivity(&model, 2, &cfg).unwrap();
+        session.sensitivity(&model, 2, &cfg).unwrap();
+        assert_eq!(session.metrics().get("quant/session/sensitivity_probes"), 1);
+        assert_eq!(session.metrics().get("quant/session/sensitivity_hits"), 1);
+
+        let taken = session.take_metrics();
+        assert!(!taken.is_empty());
+        assert!(session.metrics().is_empty(), "take must drain the recorder");
     }
 
     #[test]

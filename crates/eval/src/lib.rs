@@ -19,7 +19,7 @@ pub mod tables;
 pub mod zeroshot;
 pub mod zoo;
 
-pub use perplexity::perplexity;
+pub use perplexity::{perplexity, perplexity_recorded};
 pub use pipeline::{EvalOutcome, Method};
 pub use zeroshot::{evaluate_suite, evaluate_suites, SuiteResult};
 

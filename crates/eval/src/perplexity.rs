@@ -1,6 +1,7 @@
 //! Corpus perplexity — the Table 1 / Figure 2 metric.
 
 use aptq_lm::Model;
+use aptq_obs::Recorder;
 use aptq_tensor::activation::log_sum_exp;
 
 use crate::EvalError;
@@ -9,11 +10,39 @@ use crate::EvalError;
 /// `exp(Σ NLL / Σ predicted tokens)`, each segment's position `i`
 /// predicting token `i+1`.
 ///
+/// # Determinism
+///
+/// Forward passes run on the shared matmul threadpool
+/// ([`aptq_tensor::parallel`]); the result is bit-identical at any
+/// `APTQ_THREADS` value.
+///
 /// # Errors
 ///
 /// Returns [`EvalError::EmptyInput`] if no segment has ≥ 2 tokens, and
 /// propagates token-range errors from the model.
 pub fn perplexity(model: &Model, segments: &[Vec<u32>]) -> Result<f32, EvalError> {
+    let mut scratch = Recorder::new();
+    perplexity_recorded(model, segments, &mut scratch)
+}
+
+/// [`perplexity`] recording work into `rec` under `eval/ppl/…`:
+/// segments scored (short segments are skipped and not counted) and
+/// next-token predictions made.
+///
+/// # Determinism
+///
+/// Result *and counters* are bit-identical at any `APTQ_THREADS`
+/// value; see [`perplexity`].
+///
+/// # Errors
+///
+/// Same as [`perplexity`]; on error `rec` may hold counters for the
+/// segments scored before the failure.
+pub fn perplexity_recorded(
+    model: &Model,
+    segments: &[Vec<u32>],
+    rec: &mut Recorder,
+) -> Result<f32, EvalError> {
     let mut total_nll = 0.0f64;
     let mut total_tokens = 0usize;
     for seg in segments {
@@ -27,6 +56,8 @@ pub fn perplexity(model: &Model, segments: &[Vec<u32>]) -> Result<f32, EvalError
             total_nll += (log_sum_exp(row) - row[target]) as f64;
         }
         total_tokens += seg.len() - 1;
+        rec.incr("eval/ppl/segments");
+        rec.add("eval/ppl/tokens_predicted", (seg.len() - 1) as u64);
     }
     if total_tokens == 0 {
         return Err(EvalError::EmptyInput("perplexity segments"));
@@ -66,6 +97,18 @@ mod tests {
             perplexity(&model, &[vec![3]]),
             Err(EvalError::EmptyInput(_))
         ));
+    }
+
+    #[test]
+    fn recorded_variant_counts_scored_work() {
+        let model = Model::new(&ModelConfig::test_tiny(16), 1);
+        let mut rec = aptq_obs::Recorder::new();
+        let segs = [vec![1, 2, 3, 4], vec![9], vec![5, 6]];
+        let ppl = perplexity_recorded(&model, &segs, &mut rec).unwrap();
+        assert!(ppl.is_finite());
+        // The 1-token segment is skipped, not counted.
+        assert_eq!(rec.get("eval/ppl/segments"), 2);
+        assert_eq!(rec.get("eval/ppl/tokens_predicted"), 4);
     }
 
     #[test]

@@ -96,6 +96,15 @@ impl Method {
     ///
     /// Returns the quantization report (`None` for [`Method::Fp16`]).
     ///
+    /// Scheduler and cache telemetry accumulates in the session's
+    /// [`aptq_obs::Recorder`] (see [`QuantSession::metrics`]).
+    ///
+    /// # Determinism
+    ///
+    /// Every method routes through index-ordered schedulers on the
+    /// shared threadpool ([`aptq_tensor::parallel`]); reports, weights
+    /// and counters are bit-identical at any `APTQ_THREADS` value.
+    ///
     /// # Errors
     ///
     /// Propagates quantization failures.
@@ -168,6 +177,10 @@ impl Method {
     /// [`apply`](Method::apply) with a raw calibration slice: builds a
     /// throwaway [`QuantSession`]. Kept for callers quantizing a single
     /// method where there is nothing to share.
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS`; see [`Method::apply`].
     ///
     /// # Errors
     ///
@@ -242,6 +255,10 @@ pub struct EvalOutcome {
 /// clone plus its report metadata. Builds a throwaway [`QuantSession`];
 /// use [`quantize_clone_session`] to share capture passes across rows.
 ///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS`; see [`Method::apply`].
+///
 /// # Errors
 ///
 /// Propagates quantization failures.
@@ -258,6 +275,10 @@ pub fn quantize_clone(
 /// [`quantize_clone`] drawing shared state from `session`. Because the
 /// base model is cloned before quantization, its fingerprint — and thus
 /// the session's Hessian cache — stays valid across any number of rows.
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS`; see [`Method::apply`].
 ///
 /// # Errors
 ///

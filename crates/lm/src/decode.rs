@@ -6,20 +6,27 @@
 //! re-running the full O(T²) prefill every step. [`DecodeSession`]
 //! implements that loop and is verified (see tests) to produce logits
 //! identical to the full forward pass.
+//!
+//! The cache is **preallocated** at `max_seq_len` rows per layer and
+//! written in place, one row per token. Growing it with
+//! [`Matrix::vcat`] instead would copy the entire cache on every token —
+//! O(T²) bytes moved over a T-token decode — which is exactly the kind
+//! of regression the `decode/kv_bytes_moved` counter exists to catch:
+//! it counts bytes *written into* the cache and must stay linear in T.
 
-use aptq_tensor::activation::softmax_rows;
+use aptq_obs::Recorder;
 use aptq_tensor::Matrix;
 
 use crate::model::Model;
 use crate::LmError;
 
-/// Per-layer key/value cache: rotated keys and raw values, one row per
-/// generated position.
+/// Per-layer key/value cache: rotated keys and raw values, preallocated
+/// at `max_seq_len × d_model`; rows `[0, pos)` are valid.
 #[derive(Debug, Clone)]
 struct LayerKv {
-    /// Rotated keys, `T × d_model` (heads concatenated).
+    /// Rotated keys (heads concatenated).
     k_rot: Matrix,
-    /// Values, `T × d_model`.
+    /// Values.
     v: Matrix,
 }
 
@@ -43,22 +50,27 @@ pub struct DecodeSession<'m> {
     model: &'m Model,
     layers: Vec<LayerKv>,
     pos: usize,
+    metrics: Recorder,
 }
 
 impl<'m> DecodeSession<'m> {
-    /// Starts an empty session.
+    /// Starts an empty session, preallocating the full
+    /// `max_seq_len`-row KV cache so [`DecodeSession::feed`] never
+    /// reallocates or copies previously cached rows.
     pub fn new(model: &'m Model) -> Self {
         let d = model.config().d_model;
+        let t_max = model.config().max_seq_len;
         let layers = (0..model.config().n_layers)
             .map(|_| LayerKv {
-                k_rot: Matrix::zeros(0, d),
-                v: Matrix::zeros(0, d),
+                k_rot: Matrix::zeros(t_max, d),
+                v: Matrix::zeros(t_max, d),
             })
             .collect();
         DecodeSession {
             model,
             layers,
             pos: 0,
+            metrics: Recorder::new(),
         }
     }
 
@@ -72,16 +84,33 @@ impl<'m> DecodeSession<'m> {
         self.pos == 0
     }
 
-    /// Approximate cache memory in bytes (the edge-deployment statistic:
-    /// 2 matrices × layers × T × d_model × 4 bytes).
+    /// Cache memory in **used** bytes (the edge-deployment statistic:
+    /// 2 matrices × layers × T × d_model × 4 bytes). Preallocated but
+    /// not-yet-written rows are capacity, not usage, so this grows
+    /// linearly with the number of tokens fed.
     pub fn cache_bytes(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| (l.k_rot.len() + l.v.len()) * std::mem::size_of::<f32>())
-            .sum()
+        self.layers.len() * 2 * self.pos * self.model.config().d_model * std::mem::size_of::<f32>()
+    }
+
+    /// Telemetry recorded so far (`decode/tokens`,
+    /// `decode/kv_bytes_moved`).
+    pub fn metrics(&self) -> &Recorder {
+        &self.metrics
+    }
+
+    /// Takes the accumulated telemetry, leaving an empty recorder (for
+    /// merging into a pipeline-wide [`Recorder`]).
+    pub fn take_metrics(&mut self) -> Recorder {
+        std::mem::take(&mut self.metrics)
     }
 
     /// Feeds one token; returns the next-token logits.
+    ///
+    /// # Determinism
+    ///
+    /// Projections run on the shared matmul threadpool
+    /// ([`aptq_tensor::parallel`]); logits and recorded counters are
+    /// bit-identical at any `APTQ_THREADS` value.
     ///
     /// # Errors
     ///
@@ -125,25 +154,53 @@ impl<'m> DecodeSession<'m> {
                 rope.apply_row(&mut q.row_mut(0)[lo..hi], pos);
                 rope.apply_row(&mut k.row_mut(0)[lo..hi], pos);
             }
+            // Append in place: only the new row is written, the rest of
+            // the cache is untouched.
             let kv = &mut self.layers[li];
-            kv.k_rot = Matrix::vcat(&[&kv.k_rot, &k]);
-            kv.v = Matrix::vcat(&[&kv.v, &v]);
+            kv.k_rot.row_mut(pos).copy_from_slice(k.row(0));
+            kv.v.row_mut(pos).copy_from_slice(v.row(0));
+            self.metrics.add(
+                "decode/kv_bytes_moved",
+                (2 * d_model * std::mem::size_of::<f32>()) as u64,
+            );
 
-            let t = kv.k_rot.rows();
+            let t = pos + 1;
             let scale = 1.0 / (d_head as f32).sqrt();
             let mut concat = Matrix::zeros(1, d_model);
             for h in 0..n_heads {
                 let lo = h * d_head;
                 let hi = lo + d_head;
-                let qh = q.slice_cols(lo, hi); // 1 × d_head
-                let kh = kv.k_rot.slice_cols(lo, hi); // t × d_head
-                let vh = kv.v.slice_cols(lo, hi); // t × d_head
-                let mut scores = qh.matmul_nt(&kh); // 1 × t
-                scores.scale_assign(scale);
-                softmax_rows(&mut scores);
-                let head = scores.matmul(&vh); // 1 × d_head
-                concat.set_block(0, lo, &head);
-                let _ = t;
+                let qh = &q.row(0)[lo..hi];
+                // Scores against the cached keys, read in place (no
+                // per-token copy of the cache). Dot-product order
+                // matches `Matrix::matmul_nt`; the softmax mirrors
+                // `aptq_tensor::activation::softmax_rows`.
+                let mut scores = vec![0.0f32; t];
+                for (ti, s) in scores.iter_mut().enumerate() {
+                    let kh = &self.layers[li].k_rot.row(ti)[lo..hi];
+                    let mut acc = 0.0f32;
+                    for (a, b) in qh.iter().zip(kh) {
+                        acc += a * b;
+                    }
+                    *s = acc * scale;
+                }
+                let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for s in &mut scores {
+                    *s = (*s - max).exp();
+                    sum += *s;
+                }
+                let inv = 1.0 / sum;
+                for s in &mut scores {
+                    *s *= inv;
+                }
+                let head = &mut concat.row_mut(0)[lo..hi];
+                for (ti, &s) in scores.iter().enumerate() {
+                    let vh = &self.layers[li].v.row(ti)[lo..hi];
+                    for (o, b) in head.iter_mut().zip(vh) {
+                        *o += s * b;
+                    }
+                }
             }
             let attn_out = block.attn.wo().forward(&concat);
             x.add_assign(&attn_out);
@@ -157,10 +214,15 @@ impl<'m> DecodeSession<'m> {
         let (normed, _) = self.model.final_norm().forward(&x);
         let logits = normed.matmul(self.model.lm_head());
         self.pos += 1;
+        self.metrics.incr("decode/tokens");
         Ok(logits.row(0).to_vec())
     }
 
     /// Feeds a whole prompt, returning the logits after its last token.
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS`; see [`DecodeSession::feed`].
     ///
     /// # Errors
     ///
@@ -178,6 +240,13 @@ impl<'m> DecodeSession<'m> {
 /// Greedy generation through the KV cache (functionally identical to
 /// [`crate::generate::generate_greedy`], asymptotically cheaper).
 ///
+/// Token selection goes through [`aptq_tensor::select::argmax`]: NaN
+/// logits never win and ties break toward the lowest token id.
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS`; see [`DecodeSession::feed`].
+///
 /// # Errors
 ///
 /// Propagates session errors; an empty prompt is [`LmError::EmptyInput`].
@@ -193,12 +262,7 @@ pub fn generate_greedy_cached(
     let mut logits = session.feed_all(prompt)?;
     let mut out = prompt.to_vec();
     for _ in 0..n_new {
-        let next = logits
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i as u32)
-            .unwrap_or(0);
+        let next = aptq_tensor::select::argmax(&logits) as u32;
         out.push(next);
         if session.len() >= model.config().max_seq_len {
             break;
@@ -268,6 +332,54 @@ mod tests {
         assert_eq!(s.cache_bytes(), 2 * one);
         // 2 matrices × n_layers × d_model × 4 bytes per token.
         assert_eq!(one, 2 * 2 * 16 * 4);
+    }
+
+    #[test]
+    fn kv_write_traffic_is_linear_in_tokens() {
+        // The whole point of the preallocated cache: each fed token
+        // writes exactly one new row per matrix per layer, so write
+        // traffic equals used bytes — no O(T²) regrowth copies.
+        let m = model();
+        let mut s = DecodeSession::new(&m);
+        for i in 0..16 {
+            s.feed((i % 16) as u32).unwrap();
+        }
+        assert_eq!(s.metrics().get("decode/tokens"), 16);
+        assert_eq!(
+            s.metrics().get("decode/kv_bytes_moved"),
+            s.cache_bytes() as u64
+        );
+        let drained = s.take_metrics();
+        assert_eq!(drained.get("decode/tokens"), 16);
+        assert!(s.metrics().is_empty());
+    }
+
+    #[test]
+    fn long_sequence_incremental_matches_full_forward() {
+        // 256 tokens through the preallocated cache must agree with the
+        // one-shot forward pass and keep write traffic linear.
+        let cfg = ModelConfig {
+            max_seq_len: 256,
+            ..ModelConfig::test_tiny(16)
+        };
+        let m = Model::new(&cfg, 7);
+        let seq: Vec<u32> = (0..256).map(|i| (i * 11 % 16) as u32).collect();
+        let full = m.forward(&seq);
+        let mut s = DecodeSession::new(&m);
+        for (i, &t) in seq.iter().enumerate() {
+            let logits = s.feed(t).unwrap();
+            for (a, b) in logits.iter().zip(full.row(i)) {
+                assert!(
+                    (a - b).abs() < 1e-3,
+                    "position {i}: incremental {a} vs full {b}"
+                );
+            }
+        }
+        assert_eq!(s.metrics().get("decode/tokens"), 256);
+        assert_eq!(
+            s.metrics().get("decode/kv_bytes_moved"),
+            s.cache_bytes() as u64
+        );
     }
 
     #[test]

@@ -27,6 +27,15 @@ impl Default for SampleConfig {
 
 /// Greedily extends `prompt` by `n_new` tokens.
 ///
+/// Token selection goes through [`aptq_tensor::select::argmax`]: NaN
+/// logits never win and ties break toward the lowest token id.
+///
+/// # Determinism
+///
+/// The forward pass runs on the shared matmul threadpool
+/// ([`aptq_tensor::parallel`]); outputs are bit-identical at any
+/// `APTQ_THREADS` value.
+///
 /// # Errors
 ///
 /// Returns [`LmError::EmptyInput`] for an empty prompt and
@@ -37,13 +46,23 @@ pub fn generate_greedy(model: &Model, prompt: &[u32], n_new: usize) -> Result<Ve
         let window = clamp_window(model, &tokens);
         let logits = model.try_forward(window)?;
         let last = logits.row(logits.rows() - 1);
-        let next = argmax(last);
+        let next = aptq_tensor::select::argmax(last);
         tokens.push(next as u32);
     }
     Ok(tokens)
 }
 
 /// Extends `prompt` by `n_new` tokens with temperature / top-k sampling.
+///
+/// The top-k filter keeps **exactly** `min(k, vocab)` candidates via
+/// [`aptq_tensor::select::top_k_indices`] — boundary ties resolve by
+/// token id instead of widening the candidate set, and NaN logits are
+/// never sampled.
+///
+/// # Determinism
+///
+/// Bit-identical for a fixed seed at any `APTQ_THREADS` value; see
+/// [`generate_greedy`].
 ///
 /// # Errors
 ///
@@ -67,14 +86,12 @@ pub fn generate_sampled(
             *v /= cfg.temperature;
         }
         if cfg.top_k > 0 && cfg.top_k < last.len() {
-            let mut sorted: Vec<f32> = last.clone();
-            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-            let cutoff = sorted[cfg.top_k - 1];
-            for v in &mut last {
-                if *v < cutoff {
-                    *v = f32::NEG_INFINITY;
-                }
+            let keep = aptq_tensor::select::top_k_indices(&last, cfg.top_k);
+            let mut masked = vec![f32::NEG_INFINITY; last.len()];
+            for &i in &keep {
+                masked[i] = last[i];
             }
+            last = masked;
         }
         let probs = softmax(&aptq_tensor::Matrix::from_vec(1, last.len(), last));
         let r: f32 = rng.gen_range(0.0..1.0);
@@ -99,14 +116,6 @@ fn clamp_window<'a>(model: &Model, tokens: &'a [u32]) -> &'a [u32] {
     } else {
         tokens
     }
-}
-
-fn argmax(xs: &[f32]) -> usize {
-    xs.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -1,0 +1,275 @@
+//! The [`Recorder`]: an owned, mergeable bag of named counters.
+
+use std::collections::BTreeMap;
+
+use crate::scope;
+
+/// A bag of monotonically increasing named counters.
+///
+/// A `Recorder` is plain data — no interior mutability, no
+/// synchronization, no global registry. Whoever owns the computation
+/// owns the recorder and threads `&mut Recorder` (or a
+/// [`ScopedRecorder`]) into the code it wants observed; parallel stages
+/// record into per-job values that the scheduler [`merge`]s back in a
+/// deterministic order.
+///
+/// Counter values are `u64` work units: bytes, tokens, FLOPs, codes,
+/// passes. Saturating arithmetic is used throughout so a runaway
+/// counter can never panic a pipeline it is merely observing.
+///
+/// [`merge`]: Recorder::merge
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Recorder {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Adds `n` to the counter at `scope`, creating it at zero first.
+    ///
+    /// `add(scope, 0)` materializes a counter without changing it —
+    /// useful for pinning "this path was never taken" counters (e.g.
+    /// `qmodel/qlinear/fallback_entries`) into snapshots at an explicit
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on a scope that violates the grammar of
+    /// [`crate::scope::is_valid`]; release builds accept it unchecked.
+    pub fn add(&mut self, scope: &str, n: u64) {
+        debug_assert!(scope::is_valid(scope), "invalid counter scope: {scope:?}");
+        let slot = match self.counters.get_mut(scope) {
+            Some(v) => v,
+            None => self.counters.entry(scope.to_string()).or_insert(0),
+        };
+        *slot = slot.saturating_add(n);
+    }
+
+    /// Increments the counter at `scope` by one.
+    pub fn incr(&mut self, scope: &str) {
+        self.add(scope, 1);
+    }
+
+    /// Current value of the counter at `scope` (zero if never touched).
+    pub fn get(&self, scope: &str) -> u64 {
+        self.counters.get(scope).copied().unwrap_or(0)
+    }
+
+    /// Iterates counters in lexicographic scope order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct counters recorded.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Folds every counter of `other` into `self`.
+    ///
+    /// Merging is associative and commutative (counter addition), so a
+    /// scheduler can give each parallel job its own recorder and merge
+    /// the per-job values back in index order with a deterministic
+    /// result.
+    pub fn merge(&mut self, other: &Recorder) {
+        for (k, &v) in &other.counters {
+            self.add(k, v);
+        }
+    }
+
+    /// A view that prefixes every scope with `prefix + "/"`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on an invalid prefix.
+    pub fn scoped<'a>(&'a mut self, prefix: &str) -> ScopedRecorder<'a> {
+        debug_assert!(scope::is_valid(prefix), "invalid scope prefix: {prefix:?}");
+        ScopedRecorder {
+            inner: self,
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Serializes the counters as a deterministic JSON object.
+    ///
+    /// Keys appear in lexicographic order (the `BTreeMap` order), so
+    /// two runs with equal counters produce byte-identical snapshots —
+    /// `results/telemetry.json` diffs are real regressions, never
+    /// serialization noise.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"aptq-obs/v1\",\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            // Scopes are validated to [a-z0-9_/], which needs no JSON
+            // escaping; escape defensively anyway for release builds
+            // where the grammar is unchecked.
+            for c in k.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push_str(&format!("\": {v}"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// A borrowed recorder view that prefixes every counter scope.
+///
+/// Lets a subsystem record under its own namespace without knowing
+/// where the caller mounted it:
+///
+/// ```
+/// use aptq_obs::Recorder;
+///
+/// fn unpack(rec: &mut aptq_obs::ScopedRecorder<'_>) {
+///     rec.incr("groups_unpacked");
+/// }
+///
+/// let mut rec = Recorder::new();
+/// unpack(&mut rec.scoped("qmodel/qlinear"));
+/// assert_eq!(rec.get("qmodel/qlinear/groups_unpacked"), 1);
+/// ```
+#[derive(Debug)]
+pub struct ScopedRecorder<'a> {
+    inner: &'a mut Recorder,
+    prefix: String,
+}
+
+impl ScopedRecorder<'_> {
+    /// Adds `n` under `prefix + "/" + scope`.
+    pub fn add(&mut self, scope: &str, n: u64) {
+        let full = format!("{}/{scope}", self.prefix);
+        self.inner.add(&full, n);
+    }
+
+    /// Increments `prefix + "/" + scope` by one.
+    pub fn incr(&mut self, scope: &str) {
+        self.add(scope, 1);
+    }
+
+    /// A further-nested view.
+    pub fn scoped(&mut self, sub: &str) -> ScopedRecorder<'_> {
+        ScopedRecorder {
+            inner: self.inner,
+            prefix: format!("{}/{sub}", self.prefix),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_incr() {
+        let mut r = Recorder::new();
+        assert_eq!(r.get("quant/x"), 0);
+        r.incr("quant/x");
+        r.add("quant/x", 41);
+        assert_eq!(r.get("quant/x"), 42);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn add_zero_materializes() {
+        let mut r = Recorder::new();
+        r.add("qmodel/qlinear/fallback_entries", 0);
+        assert_eq!(r.len(), 1);
+        assert!(r
+            .to_json()
+            .contains("\"qmodel/qlinear/fallback_entries\": 0"));
+    }
+
+    #[test]
+    fn saturating_never_panics() {
+        let mut r = Recorder::new();
+        r.add("x", u64::MAX);
+        r.add("x", u64::MAX);
+        assert_eq!(r.get("x"), u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_addition_in_order() {
+        let mut a = Recorder::new();
+        a.add("s/one", 1);
+        a.add("s/shared", 10);
+        let mut b = Recorder::new();
+        b.add("s/two", 2);
+        b.add("s/shared", 5);
+        a.merge(&b);
+        assert_eq!(a.get("s/one"), 1);
+        assert_eq!(a.get("s/two"), 2);
+        assert_eq!(a.get("s/shared"), 15);
+    }
+
+    #[test]
+    fn counters_iterate_lexicographically() {
+        let mut r = Recorder::new();
+        r.add("b/x", 1);
+        r.add("a/y", 2);
+        r.add("a/b", 3);
+        let keys: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a/b", "a/y", "b/x"]);
+    }
+
+    #[test]
+    fn scoped_prefixes_and_nests() {
+        let mut r = Recorder::new();
+        let mut s = r.scoped("decode");
+        s.add("tokens", 7);
+        let mut n = s.scoped("kv");
+        n.incr("rows");
+        assert_eq!(r.get("decode/tokens"), 7);
+        assert_eq!(r.get("decode/kv/rows"), 1);
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_sorted() {
+        let mut a = Recorder::new();
+        a.add("z/last", 3);
+        a.add("a/first", 1);
+        let mut b = Recorder::new();
+        b.add("a/first", 1);
+        b.add("z/last", 3);
+        assert_eq!(a.to_json(), b.to_json());
+        let json = a.to_json();
+        let first = json.find("a/first").unwrap();
+        let last = json.find("z/last").unwrap();
+        assert!(first < last, "keys must be sorted");
+        assert!(json.contains("\"schema\": \"aptq-obs/v1\""));
+    }
+
+    #[test]
+    fn empty_json_is_well_formed() {
+        let json = Recorder::new().to_json();
+        assert!(json.contains("\"counters\": {}"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid counter scope")]
+    fn debug_builds_reject_bad_scopes() {
+        Recorder::new().incr("Bad Scope");
+    }
+}

@@ -1,0 +1,82 @@
+//! Scope paths: `/`-separated counter names with a fixed grammar.
+//!
+//! A valid scope is one or more segments joined by `/`, each segment a
+//! non-empty run of `[a-z0-9_]`. The grammar is deliberately tiny: it
+//! keeps JSON emission escape-free, diffs stable, and scope strings
+//! greppable (`rg 'decode/kv_bytes_moved'` finds every producer and
+//! every consumer).
+
+/// Whether `scope` conforms to the scope grammar.
+pub fn is_valid(scope: &str) -> bool {
+    !scope.is_empty()
+        && scope.split('/').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        })
+}
+
+/// Joins segments into a scope path.
+///
+/// # Panics
+///
+/// Panics if the joined path is not a valid scope (empty segments or
+/// characters outside `[a-z0-9_]`).
+pub fn join(segments: &[&str]) -> String {
+    let joined = segments.join("/");
+    assert!(is_valid(&joined), "invalid scope path: {joined:?}");
+    joined
+}
+
+/// The subsystem prefix (first segment) of a scope, e.g. `"decode"` for
+/// `"decode/kv_bytes_moved"`.
+pub fn subsystem(scope: &str) -> &str {
+    scope.split('/').next().unwrap_or(scope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_scopes() {
+        for s in [
+            "decode",
+            "decode/tokens",
+            "quant/obq/layers_solved",
+            "a_1/b_2",
+        ] {
+            assert!(is_valid(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn invalid_scopes() {
+        for s in [
+            "",
+            "/",
+            "a//b",
+            "a/",
+            "/a",
+            "Upper/case",
+            "sp ace",
+            "dash-x",
+        ] {
+            assert!(!is_valid(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn join_and_subsystem() {
+        assert_eq!(join(&["quant", "obq", "flops"]), "quant/obq/flops");
+        assert_eq!(subsystem("quant/obq/flops"), "quant");
+        assert_eq!(subsystem("solo"), "solo");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scope")]
+    fn join_rejects_bad_segments() {
+        let _ = join(&["quant", "Bad Seg"]);
+    }
+}

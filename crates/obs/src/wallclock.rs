@@ -1,0 +1,66 @@
+//! Opt-in wall-clock timing (`--features wallclock`).
+//!
+//! Wall-clock readings are inherently non-deterministic, so they are
+//! quarantined behind this feature: a default build of `aptq-obs`
+//! contains zero time reads and stays clean under audit rule D004. The
+//! counters a [`Stopwatch`] produces are clearly namespaced (`…/wall_us`)
+//! so downstream tooling can separate them from deterministic work
+//! units when diffing snapshots across runs.
+
+use crate::Recorder;
+
+/// A started wall-clock measurement.
+///
+/// ```
+/// # #[cfg(feature = "wallclock")] {
+/// use aptq_obs::{wallclock::Stopwatch, Recorder};
+///
+/// let mut rec = Recorder::new();
+/// let sw = Stopwatch::start();
+/// // … timed work …
+/// sw.record(&mut rec, "quant/obq");
+/// assert_eq!(rec.len(), 1); // quant/obq/wall_us
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Stopwatch {
+            // audit:allow(nondet): the whole module is feature-gated; default builds contain no time reads
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Elapsed microseconds since [`Stopwatch::start`].
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Records the elapsed time under `<scope>/wall_us` and consumes
+    /// the stopwatch.
+    pub fn record(self, rec: &mut Recorder, scope: &str) {
+        let us = self.elapsed_us();
+        rec.add(&format!("{scope}/wall_us"), us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_records_under_wall_us() {
+        let mut rec = Recorder::new();
+        let sw = Stopwatch::start();
+        sw.record(&mut rec, "test/timed");
+        assert_eq!(rec.len(), 1);
+        // Elapsed time is non-negative by construction; the counter
+        // exists even when the measured span rounds to zero.
+        assert!(rec.to_json().contains("test/timed/wall_us"));
+    }
+}

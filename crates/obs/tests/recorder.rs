@@ -1,0 +1,58 @@
+//! Integration tests: the recorder contract the rest of the workspace
+//! builds on — by-value threading, deterministic merge, stable JSON.
+
+use aptq_obs::{scope, Recorder};
+
+/// A stand-in for a parallel stage: each job records into its own
+/// recorder; the scheduler merges per-job recorders in index order.
+fn fan_out_merge(jobs: usize) -> Recorder {
+    let per_job: Vec<Recorder> = (0..jobs)
+        .map(|i| {
+            let mut r = Recorder::new();
+            r.add("stage/items", 1);
+            r.add("stage/bytes", (i as u64 + 1) * 10);
+            r
+        })
+        .collect();
+    let mut total = Recorder::new();
+    for r in &per_job {
+        total.merge(r);
+    }
+    total
+}
+
+#[test]
+fn per_job_recorders_merge_deterministically() {
+    let a = fan_out_merge(4);
+    let b = fan_out_merge(4);
+    assert_eq!(a, b);
+    assert_eq!(a.get("stage/items"), 4);
+    assert_eq!(a.get("stage/bytes"), 10 + 20 + 30 + 40);
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn snapshot_round_trips_through_naive_parse() {
+    // The snapshot must be plain enough that any JSON parser (or grep)
+    // can consume it; check the shape without a parser dependency.
+    let mut rec = Recorder::new();
+    rec.add("quant/session/capture_passes", 2);
+    rec.add("decode/tokens", 256);
+    let json = rec.to_json();
+    assert!(json.starts_with('{'));
+    assert!(json.trim_end().ends_with('}'));
+    assert!(json.contains("\"quant/session/capture_passes\": 2"));
+    assert!(json.contains("\"decode/tokens\": 256"));
+    // Exactly one trailing newline so archived files diff cleanly.
+    assert!(json.ends_with("}\n"));
+    assert!(!json.ends_with("}\n\n"));
+}
+
+#[test]
+fn scope_helpers_agree_with_recorder_validation() {
+    assert!(scope::is_valid("quant/obq/layers_solved"));
+    let joined = scope::join(&["eval", "ppl", "segments"]);
+    let mut rec = Recorder::new();
+    rec.incr(&joined); // must not trip the debug-build grammar check
+    assert_eq!(rec.get("eval/ppl/segments"), 1);
+}

@@ -1,7 +1,8 @@
 //! A linear layer executing directly from packed sub-byte storage.
 
 use aptq_core::grid::GridKind;
-use aptq_core::pack::{unpack_codes, PackedTensor};
+use aptq_core::pack::{unpack_codes_at, PackedTensor};
+use aptq_obs::Recorder;
 use aptq_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -68,17 +69,48 @@ impl QuantizedLinear {
 
     /// Computes `y = x · Ŵ` with on-the-fly group dequantization.
     ///
+    /// # Determinism
+    ///
+    /// Single-threaded scalar loops: bit-identical at any
+    /// `APTQ_THREADS` value.
+    ///
     /// # Panics
     ///
     /// Panics if `x.cols() != d_in`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.forward_opt(x, None)
+    }
+
+    /// [`QuantizedLinear::forward`] recording work counters into `rec`
+    /// under `qmodel/qlinear/…`: forward calls, groups and codes
+    /// unpacked, multiply-accumulates, and `fallback_entries` — the
+    /// count of groups that had to re-unpack the whole code stream.
+    /// Since the bit-offset unpacker ([`unpack_codes_at`]) removed that
+    /// path, the counter is materialized at 0 so telemetry consumers
+    /// can assert its absence rather than infer it.
+    ///
+    /// # Determinism
+    ///
+    /// Single-threaded scalar loops: output *and counters* are
+    /// bit-identical at any `APTQ_THREADS` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in`.
+    pub fn forward_recorded(&self, x: &Matrix, rec: &mut Recorder) -> Matrix {
+        self.forward_opt(x, Some(rec))
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in`.
+    pub(crate) fn forward_opt(&self, x: &Matrix, mut rec: Option<&mut Recorder>) -> Matrix {
         let d_in = self.packed.d_in;
         let d_out = self.packed.d_out;
         assert_eq!(x.cols(), d_in, "QuantizedLinear: input width mismatch");
         let t = x.rows();
         let group = self.packed.group_size;
         let grid = self.packed.grid;
-        let bits = grid.bits() as usize;
         let mut y = Matrix::zeros(t, d_out);
         let mut scratch = vec![0.0f32; group * d_out];
 
@@ -87,25 +119,18 @@ impl QuantizedLinear {
             let r0 = g * group;
             let r1 = (r0 + group).min(d_in);
             let rows = r1 - r0;
-            // Unpack this group's code rows. Codes are packed row-major
-            // over the whole matrix; rows are bit-aligned only when
-            // (d_out × bits) % 8 == 0, so unpack from the global stream.
-            let start_bit = r0 * d_out * bits;
-            let codes = if start_bit.is_multiple_of(8) {
-                unpack_codes(
-                    &self.packed.data[start_bit / 8..],
-                    grid.bits(),
-                    rows * d_out,
-                )
-            } else {
-                // Fallback: unpack from the stream start (correct but
-                // slower); only reachable for exotic shapes.
-                let all = unpack_codes(&self.packed.data, grid.bits(), d_in * d_out);
-                all[r0 * d_out..r1 * d_out].to_vec()
-            };
+            // Unpack this group's code rows directly from their bit
+            // offset. Codes are packed row-major over the whole matrix
+            // and rows are byte-aligned only when (d_out × bits) % 8
+            // == 0; `unpack_codes_at` handles the misaligned case
+            // without re-unpacking the stream from the start.
+            let codes = unpack_codes_at(&self.packed.data, grid.bits(), r0 * d_out, rows * d_out);
+            if let Some(r) = rec.as_deref_mut() {
+                r.incr("qmodel/qlinear/groups_unpacked");
+                r.add("qmodel/qlinear/codes_unpacked", (rows * d_out) as u64);
+            }
             // Dequantize into scratch.
             for (ri, chunk) in codes.chunks(d_out).enumerate() {
-                let _ = ri;
                 for (c, &code) in chunk.iter().enumerate() {
                     let p = self.packed.params[g * d_out + c];
                     scratch[ri * d_out + c] = grid.dequantize(code, p);
@@ -125,6 +150,11 @@ impl QuantizedLinear {
                     }
                 }
             }
+        }
+        if let Some(r) = rec {
+            r.incr("qmodel/qlinear/forward_calls");
+            r.add("qmodel/qlinear/macs", (t * d_in * d_out) as u64);
+            r.add("qmodel/qlinear/fallback_entries", 0);
         }
         y
     }
@@ -189,7 +219,7 @@ mod tests {
     #[test]
     fn odd_group_boundaries_still_correct() {
         // d_out=5, bits=2 → group rows are not byte-aligned; exercises
-        // the fallback path.
+        // the bit-offset unpacker.
         let mut rng = init::rng(11);
         let w = init::normal(12, 5, 0.5, &mut rng);
         let cfg = GridConfig {
@@ -203,6 +233,42 @@ mod tests {
         let want = x.matmul(&res.dequantized);
         for (a, b) in y.as_slice().iter().zip(want.as_slice()) {
             assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn misaligned_groups_match_dequantized_matmul_and_never_fall_back() {
+        // Odd d_out at every sub-byte width: group rows land at bit
+        // offsets that straddle bytes ((r0·d_out·bits) % 8 ≠ 0 for most
+        // groups). The forward must agree with the dequantized matmul,
+        // touch each code exactly once, and never take a re-unpack
+        // fallback (the counter exists so this stays asserted, not
+        // assumed).
+        for bits in [2u8, 3, 4] {
+            let (d_in, d_out) = (20, 7);
+            let mut rng = init::rng(100 + bits as u64);
+            let w = init::normal(d_in, d_out, 0.5, &mut rng);
+            let cfg = GridConfig {
+                group_size: 4,
+                ..GridConfig::default()
+            };
+            let res = quantize_layer_rtn(&w, QuantGrid::int(bits, true), &cfg);
+            let qlin = QuantizedLinear::new(res.packed);
+            let x = init::normal(3, d_in, 1.0, &mut rng);
+            let mut rec = Recorder::new();
+            let y = qlin.forward_recorded(&x, &mut rec);
+            let want = x.matmul(&res.dequantized);
+            for (a, b) in y.as_slice().iter().zip(want.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "bits={bits}: {a} vs {b}");
+            }
+            assert_eq!(rec.get("qmodel/qlinear/fallback_entries"), 0);
+            assert_eq!(
+                rec.get("qmodel/qlinear/codes_unpacked"),
+                (d_in * d_out) as u64,
+                "bits={bits}: each code must be unpacked exactly once"
+            );
+            assert_eq!(rec.get("qmodel/qlinear/groups_unpacked"), 5);
+            assert_eq!(rec.get("qmodel/qlinear/forward_calls"), 1);
         }
     }
 

@@ -9,6 +9,7 @@ use aptq_core::plan::QuantPlan;
 use aptq_lm::rmsnorm::RmsNorm;
 use aptq_lm::rope::RopeTable;
 use aptq_lm::{LayerKind, LayerRef, Model, ModelConfig};
+use aptq_obs::Recorder;
 use aptq_tensor::activation::softmax_rows;
 use aptq_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -52,6 +53,12 @@ pub struct QuantizedModel {
 impl QuantizedModel {
     /// Quantizes `model` per `plan` under `hessians` (the OBQ engine)
     /// and packs the result.
+    ///
+    /// # Determinism
+    ///
+    /// Layer solves run sequentially here; the engine's inner matmuls
+    /// use the shared threadpool ([`aptq_tensor::parallel`]) and are
+    /// bit-identical at any `APTQ_THREADS` value.
     ///
     /// # Errors
     ///
@@ -135,11 +142,46 @@ impl QuantizedModel {
     /// Full forward pass from packed storage; returns `T × vocab`
     /// logits.
     ///
+    /// # Determinism
+    ///
+    /// The LM-head matmul runs on the shared threadpool
+    /// ([`aptq_tensor::parallel`]); logits are bit-identical at any
+    /// `APTQ_THREADS` value.
+    ///
     /// # Errors
     ///
     /// Returns [`QModelError::TokenOutOfRange`] /
     /// [`QModelError::SequenceTooLong`] on invalid input.
     pub fn forward(&self, tokens: &[u32]) -> Result<Matrix, QModelError> {
+        self.forward_opt(tokens, None)
+    }
+
+    /// [`QuantizedModel::forward`] recording packed-projection work into
+    /// `rec` (see [`QuantizedLinear::forward_recorded`] for the
+    /// `qmodel/qlinear/…` counter set).
+    ///
+    /// # Determinism
+    ///
+    /// Logits *and counters* are bit-identical at any `APTQ_THREADS`
+    /// value; see [`QuantizedModel::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedModel::forward`]; on error `rec` may hold
+    /// counters for the work done before the failure was detected.
+    pub fn forward_recorded(
+        &self,
+        tokens: &[u32],
+        rec: &mut Recorder,
+    ) -> Result<Matrix, QModelError> {
+        self.forward_opt(tokens, Some(rec))
+    }
+
+    fn forward_opt(
+        &self,
+        tokens: &[u32],
+        mut rec: Option<&mut Recorder>,
+    ) -> Result<Matrix, QModelError> {
         if tokens.len() > self.cfg.max_seq_len {
             return Err(QModelError::SequenceTooLong {
                 len: tokens.len(),
@@ -166,9 +208,9 @@ impl QuantizedModel {
         for block in &self.blocks {
             // Attention.
             let (normed, _) = block.norm1.forward(&x);
-            let mut q = block.wq.forward(&normed);
-            let mut k = block.wk.forward(&normed);
-            let v = block.wv.forward(&normed);
+            let mut q = block.wq.forward_opt(&normed, rec.as_deref_mut());
+            let mut k = block.wk.forward_opt(&normed, rec.as_deref_mut());
+            let v = block.wv.forward_opt(&normed, rec.as_deref_mut());
             for pos in 0..t {
                 for h in 0..n_heads {
                     let lo = h * d_head;
@@ -194,13 +236,13 @@ impl QuantizedModel {
                 softmax_rows(&mut scores);
                 concat.set_block(0, lo, &scores.matmul(&vh));
             }
-            let attn_out = block.wo.forward(&concat);
+            let attn_out = block.wo.forward_opt(&concat, rec.as_deref_mut());
             x.add_assign(&attn_out);
 
             // FFN (SwiGLU).
             let (normed2, _) = block.norm2.forward(&x);
-            let g = block.gate.forward(&normed2);
-            let u = block.up.forward(&normed2);
+            let g = block.gate.forward_opt(&normed2, rec.as_deref_mut());
+            let u = block.up.forward_opt(&normed2, rec.as_deref_mut());
             let mut hidden = Matrix::zeros(t, g.cols());
             for (o, (&gv, &uv)) in hidden
                 .as_mut_slice()
@@ -209,7 +251,7 @@ impl QuantizedModel {
             {
                 *o = aptq_tensor::activation::silu(gv) * uv;
             }
-            let ffn_out = block.down.forward(&hidden);
+            let ffn_out = block.down.forward_opt(&hidden, rec.as_deref_mut());
             x.add_assign(&ffn_out);
         }
 
@@ -218,6 +260,14 @@ impl QuantizedModel {
     }
 
     /// Greedy generation from packed storage.
+    ///
+    /// Token selection goes through [`aptq_tensor::select::argmax`]:
+    /// NaN logits never win and ties break toward the lowest token id.
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value; see
+    /// [`QuantizedModel::forward`].
     ///
     /// # Errors
     ///
@@ -228,13 +278,7 @@ impl QuantizedModel {
             let window_start = tokens.len().saturating_sub(self.cfg.max_seq_len);
             let logits = self.forward(&tokens[window_start..])?;
             let last = logits.row(logits.rows() - 1);
-            let next = last
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i as u32)
-                .unwrap_or(0);
-            tokens.push(next);
+            tokens.push(aptq_tensor::select::argmax(last) as u32);
         }
         Ok(tokens)
     }

@@ -35,6 +35,7 @@ pub mod linalg;
 pub mod matrix;
 pub mod num;
 pub mod parallel;
+pub mod select;
 pub mod stats;
 
 pub use matrix::Matrix;

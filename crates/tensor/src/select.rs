@@ -1,0 +1,91 @@
+//! NaN-safe selection primitives shared by every sampler.
+//!
+//! Greedy decoding and top-k sampling both reduce a logit vector to
+//! indices. Doing that with `partial_cmp(..).unwrap_or(Equal)` silently
+//! lets NaN win ties (or lose them) depending on scan order, and a
+//! top-k cutoff comparison keeps *more* than k entries when logits tie
+//! at the boundary. The helpers here pin both behaviours down:
+//!
+//! - NaN never wins: a NaN logit is treated as absent, not as a value.
+//! - Ties break toward the **lowest index**, so results are independent
+//!   of iteration strategy and stable across refactors.
+//! - [`top_k_indices`] returns *exactly* `min(k, #non-NaN)` indices.
+
+/// Index of the largest non-NaN value, ties broken toward the lowest
+/// index. Returns 0 when `xs` is empty or all-NaN (the deterministic
+/// fallback a sampler needs; callers that must distinguish should check
+/// emptiness first).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in xs.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map_or(0, |(i, _)| i)
+}
+
+/// Indices of the `k` largest non-NaN values, ordered by value
+/// descending and then by index ascending.
+///
+/// Always returns exactly `min(k, #non-NaN)` indices — boundary ties
+/// are resolved by index rather than keeping every tied entry.
+pub fn top_k_indices(xs: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).filter(|&i| !xs[i].is_nan()).collect();
+    idx.sort_by(|&a, &b| xs[b].total_cmp(&xs[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic_and_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), 1);
+        // Ties go to the lowest index.
+        assert_eq!(argmax(&[5.0, 5.0, 5.0]), 0);
+        assert_eq!(argmax(&[1.0, 7.0, 7.0]), 1);
+    }
+
+    #[test]
+    fn argmax_ignores_nan() {
+        assert_eq!(argmax(&[f32::NAN, 1.0, 2.0]), 2);
+        assert_eq!(argmax(&[1.0, f32::NAN, 0.5]), 0);
+        // NaN in front must not shadow a later maximum.
+        assert_eq!(argmax(&[f32::NAN, f32::NAN, -1.0]), 2);
+    }
+
+    #[test]
+    fn argmax_degenerate_inputs() {
+        assert_eq!(argmax(&[]), 0);
+        assert_eq!(argmax(&[f32::NAN, f32::NAN]), 0);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]), 0);
+    }
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let xs = [0.5, 2.0, -1.0, 2.0, 1.0];
+        assert_eq!(top_k_indices(&xs, 3), vec![1, 3, 4]);
+        assert_eq!(top_k_indices(&xs, 99), vec![1, 3, 4, 0, 2]);
+        assert_eq!(top_k_indices(&xs, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn top_k_boundary_ties_keep_exactly_k() {
+        // Four-way tie at the cutoff: exactly k survive, lowest indices.
+        let xs = [1.0, 1.0, 1.0, 1.0, 0.0];
+        assert_eq!(top_k_indices(&xs, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_skips_nan() {
+        let xs = [f32::NAN, 3.0, f32::NAN, 1.0];
+        assert_eq!(top_k_indices(&xs, 3), vec![1, 3]);
+    }
+}
