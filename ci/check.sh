@@ -4,28 +4,39 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+phase_t0=$SECONDS
+phase() {
+    if [ -n "${phase_name:-}" ]; then
+        echo "    [timing] ${phase_name}: $((SECONDS - phase_t0))s"
+    fi
+    phase_name=$1
+    phase_t0=$SECONDS
+    echo "==> $1"
+}
+
+phase "cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy (deny warnings)"
+phase "cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> aptq-audit (ratchet against results/audit-baseline.json)"
+phase "aptq-audit (A+D+H+N ratchet against results/audit-baseline.json)"
 # Fails on findings not in the committed baseline (exit 1) and on stale
 # baseline entries whose findings are already fixed (exit 3) — the
-# baseline may only shrink. The full report is archived as an artifact.
+# baseline may only shrink. Findings print with their `= suggestion:`
+# fix text; the full report is archived as an artifact.
 mkdir -p results
 cargo run -q -p aptq-audit -- \
     --ratchet results/audit-baseline.json \
     --json-out results/audit.json
 
-echo "==> cargo build --release"
+phase "cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test"
+phase "cargo test"
 cargo test --workspace -q
 
-echo "==> determinism suite (scheduler thread-count invariance)"
+phase "determinism suite (scheduler thread-count invariance)"
 for threads in 1 4; do
     echo "    APTQ_THREADS=$threads"
     APTQ_THREADS=$threads cargo test -q -p aptq-core --test determinism
@@ -34,10 +45,11 @@ for threads in 1 4; do
     APTQ_THREADS=$threads cargo test -q -p aptq-textgen --test determinism
 done
 
-echo "==> telemetry snapshot (archived as results/telemetry.json)"
+phase "telemetry snapshot (archived as results/telemetry.json)"
 # The bench asserts the counters' structural invariants (zero qlinear
 # fallbacks, O(T) KV write traffic, Hessian cache hits) and writes the
 # Recorder snapshot under results/.
 cargo run -q -p aptq-bench --bin telemetry --release > /dev/null
 
+echo "    [timing] ${phase_name}: $((SECONDS - phase_t0))s"
 echo "All checks passed."

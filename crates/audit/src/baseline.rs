@@ -85,6 +85,34 @@ pub fn diff(findings: &[Finding], baseline: &[BaselineEntry]) -> RatchetDiff {
     out
 }
 
+/// Shrink-only regeneration: intersects current `findings` with an
+/// `existing` baseline, as multisets keyed `(rule, path, message)`.
+/// Returns the surviving entries (sorted) plus the number of current
+/// findings *excluded* because the existing baseline does not cover
+/// them. `--write-baseline` routes through this when the target file
+/// already exists, so regeneration can never grow committed debt —
+/// uncovered findings must be fixed or annotated, not baselined.
+pub fn shrink(findings: &[Finding], existing: &[BaselineEntry]) -> (Vec<BaselineEntry>, usize) {
+    let mut budget: BTreeMap<BaselineEntry, usize> = BTreeMap::new();
+    for e in existing {
+        *budget.entry(e.clone()).or_insert(0) += 1;
+    }
+    let mut kept = Vec::new();
+    let mut excluded = 0usize;
+    for f in findings {
+        let key = BaselineEntry::of(f);
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                kept.push(key);
+            }
+            _ => excluded += 1,
+        }
+    }
+    kept.sort();
+    (kept, excluded)
+}
+
 /// Renders findings as a baseline document. One entry per line so the
 /// file diffs and reviews like a ledger:
 ///
@@ -97,6 +125,11 @@ pub fn diff(findings: &[Finding], baseline: &[BaselineEntry]) -> RatchetDiff {
 pub fn render(findings: &[Finding]) -> String {
     let mut entries: Vec<BaselineEntry> = findings.iter().map(BaselineEntry::of).collect();
     entries.sort();
+    render_entries(&entries)
+}
+
+/// Renders pre-built (already sorted) entries as a baseline document.
+pub fn render_entries(entries: &[BaselineEntry]) -> String {
     let mut out = format!("{{\"version\":{BASELINE_VERSION},\"entries\":[\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
@@ -271,5 +304,63 @@ mod tests {
     fn empty_baseline_renders_and_parses() {
         let doc = render(&[]);
         assert_eq!(parse(&doc).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn deleted_file_entry_reports_stale() {
+        // The file behind a baseline entry was deleted: no finding can
+        // match it, so the ratchet must demand the entry's removal.
+        let base = parse(&render(&[finding(
+            "D006",
+            "crates/core/src/gone.rs",
+            "fn `x`",
+        )]))
+        .unwrap();
+        let now: Vec<Finding> = Vec::new();
+        let d = diff(&now, &base);
+        assert!(d.new.is_empty());
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].path, "crates/core/src/gone.rs");
+    }
+
+    #[test]
+    fn shrink_never_grows_an_existing_baseline() {
+        let existing = parse(&render(&[
+            finding("D006", "a.rs", "kept"),
+            finding("D006", "b.rs", "fixed since"),
+        ]))
+        .unwrap();
+        // Current findings: one covered, two new (one brand-new file,
+        // one duplicate of a covered key beyond its budget).
+        let now = vec![
+            finding("D006", "a.rs", "kept"),
+            finding("D006", "a.rs", "kept"),
+            finding("N001", "c.rs", "new debt"),
+        ];
+        let (kept, excluded) = shrink(&now, &existing);
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert_eq!(kept[0].message, "kept");
+        assert_eq!(excluded, 2, "uncovered findings are never written");
+        // Shrinking against an empty baseline writes nothing.
+        let (none, all_excluded) = shrink(&now, &[]);
+        assert!(none.is_empty());
+        assert_eq!(all_excluded, 3);
+    }
+
+    #[test]
+    fn shrink_keeps_duplicate_budget_multiset() {
+        let existing = parse(&render(&[
+            finding("D003", "a.rs", "same"),
+            finding("D003", "a.rs", "same"),
+        ]))
+        .unwrap();
+        let now = vec![
+            finding("D003", "a.rs", "same"),
+            finding("D003", "a.rs", "same"),
+        ];
+        let (kept, excluded) = shrink(&now, &existing);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(excluded, 0);
+        assert!(diff(&now, &kept).is_clean());
     }
 }

@@ -24,7 +24,7 @@
 //! helper chain `pub api → private helper → parallel::run_indexed`
 //! still flags the public entry point.
 
-use crate::index::{FileIndex, FnId, SymbolIndex};
+use crate::index::{FileIndex, SymbolIndex};
 use crate::scan::word_occurrences;
 use crate::{Finding, Severity};
 
@@ -306,56 +306,28 @@ fn rule_d006_determinism_docs(index: &SymbolIndex) -> Vec<Finding> {
 /// `aptq_tensor::parallel`: seeded by functions *defined in* the
 /// parallel module and by call sites that name it (directly or through
 /// a `use` import), then propagated over name-resolved call edges to a
-/// fixpoint.
+/// fixpoint — [`crate::reach::reaches`] with the parallel module as
+/// seed and import-aware path matching as the direct classifier.
 fn parallel_reachability(index: &SymbolIndex) -> Vec<Vec<bool>> {
-    let by_name = index.fns_by_name();
-    let mut reaches: Vec<Vec<bool>> = index
-        .files()
-        .iter()
-        .map(|f| vec![f.rel_path == PARALLEL_MODULE_FILE; f.items.len()])
-        .collect();
-
-    // Direct references: a call whose written or import-expanded path
-    // names the parallel module.
-    let direct = |file: &FileIndex, call_path: &str| -> bool {
-        if call_path.contains(PARALLEL_MODULE_PATH) {
-            return true;
-        }
-        let first = call_path.split("::").next().unwrap_or(call_path);
-        file.imports
-            .get(first)
-            .or_else(|| {
-                // `use aptq_tensor::parallel::thread_count;` imports the
-                // terminal name itself.
-                file.imports.get(call_path)
-            })
-            .is_some_and(|full| full.contains(PARALLEL_MODULE_PATH))
-    };
-
-    loop {
-        let mut changed = false;
-        for (id, item) in index.fns() {
-            if reaches[id.0][id.1] {
-                continue;
+    crate::reach::reaches(
+        index,
+        |f| f.rel_path == PARALLEL_MODULE_FILE,
+        |file: &FileIndex, call| {
+            let call_path = call.path.as_str();
+            if call_path.contains(PARALLEL_MODULE_PATH) {
+                return true;
             }
-            let file = index.file(id);
-            let hit = item.calls.iter().any(|call| {
-                direct(file, &call.path)
-                    || by_name
-                        .get(call.name.as_str())
-                        .is_some_and(|defs: &Vec<FnId>| {
-                            defs.iter().any(|&(fi, ii)| reaches[fi][ii])
-                        })
-            });
-            if hit {
-                reaches[id.0][id.1] = true;
-                changed = true;
-            }
-        }
-        if !changed {
-            return reaches;
-        }
-    }
+            let first = call_path.split("::").next().unwrap_or(call_path);
+            file.imports
+                .get(first)
+                .or_else(|| {
+                    // `use aptq_tensor::parallel::thread_count;` imports
+                    // the terminal name itself.
+                    file.imports.get(call_path)
+                })
+                .is_some_and(|full| full.contains(PARALLEL_MODULE_PATH))
+        },
+    )
 }
 
 #[cfg(test)]

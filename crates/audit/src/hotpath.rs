@@ -1,0 +1,328 @@
+//! Hot-path contract rules (H001–H004).
+//!
+//! APTQ's serving claim is that the quantized forward/decode path runs
+//! "as fast as the hardware allows"; allocation, panicking, and locking
+//! inside it are regressions the type system cannot see. The contract
+//! is declared in prose and enforced here:
+//!
+//! - a function documented with a `# HotPath` doc section is a *root*;
+//! - [`crate::reach::reachable_from`] computes everything a root can
+//!   transitively execute (by-name call edges, test code excluded);
+//! - every function in that closure is scanned for contract-breaking
+//!   sites.
+//!
+//! | Code | What it enforces | Escape hatch |
+//! |------|------------------|--------------|
+//! | H001 | no allocation sites (`Vec::new`/`with_capacity`/`push`, `vcat`, `to_vec`, `clone`, `format!`, `String` construction) | `// audit:allow(alloc): <reason>` |
+//! | H002 | no panic sites (`unwrap`/message-less `expect`/`panic!`-family/`assert!`-family), *transitively* — beyond A001's per-file view | `// audit:allow(panic): <reason>` or a `# Panics` doc on the containing fn |
+//! | H003 | no locks or I/O (`Mutex`/`RwLock`/`std::io`/`println!`) | `// audit:allow(io): <reason>` |
+//! | H004 | every `# HotPath` root documents its allocation budget | `// audit:allow(budget): <reason>` |
+//!
+//! When several roots reach the same helper, the finding is attributed
+//! to the first root in (path, line) order so messages — and therefore
+//! baseline keys — are deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::index::{FnId, Item, SymbolIndex};
+use crate::reach::reachable_from;
+use crate::scan::word_occurrences;
+use crate::{Finding, Severity};
+
+/// True for library source files: `crates/<name>/src/**`.
+fn in_lib_src(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/") && rel_path.contains("/src/")
+}
+
+/// Allocation-site patterns for H001. `Matrix::zeros` and `vec![...]`
+/// are deliberately absent: sized one-shot scratch is the documented
+/// budget mechanism, while growth and copying are not.
+const ALLOC_SITES: &[&str] = &[
+    "Vec::new(",
+    "with_capacity(",
+    ".push(",
+    "vcat(",
+    "to_vec(",
+    ".clone()",
+    "format!",
+    "String::new(",
+    "String::from(",
+    "to_string(",
+    ".to_owned(",
+];
+
+/// Lock / I/O patterns for H003.
+const IO_SITES: &[&str] = &["Mutex", "RwLock", "std::io", "println!", "eprintln!"];
+
+/// Panic macros for H002 (A001's set plus the assert family — on a hot
+/// path even a *documented* assert deserves a look, hence the `# Panics`
+/// exemption is per containing function, not global).
+const PANIC_MACROS: &[&str] = &[
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+];
+
+/// Runs H001–H004 over the workspace index.
+pub fn check_index(index: &SymbolIndex) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Roots: `# HotPath`-documented non-test library functions, in
+    // (path, line) order for deterministic attribution.
+    let mut roots: Vec<FnId> = index
+        .fns()
+        .filter(|&(id, it)| {
+            it.has_hotpath_doc && !it.in_test && in_lib_src(&index.file(id).rel_path)
+        })
+        .map(|(id, _)| id)
+        .collect();
+    roots.sort_by(|&a, &b| {
+        (&index.file(a).rel_path, index.item(a).line)
+            .cmp(&(&index.file(b).rel_path, index.item(b).line))
+    });
+
+    // H004 — a root without a stated allocation budget.
+    for &id in &roots {
+        let item = index.item(id);
+        let file = index.file(id);
+        if item.hotpath_budget || file.scanned.allowed(item.line, "budget") {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "H004",
+            severity: Severity::Error,
+            path: file.rel_path.clone(),
+            line: item.line + 1,
+            col: 1,
+            message: format!(
+                "hot-path root `{}` has a `# HotPath` doc section but states no allocation budget",
+                item.name
+            ),
+            help: "the `# HotPath` contract is only checkable against a stated budget; say what \
+                   the function may allocate and when (e.g. \"budget: zero allocations on the \
+                   steady-state token path\"), or annotate with `// audit:allow(budget): <reason>`"
+                .into(),
+            suggestion: "add a budget line to the `# HotPath` doc section".into(),
+        });
+    }
+
+    // Ownership: the first root reaching a function owns its findings.
+    let mut owner: BTreeMap<FnId, FnId> = BTreeMap::new();
+    for &root in &roots {
+        let closure = reachable_from(index, &[root]);
+        for (id, _) in index.fns() {
+            if closure[id.0][id.1] {
+                owner.entry(id).or_insert(root);
+            }
+        }
+    }
+
+    for (&id, &root) in &owner {
+        let item = index.item(id);
+        let file = index.file(id);
+        if item.in_test || !in_lib_src(&file.rel_path) {
+            continue;
+        }
+        let root_label = format!(
+            "{}::{}",
+            index.file(root).module.as_str(),
+            index.item(root).name
+        );
+        scan_fn_sites(file, item, &root_label, &mut findings);
+    }
+
+    findings
+}
+
+/// Scans one function body for H001–H003 sites.
+fn scan_fn_sites(
+    file: &crate::index::FileIndex,
+    item: &Item,
+    root_label: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let f = &file.scanned;
+    let (lo, hi) = item.body;
+    for idx in lo..=hi.min(f.lines.len().saturating_sub(1)) {
+        let line = &f.lines[idx];
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+
+        // H001 — allocation sites.
+        for pat in ALLOC_SITES {
+            for col in word_occurrences(code, pat) {
+                if f.allowed(idx, "alloc") {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "H001",
+                    severity: Severity::Error,
+                    path: file.rel_path.clone(),
+                    line: idx + 1,
+                    col: col + 1,
+                    message: format!(
+                        "allocation site `{}` in `{}`, reachable from hot path `{root_label}`",
+                        pat.trim_end_matches('('),
+                        item.name
+                    ),
+                    help: "hot paths must run on caller-provided or preallocated buffers; write \
+                           into scratch owned by the session/struct, or annotate with \
+                           `// audit:allow(alloc): <reason>` if the allocation is off the \
+                           steady-state path"
+                        .into(),
+                    suggestion: "preallocate in the constructor and reuse the buffer".into(),
+                });
+            }
+        }
+
+        // H002 — panic sites, transitive. A `# Panics` doc on the
+        // containing function turns the sites into documented
+        // preconditions; a descriptive `.expect("...")` self-annotates
+        // exactly as in A001.
+        if !item.has_panics_doc {
+            let mut panic_cols: Vec<(usize, String)> = Vec::new();
+            for col in word_occurrences(code, ".unwrap()") {
+                panic_cols.push((col, "`.unwrap()`".into()));
+            }
+            for col in word_occurrences(code, ".expect(") {
+                let after = &code[code
+                    .char_indices()
+                    .nth(col + ".expect(".len())
+                    .map_or(code.len(), |(b, _)| b)..];
+                let trimmed = after.trim_start();
+                let descriptive = trimmed.starts_with('"')
+                    && trimmed[1..]
+                        .chars()
+                        .take_while(|&c| c != '"')
+                        .any(|c| c == ' ')
+                    && trimmed[1..].contains('"');
+                if !descriptive {
+                    panic_cols.push((col, "message-less `.expect(...)`".into()));
+                }
+            }
+            for mac in PANIC_MACROS {
+                for col in word_occurrences(code, mac) {
+                    panic_cols.push((col, format!("`{mac}`")));
+                }
+            }
+            for (col, what) in panic_cols {
+                if f.allowed(idx, "panic") {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "H002",
+                    severity: Severity::Error,
+                    path: file.rel_path.clone(),
+                    line: idx + 1,
+                    col: col + 1,
+                    message: format!(
+                        "panic site {what} in `{}`, reachable from hot path `{root_label}`",
+                        item.name
+                    ),
+                    help: "a panic mid-decode aborts the whole generation; return an error at \
+                           the boundary, document the precondition in a `# Panics` section on \
+                           the containing function, or annotate with \
+                           `// audit:allow(panic): <reason>`"
+                        .into(),
+                    suggestion: "validate at the session boundary and make the hot path \
+                                 infallible"
+                        .into(),
+                });
+            }
+        }
+
+        // H003 — locks and I/O.
+        for pat in IO_SITES {
+            for col in word_occurrences(code, pat) {
+                if f.allowed(idx, "io") {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "H003",
+                    severity: Severity::Error,
+                    path: file.rel_path.clone(),
+                    line: idx + 1,
+                    col: col + 1,
+                    message: format!(
+                        "lock/I-O site `{pat}` in `{}`, reachable from hot path `{root_label}`",
+                        item.name
+                    ),
+                    help: "blocking on a lock or file descriptor inside the token loop turns \
+                           tail latency into throughput collapse; hoist the I/O to the caller \
+                           or annotate with `// audit:allow(io): <reason>`"
+                        .into(),
+                    suggestion: "move the lock/I-O outside the `# HotPath` closure".into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let idx = SymbolIndex::build(&[("crates/core/src/x.rs".to_string(), src.to_string())]);
+        check_index(&idx)
+    }
+
+    const ROOT_DOC: &str = "/// # HotPath\n/// budget: zero allocations.\n";
+
+    #[test]
+    fn h001_fires_transitively_and_clears_with_allow() {
+        let src = format!(
+            "{ROOT_DOC}pub fn forward() {{\n    helper();\n}}\nfn helper() {{\n    let mut v = Vec::new();\n    v.push(1);\n}}\n"
+        );
+        let f = check(&src);
+        assert_eq!(f.iter().filter(|f| f.rule == "H001").count(), 2, "{f:?}");
+        let annotated = src.replace(
+            "    let mut v = Vec::new();",
+            "    // audit:allow(alloc): test scratch\n    let mut v = Vec::new();",
+        );
+        let g = check(&annotated);
+        assert_eq!(g.iter().filter(|f| f.rule == "H001").count(), 1, "{g:?}");
+    }
+
+    #[test]
+    fn h001_silent_without_hotpath_root() {
+        let f = check("pub fn forward() {\n    let mut v = Vec::new();\n    v.push(1);\n}\n");
+        assert!(f.iter().all(|f| f.rule != "H001"), "{f:?}");
+    }
+
+    #[test]
+    fn h002_fires_on_transitive_unwrap_and_respects_panics_doc() {
+        let src = format!(
+            "{ROOT_DOC}pub fn forward() {{\n    helper();\n}}\nfn helper() {{\n    x.unwrap();\n}}\n"
+        );
+        let f = check(&src);
+        assert_eq!(f.iter().filter(|f| f.rule == "H002").count(), 1, "{f:?}");
+        let documented = src.replace(
+            "fn helper() {",
+            "/// # Panics\n/// When x is None.\nfn helper() {",
+        );
+        let g = check(&documented);
+        assert!(g.iter().all(|f| f.rule != "H002"), "{g:?}");
+    }
+
+    #[test]
+    fn h003_fires_on_println_in_closure() {
+        let src = format!("{ROOT_DOC}pub fn forward() {{\n    println!(\"token\");\n}}\n");
+        let f = check(&src);
+        assert_eq!(f.iter().filter(|f| f.rule == "H003").count(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn h004_requires_budget_in_root_doc() {
+        let f = check("/// # HotPath\npub fn forward() {}\n");
+        assert_eq!(f.iter().filter(|f| f.rule == "H004").count(), 1, "{f:?}");
+        let g = check("/// # HotPath\n/// budget: none on steady state.\npub fn forward() {}\n");
+        assert!(g.iter().all(|f| f.rule != "H004"), "{g:?}");
+    }
+}

@@ -59,6 +59,16 @@ pub struct Item {
     /// For functions: the doc block above contains a `# Determinism`
     /// section.
     pub has_determinism_doc: bool,
+    /// For functions: the doc block above contains a `# HotPath`
+    /// section — the root marker for the H-rules (see
+    /// [`crate::hotpath`]).
+    pub has_hotpath_doc: bool,
+    /// For functions with a `# HotPath` doc: the doc block also states
+    /// an allocation budget (mentions "budget"/"Budget"), per H004.
+    pub hotpath_budget: bool,
+    /// For functions: the doc block above contains a `# Panics`
+    /// section (documented preconditions exempt asserts from H002).
+    pub has_panics_doc: bool,
     /// For functions: call sites inside the body.
     pub calls: Vec<Call>,
 }
@@ -168,6 +178,10 @@ fn index_file(rel_path: &str, source: &str) -> FileIndex {
                 in_test: scanned.lines[idx].in_test,
                 body,
                 has_determinism_doc: doc_block_contains(&scanned, idx, "# Determinism"),
+                has_hotpath_doc: doc_block_contains(&scanned, idx, "# HotPath"),
+                hotpath_budget: doc_block_contains(&scanned, idx, "budget")
+                    || doc_block_contains(&scanned, idx, "Budget"),
+                has_panics_doc: doc_block_contains(&scanned, idx, "# Panics"),
                 calls,
             });
             idx = body.1.max(idx) + 1;
@@ -182,6 +196,9 @@ fn index_file(rel_path: &str, source: &str) -> FileIndex {
                 in_test: scanned.lines[idx].in_test,
                 body: (idx, idx),
                 has_determinism_doc: false,
+                has_hotpath_doc: false,
+                hotpath_budget: false,
+                has_panics_doc: false,
                 calls: Vec::new(),
             });
         } else if code.starts_with("impl ") || code.starts_with("impl<") {
@@ -193,6 +210,9 @@ fn index_file(rel_path: &str, source: &str) -> FileIndex {
                 in_test: scanned.lines[idx].in_test,
                 body: (idx, idx),
                 has_determinism_doc: false,
+                has_hotpath_doc: false,
+                hotpath_budget: false,
+                has_panics_doc: false,
                 calls: Vec::new(),
             });
         }

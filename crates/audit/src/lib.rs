@@ -25,6 +25,16 @@
 //! reach `aptq_tensor::parallel` — resolved over a workspace-wide
 //! symbol index ([`index`]) rather than per-file text.
 //!
+//! Two further families run on the reusable reachability engine
+//! ([`reach`]): the hot-path contracts **H001–H004** ([`hotpath`]) —
+//! the transitive callee closure of every `# HotPath`-documented
+//! function must be free of allocation, panic, and lock/I-O sites, and
+//! each root must state its allocation budget — and the
+//! numerical-safety rules **N001–N004** ([`numerics`]) — no bare float
+//! equality, reductions through `aptq_tensor::stats::kahan_sum`,
+//! guarded denominators, clamped `exp`/`ln`/`sqrt`. The full catalog
+//! lives in [`rules::CATALOG`] (`aptq-audit --list-rules`).
+//!
 //! Run it as `cargo run -p aptq-audit` (text diagnostics, rustc style)
 //! or `cargo run -p aptq-audit -- --json` (machine-readable). CI runs
 //! `--ratchet results/audit-baseline.json`, which fails on findings
@@ -39,7 +49,10 @@ use std::path::{Path, PathBuf};
 
 pub mod baseline;
 pub mod determinism;
+pub mod hotpath;
 pub mod index;
+pub mod numerics;
+pub mod reach;
 pub mod rules;
 pub mod scan;
 
@@ -171,6 +184,8 @@ pub fn audit_workspace(root: &Path) -> Result<Vec<Finding>, AuditError> {
 
     let index = index::SymbolIndex::build(&sources);
     findings.extend(determinism::check_index(&index));
+    findings.extend(hotpath::check_index(&index));
+    findings.extend(numerics::check_index(&index));
 
     findings.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))

@@ -13,7 +13,9 @@
 //! only *new* findings fail (exit 1), and baseline entries that no
 //! longer match any finding fail too (exit 3) so the baseline can only
 //! shrink. `--write-baseline` regenerates the file from the current
-//! findings and exits 0.
+//! findings and exits 0 — if the file already exists, the regeneration
+//! only *intersects* with it (debt can be dropped, never added).
+//! `--list-rules` prints the rule catalog and exits.
 //!
 //! Exit codes: `0` clean, `1` findings (or new-vs-baseline findings),
 //! `2` usage or I/O error, `3` stale baseline entries only.
@@ -21,7 +23,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use aptq_audit::{audit_workspace, baseline, render_json_report};
+use aptq_audit::{audit_workspace, baseline, render_json_report, rules};
 
 struct Options {
     json: bool,
@@ -30,6 +32,7 @@ struct Options {
     ratchet: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
     json_out: Option<PathBuf>,
+    list_rules: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -40,6 +43,7 @@ fn parse_args() -> Result<Options, String> {
         ratchet: None,
         write_baseline: None,
         json_out: None,
+        list_rules: false,
     };
     let mut args = std::env::args().skip(1);
     let path_arg = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -57,17 +61,22 @@ fn parse_args() -> Result<Options, String> {
                 opts.write_baseline = Some(path_arg(&mut args, "--write-baseline")?)
             }
             "--json-out" => opts.json_out = Some(path_arg(&mut args, "--json-out")?),
+            "--list-rules" => opts.list_rules = true,
             "-h" | "--help" => {
                 println!(
                     "aptq-audit: workspace static-analysis pass\n\n\
                      USAGE: aptq-audit [--json] [--quiet] [--root <dir>]\n\
                             [--ratchet <baseline.json>] [--write-baseline <baseline.json>]\n\
-                            [--json-out <report.json>]\n\n\
+                            [--json-out <report.json>] [--list-rules]\n\n\
                      Rules: A001 panic sites, A002 float casts, A003 panic docs,\n\
                      A004 unsafe allowlist, A005 workspace dependencies,\n\
                      D001 thread containment, D002 env containment, D003 ordered\n\
                      collections, D004 wall-clock/entropy, D005 global state,\n\
-                     D006 determinism docs.\n\
+                     D006 determinism docs, H001 hot-path allocations, H002\n\
+                     hot-path panics, H003 hot-path locks/I-O, H004 hot-path\n\
+                     budgets, N001 float equality, N002 compensated sums,\n\
+                     N003 guarded denominators, N004 clamped transcendentals.\n\
+                     Run --list-rules for scopes and allow kinds.\n\
                      Exit codes: 0 clean, 1 findings, 2 error, 3 stale baseline."
                 );
                 std::process::exit(0);
@@ -103,6 +112,40 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.list_rules {
+        if opts.json {
+            let mut out = String::from("{\"rules\":[");
+            for (i, r) in rules::CATALOG.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"code\":\"{}\",\"scope\":{:?},\"summary\":{:?},\"allow\":{:?}}}",
+                    r.code, r.scope, r.summary, r.allow
+                ));
+            }
+            out.push_str(&format!("],\"count\":{}}}", rules::CATALOG.len()));
+            println!("{out}");
+        } else {
+            println!(
+                "aptq-audit rule catalog ({} rules):\n",
+                rules::CATALOG.len()
+            );
+            for r in rules::CATALOG {
+                let hatch = if r.allow.is_empty() {
+                    String::from("none")
+                } else {
+                    format!("audit:allow({})", r.allow)
+                };
+                println!(
+                    "  {}  {}\n        scope: {}\n        allow: {}",
+                    r.code, r.summary, r.scope, hatch
+                );
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let findings = match audit_workspace(&opts.root) {
         Ok(f) => f,
         Err(e) => {
@@ -119,16 +162,38 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &opts.write_baseline {
-        if let Err(e) = std::fs::write(path, baseline::render(&findings)) {
+        // A fresh path records all current findings; an existing file is
+        // only ever *intersected* — the ratchet must never grow.
+        let (doc, written, excluded) = if path.is_file() {
+            let existing = match std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|t| baseline::parse(&t))
+            {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("aptq-audit: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let (kept, excluded) = baseline::shrink(&findings, &existing);
+            (baseline::render_entries(&kept), kept.len(), excluded)
+        } else {
+            (baseline::render(&findings), findings.len(), 0)
+        };
+        if let Err(e) = std::fs::write(path, doc) {
             eprintln!("aptq-audit: {}: {e}", path.display());
             return ExitCode::from(2);
         }
         if !opts.quiet {
             println!(
-                "audit: wrote baseline with {} entr{} to {}",
-                findings.len(),
-                if findings.len() == 1 { "y" } else { "ies" },
-                path.display()
+                "audit: wrote baseline with {written} entr{} to {}{}",
+                if written == 1 { "y" } else { "ies" },
+                path.display(),
+                if excluded > 0 {
+                    format!(" ({excluded} finding(s) not covered by the existing baseline were excluded — fix or annotate them)")
+                } else {
+                    String::new()
+                }
             );
         }
         return ExitCode::SUCCESS;
@@ -190,7 +255,7 @@ fn main() -> ExitCode {
             println!("{}", f.render_text());
         }
         if findings.is_empty() {
-            println!("audit: clean ({} rules, 0 findings)", 11);
+            println!("audit: clean ({} rules, 0 findings)", rules::CATALOG.len());
         } else {
             println!("audit: {} finding(s)", findings.len());
         }

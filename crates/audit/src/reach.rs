@@ -1,0 +1,219 @@
+//! Reusable reachability over the [`crate::index::SymbolIndex`] call
+//! graph.
+//!
+//! PR 3 built a one-off fixpoint for D006 ("does this pub fn reach
+//! `aptq_tensor::parallel`?"). Two directions of that computation turn
+//! out to be the backbone of every call-graph contract rule:
+//!
+//! - [`reaches`] — *backward*: which functions transitively reach a
+//!   seeded target (a module, a sink)? Seeds are per-file, and a
+//!   per-call `direct` classifier catches path-qualified references
+//!   that never touch an indexed definition. This is exactly D006.
+//! - [`reachable_from`] — *forward*: which functions are in the
+//!   transitive callee closure of a set of roots? This powers the
+//!   H-rules, which walk everything a `# HotPath` function can execute
+//!   and flag allocation/panic/lock sites inside the closure.
+//!
+//! Both directions resolve call edges by terminal name (a call to
+//! `forward` links to *every* indexed `fn forward`), the same
+//! over-approximation D006 shipped with: false edges are possible, but
+//! a missed edge is not, and the `// audit:allow` escape hatch absorbs
+//! the noise. The forward direction additionally drops calls whose
+//! path qualifier names a std/core type or module (`Vec::new`,
+//! `f64::from`, `std::mem::take`): those can never land on a workspace
+//! definition, and resolving them by terminal name would drag every
+//! workspace `fn new`/`fn from` into every hot-path closure.
+
+use crate::index::{Call, FileIndex, FnId, SymbolIndex};
+
+/// First path segments that always denote std/core items, never a
+/// workspace definition. A call qualified by one of these is resolved
+/// by the standard library, so it contributes no workspace call edge.
+const STD_QUALIFIERS: &[&str] = &[
+    "std", "core", "alloc", "Vec", "VecDeque", "String", "Box", "Rc", "Arc", "Cell", "RefCell",
+    "Mutex", "RwLock", "Condvar", "BTreeMap", "BTreeSet", "HashMap", "HashSet", "Option", "Some",
+    "None", "Result", "Ok", "Err", "Ordering", "PathBuf", "Path", "OsString", "CString",
+    "Duration", "Instant", "Default", "Iterator", "bool", "char", "str", "f32", "f64", "i8", "i16",
+    "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
+];
+
+/// Whether a call site can resolve to a workspace definition at all.
+fn may_resolve_in_workspace(call: &Call) -> bool {
+    match call.path.split("::").next() {
+        Some(first) if first != call.name => !STD_QUALIFIERS.contains(&first),
+        _ => true,
+    }
+}
+
+/// Backward fixpoint: for every item, whether its body transitively
+/// reaches a seeded target.
+///
+/// `seed_file` marks every item of matching files as reaching (a module
+/// *is* its own target); `direct` classifies a single call site as a
+/// direct reference (e.g. a path-qualified call or an import-resolved
+/// alias). Call edges then propagate reachability by terminal name
+/// until the fixpoint.
+pub fn reaches(
+    index: &SymbolIndex,
+    seed_file: impl Fn(&FileIndex) -> bool,
+    direct: impl Fn(&FileIndex, &Call) -> bool,
+) -> Vec<Vec<bool>> {
+    let by_name = index.fns_by_name();
+    let mut reach: Vec<Vec<bool>> = index
+        .files()
+        .iter()
+        .map(|f| vec![seed_file(f); f.items.len()])
+        .collect();
+
+    loop {
+        let mut changed = false;
+        for (id, item) in index.fns() {
+            if reach[id.0][id.1] {
+                continue;
+            }
+            let file = index.file(id);
+            let hit = item.calls.iter().any(|call| {
+                direct(file, call)
+                    || by_name
+                        .get(call.name.as_str())
+                        .is_some_and(|defs: &Vec<FnId>| defs.iter().any(|&(fi, ii)| reach[fi][ii]))
+            });
+            if hit {
+                reach[id.0][id.1] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return reach;
+        }
+    }
+}
+
+/// Forward closure: every function reachable from `roots` over by-name
+/// call edges, roots included.
+///
+/// Test-only definitions are never entered: a production call edge that
+/// happens to share a name with a `#[cfg(test)]` helper must not drag
+/// test code into a hot-path closure.
+pub fn reachable_from(index: &SymbolIndex, roots: &[FnId]) -> Vec<Vec<bool>> {
+    let by_name = index.fns_by_name();
+    let mut marked: Vec<Vec<bool>> = index
+        .files()
+        .iter()
+        .map(|f| vec![false; f.items.len()])
+        .collect();
+    let mut work: Vec<FnId> = Vec::new();
+    for &id in roots {
+        if !marked[id.0][id.1] {
+            marked[id.0][id.1] = true;
+            work.push(id);
+        }
+    }
+    while let Some(id) = work.pop() {
+        for call in &index.item(id).calls {
+            if !may_resolve_in_workspace(call) {
+                continue;
+            }
+            let Some(defs) = by_name.get(call.name.as_str()) else {
+                continue;
+            };
+            for &(fi, ii) in defs {
+                if index.files()[fi].items[ii].in_test || marked[fi][ii] {
+                    continue;
+                }
+                marked[fi][ii] = true;
+                work.push((fi, ii));
+            }
+        }
+    }
+    marked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(sources: &[(&str, &str)]) -> SymbolIndex {
+        let owned: Vec<(String, String)> = sources
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+            .collect();
+        SymbolIndex::build(&owned)
+    }
+
+    fn fn_id(index: &SymbolIndex, name: &str) -> FnId {
+        index
+            .fns()
+            .find(|(_, it)| it.name == name)
+            .map(|(id, _)| id)
+            .expect("fn present")
+    }
+
+    #[test]
+    fn backward_reaches_through_helper_chain() {
+        let idx = build(&[
+            ("crates/tensor/src/parallel.rs", "pub fn run_indexed(n: usize) -> usize { n }\n"),
+            (
+                "crates/core/src/x.rs",
+                "pub fn api() -> usize {\n    helper()\n}\nfn helper() -> usize {\n    aptq_tensor::parallel::run_indexed(3)\n}\nfn unrelated() -> usize { 0 }\n",
+            ),
+        ]);
+        let r = reaches(
+            &idx,
+            |f| f.rel_path == "crates/tensor/src/parallel.rs",
+            |_, call| call.path.contains("aptq_tensor::parallel"),
+        );
+        let api = fn_id(&idx, "api");
+        let unrelated = fn_id(&idx, "unrelated");
+        assert!(r[api.0][api.1]);
+        assert!(!r[unrelated.0][unrelated.1]);
+    }
+
+    #[test]
+    fn forward_closure_covers_transitive_callees_only() {
+        let idx = build(&[(
+            "crates/core/src/x.rs",
+            "pub fn root() {\n    mid();\n}\nfn mid() {\n    leaf();\n}\nfn leaf() {}\nfn island() {}\n",
+        )]);
+        let r = reachable_from(&idx, &[fn_id(&idx, "root")]);
+        for name in ["root", "mid", "leaf"] {
+            let id = fn_id(&idx, name);
+            assert!(r[id.0][id.1], "{name} should be in the closure");
+        }
+        let island = fn_id(&idx, "island");
+        assert!(!r[island.0][island.1]);
+    }
+
+    #[test]
+    fn forward_closure_skips_test_definitions() {
+        let idx = build(&[(
+            "crates/core/src/x.rs",
+            "pub fn root() {\n    shared();\n}\nfn shared() {}\n#[cfg(test)]\nmod tests {\n    fn shared() { super::nested_test_only(); }\n    fn nested_test_only() {}\n}\n",
+        )]);
+        let r = reachable_from(&idx, &[fn_id(&idx, "root")]);
+        let in_closure: Vec<&str> = idx
+            .fns()
+            .filter(|(id, _)| r[id.0][id.1])
+            .map(|(_, it)| it.name.as_str())
+            .collect();
+        assert_eq!(in_closure, vec!["root", "shared"]);
+    }
+
+    #[test]
+    fn forward_closure_ignores_std_qualified_calls() {
+        // `Vec::new()` shares a terminal name with the workspace
+        // `Pool::new`, but the std qualifier proves it never lands
+        // there; the bare `helper()` edge still resolves.
+        let idx = build(&[(
+            "crates/core/src/x.rs",
+            "pub fn root() {\n    let v: Vec<u8> = Vec::new();\n    let _ = f64::from(1u8);\n    helper();\n}\nfn helper() {}\npub struct Pool;\nimpl Pool {\n    pub fn new() -> Self { Pool }\n    pub fn from(_x: u8) -> Self { Pool }\n}\n",
+        )]);
+        let r = reachable_from(&idx, &[fn_id(&idx, "root")]);
+        let in_closure: Vec<&str> = idx
+            .fns()
+            .filter(|(id, _)| r[id.0][id.1])
+            .map(|(_, it)| it.name.as_str())
+            .collect();
+        assert_eq!(in_closure, vec!["root", "helper"]);
+    }
+}

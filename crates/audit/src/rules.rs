@@ -13,10 +13,22 @@
 //! | D004 | library crates, non-test (`bench`/`src/bin` exempt) | no wall clock / entropy (`// audit:allow(nondet)`) |
 //! | D005 | all of `crates/` | no `static mut` / interior-mutable globals / `thread_local!` (`// audit:allow(global)`) |
 //! | D006 | `crates/*/src`, non-test | `pub fn` transitively reaching `aptq_tensor::parallel` documents `# Determinism` |
+//! | H001 | transitive closure of `# HotPath` roots | no allocation sites (`// audit:allow(alloc)`) |
+//! | H002 | transitive closure of `# HotPath` roots | no panic sites — `# Panics` doc or `// audit:allow(panic)` |
+//! | H003 | transitive closure of `# HotPath` roots | no locks / I-O (`// audit:allow(io)`) |
+//! | H004 | `# HotPath` roots | the doc section states an allocation budget (`// audit:allow(budget)`) |
+//! | N001 | `crates/*/src`, non-test | no bare float `==`/`!=` against literals (`// audit:allow(fpeq)`) |
+//! | N002 | `crates/{tensor,core,eval}/src`, non-test | reductions via `aptq_tensor::stats::kahan_sum` (`// audit:allow(accum)`) |
+//! | N003 | `crates/{tensor,core,eval}/src`, non-test | denominators guarded in the same function (`// audit:allow(div)`) |
+//! | N004 | `crates/{core,eval}/src`, non-test | `exp`/`ln`/`sqrt` inputs clamped (`// audit:allow(range)`) |
 //!
 //! The A-rules live in this module; the D-rules live in
 //! [`crate::determinism`] because D006 needs the workspace-wide symbol
-//! index ([`crate::index`]) rather than one file at a time.
+//! index ([`crate::index`]); the H-rules ([`crate::hotpath`]) and
+//! N-rules ([`crate::numerics`]) run on the same index via the
+//! reachability engine ([`crate::reach`]). [`CATALOG`] is the single
+//! source of truth the CLI's `--list-rules` prints, and a test pins it
+//! against the table above.
 //!
 //! A `.expect("non-empty message")` is treated as self-annotating: the
 //! message *is* the reason, matching the burn-down policy in ISSUE /
@@ -26,6 +38,139 @@
 
 use crate::scan::{scan, word_occurrences, ScannedFile};
 use crate::{Finding, Severity};
+
+/// One entry of the rule catalog: code, where it applies, what it
+/// enforces, and the `audit:allow` kind that silences it (empty when
+/// the rule has no annotation hatch).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    pub code: &'static str,
+    pub scope: &'static str,
+    pub summary: &'static str,
+    /// The `// audit:allow(<kind>)` kind, or `""` when none applies.
+    pub allow: &'static str,
+}
+
+/// The full rule catalog — the single source of truth behind
+/// `aptq-audit --list-rules` and the module doc table above (a test
+/// asserts they agree).
+pub const CATALOG: &[RuleInfo] = &[
+    RuleInfo {
+        code: "A001",
+        scope: "non-test lib code of aptq-tensor, aptq-core, aptq-qmodel",
+        summary: "no .unwrap() / message-less .expect(...) / panic!-family macros",
+        allow: "panic",
+    },
+    RuleInfo {
+        code: "A002",
+        scope: "crates/tensor/src, crates/core/src/pack.rs, crates/core/src/grid.rs",
+        summary: "no bare float<->int `as` casts",
+        allow: "cast",
+    },
+    RuleInfo {
+        code: "A003",
+        scope: "all crates/*/src",
+        summary: "pub fn containing an unannotated assert!/panic! documents # Panics",
+        allow: "panic",
+    },
+    RuleInfo {
+        code: "A004",
+        scope: "whole workspace",
+        summary: "unsafe forbidden outside the allowlist",
+        allow: "",
+    },
+    RuleInfo {
+        code: "A005",
+        scope: "every Cargo.toml",
+        summary: "dependencies resolve via [workspace.dependencies]",
+        allow: "",
+    },
+    RuleInfo {
+        code: "D001",
+        scope: "crates/*/src, non-test",
+        summary: "thread spawns only inside aptq_tensor::parallel",
+        allow: "thread",
+    },
+    RuleInfo {
+        code: "D002",
+        scope: "crates/*/src, non-test",
+        summary: "std::env::var only in the designated config module",
+        allow: "env",
+    },
+    RuleInfo {
+        code: "D003",
+        scope: "crates/*/src, non-test",
+        summary: "no HashMap/HashSet — use BTreeMap/BTreeSet",
+        allow: "order",
+    },
+    RuleInfo {
+        code: "D004",
+        scope: "library crates, non-test (bench/src/bin exempt)",
+        summary: "no wall clock / entropy",
+        allow: "nondet",
+    },
+    RuleInfo {
+        code: "D005",
+        scope: "all of crates/",
+        summary: "no static mut / interior-mutable globals / thread_local!",
+        allow: "global",
+    },
+    RuleInfo {
+        code: "D006",
+        scope: "crates/*/src, non-test",
+        summary: "pub fn transitively reaching aptq_tensor::parallel documents # Determinism",
+        allow: "determinism",
+    },
+    RuleInfo {
+        code: "H001",
+        scope: "transitive closure of # HotPath roots",
+        summary: "no allocation sites (Vec growth, to_vec, clone, format!, String construction)",
+        allow: "alloc",
+    },
+    RuleInfo {
+        code: "H002",
+        scope: "transitive closure of # HotPath roots",
+        summary:
+            "no panic sites (unwrap/expect/panic!/assert!), transitively; # Panics doc exempts",
+        allow: "panic",
+    },
+    RuleInfo {
+        code: "H003",
+        scope: "transitive closure of # HotPath roots",
+        summary: "no locks or I/O (Mutex/RwLock/std::io/println!)",
+        allow: "io",
+    },
+    RuleInfo {
+        code: "H004",
+        scope: "# HotPath roots",
+        summary: "every # HotPath doc section states an allocation budget",
+        allow: "budget",
+    },
+    RuleInfo {
+        code: "N001",
+        scope: "crates/*/src, non-test",
+        summary: "no bare f32/f64 ==/!= against float literals (assert lines exempt)",
+        allow: "fpeq",
+    },
+    RuleInfo {
+        code: "N002",
+        scope: "crates/{tensor,core,eval}/src, non-test",
+        summary: "reductions use aptq_tensor::stats::kahan_sum, not naive .sum::<fNN>()",
+        allow: "accum",
+    },
+    RuleInfo {
+        code: "N003",
+        scope: "crates/{tensor,core,eval}/src, non-test",
+        summary: "division denominators guarded in the same function",
+        allow: "div",
+    },
+    RuleInfo {
+        code: "N004",
+        scope: "crates/{core,eval}/src, non-test",
+        summary: "exp/ln/sqrt inputs clamped or guarded",
+        allow: "range",
+    },
+];
 
 /// Files (workspace-relative, forward slashes) where `unsafe` is
 /// permitted. Intentionally empty: the workspace is 100% safe Rust
@@ -558,5 +703,40 @@ mod tests {
     fn non_dependency_sections_are_ignored() {
         let src = "[package]\nname = \"x\"\nversion = \"1.0\"\n\n[features]\ndefault = []\n";
         assert!(check_manifest("crates/lm/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn catalog_codes_are_unique_and_sorted() {
+        let codes: Vec<&str> = CATALOG.iter().map(|r| r.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "CATALOG must be sorted by code, no dupes");
+        assert_eq!(codes.len(), 19);
+    }
+
+    #[test]
+    fn catalog_matches_module_doc_table() {
+        // The module doc table rows look like `//! | A001 | scope | … |`;
+        // every documented code must be in CATALOG and vice versa.
+        let src = include_str!("rules.rs");
+        let mut documented: Vec<&str> = src
+            .lines()
+            .filter_map(|l| {
+                let row = l.trim().strip_prefix("//! |")?;
+                let code = row.split('|').next()?.trim();
+                let looks_like_code = code.len() == 4
+                    && code.starts_with(|c: char| c.is_ascii_uppercase())
+                    && code[1..].chars().all(|c| c.is_ascii_digit());
+                looks_like_code.then_some(code)
+            })
+            .collect();
+        documented.sort_unstable();
+        documented.dedup();
+        let catalog: Vec<&str> = CATALOG.iter().map(|r| r.code).collect();
+        assert_eq!(
+            documented, catalog,
+            "rules.rs doc table and CATALOG disagree"
+        );
     }
 }

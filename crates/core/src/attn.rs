@@ -52,6 +52,10 @@ struct HeadScales {
 /// input with per-**query**-token √weights from the softmax Jacobian.
 ///
 /// `wo` is the block's output projection (`d_model × d_model`).
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+/// the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn effective_input_q(cap: &BlockCapture, wo: &Matrix) -> Matrix {
     let weights = query_weights(cap, wo);
     reweight_rows(&cap.attn_input, &weights)
@@ -60,6 +64,10 @@ pub fn effective_input_q(cap: &BlockCapture, wo: &Matrix) -> Matrix {
 /// Builds the effective input for `k_proj` (Eq. 13): the raw attention
 /// input with per-**key**-token √weights (probability mass routed through
 /// each key, softmax-Jacobian weighted).
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+/// the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn effective_input_k(cap: &BlockCapture, wo: &Matrix) -> Matrix {
     let weights = key_weights(cap, wo);
     reweight_rows(&cap.attn_input, &weights)
@@ -67,14 +75,20 @@ pub fn effective_input_k(cap: &BlockCapture, wo: &Matrix) -> Matrix {
 
 /// Builds the per-head effective inputs for `v_proj` (Eqs. 10–11):
 /// `(s_h, P_h·X)` pairs whose weighted Grams sum to the value Hessian.
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+/// the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn effective_inputs_v(cap: &BlockCapture, wo: &Matrix) -> Vec<(f32, Matrix)> {
     let n_heads = cap.probs.len();
     let d_model = cap.attn_input.cols();
+    // audit:allow(div): a capture always holds at least one attention head
     let d_head = d_model / n_heads;
     let mut out = Vec::with_capacity(n_heads);
     for (h, p) in cap.probs.iter().enumerate() {
         // s_h = ‖W^O_h‖²_F / d_head  (rows h·d_head.. of W^O).
         let wo_h = wo.slice_rows(h * d_head, (h + 1) * d_head);
+        // audit:allow(div): d_head ≥ 1 — d_model is a positive multiple of n_heads
         let s_h = wo_h.frobenius_norm_sq() / d_head as f32;
         let mixed = p.matmul(&cap.attn_input); // P_h·X, T×d_model
         out.push((s_h, mixed));
@@ -92,6 +106,10 @@ pub fn effective_input_o(cap: &BlockCapture) -> Matrix {
 /// `w[i] = Σ_h sens_h(i) · downstream_h · kscale_h / d_k` where
 /// `sens_h(i) = Σ_j p_ij(1−p_ij)` is the trace of the softmax Jacobian
 /// at query row `i`.
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+/// the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn query_weights(cap: &BlockCapture, wo: &Matrix) -> Vec<f32> {
     let t = cap.attn_input.rows();
     let n_heads = cap.probs.len();
@@ -112,6 +130,10 @@ pub fn query_weights(cap: &BlockCapture, wo: &Matrix) -> Vec<f32> {
 
 /// Per-key-token weights for the K Hessian: probability-Jacobian mass
 /// arriving at key `j` summed over queries.
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+/// the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn key_weights(cap: &BlockCapture, wo: &Matrix) -> Vec<f32> {
     let t = cap.attn_input.rows();
     let n_heads = cap.probs.len();
@@ -134,6 +156,7 @@ pub fn key_weights(cap: &BlockCapture, wo: &Matrix) -> Vec<f32> {
 fn head_scales(cap: &BlockCapture, wo: &Matrix, h: usize) -> HeadScales {
     let n_heads = cap.probs.len();
     let d_model = cap.attn_input.cols();
+    // audit:allow(div): a capture always holds at least one attention head
     let d_head = d_model / n_heads;
     let t = cap.attn_input.rows();
     let vh = cap.v.slice_cols(h * d_head, (h + 1) * d_head);
@@ -141,6 +164,7 @@ fn head_scales(cap: &BlockCapture, wo: &Matrix, h: usize) -> HeadScales {
     let vo = vh.matmul(&wo_h); // T × d_model
     HeadScales {
         downstream: vo.frobenius_norm_sq() / (t * d_model) as f32,
+        // audit:allow(div): d_head ≥ 1 — d_model is a positive multiple of n_heads
         inv_dk: 1.0 / d_head as f32,
     }
 }
@@ -160,6 +184,7 @@ fn reweight_rows(x: &Matrix, weights: &[f32]) -> Matrix {
     assert_eq!(x.rows(), weights.len(), "reweight: row count mismatch");
     // Normalize so the average weight is 1: keeps Hessian magnitude (and
     // therefore trace sensitivity) comparable with the unweighted case.
+    // audit:allow(accum): switching to f64 would change packed outputs bitwise
     let mean = weights.iter().sum::<f32>() / weights.len().max(1) as f32;
     let mean = if mean > 0.0 { mean } else { 1.0 };
     let mut out = x.clone();

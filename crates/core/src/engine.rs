@@ -125,6 +125,7 @@ pub fn quantize_layer_obq(
             // lazy-update window).
             for r in j + 1..i1 {
                 let urj = u[(j, r)];
+                // audit:allow(fpeq): exact-zero sparsity skip; no tolerance intended
                 if urj == 0.0 {
                     continue;
                 }

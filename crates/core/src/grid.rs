@@ -138,6 +138,7 @@ impl QuantGrid {
                 let mean_abs = if group.is_empty() {
                     1e-8
                 } else {
+                    // audit:allow(accum): bounded group (≤ group_size); f32 sum is the packed-scale contract
                     group.iter().map(|v| v.abs()).sum::<f32>() / usize_f32(group.len())
                 };
                 GroupParams {

@@ -134,6 +134,7 @@ pub fn salient_mask(w: &Matrix, h_diag: &[f32], ratio: f32) -> Vec<bool> {
     let (d_in, d_out) = w.shape();
     let mut salience: Vec<(usize, f32)> = (0..d_in * d_out)
         .map(|idx| {
+            // audit:allow(div): the 0..d_in*d_out range is empty when d_out is 0
             let (i, j) = (idx / d_out, idx % d_out);
             (idx, h_diag[i] * w[(i, j)] * w[(i, j)])
         })

@@ -61,7 +61,23 @@ pub fn unpack_codes(data: &[u8], bits: u8, count: usize) -> Vec<u8> {
 ///
 /// Panics if the buffer is too short for `start + count` codes.
 pub fn unpack_codes_at(data: &[u8], bits: u8, start: usize, count: usize) -> Vec<u8> {
+    let mut out = vec![0u8; count];
+    unpack_codes_at_into(data, bits, start, &mut out);
+    out
+}
+
+/// [`unpack_codes_at`] writing into a caller-provided buffer — the
+/// allocation-free variant the packed forward pass uses so its per-group
+/// scratch is reused across the whole matmul instead of reallocated per
+/// group. Decodes exactly `out.len()` codes starting at code index
+/// `start`.
+///
+/// # Panics
+///
+/// Panics if the buffer is too short for `start + out.len()` codes.
+pub fn unpack_codes_at_into(data: &[u8], bits: u8, start: usize, out: &mut [u8]) {
     assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+    let count = out.len();
     let start_bit = start * bits as usize;
     let needed = (start_bit + count * bits as usize).div_ceil(8);
     assert!(
@@ -70,7 +86,6 @@ pub fn unpack_codes_at(data: &[u8], bits: u8, start: usize, count: usize) -> Vec
         data.len()
     );
     let mask = (1u16 << bits) - 1;
-    let mut out = Vec::with_capacity(count);
     let mut idx = start_bit / 8;
     let skip = (start_bit % 8) as u8;
     let mut acc: u32 = 0;
@@ -81,17 +96,16 @@ pub fn unpack_codes_at(data: &[u8], bits: u8, start: usize, count: usize) -> Vec
         nbits = 8 - skip;
         idx += 1;
     }
-    for _ in 0..count {
+    for slot in out.iter_mut() {
         while nbits < bits {
             acc |= u32::from(data[idx]) << nbits;
             idx += 1;
             nbits += 8;
         }
-        out.push((acc as u16 & mask) as u8);
+        *slot = (acc as u16 & mask) as u8;
         acc >>= bits;
         nbits -= bits;
     }
-    out
 }
 
 /// A quantized weight matrix in storage form: packed codes + per-group

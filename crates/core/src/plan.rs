@@ -72,35 +72,37 @@ impl QuantPlan {
     /// Panics if the plan references a layer missing from `model`.
     pub fn avg_bits(&self, model: &Model) -> f32 {
         let mut weighted = 0.0f64;
-        let mut total = 0.0f64;
+        // Integer weight count: the emptiness guard below is exact, not
+        // a float comparison.
+        let mut total = 0usize;
         for (&r, &b) in &self.bits {
-            let n = model.layer_weight(r).len() as f64;
-            weighted += b as f64 * n;
+            let n = model.layer_weight(r).len();
+            weighted += b as f64 * n as f64;
             total += n;
         }
-        if total == 0.0 {
+        if total == 0 {
             0.0
         } else {
-            (weighted / total) as f32
+            (weighted / total as f64) as f32
         }
     }
 
     /// The fraction of weights assigned at least `high_bits` (the `R` of
     /// Eq. 18).
     pub fn high_bit_ratio(&self, model: &Model, high_bits: u8) -> f32 {
-        let mut high = 0.0f64;
-        let mut total = 0.0f64;
+        let mut high = 0usize;
+        let mut total = 0usize;
         for (&r, &b) in &self.bits {
-            let n = model.layer_weight(r).len() as f64;
+            let n = model.layer_weight(r).len();
             if b >= high_bits {
                 high += n;
             }
             total += n;
         }
-        if total == 0.0 {
+        if total == 0 {
             0.0
         } else {
-            (high / total) as f32
+            (high as f64 / total as f64) as f32
         }
     }
 }

@@ -37,20 +37,21 @@ impl QuantReport {
     /// counts taken from `model`.
     pub fn new(method: impl Into<String>, model: &Model, layers: Vec<LayerOutcome>) -> Self {
         let mut weighted = 0.0f64;
-        let mut total_weights = 0.0f64;
+        // Integer weight count so the emptiness guard below is exact.
+        let mut total_weights = 0usize;
         let mut quantized_bytes = 0usize;
         let mut fp16_bytes = 0usize;
         for o in &layers {
             let n = model.layer_weight(o.layer).len();
             weighted += o.bits as f64 * n as f64;
-            total_weights += n as f64;
+            total_weights += n;
             quantized_bytes += o.storage_bytes;
             fp16_bytes += n * 2;
         }
-        let avg_bits = if total_weights == 0.0 {
+        let avg_bits = if total_weights == 0 {
             0.0
         } else {
-            (weighted / total_weights) as f32
+            (weighted / total_weights as f64) as f32
         };
         QuantReport {
             method: method.into(),

@@ -159,6 +159,7 @@ impl SensitivityReport {
         if self.entries.is_empty() {
             return 0.0;
         }
+        // audit:allow(accum): short per-layer list; f32 sum keeps reported scores bit-stable
         self.entries.iter().map(|e| e.mean_trace).sum::<f32>() / self.entries.len() as f32
     }
 
@@ -307,11 +308,8 @@ pub fn hutchinson_trace(h: &aptq_tensor::Matrix, n_probes: usize, seed: u64) -> 
             .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
             .collect();
         let hz = h.matvec(&z);
-        acc += z
-            .iter()
-            .zip(hz.iter())
-            .map(|(&a, &b)| (a * b) as f64)
-            .sum::<f64>();
+        acc +=
+            aptq_tensor::stats::kahan_sum(z.iter().zip(hz.iter()).map(|(&a, &b)| (a * b) as f64));
     }
     (acc / n_probes as f64) as f32
 }

@@ -29,6 +29,10 @@ pub struct SuiteResult {
 /// # Errors
 ///
 /// Propagates inference errors.
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+/// the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn choice_loglik(model: &Model, prompt: &[u32], choice: &[u32]) -> Result<f32, EvalError> {
     debug_assert!(!prompt.is_empty() && !choice.is_empty());
     let mut seq = Vec::with_capacity(prompt.len() + choice.len());
@@ -50,6 +54,10 @@ pub fn choice_loglik(model: &Model, prompt: &[u32], choice: &[u32]) -> Result<f3
 /// # Errors
 ///
 /// Propagates inference errors.
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+/// the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn predict(model: &Model, item: &TaskItem) -> Result<usize, EvalError> {
     let mut best = 0usize;
     let mut best_score = f32::NEG_INFINITY;
@@ -69,6 +77,10 @@ pub fn predict(model: &Model, item: &TaskItem) -> Result<usize, EvalError> {
 ///
 /// Returns [`EvalError::EmptyInput`] for an empty suite; propagates
 /// inference errors.
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+/// the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn evaluate_suite(model: &Model, suite: &TaskSuite) -> Result<SuiteResult, EvalError> {
     if suite.is_empty() {
         return Err(EvalError::EmptyInput("task suite"));
@@ -92,11 +104,16 @@ pub fn evaluate_suite(model: &Model, suite: &TaskSuite) -> Result<SuiteResult, E
 /// # Errors
 ///
 /// Propagates per-suite errors.
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+/// the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn evaluate_suites(model: &Model, suites: &[TaskSuite]) -> Result<Vec<SuiteResult>, EvalError> {
     let mut results = Vec::with_capacity(suites.len() + 1);
     for s in suites {
         results.push(evaluate_suite(model, s)?);
     }
+    // audit:allow(accum): handful of suite accuracies; f32 mean is the reported metric
     let mean = results.iter().map(|r| r.accuracy).sum::<f32>() / results.len().max(1) as f32;
     results.push(SuiteResult {
         name: "Mean".to_string(),

@@ -131,10 +131,19 @@ impl MultiHeadAttention {
     ///
     /// [`backward`]: MultiHeadAttention::backward
     ///
+    /// # HotPath
+    ///
+    /// Allocation budget: Q/K/V/score/cache matrices sized by the
+    /// sequence, allocated once per call; inner loops are heap-free.
+    ///
     /// # Panics
     ///
     /// Panics if `x.cols() != d_model` or the sequence exceeds the RoPE
     /// table.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn forward(&self, x: &Matrix, rope: &RopeTable) -> (Matrix, AttentionCache) {
         let t = x.rows();
         let d_model = self.wq.d_in();
@@ -154,6 +163,7 @@ impl MultiHeadAttention {
             }
         }
 
+        // audit:allow(alloc): once-per-call cache of per-head prob matrices
         let mut probs = Vec::with_capacity(self.n_heads);
         let mut concat = Matrix::zeros(t, d_model);
         for h in 0..self.n_heads {
@@ -174,11 +184,13 @@ impl MultiHeadAttention {
             softmax_rows(&mut scores);
             let head = scores.matmul(&vh);
             concat.set_block(0, lo, &head);
+            // audit:allow(alloc): moves the head's score matrix into the cache
             probs.push(scores);
         }
 
         let out = self.wo.forward(&concat);
         let cache = AttentionCache {
+            // audit:allow(alloc): the cache owns its input copy for backward
             x: x.clone(),
             q_rot: q,
             k_rot: k,
@@ -198,6 +210,10 @@ impl MultiHeadAttention {
     ///
     /// Panics if `dy`'s shape does not match the cached activation
     /// shape `(T, d_model)`.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn backward(
         &self,
         cache: &AttentionCache,

@@ -62,9 +62,14 @@ impl TransformerBlock {
     }
 
     /// Forward pass; returns `(output, cache)`.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn forward(&self, x: &Matrix, rope: &RopeTable) -> (Matrix, BlockForwardCache) {
         let (normed1, c_norm1) = self.norm1.forward(x);
         let (attn_out, c_attn) = self.attn.forward(&normed1, rope);
+        // audit:allow(alloc): residual buffer, one per call, sized by the input
         let mut h = x.clone();
         h.add_assign(&attn_out);
         let (normed2, c_norm2) = self.norm2.forward(&h);
@@ -83,6 +88,10 @@ impl TransformerBlock {
     }
 
     /// Fast forward pass without cache (inference / evaluation).
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn forward_no_cache(&self, x: &Matrix, rope: &RopeTable) -> Matrix {
         // Reuses the caching path; caches are small relative to the
         // matmuls at the scales this crate targets.
@@ -90,6 +99,10 @@ impl TransformerBlock {
     }
 
     /// Backward pass; returns `(dx, grads)`.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn backward(
         &self,
         cache: &BlockForwardCache,

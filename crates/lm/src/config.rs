@@ -49,6 +49,7 @@ impl ModelConfig {
     /// compensation, which would erase every comparison the paper makes.
     pub fn tiny_llama_s(vocab_size: usize) -> Self {
         ModelConfig {
+            // audit:allow(alloc): cold constructor — builds the config name once
             name: "TinyLlama-S".to_string(),
             vocab_size,
             d_model: 32,
@@ -66,6 +67,7 @@ impl ModelConfig {
     /// [`tiny_llama_s`]: ModelConfig::tiny_llama_s
     pub fn tiny_llama_m(vocab_size: usize) -> Self {
         ModelConfig {
+            // audit:allow(alloc): cold constructor — builds the config name once
             name: "TinyLlama-M".to_string(),
             vocab_size,
             d_model: 36,

@@ -112,10 +112,16 @@ impl<'m> DecodeSession<'m> {
     /// ([`aptq_tensor::parallel`]); logits and recorded counters are
     /// bit-identical at any `APTQ_THREADS` value.
     ///
+    /// # HotPath
+    ///
+    /// Allocation budget: per-token scratch (projection rows, per-head
+    /// score vector, logits row) sized by the model, never by the
+    /// sequence; the KV cache is written in place, never regrown.
+    ///
     /// # Errors
     ///
     /// Returns [`LmError::TokenOutOfRange`] for invalid ids and
-    /// [`LmError::InvalidConfig`] when the RoPE table (i.e.
+    /// [`LmError::SequenceFull`] when the RoPE table (i.e.
     /// `max_seq_len`) is exhausted.
     pub fn feed(&mut self, token: u32) -> Result<Vec<f32>, LmError> {
         let cfg = self.model.config();
@@ -126,10 +132,10 @@ impl<'m> DecodeSession<'m> {
             });
         }
         if self.pos >= cfg.max_seq_len {
-            return Err(LmError::InvalidConfig(format!(
-                "decode position {} exceeds max_seq_len {}",
-                self.pos, cfg.max_seq_len
-            )));
+            return Err(LmError::SequenceFull {
+                pos: self.pos,
+                max_seq_len: cfg.max_seq_len,
+            });
         }
         let d_model = cfg.d_model;
         let n_heads = cfg.n_heads;
@@ -215,7 +221,9 @@ impl<'m> DecodeSession<'m> {
         let logits = normed.matmul(self.model.lm_head());
         self.pos += 1;
         self.metrics.incr("decode/tokens");
-        Ok(logits.row(0).to_vec())
+        // `logits` is 1 × vocab: moving it out is free, where
+        // `row(0).to_vec()` would copy the row.
+        Ok(logits.into_vec())
     }
 
     /// Feeds a whole prompt, returning the logits after its last token.
@@ -317,7 +325,7 @@ mod tests {
         for i in 0..32 {
             s.feed((i % 16) as u32).unwrap();
         }
-        assert!(matches!(s.feed(0), Err(LmError::InvalidConfig(_))));
+        assert!(matches!(s.feed(0), Err(LmError::SequenceFull { .. })));
     }
 
     #[test]

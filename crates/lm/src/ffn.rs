@@ -76,6 +76,10 @@ impl SwiGlu {
     }
 
     /// Forward pass; returns `(output, cache)`.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn forward(&self, x: &Matrix) -> (Matrix, SwiGluCache) {
         let g = self.gate.forward(x);
         let u = self.up.forward(x);
@@ -91,6 +95,7 @@ impl SwiGlu {
         (
             y,
             SwiGluCache {
+                // audit:allow(alloc): the cache owns its input copy for backward
                 x: x.clone(),
                 g,
                 u,
@@ -100,6 +105,10 @@ impl SwiGlu {
     }
 
     /// Backward pass; returns `(dx, grads)`.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn backward(&self, cache: &SwiGluCache, dy: &Matrix) -> (Matrix, SwiGluGrads) {
         let (dhidden, ddown) = self.down.backward(&cache.hidden, dy);
         // hidden = silu(g) ⊙ u

@@ -65,6 +65,13 @@ pub enum LmError {
     Checkpoint(String),
     /// A configuration invariant was violated.
     InvalidConfig(String),
+    /// A decode session consumed all `max_seq_len` positions.
+    SequenceFull {
+        /// Position the rejected token would have occupied.
+        pos: usize,
+        /// The configured sequence capacity.
+        max_seq_len: usize,
+    },
 }
 
 impl std::fmt::Display for LmError {
@@ -76,6 +83,9 @@ impl std::fmt::Display for LmError {
             LmError::EmptyInput => write!(f, "input sequence must contain at least one token"),
             LmError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             LmError::InvalidConfig(msg) => write!(f, "invalid model config: {msg}"),
+            LmError::SequenceFull { pos, max_seq_len } => {
+                write!(f, "decode position {pos} exceeds max_seq_len {max_seq_len}")
+            }
         }
     }
 }
@@ -94,6 +104,11 @@ mod tests {
         assert!(!LmError::EmptyInput.to_string().is_empty());
         assert!(LmError::Checkpoint("x".into()).to_string().contains('x'));
         assert!(LmError::InvalidConfig("y".into()).to_string().contains('y'));
+        let full = LmError::SequenceFull {
+            pos: 32,
+            max_seq_len: 32,
+        };
+        assert!(full.to_string().contains("32"));
     }
 
     #[test]

@@ -63,6 +63,10 @@ impl Linear {
     /// # Panics
     ///
     /// Panics if `x.cols() != d_in`.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn forward(&self, x: &Matrix) -> Matrix {
         x.matmul(&self.weight)
     }

@@ -366,6 +366,10 @@ impl Model {
     ///
     /// Panics on out-of-range tokens or sequences longer than
     /// `max_seq_len`.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn forward(&self, tokens: &[u32]) -> Matrix {
         let mut x = self.embed_tokens(tokens);
         for block in &self.blocks {
@@ -381,6 +385,10 @@ impl Model {
     ///
     /// Returns [`LmError::EmptyInput`] for an empty sequence and
     /// [`LmError::TokenOutOfRange`] for invalid token ids.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn try_forward(&self, tokens: &[u32]) -> Result<Matrix, LmError> {
         if tokens.is_empty() {
             return Err(LmError::EmptyInput);
@@ -400,6 +408,10 @@ impl Model {
     ///
     /// Used by the quantization pipelines: the returned
     /// [`ModelCapture`] carries everything both GPTQ and APTQ need.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn forward_capture(&self, tokens: &[u32]) -> (Matrix, ModelCapture) {
         let mut x = self.embed_tokens(tokens);
         let mut captures = Vec::with_capacity(self.blocks.len());
@@ -420,6 +432,10 @@ impl Model {
     /// # Panics
     ///
     /// Panics if the sequence has fewer than 2 tokens.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn sequence_loss(&self, tokens: &[u32]) -> f32 {
         assert!(tokens.len() >= 2, "sequence_loss: need at least 2 tokens");
         let logits = self.forward(tokens);
@@ -439,6 +455,10 @@ impl Model {
     /// # Panics
     ///
     /// Panics if the sequence has fewer than 2 tokens.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn sequence_grads(&self, tokens: &[u32]) -> (f32, ModelGrads) {
         assert!(tokens.len() >= 2, "sequence_grads: need at least 2 tokens");
         let t = tokens.len();

@@ -72,6 +72,11 @@ impl RopeTable {
 
     /// Rotates one head vector in place for the given position.
     ///
+    /// # HotPath
+    ///
+    /// Allocation budget: zero — rotation is in place from the
+    /// precomputed table.
+    ///
     /// # Panics
     ///
     /// Panics if `row.len() != d_head` or `pos >= max_seq`.

@@ -44,6 +44,7 @@ impl Recorder {
         debug_assert!(scope::is_valid(scope), "invalid counter scope: {scope:?}");
         let slot = match self.counters.get_mut(scope) {
             Some(v) => v,
+            // audit:allow(alloc): interns each counter key once, first sighting only
             None => self.counters.entry(scope.to_string()).or_insert(0),
         };
         *slot = slot.saturating_add(n);
@@ -158,6 +159,7 @@ pub struct ScopedRecorder<'a> {
 impl ScopedRecorder<'_> {
     /// Adds `n` under `prefix + "/" + scope`.
     pub fn add(&mut self, scope: &str, n: u64) {
+        // audit:allow(alloc): scoped names are joined per call; hot paths use Recorder directly
         let full = format!("{}/{scope}", self.prefix);
         self.inner.add(&full, n);
     }

@@ -1,7 +1,7 @@
 //! A linear layer executing directly from packed sub-byte storage.
 
 use aptq_core::grid::GridKind;
-use aptq_core::pack::{unpack_codes_at, PackedTensor};
+use aptq_core::pack::{unpack_codes_at_into, PackedTensor};
 use aptq_obs::Recorder;
 use aptq_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -74,6 +74,11 @@ impl QuantizedLinear {
     /// Single-threaded scalar loops: bit-identical at any
     /// `APTQ_THREADS` value.
     ///
+    /// # HotPath
+    ///
+    /// Allocation budget: one `t × d_out` output and one group-sized
+    /// scratch per call; the streaming group loop is allocation-free.
+    ///
     /// # Panics
     ///
     /// Panics if `x.cols() != d_in`.
@@ -85,14 +90,19 @@ impl QuantizedLinear {
     /// under `qmodel/qlinear/…`: forward calls, groups and codes
     /// unpacked, multiply-accumulates, and `fallback_entries` — the
     /// count of groups that had to re-unpack the whole code stream.
-    /// Since the bit-offset unpacker ([`unpack_codes_at`]) removed that
-    /// path, the counter is materialized at 0 so telemetry consumers
-    /// can assert its absence rather than infer it.
+    /// Since the bit-offset unpacker ([`unpack_codes_at_into`]) removed
+    /// that path, the counter is materialized at 0 so telemetry
+    /// consumers can assert its absence rather than infer it.
     ///
     /// # Determinism
     ///
     /// Single-threaded scalar loops: output *and counters* are
     /// bit-identical at any `APTQ_THREADS` value.
+    ///
+    /// # HotPath
+    ///
+    /// Allocation budget: same as [`QuantizedLinear::forward`] plus the
+    /// recorder's counter-key interning.
     ///
     /// # Panics
     ///
@@ -113,6 +123,7 @@ impl QuantizedLinear {
         let grid = self.packed.grid;
         let mut y = Matrix::zeros(t, d_out);
         let mut scratch = vec![0.0f32; group * d_out];
+        let mut code_buf = vec![0u8; group * d_out];
 
         let n_groups = self.packed.n_groups();
         for g in 0..n_groups {
@@ -120,11 +131,13 @@ impl QuantizedLinear {
             let r1 = (r0 + group).min(d_in);
             let rows = r1 - r0;
             // Unpack this group's code rows directly from their bit
-            // offset. Codes are packed row-major over the whole matrix
-            // and rows are byte-aligned only when (d_out × bits) % 8
-            // == 0; `unpack_codes_at` handles the misaligned case
-            // without re-unpacking the stream from the start.
-            let codes = unpack_codes_at(&self.packed.data, grid.bits(), r0 * d_out, rows * d_out);
+            // offset into the reused buffer. Codes are packed row-major
+            // over the whole matrix and rows are byte-aligned only when
+            // (d_out × bits) % 8 == 0; `unpack_codes_at_into` handles
+            // the misaligned case without re-unpacking the stream from
+            // the start, and without a per-group allocation.
+            let codes = &mut code_buf[..rows * d_out];
+            unpack_codes_at_into(&self.packed.data, grid.bits(), r0 * d_out, codes);
             if let Some(r) = rec.as_deref_mut() {
                 r.incr("qmodel/qlinear/groups_unpacked");
                 r.add("qmodel/qlinear/codes_unpacked", (rows * d_out) as u64);
@@ -141,6 +154,7 @@ impl QuantizedLinear {
                 let x_row = &x.row(row)[r0..r1];
                 let y_row = y.row_mut(row);
                 for (ri, &xv) in x_row.iter().enumerate() {
+                    // audit:allow(fpeq): exact-zero sparsity skip; no tolerance intended
                     if xv == 0.0 {
                         continue;
                     }

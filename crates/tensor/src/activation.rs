@@ -23,6 +23,7 @@ pub fn softmax_rows(m: &mut Matrix) {
             *v = (*v - max).exp();
             sum += *v;
         }
+        // audit:allow(div): max-shifted exp sum ≥ 1 (the max element contributes exp(0))
         let inv = 1.0 / sum;
         for v in row.iter_mut() {
             *v *= inv;

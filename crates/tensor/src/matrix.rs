@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::num::{narrow_f32, usize_f32};
 use crate::parallel;
+use crate::stats::kahan_sum;
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -286,6 +287,7 @@ impl Matrix {
             let a_row = self.row(t);
             let b_row = rhs.row(t);
             for (i, &a) in a_row.iter().enumerate() {
+                // audit:allow(fpeq): exact-zero sparsity skip; no tolerance intended
                 if a == 0.0 {
                     continue;
                 }
@@ -421,6 +423,9 @@ impl Matrix {
         }
     }
 
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
     fn zip_with(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(
             self.shape(),
@@ -536,28 +541,21 @@ impl Matrix {
 
     /// Frobenius norm `sqrt(Σ aᵢⱼ²)`.
     pub fn frobenius_norm(&self) -> f32 {
-        narrow_f32(
-            self.data
-                .iter()
-                .map(|&a| f64::from(a) * f64::from(a))
-                .sum::<f64>()
-                .sqrt(),
-        )
+        narrow_f32(self.frobenius_norm_sq_f64().sqrt())
     }
 
-    /// Squared Frobenius norm, accumulated in f64.
+    /// Squared Frobenius norm, compensated in f64.
     pub fn frobenius_norm_sq(&self) -> f32 {
-        narrow_f32(
-            self.data
-                .iter()
-                .map(|&a| f64::from(a) * f64::from(a))
-                .sum::<f64>(),
-        )
+        narrow_f32(self.frobenius_norm_sq_f64())
     }
 
-    /// Sum of all elements (f64 accumulator).
+    fn frobenius_norm_sq_f64(&self) -> f64 {
+        kahan_sum(self.data.iter().map(|&a| f64::from(a) * f64::from(a)))
+    }
+
+    /// Sum of all elements (compensated f64 accumulator).
     pub fn sum(&self) -> f32 {
-        narrow_f32(self.data.iter().map(|&a| f64::from(a)).sum::<f64>())
+        narrow_f32(kahan_sum(self.data.iter().map(|&a| f64::from(a))))
     }
 
     /// Mean of all elements.
@@ -583,7 +581,7 @@ impl Matrix {
     /// Panics if the matrix is not square.
     pub fn trace(&self) -> f32 {
         assert_eq!(self.rows, self.cols, "trace: matrix must be square");
-        narrow_f32((0..self.rows).map(|i| f64::from(self[(i, i)])).sum::<f64>())
+        narrow_f32(kahan_sum((0..self.rows).map(|i| f64::from(self[(i, i)]))))
     }
 
     /// Returns the diagonal as a vector.

@@ -80,6 +80,7 @@ fn matmul_band(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
             let o_row = &mut out[i * n..(i + 1) * n];
             for kk in k0..kend {
                 let av = a_row[kk];
+                // audit:allow(fpeq): exact-zero sparsity skip; no tolerance intended
                 if av == 0.0 {
                     continue;
                 }

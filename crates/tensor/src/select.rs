@@ -15,6 +15,10 @@
 /// index. Returns 0 when `xs` is empty or all-NaN (the deterministic
 /// fallback a sampler needs; callers that must distinguish should check
 /// emptiness first).
+///
+/// # HotPath
+///
+/// Allocation budget: zero — one scan, no heap traffic.
 pub fn argmax(xs: &[f32]) -> usize {
     let mut best: Option<(usize, f32)> = None;
     for (i, &v) in xs.iter().enumerate() {
@@ -34,6 +38,10 @@ pub fn argmax(xs: &[f32]) -> usize {
 ///
 /// Always returns exactly `min(k, #non-NaN)` indices — boundary ties
 /// are resolved by index rather than keeping every tied entry.
+///
+/// # HotPath
+///
+/// Allocation budget: one index vector sized by the candidate count.
 pub fn top_k_indices(xs: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).filter(|&i| !xs[i].is_nan()).collect();
     idx.sort_by(|&a, &b| xs[b].total_cmp(&xs[a]).then(a.cmp(&b)));

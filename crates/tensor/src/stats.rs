@@ -1,14 +1,75 @@
 //! Summary statistics used by quantizer grids, sensitivity reports and
 //! the experiment harness.
+//!
+//! Every reduction in this module runs through [`kahan_sum`] (Neumaier
+//! compensated summation) so results are independent of input magnitude
+//! ordering to within one f64 ulp — the audit N002 rule pins the rest of
+//! the workspace to the same accumulator.
 
 use crate::num::{narrow_f32, usize_f64};
 
-/// Mean of a slice (f64 accumulator); `0.0` for empty input.
+/// Streaming Neumaier-compensated accumulator.
+///
+/// Tracks a running sum plus a compensation term so that adding values
+/// of wildly different magnitudes (the `[1.0, 1e100, 1.0, -1e100]`
+/// failure case of naive summation) still recovers the exact result.
+/// Use [`kahan_sum`] for one-shot reductions; use this struct when the
+/// loop also does other work per element (e.g. the perplexity NLL sum).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KahanSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl KahanSum {
+    /// Fresh accumulator at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            sum: 0.0,
+            comp: 0.0,
+        }
+    }
+
+    /// Add one term, folding the rounding error of the addition into the
+    /// compensation term (Neumaier's branch keeps the larger-magnitude
+    /// operand as the base so the error term stays representable).
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Compensated total accumulated so far.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+/// Neumaier-compensated sum of an f64 sequence.
+///
+/// Matches exact (infinitely precise) summation to within 1 ulp on
+/// adversarial cancellation inputs where naive left-to-right `.sum()`
+/// loses all significant digits; see the property tests.
+pub fn kahan_sum(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = KahanSum::new();
+    for x in xs {
+        acc.add(x);
+    }
+    acc.total()
+}
+
+/// Mean of a slice (compensated f64 accumulator); `0.0` for empty input.
 pub fn mean(xs: &[f32]) -> f32 {
     if xs.is_empty() {
         return 0.0;
     }
-    narrow_f32(xs.iter().map(|&x| f64::from(x)).sum::<f64>() / usize_f64(xs.len()))
+    narrow_f32(kahan_sum(xs.iter().map(|&x| f64::from(x))) / usize_f64(xs.len()))
 }
 
 /// Population variance; `0.0` for inputs shorter than 2.
@@ -17,7 +78,7 @@ pub fn variance(xs: &[f32]) -> f32 {
         return 0.0;
     }
     let m = f64::from(mean(xs));
-    narrow_f32(xs.iter().map(|&x| (f64::from(x) - m).powi(2)).sum::<f64>() / usize_f64(xs.len()))
+    narrow_f32(kahan_sum(xs.iter().map(|&x| (f64::from(x) - m).powi(2))) / usize_f64(xs.len()))
 }
 
 /// Population standard deviation.
@@ -67,7 +128,7 @@ pub fn mean_abs(xs: &[f32]) -> f32 {
     if xs.is_empty() {
         return 0.0;
     }
-    narrow_f32(xs.iter().map(|&x| f64::from(x).abs()).sum::<f64>() / usize_f64(xs.len()))
+    narrow_f32(kahan_sum(xs.iter().map(|&x| f64::from(x).abs())) / usize_f64(xs.len()))
 }
 
 /// Root-mean-square error between two slices.
@@ -80,16 +141,23 @@ pub fn rmse(a: &[f32], b: &[f32]) -> f32 {
     if a.is_empty() {
         return 0.0;
     }
-    let s: f64 = a
-        .iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| f64::from(x - y).powi(2))
-        .sum();
+    let s = kahan_sum(
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| f64::from(x - y).powi(2)),
+    );
     narrow_f32((s / usize_f64(a.len())).sqrt())
 }
 
 /// Pearson correlation between two slices; `0.0` when either side has no
-/// variance.
+/// variance *resolvable at f32 precision*.
+///
+/// The degeneracy guard is epsilon-scaled rather than a bare `== 0.0`:
+/// a side is degenerate when its centered sum of squares falls at or
+/// below `ε² · Σx²` (ε = f32 machine epsilon). Inputs whose spread is
+/// smaller than the rounding noise of their own magnitude (e.g. values
+/// alternating by 1 around 2²³) would otherwise yield a correlation
+/// made entirely of quantization error.
 ///
 /// # Panics
 ///
@@ -101,20 +169,28 @@ pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
     }
     let ma = f64::from(mean(a));
     let mb = f64::from(mean(b));
-    let mut cov = 0.0f64;
-    let mut va = 0.0f64;
-    let mut vb = 0.0f64;
+    let mut cov = KahanSum::new();
+    let mut va = KahanSum::new();
+    let mut vb = KahanSum::new();
+    // Raw second moments scale the degeneracy threshold to the data.
+    let mut sa = KahanSum::new();
+    let mut sb = KahanSum::new();
     for (&x, &y) in a.iter().zip(b.iter()) {
-        let dx = f64::from(x) - ma;
-        let dy = f64::from(y) - mb;
-        cov += dx * dy;
-        va += dx * dx;
-        vb += dy * dy;
+        let (xf, yf) = (f64::from(x), f64::from(y));
+        let dx = xf - ma;
+        let dy = yf - mb;
+        cov.add(dx * dy);
+        va.add(dx * dx);
+        vb.add(dy * dy);
+        sa.add(xf * xf);
+        sb.add(yf * yf);
     }
-    if va == 0.0 || vb == 0.0 {
+    let (va, vb) = (va.total(), vb.total());
+    let eps = f64::from(f32::EPSILON);
+    if va <= eps * eps * sa.total() || vb <= eps * eps * sb.total() {
         return 0.0;
     }
-    narrow_f32(cov / (va.sqrt() * vb.sqrt()))
+    narrow_f32(cov.total() / (va.sqrt() * vb.sqrt()))
 }
 
 #[cfg(test)]
@@ -173,5 +249,38 @@ mod tests {
         let c = [8.0f32, 6.0, 4.0, 2.0];
         assert!((pearson(&a, &c) + 1.0).abs() < 1e-6);
         assert_eq!(pearson(&a, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_rejects_sub_epsilon_variance() {
+        // Values alternate by exactly 1 around 2²³ + 0.5: the true mean
+        // is not representable in f32, so every centered deviation is
+        // dominated by rounding noise. The old `va == 0.0` guard let
+        // this through and reported a spurious correlation of ±1.
+        let a = [8_388_608.0f32, 8_388_609.0, 8_388_608.0, 8_388_609.0];
+        let b = [0.0f32, 1.0, 0.0, 1.0];
+        assert_eq!(pearson(&a, &b), 0.0);
+        // The same pattern at a small magnitude is well-resolved and
+        // must still correlate perfectly.
+        let c = [8.0f32, 9.0, 8.0, 9.0];
+        assert!((pearson(&c, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kahan_recovers_catastrophic_cancellation() {
+        // Naive left-to-right f64 summation returns 0.0 here.
+        assert_eq!(kahan_sum([1.0, 1e100, 1.0, -1e100]), 2.0);
+        assert_eq!(kahan_sum([1e100, 1.0, -1e100, 1.0]), 2.0);
+        assert_eq!(kahan_sum(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn kahan_streaming_matches_one_shot() {
+        let xs = [0.1, -2.75, 1e9, 3.5e-8, -1e9, 42.0];
+        let mut acc = KahanSum::new();
+        for &x in &xs {
+            acc.add(x);
+        }
+        assert_eq!(acc.total(), kahan_sum(xs));
     }
 }

@@ -1,7 +1,23 @@
 //! Property-based tests for the tensor substrate.
 
-use aptq_tensor::{activation, linalg, Matrix};
+use aptq_tensor::{activation, linalg, stats, Matrix};
 use proptest::prelude::*;
+
+/// Sign-aware monotonic key for f64 bit patterns, so ulp distance is a
+/// plain integer difference even across the ±0 boundary.
+fn ulp_key(x: f64) -> i64 {
+    // audit:allow(cast): bit-pattern reinterpretation, not a value cast
+    let b = x.to_bits() as i64;
+    if b < 0 {
+        i64::MIN.wrapping_sub(b)
+    } else {
+        b
+    }
+}
+
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    ulp_key(a).abs_diff(ulp_key(b))
+}
 
 /// Strategy producing a random matrix with entries in [-2, 2].
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -109,5 +125,29 @@ proptest! {
     fn frobenius_norm_triangle_inequality((a, b) in (matrix(4, 4), matrix(4, 4))) {
         let sum = a.add(&b);
         prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-4);
+    }
+
+    #[test]
+    fn kahan_sum_within_one_ulp_of_exact(
+        terms in proptest::collection::vec((i32::MIN..=i32::MAX, 0u8..=30), 1..64)
+    ) {
+        // Each term is (i as f64) · 2^(s−24): exactly representable, and
+        // scaled by 2^24 the sum is an exact i128 integer — so the f64
+        // nearest to that integer is the correctly rounded true sum.
+        let values: Vec<f64> = terms
+            .iter()
+            .map(|&(i, s)| f64::from(i) * f64::from(i32::from(s) - 24).exp2())
+            .collect();
+        let exact_scaled: i128 = terms
+            .iter()
+            .map(|&(i, s)| i128::from(i) << s)
+            .sum();
+        // audit:allow(cast): i128 → f64 rounds to nearest, the reference we want
+        let reference = (exact_scaled as f64) / 16_777_216.0;
+        let got = stats::kahan_sum(values.iter().copied());
+        prop_assert!(
+            ulp_diff(got, reference) <= 1,
+            "kahan_sum={got:e} reference={reference:e}"
+        );
     }
 }
