@@ -108,6 +108,30 @@ fn bench_forward(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_quantized_decode(c: &mut Criterion) {
+    // Steady-state decode from packed storage vs the float path above:
+    // same generic DecodeSession, projections executed by the
+    // group-streaming QuantizedLinear instead of fp32 matmul.
+    let model = Model::new(&ModelConfig::tiny_llama_s(100), 7);
+    let tokens: Vec<u32> = (0..64).map(|i| (i % 100) as u32).collect();
+    let calib: Vec<Vec<u32>> = (0..4)
+        .map(|k| (0..48).map(|i| ((i * 3 + k) % 100) as u32).collect())
+        .collect();
+    let hs = aptq_core::collect_hessians(&model, &calib, aptq_core::HessianMode::AttentionAware)
+        .unwrap();
+    let plan = aptq_core::QuantPlan::uniform(&model, 4);
+    let q = aptq_qmodel::QuantizedModel::quantize_from(&model, &plan, &hs, &GridConfig::default())
+        .unwrap();
+    let mut group = c.benchmark_group("quantized");
+    group.bench_function("forward_64tok", |b| {
+        b.iter(|| black_box(q.forward(&tokens).unwrap()));
+    });
+    group.bench_function("decode_32_plus_8", |b| {
+        b.iter(|| black_box(q.generate_greedy(&tokens[..32], 8).unwrap()));
+    });
+    group.finish();
+}
+
 fn bench_packing(c: &mut Criterion) {
     let codes: Vec<u8> = (0..96 * 96).map(|i| (i % 16) as u8).collect();
     let mut group = c.benchmark_group("packing");
@@ -131,6 +155,6 @@ criterion_group!(
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
     targets = bench_matmul, bench_cholesky, bench_obq_layer, bench_hessian_collection,
-        bench_forward, bench_packing
+        bench_forward, bench_quantized_decode, bench_packing
 );
 criterion_main!(kernels);

@@ -119,5 +119,64 @@ fn main() {
     );
     rec.merge(&metrics);
 
+    // --- Quantized 256-token decode over the same model: the packed
+    // stack instantiates the same generic DecodeSession, so per-token
+    // operator work must be flat in sequence position. The steady-state
+    // per-token costs are archived under `decode/q/…` next to the float
+    // `decode/…` scope for side-by-side comparison.
+    let hs = aptq_core::collect_hessians(&model, &eval_segs, aptq_core::HessianMode::LayerInput)
+        .expect("hessians for packed decode");
+    let plan = aptq_core::QuantPlan::uniform(&model, 4);
+    let qmodel = aptq_qmodel::QuantizedModel::quantize_from(&model, &plan, &hs, &grid)
+        .expect("packed model must quantize");
+    let mut qdecode = qmodel.decode_session();
+    let mut prev = (0u64, 0u64);
+    let mut per_token = None;
+    for i in 0..256u32 {
+        qdecode
+            .feed(i % 16)
+            .expect("quantized decode must not exhaust context");
+        let m = qdecode.metrics();
+        let now = (
+            m.get("qmodel/qlinear/codes_unpacked"),
+            m.get("qmodel/qlinear/macs"),
+        );
+        let delta = (now.0 - prev.0, now.1 - prev.1);
+        prev = now;
+        match per_token {
+            None => per_token = Some(delta),
+            Some(first) => assert_eq!(
+                delta, first,
+                "step {i}: quantized per-token decode cost must be \
+                 independent of sequence position"
+            ),
+        }
+    }
+    let per_token = per_token.expect("256 steps ran");
+    let qused = qdecode.cache_bytes() as u64;
+    let qmetrics = qdecode.take_metrics();
+    assert_eq!(qmetrics.get("decode/tokens"), 256);
+    assert_eq!(
+        qmetrics.get("decode/kv_bytes_moved"),
+        qused,
+        "quantized KV write traffic must equal used bytes — O(T)"
+    );
+    assert_eq!(
+        qmetrics.get("qmodel/qlinear/fallback_entries"),
+        0,
+        "packed decode must never take a re-unpack fallback"
+    );
+    rec.add("decode/q/tokens", qmetrics.get("decode/tokens"));
+    rec.add(
+        "decode/q/kv_bytes_moved",
+        qmetrics.get("decode/kv_bytes_moved"),
+    );
+    rec.add("decode/q/codes_unpacked_per_token", per_token.0);
+    rec.add("decode/q/macs_per_token", per_token.1);
+    rec.add(
+        "decode/q/forward_calls",
+        qmetrics.get("qmodel/qlinear/forward_calls"),
+    );
+
     aptq_bench::emit("telemetry.json", &rec.to_json()).expect("emit telemetry.json");
 }

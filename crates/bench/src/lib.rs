@@ -94,6 +94,12 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates training/checkpoint errors.
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: training, capture and
+    /// evaluation all run on the deterministic threadpool
+    /// ([`aptq_tensor::parallel`]) from fixed seeds.
     pub fn prepare(
         size: ModelSize,
         scale: ExperimentScale,
@@ -141,6 +147,12 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates quantization/evaluation failures.
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: training, capture and
+    /// evaluation all run on the deterministic threadpool
+    /// ([`aptq_tensor::parallel`]) from fixed seeds.
     pub fn perplexity_row(&mut self, method: Method) -> Result<EvalOutcome, EvalError> {
         let (model, measured) =
             quantize_clone_session(&self.stack.model, method, &mut self.session, &self.grid)?;
@@ -160,6 +172,12 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates quantization/evaluation failures.
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: training, capture and
+    /// evaluation all run on the deterministic threadpool
+    /// ([`aptq_tensor::parallel`]) from fixed seeds.
     pub fn zeroshot_row(&mut self, method: Method) -> Result<EvalOutcome, EvalError> {
         let (model, measured) =
             quantize_clone_session(&self.stack.model, method, &mut self.session, &self.grid)?;

@@ -31,6 +31,11 @@ fn save(path: &str, content: &str) -> Result<(), String> {
 }
 
 /// `aptq pretrain --size s|m [--steps N] [--out FILE]`
+///
+/// # Determinism
+///
+/// Bit-identical output at any `APTQ_THREADS` value: all heavy math
+/// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn pretrain(flags: &Flags) -> Result<(), String> {
     let size = match get_or(flags, "size", "s") {
         "s" => ModelSize::Small,
@@ -92,6 +97,11 @@ pub fn parse_method(name: &str) -> Result<Method, String> {
 }
 
 /// `aptq quantize --model FILE --method METHOD [--out FILE]`
+///
+/// # Determinism
+///
+/// Bit-identical output at any `APTQ_THREADS` value: all heavy math
+/// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn quantize(flags: &Flags) -> Result<(), String> {
     let mut model = load_model(require(flags, "model")?)?;
     let method = parse_method(require(flags, "method")?)?;
@@ -117,6 +127,11 @@ pub fn quantize(flags: &Flags) -> Result<(), String> {
 
 /// `aptq pack --model FILE [--ratio R] [--out FILE]` — build a deployable
 /// packed artifact (APTQ mixed 2/4 at the given 4-bit ratio).
+///
+/// # Determinism
+///
+/// Bit-identical output at any `APTQ_THREADS` value: all heavy math
+/// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn pack(flags: &Flags) -> Result<(), String> {
     let model = load_model(require(flags, "model")?)?;
     let ratio = get_f32(flags, "ratio", 0.75)?;
@@ -149,6 +164,11 @@ pub fn pack(flags: &Flags) -> Result<(), String> {
 }
 
 /// `aptq eval-ppl --model FILE [--corpus c4|wiki] [--segments N]`
+///
+/// # Determinism
+///
+/// Bit-identical output at any `APTQ_THREADS` value: all heavy math
+/// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn eval_ppl(flags: &Flags) -> Result<(), String> {
     let model = load_model(require(flags, "model")?)?;
     let style = match get_or(flags, "corpus", "c4") {
@@ -167,6 +187,11 @@ pub fn eval_ppl(flags: &Flags) -> Result<(), String> {
 }
 
 /// `aptq eval-zs --model FILE [--items N]`
+///
+/// # Determinism
+///
+/// Bit-identical output at any `APTQ_THREADS` value: all heavy math
+/// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn eval_zs(flags: &Flags) -> Result<(), String> {
     let model = load_model(require(flags, "model")?)?;
     let n = get_usize(flags, "items", 150)?;
@@ -184,6 +209,11 @@ pub fn eval_zs(flags: &Flags) -> Result<(), String> {
 }
 
 /// `aptq sensitivity --model FILE [--metric trace|weighted|empirical]`
+///
+/// # Determinism
+///
+/// Bit-identical output at any `APTQ_THREADS` value: all heavy math
+/// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn sensitivity(flags: &Flags) -> Result<(), String> {
     let model = load_model(require(flags, "model")?)?;
     let grammar = Grammar::standard();
@@ -222,6 +252,11 @@ pub fn sensitivity(flags: &Flags) -> Result<(), String> {
 }
 
 /// `aptq generate --model FILE --prompt TEXT [--tokens N]`
+///
+/// # Determinism
+///
+/// Bit-identical output at any `APTQ_THREADS` value: all heavy math
+/// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
 pub fn generate(flags: &Flags) -> Result<(), String> {
     let model = load_model(require(flags, "model")?)?;
     let prompt_text = require(flags, "prompt")?;

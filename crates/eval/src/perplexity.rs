@@ -1,6 +1,6 @@
 //! Corpus perplexity — the Table 1 / Figure 2 metric.
 
-use aptq_lm::Model;
+use aptq_lm::{LinearOp, ModelOf};
 use aptq_obs::Recorder;
 use aptq_tensor::activation::log_sum_exp;
 
@@ -20,7 +20,10 @@ use crate::EvalError;
 ///
 /// Returns [`EvalError::EmptyInput`] if no segment has ≥ 2 tokens, and
 /// propagates token-range errors from the model.
-pub fn perplexity(model: &Model, segments: &[Vec<u32>]) -> Result<f32, EvalError> {
+pub fn perplexity<L: LinearOp>(
+    model: &ModelOf<L>,
+    segments: &[Vec<u32>],
+) -> Result<f32, EvalError> {
     let mut scratch = Recorder::new();
     perplexity_recorded(model, segments, &mut scratch)
 }
@@ -38,8 +41,8 @@ pub fn perplexity(model: &Model, segments: &[Vec<u32>]) -> Result<f32, EvalError
 ///
 /// Same as [`perplexity`]; on error `rec` may hold counters for the
 /// segments scored before the failure.
-pub fn perplexity_recorded(
-    model: &Model,
+pub fn perplexity_recorded<L: LinearOp>(
+    model: &ModelOf<L>,
     segments: &[Vec<u32>],
     rec: &mut Recorder,
 ) -> Result<f32, EvalError> {
@@ -69,7 +72,7 @@ pub fn perplexity_recorded(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aptq_lm::ModelConfig;
+    use aptq_lm::{Model, ModelConfig};
     use aptq_textgen::corpus::{CorpusGenerator, CorpusStyle};
     use aptq_textgen::{Grammar, Tokenizer};
 

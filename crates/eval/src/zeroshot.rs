@@ -5,7 +5,7 @@
 //! prompt, normalized by continuation length; the highest-scoring choice
 //! is the prediction.
 
-use aptq_lm::Model;
+use aptq_lm::{LinearOp, ModelOf};
 use aptq_tensor::activation::log_sum_exp;
 use aptq_textgen::{TaskItem, TaskSuite};
 use serde::{Deserialize, Serialize};
@@ -33,7 +33,11 @@ pub struct SuiteResult {
 ///
 /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
 /// the deterministic threadpool ([`aptq_tensor::parallel`]).
-pub fn choice_loglik(model: &Model, prompt: &[u32], choice: &[u32]) -> Result<f32, EvalError> {
+pub fn choice_loglik<L: LinearOp>(
+    model: &ModelOf<L>,
+    prompt: &[u32],
+    choice: &[u32],
+) -> Result<f32, EvalError> {
     debug_assert!(!prompt.is_empty() && !choice.is_empty());
     let mut seq = Vec::with_capacity(prompt.len() + choice.len());
     seq.extend_from_slice(prompt);
@@ -58,7 +62,7 @@ pub fn choice_loglik(model: &Model, prompt: &[u32], choice: &[u32]) -> Result<f3
 ///
 /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
 /// the deterministic threadpool ([`aptq_tensor::parallel`]).
-pub fn predict(model: &Model, item: &TaskItem) -> Result<usize, EvalError> {
+pub fn predict<L: LinearOp>(model: &ModelOf<L>, item: &TaskItem) -> Result<usize, EvalError> {
     let mut best = 0usize;
     let mut best_score = f32::NEG_INFINITY;
     for (i, choice) in item.choices.iter().enumerate() {
@@ -81,7 +85,10 @@ pub fn predict(model: &Model, item: &TaskItem) -> Result<usize, EvalError> {
 ///
 /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
 /// the deterministic threadpool ([`aptq_tensor::parallel`]).
-pub fn evaluate_suite(model: &Model, suite: &TaskSuite) -> Result<SuiteResult, EvalError> {
+pub fn evaluate_suite<L: LinearOp>(
+    model: &ModelOf<L>,
+    suite: &TaskSuite,
+) -> Result<SuiteResult, EvalError> {
     if suite.is_empty() {
         return Err(EvalError::EmptyInput("task suite"));
     }
@@ -108,7 +115,10 @@ pub fn evaluate_suite(model: &Model, suite: &TaskSuite) -> Result<SuiteResult, E
 ///
 /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
 /// the deterministic threadpool ([`aptq_tensor::parallel`]).
-pub fn evaluate_suites(model: &Model, suites: &[TaskSuite]) -> Result<Vec<SuiteResult>, EvalError> {
+pub fn evaluate_suites<L: LinearOp>(
+    model: &ModelOf<L>,
+    suites: &[TaskSuite],
+) -> Result<Vec<SuiteResult>, EvalError> {
     let mut results = Vec::with_capacity(suites.len() + 1);
     for s in suites {
         results.push(evaluate_suite(model, s)?);
@@ -126,7 +136,7 @@ pub fn evaluate_suites(model: &Model, suites: &[TaskSuite]) -> Result<Vec<SuiteR
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aptq_lm::ModelConfig;
+    use aptq_lm::{Model, ModelConfig};
     use aptq_textgen::{Grammar, Tokenizer, ZeroShotTask};
 
     fn setup() -> (Model, Grammar, Tokenizer) {

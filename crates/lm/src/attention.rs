@@ -1,25 +1,29 @@
 //! Multi-head causal self-attention with RoPE, full manual backward, and
 //! the internal captures APTQ's attention-aware Hessians consume.
 
+use aptq_obs::Recorder;
 use aptq_tensor::activation::{softmax_rows, softmax_vjp_row};
 use aptq_tensor::Matrix;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-use crate::linear::Linear;
+use crate::linear::{Linear, LinearOp};
 use crate::rope::RopeTable;
 
-/// Multi-head causal self-attention (`Q`, `K`, `V`, `O` projections).
+/// Multi-head causal self-attention (`Q`, `K`, `V`, `O` projections),
+/// generic over the linear operator `L`.
 ///
 /// Shapes: activations are `(T × d_model)`; each projection is a
-/// bias-free [`Linear`] of `d_model × d_model`; heads are contiguous
-/// column blocks of width `d_head`.
+/// bias-free [`LinearOp`] of `d_model × d_model`; heads are contiguous
+/// column blocks of width `d_head`. The default `L = `[`Linear`] is the
+/// trainable fp32 stack; `aptq_qmodel` instantiates the same forward
+/// with packed projections.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct MultiHeadAttention {
-    wq: Linear,
-    wk: Linear,
-    wv: Linear,
-    wo: Linear,
+pub struct MultiHeadAttention<L = Linear> {
+    wq: L,
+    wk: L,
+    wv: L,
+    wo: L,
     n_heads: usize,
     d_head: usize,
     scale: f32,
@@ -57,23 +61,32 @@ pub struct AttentionGrads {
     pub dwo: Matrix,
 }
 
-impl MultiHeadAttention {
-    /// Creates an attention block with random weights.
+impl<L: LinearOp> MultiHeadAttention<L> {
+    /// Assembles an attention block from four prebuilt projections
+    /// (the weight-install path used by the quantized stack).
     ///
     /// # Panics
     ///
-    /// Panics if `n_heads` does not divide `d_model`.
-    pub fn new(d_model: usize, n_heads: usize, rng: &mut StdRng) -> Self {
+    /// Panics if the projections are not square with a common width
+    /// divisible by `n_heads`.
+    pub fn from_parts(wq: L, wk: L, wv: L, wo: L, n_heads: usize) -> Self {
+        let d_model = wq.d_in();
+        for p in [&wq, &wk, &wv, &wo] {
+            assert!(
+                p.d_in() == d_model && p.d_out() == d_model,
+                "attention projections must all be {d_model}×{d_model}"
+            );
+        }
         assert!(
             n_heads > 0 && d_model.is_multiple_of(n_heads),
             "n_heads must divide d_model"
         );
         let d_head = d_model / n_heads;
         MultiHeadAttention {
-            wq: Linear::new(d_model, d_model, rng),
-            wk: Linear::new(d_model, d_model, rng),
-            wv: Linear::new(d_model, d_model, rng),
-            wo: Linear::new(d_model, d_model, rng),
+            wq,
+            wk,
+            wv,
+            wo,
             n_heads,
             d_head,
             scale: 1.0 / (d_head as f32).sqrt(),
@@ -91,36 +104,20 @@ impl MultiHeadAttention {
     }
 
     /// Query projection.
-    pub fn wq(&self) -> &Linear {
+    pub fn wq(&self) -> &L {
         &self.wq
     }
     /// Key projection.
-    pub fn wk(&self) -> &Linear {
+    pub fn wk(&self) -> &L {
         &self.wk
     }
     /// Value projection.
-    pub fn wv(&self) -> &Linear {
+    pub fn wv(&self) -> &L {
         &self.wv
     }
     /// Output projection.
-    pub fn wo(&self) -> &Linear {
+    pub fn wo(&self) -> &L {
         &self.wo
-    }
-    /// Mutable query projection (optimizer / quantizer access).
-    pub fn wq_mut(&mut self) -> &mut Linear {
-        &mut self.wq
-    }
-    /// Mutable key projection.
-    pub fn wk_mut(&mut self) -> &mut Linear {
-        &mut self.wk
-    }
-    /// Mutable value projection.
-    pub fn wv_mut(&mut self) -> &mut Linear {
-        &mut self.wv
-    }
-    /// Mutable output projection.
-    pub fn wo_mut(&mut self) -> &mut Linear {
-        &mut self.wo
     }
 
     /// Forward pass over a `(T × d_model)` activation matrix with causal
@@ -145,13 +142,41 @@ impl MultiHeadAttention {
     /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
     /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn forward(&self, x: &Matrix, rope: &RopeTable) -> (Matrix, AttentionCache) {
+        self.forward_opt(x, rope, None)
+    }
+
+    /// [`forward`](MultiHeadAttention::forward) with an optional
+    /// recorder threaded into every projection's
+    /// [`LinearOp::forward_into`] hook (packed operators count their
+    /// unpacking work there; fp32 records nothing).
+    ///
+    /// # HotPath
+    ///
+    /// Allocation budget: Q/K/V/score/cache matrices sized by the
+    /// sequence, allocated once per call; inner loops are heap-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_model` or the sequence exceeds the RoPE
+    /// table.
+    /// # Determinism
+    ///
+    /// Outputs *and counters* are bit-identical at any `APTQ_THREADS`
+    /// value: matmuls run on the deterministic threadpool
+    /// ([`aptq_tensor::parallel`]) and counters depend only on shapes.
+    pub fn forward_opt(
+        &self,
+        x: &Matrix,
+        rope: &RopeTable,
+        mut rec: Option<&mut Recorder>,
+    ) -> (Matrix, AttentionCache) {
         let t = x.rows();
         let d_model = self.wq.d_in();
         assert_eq!(x.cols(), d_model, "attention: input width mismatch");
 
-        let mut q = self.wq.forward(x);
-        let mut k = self.wk.forward(x);
-        let v = self.wv.forward(x);
+        let mut q = self.wq.forward_op(x, rec.as_deref_mut());
+        let mut k = self.wk.forward_op(x, rec.as_deref_mut());
+        let v = self.wv.forward_op(x, rec.as_deref_mut());
 
         // Rotate queries and keys head-by-head.
         for pos in 0..t {
@@ -188,7 +213,7 @@ impl MultiHeadAttention {
             probs.push(scores);
         }
 
-        let out = self.wo.forward(&concat);
+        let out = self.wo.forward_op(&concat, rec);
         let cache = AttentionCache {
             // audit:allow(alloc): the cache owns its input copy for backward
             x: x.clone(),
@@ -199,6 +224,44 @@ impl MultiHeadAttention {
             concat,
         };
         (out, cache)
+    }
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block with random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_heads` does not divide `d_model`.
+    pub fn new(d_model: usize, n_heads: usize, rng: &mut StdRng) -> Self {
+        assert!(
+            n_heads > 0 && d_model.is_multiple_of(n_heads),
+            "n_heads must divide d_model"
+        );
+        MultiHeadAttention::from_parts(
+            Linear::new(d_model, d_model, rng),
+            Linear::new(d_model, d_model, rng),
+            Linear::new(d_model, d_model, rng),
+            Linear::new(d_model, d_model, rng),
+            n_heads,
+        )
+    }
+
+    /// Mutable query projection (optimizer / quantizer access).
+    pub fn wq_mut(&mut self) -> &mut Linear {
+        &mut self.wq
+    }
+    /// Mutable key projection.
+    pub fn wk_mut(&mut self) -> &mut Linear {
+        &mut self.wk
+    }
+    /// Mutable value projection.
+    pub fn wv_mut(&mut self) -> &mut Linear {
+        &mut self.wv
+    }
+    /// Mutable output projection.
+    pub fn wo_mut(&mut self) -> &mut Linear {
+        &mut self.wo
     }
 
     /// Backward pass.

@@ -1,5 +1,6 @@
 //! A transformer block: pre-norm attention and SwiGLU with residuals.
 
+use aptq_obs::Recorder;
 use aptq_tensor::Matrix;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -7,17 +8,21 @@ use serde::{Deserialize, Serialize};
 use crate::attention::{AttentionCache, AttentionGrads, MultiHeadAttention};
 use crate::config::ModelConfig;
 use crate::ffn::{SwiGlu, SwiGluCache, SwiGluGrads};
+use crate::linear::{Linear, LinearOp};
 use crate::rmsnorm::{RmsNorm, RmsNormCache};
 use crate::rope::RopeTable;
 
-/// One pre-norm LLaMA block:
+/// One pre-norm LLaMA block, generic over the linear operator `L`:
 /// `h = x + Attn(RMSNorm(x))`, `y = h + FFN(RMSNorm(h))`.
+///
+/// Norms stay fp32 for every `L` (as in the paper's GPTQ-family
+/// setting); only the seven projections go through [`LinearOp`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TransformerBlock {
+pub struct TransformerBlock<L = Linear> {
     /// Attention sub-layer.
-    pub attn: MultiHeadAttention,
+    pub attn: MultiHeadAttention<L>,
     /// Feed-forward sub-layer.
-    pub ffn: SwiGlu,
+    pub ffn: SwiGlu<L>,
     /// Norm before attention.
     pub norm1: RmsNorm,
     /// Norm before the FFN.
@@ -50,14 +55,20 @@ pub struct BlockGrads {
     pub dnorm2: Vec<f32>,
 }
 
-impl TransformerBlock {
-    /// Creates a block with random weights per the config.
-    pub fn new(cfg: &ModelConfig, rng: &mut StdRng) -> Self {
+impl<L: LinearOp> TransformerBlock<L> {
+    /// Assembles a block from prebuilt sub-layers (the weight-install
+    /// path used by the quantized stack).
+    pub fn from_parts(
+        attn: MultiHeadAttention<L>,
+        ffn: SwiGlu<L>,
+        norm1: RmsNorm,
+        norm2: RmsNorm,
+    ) -> Self {
         TransformerBlock {
-            attn: MultiHeadAttention::new(cfg.d_model, cfg.n_heads, rng),
-            ffn: SwiGlu::new(cfg.d_model, cfg.d_ff, rng),
-            norm1: RmsNorm::new(cfg.d_model, cfg.norm_eps),
-            norm2: RmsNorm::new(cfg.d_model, cfg.norm_eps),
+            attn,
+            ffn,
+            norm1,
+            norm2,
         }
     }
 
@@ -67,13 +78,35 @@ impl TransformerBlock {
     /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
     /// the deterministic threadpool ([`aptq_tensor::parallel`]).
     pub fn forward(&self, x: &Matrix, rope: &RopeTable) -> (Matrix, BlockForwardCache) {
+        self.forward_opt(x, rope, None)
+    }
+
+    /// [`forward`](TransformerBlock::forward) with an optional recorder
+    /// threaded into every projection's [`LinearOp::forward_into`] hook.
+    ///
+    /// # HotPath
+    ///
+    /// Allocation budget: residual/norm/sub-layer buffers sized by the
+    /// input, allocated once per call; inner loops are heap-free.
+    ///
+    /// # Determinism
+    ///
+    /// Outputs *and counters* are bit-identical at any `APTQ_THREADS`
+    /// value: matmuls run on the deterministic threadpool
+    /// ([`aptq_tensor::parallel`]) and counters depend only on shapes.
+    pub fn forward_opt(
+        &self,
+        x: &Matrix,
+        rope: &RopeTable,
+        mut rec: Option<&mut Recorder>,
+    ) -> (Matrix, BlockForwardCache) {
         let (normed1, c_norm1) = self.norm1.forward(x);
-        let (attn_out, c_attn) = self.attn.forward(&normed1, rope);
+        let (attn_out, c_attn) = self.attn.forward_opt(&normed1, rope, rec.as_deref_mut());
         // audit:allow(alloc): residual buffer, one per call, sized by the input
         let mut h = x.clone();
         h.add_assign(&attn_out);
         let (normed2, c_norm2) = self.norm2.forward(&h);
-        let (ffn_out, c_ffn) = self.ffn.forward(&normed2);
+        let (ffn_out, c_ffn) = self.ffn.forward_opt(&normed2, rec);
         let mut y = h;
         y.add_assign(&ffn_out);
         (
@@ -96,6 +129,18 @@ impl TransformerBlock {
         // Reuses the caching path; caches are small relative to the
         // matmuls at the scales this crate targets.
         self.forward(x, rope).0
+    }
+}
+
+impl TransformerBlock {
+    /// Creates a block with random weights per the config.
+    pub fn new(cfg: &ModelConfig, rng: &mut StdRng) -> Self {
+        TransformerBlock {
+            attn: MultiHeadAttention::new(cfg.d_model, cfg.n_heads, rng),
+            ffn: SwiGlu::new(cfg.d_model, cfg.d_ff, rng),
+            norm1: RmsNorm::new(cfg.d_model, cfg.norm_eps),
+            norm2: RmsNorm::new(cfg.d_model, cfg.norm_eps),
+        }
     }
 
     /// Backward pass; returns `(dx, grads)`.

@@ -17,7 +17,8 @@
 use aptq_obs::Recorder;
 use aptq_tensor::Matrix;
 
-use crate::model::Model;
+use crate::linear::{Linear, LinearOp};
+use crate::model::ModelOf;
 use crate::LmError;
 
 /// Per-layer key/value cache: rotated keys and raw values, preallocated
@@ -30,7 +31,13 @@ struct LayerKv {
     v: Matrix,
 }
 
-/// An incremental decoding session over a model.
+/// An incremental decoding session over a model, generic over the
+/// linear operator `L`.
+///
+/// Instantiated at `L = `[`Linear`] this is fp32 cached decoding;
+/// instantiated at `aptq_qmodel::QuantizedLinear` the same loop decodes
+/// straight from packed sub-byte storage, turning quantized generation
+/// from O(T²) full re-forwards into O(T) cached steps.
 ///
 /// # Example
 ///
@@ -46,18 +53,18 @@ struct LayerKv {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct DecodeSession<'m> {
-    model: &'m Model,
+pub struct DecodeSession<'m, L = Linear> {
+    model: &'m ModelOf<L>,
     layers: Vec<LayerKv>,
     pos: usize,
     metrics: Recorder,
 }
 
-impl<'m> DecodeSession<'m> {
+impl<'m, L: LinearOp> DecodeSession<'m, L> {
     /// Starts an empty session, preallocating the full
     /// `max_seq_len`-row KV cache so [`DecodeSession::feed`] never
     /// reallocates or copies previously cached rows.
-    pub fn new(model: &'m Model) -> Self {
+    pub fn new(model: &'m ModelOf<L>) -> Self {
         let d = model.config().d_model;
         let t_max = model.config().max_seq_len;
         let layers = (0..model.config().n_layers)
@@ -92,8 +99,10 @@ impl<'m> DecodeSession<'m> {
         self.layers.len() * 2 * self.pos * self.model.config().d_model * std::mem::size_of::<f32>()
     }
 
-    /// Telemetry recorded so far (`decode/tokens`,
-    /// `decode/kv_bytes_moved`).
+    /// Telemetry recorded so far: `decode/tokens`,
+    /// `decode/kv_bytes_moved`, plus whatever the operator's
+    /// [`LinearOp::forward_into`] hook counts (packed operators record
+    /// `qmodel/qlinear/…` unpacking work per fed token).
     pub fn metrics(&self) -> &Recorder {
         &self.metrics
     }
@@ -148,12 +157,15 @@ impl<'m> DecodeSession<'m> {
         x.row_mut(0)
             .copy_from_slice(self.model.embed().row(token as usize));
 
-        for (li, block) in self.model.blocks().iter().enumerate() {
-            // Attention sub-layer.
+        let model = self.model;
+        for (li, block) in model.blocks().iter().enumerate() {
+            // Attention sub-layer. Projections go through the generic
+            // LinearOp hook so packed operators count their unpacking
+            // work into the session metrics.
             let (normed, _) = block.norm1.forward(&x);
-            let mut q = block.attn.wq().forward(&normed);
-            let mut k = block.attn.wk().forward(&normed);
-            let v = block.attn.wv().forward(&normed);
+            let mut q = block.attn.wq().forward_op(&normed, Some(&mut self.metrics));
+            let mut k = block.attn.wk().forward_op(&normed, Some(&mut self.metrics));
+            let v = block.attn.wv().forward_op(&normed, Some(&mut self.metrics));
             for h in 0..n_heads {
                 let lo = h * d_head;
                 let hi = lo + d_head;
@@ -208,17 +220,17 @@ impl<'m> DecodeSession<'m> {
                     }
                 }
             }
-            let attn_out = block.attn.wo().forward(&concat);
+            let attn_out = block.attn.wo().forward_op(&concat, Some(&mut self.metrics));
             x.add_assign(&attn_out);
 
             // FFN sub-layer.
             let (normed2, _) = block.norm2.forward(&x);
-            let (ffn_out, _) = block.ffn.forward(&normed2);
+            let (ffn_out, _) = block.ffn.forward_opt(&normed2, Some(&mut self.metrics));
             x.add_assign(&ffn_out);
         }
 
-        let (normed, _) = self.model.final_norm().forward(&x);
-        let logits = normed.matmul(self.model.lm_head());
+        let (normed, _) = model.final_norm().forward(&x);
+        let logits = normed.matmul(model.lm_head());
         self.pos += 1;
         self.metrics.incr("decode/tokens");
         // `logits` is 1 × vocab: moving it out is free, where
@@ -246,7 +258,8 @@ impl<'m> DecodeSession<'m> {
 }
 
 /// Greedy generation through the KV cache (functionally identical to
-/// [`crate::generate::generate_greedy`], asymptotically cheaper).
+/// [`crate::generate::generate_greedy`], asymptotically cheaper), for
+/// any linear operator — fp32 or packed.
 ///
 /// Token selection goes through [`aptq_tensor::select::argmax`]: NaN
 /// logits never win and ties break toward the lowest token id.
@@ -258,8 +271,8 @@ impl<'m> DecodeSession<'m> {
 /// # Errors
 ///
 /// Propagates session errors; an empty prompt is [`LmError::EmptyInput`].
-pub fn generate_greedy_cached(
-    model: &Model,
+pub fn generate_greedy_cached<L: LinearOp>(
+    model: &ModelOf<L>,
     prompt: &[u32],
     n_new: usize,
 ) -> Result<Vec<u32>, LmError> {
@@ -284,7 +297,7 @@ pub fn generate_greedy_cached(
 mod tests {
     use super::*;
     use crate::generate::generate_greedy;
-    use crate::ModelConfig;
+    use crate::{Model, ModelConfig};
 
     fn model() -> Model {
         Model::new(&ModelConfig::test_tiny(16), 42)

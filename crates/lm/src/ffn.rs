@@ -1,18 +1,21 @@
 //! SwiGLU feed-forward network (the LLaMA FFN) with manual backward.
 
+use aptq_obs::Recorder;
 use aptq_tensor::activation::{silu, silu_grad};
 use aptq_tensor::Matrix;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-use crate::linear::Linear;
+use crate::linear::{Linear, LinearOp};
 
-/// SwiGLU feed-forward: `y = (silu(x·W_gate) ⊙ (x·W_up)) · W_down`.
+/// SwiGLU feed-forward: `y = (silu(x·W_gate) ⊙ (x·W_up)) · W_down`,
+/// generic over the linear operator `L` (fp32 [`Linear`] by default,
+/// packed projections in `aptq_qmodel`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SwiGlu {
-    gate: Linear,
-    up: Linear,
-    down: Linear,
+pub struct SwiGlu<L = Linear> {
+    gate: L,
+    up: L,
+    down: L,
 }
 
 /// Forward cache for [`SwiGlu::backward`].
@@ -40,6 +43,88 @@ pub struct SwiGluGrads {
     pub ddown: Matrix,
 }
 
+impl<L: LinearOp> SwiGlu<L> {
+    /// Assembles a SwiGLU FFN from prebuilt projections (the
+    /// weight-install path used by the quantized stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projection shapes are inconsistent
+    /// (`gate`/`up`: `d_model × d_ff`, `down`: `d_ff × d_model`).
+    pub fn from_parts(gate: L, up: L, down: L) -> Self {
+        let (d_model, d_ff) = (gate.d_in(), gate.d_out());
+        assert!(
+            up.d_in() == d_model && up.d_out() == d_ff,
+            "SwiGlu: up projection shape mismatch"
+        );
+        assert!(
+            down.d_in() == d_ff && down.d_out() == d_model,
+            "SwiGlu: down projection shape mismatch"
+        );
+        SwiGlu { gate, up, down }
+    }
+
+    /// Gate projection.
+    pub fn gate(&self) -> &L {
+        &self.gate
+    }
+    /// Up projection.
+    pub fn up(&self) -> &L {
+        &self.up
+    }
+    /// Down projection.
+    pub fn down(&self) -> &L {
+        &self.down
+    }
+
+    /// Forward pass; returns `(output, cache)`.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
+    pub fn forward(&self, x: &Matrix) -> (Matrix, SwiGluCache) {
+        self.forward_opt(x, None)
+    }
+
+    /// [`forward`](SwiGlu::forward) with an optional recorder threaded
+    /// into every projection's [`LinearOp::forward_into`] hook.
+    ///
+    /// # HotPath
+    ///
+    /// Allocation budget: gate/up/hidden/output matrices sized by the
+    /// input, allocated once per call; the elementwise SwiGLU loop is
+    /// heap-free.
+    ///
+    /// # Determinism
+    ///
+    /// Outputs *and counters* are bit-identical at any `APTQ_THREADS`
+    /// value: matmuls run on the deterministic threadpool
+    /// ([`aptq_tensor::parallel`]) and counters depend only on shapes.
+    pub fn forward_opt(&self, x: &Matrix, mut rec: Option<&mut Recorder>) -> (Matrix, SwiGluCache) {
+        let g = self.gate.forward_op(x, rec.as_deref_mut());
+        let u = self.up.forward_op(x, rec.as_deref_mut());
+        let mut hidden = Matrix::zeros(g.rows(), g.cols());
+        for (o, (&gv, &uv)) in hidden
+            .as_mut_slice()
+            .iter_mut()
+            .zip(g.as_slice().iter().zip(u.as_slice()))
+        {
+            *o = silu(gv) * uv;
+        }
+        let y = self.down.forward_op(&hidden, rec);
+        (
+            y,
+            SwiGluCache {
+                // audit:allow(alloc): the cache owns its input copy for backward
+                x: x.clone(),
+                g,
+                u,
+                hidden,
+            },
+        )
+    }
+}
+
 impl SwiGlu {
     /// Creates a SwiGLU FFN with random weights.
     pub fn new(d_model: usize, d_ff: usize, rng: &mut StdRng) -> Self {
@@ -50,18 +135,6 @@ impl SwiGlu {
         }
     }
 
-    /// Gate projection.
-    pub fn gate(&self) -> &Linear {
-        &self.gate
-    }
-    /// Up projection.
-    pub fn up(&self) -> &Linear {
-        &self.up
-    }
-    /// Down projection.
-    pub fn down(&self) -> &Linear {
-        &self.down
-    }
     /// Mutable gate projection.
     pub fn gate_mut(&mut self) -> &mut Linear {
         &mut self.gate
@@ -73,35 +146,6 @@ impl SwiGlu {
     /// Mutable down projection.
     pub fn down_mut(&mut self) -> &mut Linear {
         &mut self.down
-    }
-
-    /// Forward pass; returns `(output, cache)`.
-    /// # Determinism
-    ///
-    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
-    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
-    pub fn forward(&self, x: &Matrix) -> (Matrix, SwiGluCache) {
-        let g = self.gate.forward(x);
-        let u = self.up.forward(x);
-        let mut hidden = Matrix::zeros(g.rows(), g.cols());
-        for (o, (&gv, &uv)) in hidden
-            .as_mut_slice()
-            .iter_mut()
-            .zip(g.as_slice().iter().zip(u.as_slice()))
-        {
-            *o = silu(gv) * uv;
-        }
-        let y = self.down.forward(&hidden);
-        (
-            y,
-            SwiGluCache {
-                // audit:allow(alloc): the cache owns its input copy for backward
-                x: x.clone(),
-                g,
-                u,
-                hidden,
-            },
-        )
     }
 
     /// Backward pass; returns `(dx, grads)`.

@@ -4,7 +4,8 @@ use aptq_tensor::activation::softmax;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::model::Model;
+use crate::linear::LinearOp;
+use crate::model::ModelOf;
 use crate::LmError;
 
 /// Sampling configuration.
@@ -40,7 +41,11 @@ impl Default for SampleConfig {
 ///
 /// Returns [`LmError::EmptyInput`] for an empty prompt and
 /// [`LmError::TokenOutOfRange`] for invalid prompt tokens.
-pub fn generate_greedy(model: &Model, prompt: &[u32], n_new: usize) -> Result<Vec<u32>, LmError> {
+pub fn generate_greedy<L: LinearOp>(
+    model: &ModelOf<L>,
+    prompt: &[u32],
+    n_new: usize,
+) -> Result<Vec<u32>, LmError> {
     let mut tokens = prompt.to_vec();
     for _ in 0..n_new {
         let window = clamp_window(model, &tokens);
@@ -67,8 +72,8 @@ pub fn generate_greedy(model: &Model, prompt: &[u32], n_new: usize) -> Result<Ve
 /// # Errors
 ///
 /// Same as [`generate_greedy`].
-pub fn generate_sampled(
-    model: &Model,
+pub fn generate_sampled<L: LinearOp>(
+    model: &ModelOf<L>,
     prompt: &[u32],
     n_new: usize,
     cfg: SampleConfig,
@@ -109,7 +114,7 @@ pub fn generate_sampled(
     Ok(tokens)
 }
 
-fn clamp_window<'a>(model: &Model, tokens: &'a [u32]) -> &'a [u32] {
+fn clamp_window<'a, L: LinearOp>(model: &ModelOf<L>, tokens: &'a [u32]) -> &'a [u32] {
     let max = model.config().max_seq_len;
     if tokens.len() > max {
         &tokens[tokens.len() - max..]
@@ -121,7 +126,7 @@ fn clamp_window<'a>(model: &Model, tokens: &'a [u32]) -> &'a [u32] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ModelConfig;
+    use crate::{Model, ModelConfig};
     use aptq_tensor::init;
 
     fn model() -> Model {

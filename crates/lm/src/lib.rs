@@ -46,7 +46,8 @@ pub mod train;
 
 pub use capture::{BlockCapture, ModelCapture};
 pub use config::ModelConfig;
-pub use model::{LayerKind, LayerRef, Model};
+pub use linear::{Linear, LinearOp};
+pub use model::{LayerKind, LayerRef, Model, ModelOf};
 pub use train::{TrainReport, Trainer, TrainerConfig};
 
 /// Errors surfaced by model construction, checkpointing and inference.

@@ -1,8 +1,65 @@
-//! Bias-free linear projection (LLaMA-style) with manual backward.
+//! Bias-free linear projection (LLaMA-style) with manual backward, and
+//! the [`LinearOp`] abstraction that lets the whole transformer stack
+//! run over any weight representation.
 
+use aptq_obs::Recorder;
 use aptq_tensor::{init, Matrix};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+
+/// A linear operator `y = x · W` with `W: d_in × d_out`, independent of
+/// how the weight is stored.
+///
+/// This is the seam between the float and quantized transformer stacks:
+/// [`Linear`] (fp32 matmul) and `aptq_qmodel::QuantizedLinear` (packed
+/// sub-byte streaming) both implement it, so one generic forward path —
+/// attention, FFN, block, model, decode session — serves both
+/// precisions and can never drift apart.
+///
+/// Implementations must be **row-independent**: the output row for an
+/// input row must not depend on how many other rows are in the batch.
+/// That property is what makes KV-cache incremental decoding (1-row
+/// batches) bit-identical to the full-sequence forward.
+pub trait LinearOp {
+    /// Input width.
+    fn d_in(&self) -> usize;
+
+    /// Output width.
+    fn d_out(&self) -> usize;
+
+    /// Forward one row-batch `x` (`T × d_in`) into the caller buffer
+    /// `out` (`T × d_out`), overwriting its prior contents.
+    ///
+    /// `rec` is the observability hook: implementations with work worth
+    /// counting (e.g. packed-code unpacking) record it there;
+    /// [`Linear`] ignores it. Counters must be deterministic — a pure
+    /// function of the input shapes, never of timing or thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in()` or `out` is not
+    /// `(x.rows(), d_out())`.
+    ///
+    /// # Determinism
+    ///
+    /// Implementations are bit-identical at any `APTQ_THREADS` value
+    /// (fp32 path: deterministic threadpool in
+    /// [`aptq_tensor::parallel`]; packed path: sequential scalar loops).
+    fn forward_into(&self, x: &Matrix, out: &mut Matrix, rec: Option<&mut Recorder>);
+
+    /// Allocating convenience wrapper around
+    /// [`forward_into`](LinearOp::forward_into).
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value; see
+    /// [`forward_into`](LinearOp::forward_into).
+    fn forward_op(&self, x: &Matrix, rec: Option<&mut Recorder>) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.d_out());
+        self.forward_into(x, &mut out, rec);
+        out
+    }
+}
 
 /// A bias-free linear layer computing `y = x · W` with `W: d_in × d_out`.
 ///
@@ -83,6 +140,26 @@ impl Linear {
     }
 }
 
+impl LinearOp for Linear {
+    fn d_in(&self) -> usize {
+        Linear::d_in(self)
+    }
+
+    fn d_out(&self) -> usize {
+        Linear::d_out(self)
+    }
+
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: the matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]). The
+    /// recorder hook is a no-op — fp32 matmuls have no unpacking work
+    /// to count.
+    fn forward_into(&self, x: &Matrix, out: &mut Matrix, _rec: Option<&mut Recorder>) {
+        x.matmul_into(&self.weight, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +226,21 @@ mod tests {
         assert_eq!(lin.weight(), &w);
         assert_eq!(lin.d_in(), 2);
         assert_eq!(lin.d_out(), 2);
+    }
+
+    #[test]
+    fn linear_op_matches_inherent_forward() {
+        let lin = Linear::new(6, 4, &mut rng(4));
+        let x = init::normal(3, 6, 1.0, &mut rng(5));
+        let want = lin.forward(&x);
+        // Trait entry points must agree bit-for-bit with the inherent path.
+        let via_op = LinearOp::forward_op(&lin, &x, None);
+        assert_eq!(via_op, want);
+        let mut out = Matrix::filled(3, 4, f32::NAN);
+        lin.forward_into(&x, &mut out, None);
+        assert_eq!(out, want);
+        assert_eq!(LinearOp::d_in(&lin), 6);
+        assert_eq!(LinearOp::d_out(&lin), 4);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The decoder-only transformer model: embedding, blocks, LM head,
 //! loss/gradient computation, layer addressing and checkpointing.
 
+use aptq_obs::Recorder;
 use aptq_tensor::activation::{log_sum_exp, softmax};
 use aptq_tensor::{init, Matrix};
 use serde::{Deserialize, Serialize};
@@ -8,6 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::block::{BlockGrads, TransformerBlock};
 use crate::capture::{BlockCapture, ModelCapture};
 use crate::config::ModelConfig;
+use crate::linear::{Linear, LinearOp};
 use crate::rmsnorm::RmsNorm;
 use crate::rope::RopeTable;
 use crate::LmError;
@@ -193,7 +195,13 @@ impl ModelGrads {
     }
 }
 
-/// A decoder-only LLaMA-family transformer.
+/// A decoder-only LLaMA-family transformer, generic over the linear
+/// operator `L` executing its projections.
+///
+/// There is exactly **one** forward implementation: the fp32 training
+/// stack ([`Model`] `= ModelOf<Linear>`) and the packed quantized stack
+/// (`aptq_qmodel::QuantizedModel`, over `QuantizedLinear`) are both
+/// instantiations of this type, so they cannot drift apart.
 ///
 /// # Example
 ///
@@ -205,13 +213,189 @@ impl ModelGrads {
 /// assert_eq!(logits.rows(), 3);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Model {
+pub struct ModelOf<L = Linear> {
     cfg: ModelConfig,
     embed: Matrix,
-    blocks: Vec<TransformerBlock>,
+    blocks: Vec<TransformerBlock<L>>,
     final_norm: RmsNorm,
     lm_head: Matrix,
     rope: RopeTable,
+}
+
+/// The fp32 training/reference model — [`ModelOf`] over [`Linear`].
+pub type Model = ModelOf<Linear>;
+
+impl<L: LinearOp> ModelOf<L> {
+    /// Assembles a model from prebuilt blocks and float parts (the
+    /// weight-install path used by the quantized stack; float models
+    /// use [`Model::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid or the block count does not
+    /// match `cfg.n_layers`.
+    pub fn from_parts(
+        cfg: ModelConfig,
+        embed: Matrix,
+        blocks: Vec<TransformerBlock<L>>,
+        final_norm: RmsNorm,
+        lm_head: Matrix,
+    ) -> Self {
+        cfg.validate().expect("invalid model config");
+        assert_eq!(blocks.len(), cfg.n_layers, "from_parts: block count");
+        assert_eq!(
+            embed.shape(),
+            (cfg.vocab_size, cfg.d_model),
+            "from_parts: embedding shape"
+        );
+        assert_eq!(
+            lm_head.shape(),
+            (cfg.d_model, cfg.vocab_size),
+            "from_parts: LM head shape"
+        );
+        let rope = RopeTable::new(cfg.d_head(), cfg.max_seq_len, cfg.rope_theta);
+        ModelOf {
+            cfg,
+            embed,
+            blocks,
+            final_norm,
+            lm_head,
+            rope,
+        }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// The RoPE table used by all blocks.
+    pub fn rope(&self) -> &RopeTable {
+        &self.rope
+    }
+
+    /// Immutable block access.
+    pub fn blocks(&self) -> &[TransformerBlock<L>] {
+        &self.blocks
+    }
+
+    /// Embedding matrix (`vocab × d_model`).
+    pub fn embed(&self) -> &Matrix {
+        &self.embed
+    }
+
+    /// LM head matrix (`d_model × vocab`).
+    pub fn lm_head(&self) -> &Matrix {
+        &self.lm_head
+    }
+
+    /// Final RMSNorm.
+    pub fn final_norm(&self) -> &RmsNorm {
+        &self.final_norm
+    }
+
+    /// All quantizable layer addresses in canonical order
+    /// (block-major, then `Q,K,V,O,Gate,Up,Down`).
+    ///
+    /// Embeddings and LM head are excluded, matching the paper (GPTQ-family
+    /// methods leave them in fp16).
+    pub fn layer_refs(&self) -> Vec<LayerRef> {
+        let mut v = Vec::with_capacity(self.blocks.len() * LayerKind::ALL.len());
+        for block in 0..self.blocks.len() {
+            for kind in LayerKind::ALL {
+                v.push(LayerRef { block, kind });
+            }
+        }
+        v
+    }
+
+    /// Embeds a token sequence into a `(T × d_model)` activation matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token is out of range (use [`ModelOf::try_forward`]
+    /// for a fallible path).
+    pub fn embed_tokens(&self, tokens: &[u32]) -> Matrix {
+        let mut x = Matrix::zeros(tokens.len(), self.cfg.d_model);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(
+                (t as usize) < self.cfg.vocab_size,
+                "token {t} out of range for vocab {}",
+                self.cfg.vocab_size
+            );
+            x.row_mut(i).copy_from_slice(self.embed.row(t as usize));
+        }
+        x
+    }
+
+    /// Full forward pass returning next-token logits (`T × vocab`).
+    ///
+    /// # HotPath
+    ///
+    /// Allocation budget: per-block activation matrices sized by the
+    /// sequence, allocated once per block; inner loops are heap-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range tokens or sequences longer than
+    /// `max_seq_len`.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
+    pub fn forward(&self, tokens: &[u32]) -> Matrix {
+        self.forward_opt(tokens, None)
+    }
+
+    /// [`forward`](ModelOf::forward) recording per-projection work into
+    /// `rec` via every operator's [`LinearOp::forward_into`] hook
+    /// (packed operators count `qmodel/qlinear/…` work; fp32 records
+    /// nothing).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`forward`](ModelOf::forward).
+    /// # Determinism
+    ///
+    /// Logits *and counters* are bit-identical at any `APTQ_THREADS`
+    /// value; counters depend only on shapes.
+    pub fn forward_recorded(&self, tokens: &[u32], rec: &mut Recorder) -> Matrix {
+        self.forward_opt(tokens, Some(rec))
+    }
+
+    fn forward_opt(&self, tokens: &[u32], mut rec: Option<&mut Recorder>) -> Matrix {
+        let mut x = self.embed_tokens(tokens);
+        for block in &self.blocks {
+            x = block.forward_opt(&x, &self.rope, rec.as_deref_mut()).0;
+        }
+        let (normed, _) = self.final_norm.forward(&x);
+        normed.matmul(&self.lm_head)
+    }
+
+    /// Fallible forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::EmptyInput`] for an empty sequence and
+    /// [`LmError::TokenOutOfRange`] for invalid token ids.
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
+    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
+    pub fn try_forward(&self, tokens: &[u32]) -> Result<Matrix, LmError> {
+        if tokens.is_empty() {
+            return Err(LmError::EmptyInput);
+        }
+        for &t in tokens {
+            if t as usize >= self.cfg.vocab_size {
+                return Err(LmError::TokenOutOfRange {
+                    token: t,
+                    vocab: self.cfg.vocab_size,
+                });
+            }
+        }
+        Ok(self.forward(tokens))
+    }
 }
 
 impl Model {
@@ -240,34 +424,9 @@ impl Model {
         }
     }
 
-    /// Model configuration.
-    pub fn config(&self) -> &ModelConfig {
-        &self.cfg
-    }
-
-    /// The RoPE table used by all blocks.
-    pub fn rope(&self) -> &RopeTable {
-        &self.rope
-    }
-
-    /// Immutable block access.
-    pub fn blocks(&self) -> &[TransformerBlock] {
-        &self.blocks
-    }
-
     /// Mutable block access (optimizer / quantizer).
     pub fn blocks_mut(&mut self) -> &mut [TransformerBlock] {
         &mut self.blocks
-    }
-
-    /// Embedding matrix (`vocab × d_model`).
-    pub fn embed(&self) -> &Matrix {
-        &self.embed
-    }
-
-    /// LM head matrix (`d_model × vocab`).
-    pub fn lm_head(&self) -> &Matrix {
-        &self.lm_head
     }
 
     /// Mutable embedding access (trainer use).
@@ -280,29 +439,9 @@ impl Model {
         &mut self.lm_head
     }
 
-    /// Final RMSNorm.
-    pub fn final_norm(&self) -> &RmsNorm {
-        &self.final_norm
-    }
-
     /// Mutable final-norm gain (trainer use).
     pub fn final_norm_gain_mut(&mut self) -> &mut [f32] {
         self.final_norm.gain_mut()
-    }
-
-    /// All quantizable layer addresses in canonical order
-    /// (block-major, then `Q,K,V,O,Gate,Up,Down`).
-    ///
-    /// Embeddings and LM head are excluded, matching the paper (GPTQ-family
-    /// methods leave them in fp16).
-    pub fn layer_refs(&self) -> Vec<LayerRef> {
-        let mut v = Vec::with_capacity(self.blocks.len() * LayerKind::ALL.len());
-        for block in 0..self.blocks.len() {
-            for kind in LayerKind::ALL {
-                v.push(LayerRef { block, kind });
-            }
-        }
-        v
     }
 
     /// Immutable access to one projection weight (`d_in × d_out`).
@@ -339,69 +478,6 @@ impl Model {
             LayerKind::Up => b.ffn.up_mut().weight_mut(),
             LayerKind::Down => b.ffn.down_mut().weight_mut(),
         }
-    }
-
-    /// Embeds a token sequence into a `(T × d_model)` activation matrix.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a token is out of range (use [`Model::try_forward`] for a
-    /// fallible path).
-    pub fn embed_tokens(&self, tokens: &[u32]) -> Matrix {
-        let mut x = Matrix::zeros(tokens.len(), self.cfg.d_model);
-        for (i, &t) in tokens.iter().enumerate() {
-            assert!(
-                (t as usize) < self.cfg.vocab_size,
-                "token {t} out of range for vocab {}",
-                self.cfg.vocab_size
-            );
-            x.row_mut(i).copy_from_slice(self.embed.row(t as usize));
-        }
-        x
-    }
-
-    /// Full forward pass returning next-token logits (`T × vocab`).
-    ///
-    /// # Panics
-    ///
-    /// Panics on out-of-range tokens or sequences longer than
-    /// `max_seq_len`.
-    /// # Determinism
-    ///
-    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
-    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
-    pub fn forward(&self, tokens: &[u32]) -> Matrix {
-        let mut x = self.embed_tokens(tokens);
-        for block in &self.blocks {
-            x = block.forward_no_cache(&x, &self.rope);
-        }
-        let (normed, _) = self.final_norm.forward(&x);
-        normed.matmul(&self.lm_head)
-    }
-
-    /// Fallible forward pass.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`LmError::EmptyInput`] for an empty sequence and
-    /// [`LmError::TokenOutOfRange`] for invalid token ids.
-    /// # Determinism
-    ///
-    /// Bit-identical at any `APTQ_THREADS` value: every matmul runs on
-    /// the deterministic threadpool ([`aptq_tensor::parallel`]).
-    pub fn try_forward(&self, tokens: &[u32]) -> Result<Matrix, LmError> {
-        if tokens.is_empty() {
-            return Err(LmError::EmptyInput);
-        }
-        for &t in tokens {
-            if t as usize >= self.cfg.vocab_size {
-                return Err(LmError::TokenOutOfRange {
-                    token: t,
-                    vocab: self.cfg.vocab_size,
-                });
-            }
-        }
-        Ok(self.forward(tokens))
     }
 
     /// Forward pass that records per-block calibration captures.

@@ -2,6 +2,7 @@
 
 use aptq_core::grid::GridKind;
 use aptq_core::pack::{unpack_codes_at_into, PackedTensor};
+use aptq_lm::LinearOp;
 use aptq_obs::Recorder;
 use aptq_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -114,14 +115,35 @@ impl QuantizedLinear {
     /// # Panics
     ///
     /// Panics if `x.cols() != d_in`.
-    pub(crate) fn forward_opt(&self, x: &Matrix, mut rec: Option<&mut Recorder>) -> Matrix {
+    pub(crate) fn forward_opt(&self, x: &Matrix, rec: Option<&mut Recorder>) -> Matrix {
+        // Allocating convenience wrapper (sized one-shot scratch); hot
+        // paths use `LinearOp::forward_into` with a reused buffer.
+        let mut y = Matrix::zeros(x.rows(), self.packed.d_out);
+        self.forward_group_streamed(x, &mut y, rec);
+        y
+    }
+
+    /// Streams the packed groups, accumulating `x · Ŵ` into `out`
+    /// (which must arrive zeroed — callers are [`forward_opt`] and
+    /// [`LinearOp::forward_into`], both of which zero it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in` or `out` is not `(x.rows(), d_out)`.
+    fn forward_group_streamed(&self, x: &Matrix, out: &mut Matrix, mut rec: Option<&mut Recorder>) {
         let d_in = self.packed.d_in;
         let d_out = self.packed.d_out;
         assert_eq!(x.cols(), d_in, "QuantizedLinear: input width mismatch");
+        assert_eq!(
+            out.shape(),
+            (x.rows(), d_out),
+            "QuantizedLinear: output buffer shape mismatch"
+        );
         let t = x.rows();
         let group = self.packed.group_size;
         let grid = self.packed.grid;
-        let mut y = Matrix::zeros(t, d_out);
+        let y = out;
+        // Group-sized one-shot scratch — the documented budget.
         let mut scratch = vec![0.0f32; group * d_out];
         let mut code_buf = vec![0u8; group * d_out];
 
@@ -170,13 +192,38 @@ impl QuantizedLinear {
             r.add("qmodel/qlinear/macs", (t * d_in * d_out) as u64);
             r.add("qmodel/qlinear/fallback_entries", 0);
         }
-        y
     }
 
     /// Whether the grid is one of the integer families (sanity queries
     /// for reports).
     pub fn is_integer_grid(&self) -> bool {
         matches!(self.packed.grid.kind(), GridKind::Int { .. })
+    }
+}
+
+impl LinearOp for QuantizedLinear {
+    fn d_in(&self) -> usize {
+        QuantizedLinear::d_in(self)
+    }
+
+    fn d_out(&self) -> usize {
+        QuantizedLinear::d_out(self)
+    }
+
+    /// Group-streamed packed forward into the caller buffer.
+    ///
+    /// Row-independent by construction: each output row accumulates its
+    /// own group partials in the same (g ascending, ri ascending) order
+    /// regardless of batch size, so 1-row incremental decode is
+    /// bit-identical to the full-sequence forward.
+    ///
+    /// # Determinism
+    ///
+    /// Single-threaded scalar loops: output and counters are
+    /// bit-identical at any `APTQ_THREADS` value.
+    fn forward_into(&self, x: &Matrix, out: &mut Matrix, rec: Option<&mut Recorder>) {
+        out.as_mut_slice().fill(0.0);
+        self.forward_group_streamed(x, out, rec);
     }
 }
 

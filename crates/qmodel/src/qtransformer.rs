@@ -1,4 +1,12 @@
 //! The packed-weight transformer: full inference from 2/4-bit storage.
+//!
+//! There is no quantized forward implementation here. [`QuantizedModel`]
+//! wraps [`ModelOf<QuantizedLinear>`] — the *same* generic transformer
+//! stack the fp32 [`Model`] instantiates — so the packed path reuses
+//! attention, FFN, block, model and KV-cache decode code verbatim and
+//! can never drift from the reference. This module only (a) quantizes
+//! and installs the weights, (b) validates inputs into
+//! [`QModelError`]s, and (c) reports the deployable memory footprint.
 
 use std::collections::BTreeMap;
 
@@ -6,31 +14,18 @@ use aptq_core::engine::quantize_layer_obq;
 use aptq_core::grid::{GridConfig, QuantGrid};
 use aptq_core::hessian::LayerHessian;
 use aptq_core::plan::QuantPlan;
-use aptq_lm::rmsnorm::RmsNorm;
-use aptq_lm::rope::RopeTable;
-use aptq_lm::{LayerKind, LayerRef, Model, ModelConfig};
+use aptq_lm::attention::MultiHeadAttention;
+use aptq_lm::block::TransformerBlock;
+use aptq_lm::decode::{generate_greedy_cached, DecodeSession};
+use aptq_lm::ffn::SwiGlu;
+use aptq_lm::{LayerKind, LayerRef, LmError, Model, ModelConfig, ModelOf};
 use aptq_obs::Recorder;
-use aptq_tensor::activation::softmax_rows;
 use aptq_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::memory::MemoryBreakdown;
 use crate::qlinear::QuantizedLinear;
 use crate::QModelError;
-
-/// One transformer block with packed projections.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct QuantizedBlock {
-    wq: QuantizedLinear,
-    wk: QuantizedLinear,
-    wv: QuantizedLinear,
-    wo: QuantizedLinear,
-    gate: QuantizedLinear,
-    up: QuantizedLinear,
-    down: QuantizedLinear,
-    norm1: RmsNorm,
-    norm2: RmsNorm,
-}
 
 /// A deployable quantized transformer: every projection lives in packed
 /// sub-byte storage; embeddings, norms and the LM head stay float (as in
@@ -39,15 +34,13 @@ struct QuantizedBlock {
 /// Forward-pass outputs are **bit-identical** to installing the
 /// dequantized weights into the reference [`Model`] (tested), so every
 /// accuracy number measured through simulated quantization transfers to
-/// this execution path exactly.
+/// this execution path exactly. Because the forward *is* the generic
+/// [`ModelOf`] path, the packed stack also inherits KV-cache incremental
+/// decoding ([`QuantizedModel::decode_session`]) with per-token cost
+/// independent of sequence position.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedModel {
-    cfg: ModelConfig,
-    embed: Matrix,
-    blocks: Vec<QuantizedBlock>,
-    final_norm: RmsNorm,
-    lm_head: Matrix,
-    rope: RopeTable,
+    inner: ModelOf<QuantizedLinear>,
 }
 
 impl QuantizedModel {
@@ -92,46 +85,85 @@ impl QuantizedModel {
                 Ok(QuantizedLinear::new(res.packed))
             };
             let src = &model.blocks()[b];
-            blocks.push(QuantizedBlock {
-                wq: quantize_one(LayerKind::Q)?,
-                wk: quantize_one(LayerKind::K)?,
-                wv: quantize_one(LayerKind::V)?,
-                wo: quantize_one(LayerKind::O)?,
-                gate: quantize_one(LayerKind::Gate)?,
-                up: quantize_one(LayerKind::Up)?,
-                down: quantize_one(LayerKind::Down)?,
-                norm1: src.norm1.clone(),
-                norm2: src.norm2.clone(),
-            });
+            let attn = MultiHeadAttention::from_parts(
+                quantize_one(LayerKind::Q)?,
+                quantize_one(LayerKind::K)?,
+                quantize_one(LayerKind::V)?,
+                quantize_one(LayerKind::O)?,
+                mcfg.n_heads,
+            );
+            let ffn = SwiGlu::from_parts(
+                quantize_one(LayerKind::Gate)?,
+                quantize_one(LayerKind::Up)?,
+                quantize_one(LayerKind::Down)?,
+            );
+            blocks.push(TransformerBlock::from_parts(
+                attn,
+                ffn,
+                src.norm1.clone(),
+                src.norm2.clone(),
+            ));
         }
         Ok(QuantizedModel {
-            cfg: mcfg.clone(),
-            embed: model.embed().clone(),
-            blocks,
-            final_norm: model.final_norm().clone(),
-            lm_head: model.lm_head().clone(),
-            rope: RopeTable::new(mcfg.d_head(), mcfg.max_seq_len, mcfg.rope_theta),
+            inner: ModelOf::from_parts(
+                mcfg,
+                model.embed().clone(),
+                blocks,
+                model.final_norm().clone(),
+                model.lm_head().clone(),
+            ),
         })
     }
 
     /// Model configuration.
     pub fn config(&self) -> &ModelConfig {
-        &self.cfg
+        self.inner.config()
+    }
+
+    /// The underlying generic transformer over packed operators.
+    ///
+    /// Everything generic over [`aptq_lm::LinearOp`] — evaluation
+    /// harnesses, [`DecodeSession`], generation — accepts this directly.
+    pub fn model(&self) -> &ModelOf<QuantizedLinear> {
+        &self.inner
+    }
+
+    /// Starts a KV-cache incremental decode session over the packed
+    /// weights.
+    ///
+    /// Per-token cost is independent of position (no re-running the
+    /// prefix), and fed tokens produce logits bit-identical to the full
+    /// [`QuantizedModel::forward`] — the row-independence contract of
+    /// [`aptq_lm::LinearOp`] holds for the group-streamed packed
+    /// operator.
+    pub fn decode_session(&self) -> DecodeSession<'_, QuantizedLinear> {
+        DecodeSession::new(&self.inner)
     }
 
     /// Memory footprint of the deployable artifact.
     pub fn memory(&self) -> MemoryBreakdown {
         let mut packed = 0usize;
         let mut fp16_proj = 0usize;
-        for b in &self.blocks {
-            for l in [&b.wq, &b.wk, &b.wv, &b.wo, &b.gate, &b.up, &b.down] {
+        for b in self.inner.blocks() {
+            let attn = &b.attn;
+            let ffn = &b.ffn;
+            for l in [
+                attn.wq(),
+                attn.wk(),
+                attn.wv(),
+                attn.wo(),
+                ffn.gate(),
+                ffn.up(),
+                ffn.down(),
+            ] {
                 packed += l.storage_bytes();
                 fp16_proj += l.d_in() * l.d_out() * 2;
             }
         }
-        let float = (self.embed.len() + self.lm_head.len()) * 2
-            + self.blocks.len() * 2 * self.cfg.d_model * 2
-            + self.cfg.d_model * 2;
+        let cfg = self.inner.config();
+        let float = (self.inner.embed().len() + self.inner.lm_head().len()) * 2
+            + self.inner.blocks().len() * 2 * cfg.d_model * 2
+            + cfg.d_model * 2;
         MemoryBreakdown {
             packed_bytes: packed,
             float_bytes: float,
@@ -139,8 +171,45 @@ impl QuantizedModel {
         }
     }
 
+    /// Validates tokens against the vocabulary and sequence capacity.
+    fn check_tokens(&self, tokens: &[u32]) -> Result<(), QModelError> {
+        let cfg = self.inner.config();
+        if tokens.len() > cfg.max_seq_len {
+            return Err(QModelError::SequenceTooLong {
+                len: tokens.len(),
+                max: cfg.max_seq_len,
+            });
+        }
+        for &tok in tokens {
+            if tok as usize >= cfg.vocab_size {
+                return Err(QModelError::TokenOutOfRange {
+                    token: tok,
+                    vocab: cfg.vocab_size,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps decode-session errors surfaced through the generic stack
+    /// onto this crate's error type. Inputs are pre-validated, so only
+    /// the variants a running session can produce are expected.
+    fn lift(&self, e: LmError) -> QModelError {
+        match e {
+            LmError::TokenOutOfRange { token, vocab } => {
+                QModelError::TokenOutOfRange { token, vocab }
+            }
+            LmError::SequenceFull { pos, max_seq_len } => QModelError::SequenceTooLong {
+                len: pos + 1,
+                max: max_seq_len,
+            },
+            // audit:allow(panic): inputs pre-validated by check_tokens; other variants cannot occur
+            other => unreachable!("validated quantized path returned {other}"),
+        }
+    }
+
     /// Full forward pass from packed storage; returns `T × vocab`
-    /// logits.
+    /// logits via the generic [`ModelOf`] path.
     ///
     /// # Determinism
     ///
@@ -153,7 +222,8 @@ impl QuantizedModel {
     /// Returns [`QModelError::TokenOutOfRange`] /
     /// [`QModelError::SequenceTooLong`] on invalid input.
     pub fn forward(&self, tokens: &[u32]) -> Result<Matrix, QModelError> {
-        self.forward_opt(tokens, None)
+        self.check_tokens(tokens)?;
+        Ok(self.inner.forward(tokens))
     }
 
     /// [`QuantizedModel::forward`] recording packed-projection work into
@@ -167,102 +237,24 @@ impl QuantizedModel {
     ///
     /// # Errors
     ///
-    /// Same as [`QuantizedModel::forward`]; on error `rec` may hold
-    /// counters for the work done before the failure was detected.
+    /// Same as [`QuantizedModel::forward`]; validation runs before any
+    /// work, so on error `rec` is untouched.
     pub fn forward_recorded(
         &self,
         tokens: &[u32],
         rec: &mut Recorder,
     ) -> Result<Matrix, QModelError> {
-        self.forward_opt(tokens, Some(rec))
+        self.check_tokens(tokens)?;
+        Ok(self.inner.forward_recorded(tokens, rec))
     }
 
-    fn forward_opt(
-        &self,
-        tokens: &[u32],
-        mut rec: Option<&mut Recorder>,
-    ) -> Result<Matrix, QModelError> {
-        if tokens.len() > self.cfg.max_seq_len {
-            return Err(QModelError::SequenceTooLong {
-                len: tokens.len(),
-                max: self.cfg.max_seq_len,
-            });
-        }
-        let t = tokens.len();
-        let d = self.cfg.d_model;
-        let mut x = Matrix::zeros(t, d);
-        for (i, &tok) in tokens.iter().enumerate() {
-            if tok as usize >= self.cfg.vocab_size {
-                return Err(QModelError::TokenOutOfRange {
-                    token: tok,
-                    vocab: self.cfg.vocab_size,
-                });
-            }
-            x.row_mut(i).copy_from_slice(self.embed.row(tok as usize));
-        }
-
-        let n_heads = self.cfg.n_heads;
-        let d_head = self.cfg.d_head();
-        let scale = 1.0 / (d_head as f32).sqrt();
-
-        for block in &self.blocks {
-            // Attention.
-            let (normed, _) = block.norm1.forward(&x);
-            let mut q = block.wq.forward_opt(&normed, rec.as_deref_mut());
-            let mut k = block.wk.forward_opt(&normed, rec.as_deref_mut());
-            let v = block.wv.forward_opt(&normed, rec.as_deref_mut());
-            for pos in 0..t {
-                for h in 0..n_heads {
-                    let lo = h * d_head;
-                    let hi = lo + d_head;
-                    self.rope.apply_row(&mut q.row_mut(pos)[lo..hi], pos);
-                    self.rope.apply_row(&mut k.row_mut(pos)[lo..hi], pos);
-                }
-            }
-            let mut concat = Matrix::zeros(t, d);
-            for h in 0..n_heads {
-                let lo = h * d_head;
-                let hi = lo + d_head;
-                let qh = q.slice_cols(lo, hi);
-                let kh = k.slice_cols(lo, hi);
-                let vh = v.slice_cols(lo, hi);
-                let mut scores = qh.matmul_nt(&kh);
-                scores.scale_assign(scale);
-                for i in 0..t {
-                    for val in scores.row_mut(i).iter_mut().skip(i + 1) {
-                        *val = f32::NEG_INFINITY;
-                    }
-                }
-                softmax_rows(&mut scores);
-                concat.set_block(0, lo, &scores.matmul(&vh));
-            }
-            let attn_out = block.wo.forward_opt(&concat, rec.as_deref_mut());
-            x.add_assign(&attn_out);
-
-            // FFN (SwiGLU).
-            let (normed2, _) = block.norm2.forward(&x);
-            let g = block.gate.forward_opt(&normed2, rec.as_deref_mut());
-            let u = block.up.forward_opt(&normed2, rec.as_deref_mut());
-            let mut hidden = Matrix::zeros(t, g.cols());
-            for (o, (&gv, &uv)) in hidden
-                .as_mut_slice()
-                .iter_mut()
-                .zip(g.as_slice().iter().zip(u.as_slice()))
-            {
-                *o = aptq_tensor::activation::silu(gv) * uv;
-            }
-            let ffn_out = block.down.forward_opt(&hidden, rec.as_deref_mut());
-            x.add_assign(&ffn_out);
-        }
-
-        let (normed, _) = self.final_norm.forward(&x);
-        Ok(normed.matmul(&self.lm_head))
-    }
-
-    /// Greedy generation from packed storage.
+    /// Greedy generation from packed storage via the KV-cache decode
+    /// session — per-token cost independent of position, unlike the old
+    /// re-run-the-window path.
     ///
     /// Token selection goes through [`aptq_tensor::select::argmax`]:
     /// NaN logits never win and ties break toward the lowest token id.
+    /// Generation stops early once the session reaches `max_seq_len`.
     ///
     /// # Determinism
     ///
@@ -271,16 +263,17 @@ impl QuantizedModel {
     ///
     /// # Errors
     ///
-    /// Propagates [`QuantizedModel::forward`] errors.
+    /// Returns [`QModelError::TokenOutOfRange`] /
+    /// [`QModelError::SequenceTooLong`] on an invalid prompt.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty prompt (as before: there is no last-logits
+    /// row to extend).
     pub fn generate_greedy(&self, prompt: &[u32], n_new: usize) -> Result<Vec<u32>, QModelError> {
-        let mut tokens = prompt.to_vec();
-        for _ in 0..n_new {
-            let window_start = tokens.len().saturating_sub(self.cfg.max_seq_len);
-            let logits = self.forward(&tokens[window_start..])?;
-            let last = logits.row(logits.rows() - 1);
-            tokens.push(aptq_tensor::select::argmax(last) as u32);
-        }
-        Ok(tokens)
+        assert!(!prompt.is_empty(), "generate_greedy: empty prompt");
+        self.check_tokens(prompt)?;
+        generate_greedy_cached(&self.inner, prompt, n_new).map_err(|e| self.lift(e))
     }
 }
 
@@ -365,6 +358,10 @@ mod tests {
             q.forward(&long),
             Err(QModelError::SequenceTooLong { .. })
         ));
+        // Recorded path validates before doing any work.
+        let mut rec = Recorder::new();
+        assert!(q.forward_recorded(&[99], &mut rec).is_err());
+        assert_eq!(rec.get("qmodel/qlinear/forward_calls"), 0);
     }
 
     #[test]
@@ -377,6 +374,25 @@ mod tests {
         let b = q.generate_greedy(&[1, 2], 6).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn incremental_decode_matches_full_forward_bit_exactly() {
+        let (model, _, hs) = setup();
+        let cfg = GridConfig::default();
+        let q = QuantizedModel::quantize_from(&model, &QuantPlan::uniform(&model, 3), &hs, &cfg)
+            .unwrap();
+        let tokens = [1u32, 5, 9, 2, 7, 3];
+        let full = q.forward(&tokens).unwrap();
+        let mut session = q.decode_session();
+        for (i, &t) in tokens.iter().enumerate() {
+            let logits = session.feed(t).unwrap();
+            assert_eq!(
+                logits,
+                full.row(i),
+                "decode step {i} must match the full packed forward bit-for-bit"
+            );
+        }
     }
 
     #[test]

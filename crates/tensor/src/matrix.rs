@@ -269,6 +269,43 @@ impl Matrix {
         out
     }
 
+    /// Matrix product `self × rhs` written into a caller-provided
+    /// buffer — the allocation-free core of [`Matrix::matmul`], exposed
+    /// for hot paths that reuse one output buffer across calls.
+    ///
+    /// `out` is fully overwritten; its prior contents are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out`'s shape is not
+    /// `(self.rows(), rhs.cols())`.
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS`: same kernel as
+    /// [`Matrix::matmul`], each output row reduced in a fixed order.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_into: inner dimensions differ ({}x{} × {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul_into: output shape mismatch"
+        );
+        out.data.fill(0.0);
+        parallel::matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+    }
+
     /// Matrix product `selfᵀ × rhs` without materializing the transpose.
     ///
     /// # Panics
@@ -657,6 +694,16 @@ impl std::fmt::Display for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn matmul_into_matches_matmul_and_overwrites() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32 * 0.3 - 1.0);
+        let b = Matrix::from_fn(4, 5, |i, j| (i as f32 - j as f32) * 0.7);
+        let want = a.matmul(&b);
+        let mut out = Matrix::filled(3, 5, f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, want);
+    }
 
     #[test]
     fn constructors_have_expected_shapes() {

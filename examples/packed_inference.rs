@@ -3,7 +3,9 @@
 //! Builds a deployable [`aptq::qmodel::QuantizedModel`] (APTQ-75% mixed
 //! 2/4-bit plan, packed codes + group parameters), verifies it is
 //! bit-identical to the simulated-quantization reference, reports the
-//! memory budget, and generates text straight from packed storage.
+//! memory budget, and generates text straight from packed storage
+//! through the KV-cached incremental decoder (O(T) per token, not a
+//! full re-forward).
 //!
 //! ```text
 //! cargo run --example packed_inference --release

@@ -8,11 +8,16 @@
 //! - non-generic structs with named fields,
 //! - non-generic enums whose variants are units or carry named fields.
 //!
-//! Anything else (tuple structs, generics, tuple variants) produces a
-//! `compile_error!` naming the unsupported construct. Field-level
-//! `#[serde(...)]` attributes are accepted and ignored: the value-based
-//! data model has no use for them, and erroring would make the stub
-//! gratuitously incompatible.
+//! - structs with **type** parameters (optionally bounded / defaulted),
+//!   e.g. `struct ModelOf<L = Linear> { .. }`: the generated impl bounds
+//!   every parameter by the derived trait, mirroring real serde's
+//!   inferred bounds.
+//!
+//! Anything else (tuple structs, lifetime/const generics, generic enums,
+//! tuple variants) produces a `compile_error!` naming the unsupported
+//! construct. Field-level `#[serde(...)]` attributes are accepted and
+//! ignored: the value-based data model has no use for them, and erroring
+//! would make the stub gratuitously incompatible.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -34,10 +39,12 @@ enum Mode {
     Deserialize,
 }
 
-/// A parsed item: name plus shape.
+/// A parsed item: name plus shape. `params` holds the names of type
+/// parameters (empty for non-generic items).
 enum Item {
     Struct {
         name: String,
+        params: Vec<String>,
         fields: Vec<String>,
     },
     Enum {
@@ -56,8 +63,22 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
         }
     };
     let src = match (mode, &item) {
-        (Mode::Serialize, Item::Struct { name, fields }) => ser_struct(name, fields),
-        (Mode::Deserialize, Item::Struct { name, fields }) => de_struct(name, fields),
+        (
+            Mode::Serialize,
+            Item::Struct {
+                name,
+                params,
+                fields,
+            },
+        ) => ser_struct(name, params, fields),
+        (
+            Mode::Deserialize,
+            Item::Struct {
+                name,
+                params,
+                fields,
+            },
+        ) => de_struct(name, params, fields),
         (Mode::Serialize, Item::Enum { name, variants }) => ser_enum(name, variants),
         (Mode::Deserialize, Item::Enum { name, variants }) => de_enum(name, variants),
     };
@@ -68,7 +89,23 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
     })
 }
 
-fn ser_struct(name: &str, fields: &[String]) -> String {
+/// Renders `impl<..bounded..>` and `<..plain..>` generic lists for a
+/// struct's type parameters, each bounded by `trait_path` (mirroring
+/// real serde's inferred per-parameter bounds).
+fn generics(params: &[String], trait_path: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let bounded = params
+        .iter()
+        .map(|p| format!("{p}: {trait_path}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let plain = params.join(", ");
+    (format!("<{bounded}>"), format!("<{plain}>"))
+}
+
+fn ser_struct(name: &str, params: &[String], fields: &[String]) -> String {
     let entries: String = fields
         .iter()
         .map(|f| {
@@ -78,9 +115,10 @@ fn ser_struct(name: &str, fields: &[String]) -> String {
             )
         })
         .collect();
+    let (impl_g, ty_g) = generics(params, "::serde::Serialize");
     format!(
         "#[automatically_derived]\n\
-         impl ::serde::Serialize for {name} {{\n\
+         impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
              fn to_content(&self) -> ::serde::Content {{\n\
                  ::serde::Content::Map(::std::vec![{entries}])\n\
              }}\n\
@@ -88,7 +126,7 @@ fn ser_struct(name: &str, fields: &[String]) -> String {
     )
 }
 
-fn de_struct(name: &str, fields: &[String]) -> String {
+fn de_struct(name: &str, params: &[String], fields: &[String]) -> String {
     let entries: String = fields
         .iter()
         .map(|f| {
@@ -98,9 +136,10 @@ fn de_struct(name: &str, fields: &[String]) -> String {
             )
         })
         .collect();
+    let (impl_g, ty_g) = generics(params, "::serde::Deserialize");
     format!(
         "#[automatically_derived]\n\
-         impl ::serde::Deserialize for {name} {{\n\
+         impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{\n\
              fn from_content(__c: &::serde::Content) \
                  -> ::std::result::Result<Self, ::serde::DeError> {{\n\
                  ::std::result::Result::Ok({name} {{ {entries} }})\n\
@@ -211,11 +250,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         .ok_or("mini-serde derive: expected a type name")?
         .to_string();
     i += 1;
-    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!(
-            "mini-serde derive: `{name}` is generic, which is unsupported"
-        ));
-    }
+    let params = parse_type_params(&tokens, &mut i, &name)?;
     let body = match tokens.get(i) {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
@@ -228,9 +263,15 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     match kw.as_str() {
         "struct" => Ok(Item::Struct {
             name,
+            params,
             fields: parse_named_fields(body)?,
         }),
         "enum" => {
+            if !params.is_empty() {
+                return Err(format!(
+                    "mini-serde derive: enum `{name}` is generic, which is unsupported"
+                ));
+            }
             let variants = parse_variants(body, &name)?;
             Ok(Item::Enum { name, variants })
         }
@@ -238,6 +279,63 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
             "mini-serde derive: unsupported item kind `{other}`"
         )),
     }
+}
+
+/// Parses an optional `<...>` type-parameter list at `*i`, returning the
+/// parameter names. Bounds (`: Trait`) and defaults (`= Type`) are
+/// accepted and discarded — only the names matter for the generated
+/// impl. Lifetime and `const` parameters are rejected: the vendored
+/// `Deserialize` trait produces owned values, so borrowed fields cannot
+/// round-trip, and const generics would need value (not trait) bounds.
+fn parse_type_params(
+    tokens: &[TokenTree],
+    i: &mut usize,
+    name: &str,
+) -> Result<Vec<String>, String> {
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Ok(Vec::new());
+    }
+    *i += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    // At depth 1 and the start of a parameter we expect an identifier
+    // (the parameter name); everything until the next depth-1 comma is
+    // bound/default noise to skip.
+    let mut at_param_start = true;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return Ok(params);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                return Err(format!(
+                    "mini-serde derive: `{name}` has a lifetime parameter, \
+                     which is unsupported"
+                ));
+            }
+            TokenTree::Ident(id) if at_param_start && depth == 1 => {
+                if id.to_string() == "const" {
+                    return Err(format!(
+                        "mini-serde derive: `{name}` has a const parameter, \
+                         which is unsupported"
+                    ));
+                }
+                params.push(id.to_string());
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    Err(format!(
+        "mini-serde derive: unclosed generic parameter list on `{name}`"
+    ))
 }
 
 /// Parses `name: Type, ...` named fields, skipping attributes and
