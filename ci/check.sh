@@ -20,15 +20,54 @@ cargo fmt --all --check
 phase "cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-phase "aptq-audit (A+D+H+N ratchet against results/audit-baseline.json)"
+phase "aptq-audit (A+D+E+H+N+U ratchet against results/audit-baseline.json)"
 # Fails on findings not in the committed baseline (exit 1) and on stale
 # baseline entries whose findings are already fixed (exit 3) — the
-# baseline may only shrink. Findings print with their `= suggestion:`
-# fix text; the full report is archived as an artifact.
+# baseline may only shrink (it is empty as of the D006 doc burn-down;
+# workspace_audit.rs pins it empty). Findings print with their
+# `= suggestion:` fix text; the full report and the inferred effects
+# manifest are archived as artifacts. E004 inside the run diffs the
+# committed results/effects.json against the tree, so a drifted
+# manifest is itself a finding.
 mkdir -p results
 cargo run -q -p aptq-audit -- \
     --ratchet results/audit-baseline.json \
-    --json-out results/audit.json
+    --json-out results/audit.json \
+    --effects-out results/effects.json
+
+phase "aptq-audit self-check (sabotage fixture must light up)"
+# A refactor that disconnects a rule from the pipeline makes the audit
+# report "clean" on everything — indistinguishable from a healthy tree.
+# Run the audit over a fixture with seeded violations and require a
+# non-trivial finding count: zero findings here means the auditor, not
+# the tree, is broken.
+fixture_exit=0
+cargo run -q -p aptq-audit -- \
+    --root crates/audit/fixtures/sabotage \
+    --json > results/audit-selfcheck.json || fixture_exit=$?
+if [ "$fixture_exit" -ne 1 ]; then
+    echo "self-check: expected exit 1 (findings) on the sabotage fixture, got $fixture_exit" >&2
+    exit 1
+fi
+selfcheck_count=$(grep -o '"rule":' results/audit-selfcheck.json | wc -l)
+if [ "$selfcheck_count" -lt 7 ]; then
+    echo "self-check: expected >=7 findings on the sabotage fixture, got $selfcheck_count" >&2
+    exit 1
+fi
+echo "    self-check: $selfcheck_count findings on seeded violations"
+
+phase "effects manifest byte-stability (APTQ_THREADS invariance)"
+# The manifest is a CI diff artifact: two fresh runs — across thread
+# counts — must produce identical bytes or the E004 gate is flaky.
+for threads in 1 4; do
+    APTQ_THREADS=$threads cargo run -q -p aptq-audit -- \
+        -q --effects-out "results/effects-t$threads.json" || true
+    cmp results/effects.json "results/effects-t$threads.json" || {
+        echo "effects manifest not byte-stable at APTQ_THREADS=$threads" >&2
+        exit 1
+    }
+    rm -f "results/effects-t$threads.json"
+done
 
 phase "cargo build --release"
 cargo build --workspace --release

@@ -1,0 +1,47 @@
+//! Seeded audit violations, one per comment. Never compiled — scanned
+//! only by the audit self-check, which requires every listed rule to
+//! fire here (an audit that stops seeing these is broken, not clean).
+
+// A001 + E003: a bare unwrap in a panic-free crate, on a public
+// function whose doc comment is missing the panic section. (Plain
+// comments here — naming the section in a doc comment would satisfy
+// the very check being sabotaged.)
+pub fn undocumented_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// A hot-path root that allocates; the doc deliberately omits the
+/// allocation-contract line H004 wants (naming it here would satisfy
+/// the check).
+///
+/// # HotPath
+pub fn allocating_hot_root() -> Vec<u32> {
+    // H001 + E001 (allocation inside a hot closure) and H004 (missing
+    // contract line in the root doc).
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}
+
+/// H002: a transitive panic site inside the hot closure.
+fn hot_helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// A second root so the helper is owned by a hot closure.
+///
+/// # HotPath
+/// budget: zero allocations on the steady-state path.
+pub fn panicking_hot_root() -> u32 {
+    hot_helper(Some(1))
+}
+
+/// U001: the allow excuses nothing — `quiet` has no panic site.
+pub fn stale_allow() -> u32 {
+    // audit:allow(panic): bounded by construction
+    quiet()
+}
+
+fn quiet() -> u32 {
+    7
+}

@@ -176,7 +176,8 @@ pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
 }
 
 /// Extracts the raw (unquoted) value following `"key":` on a line.
-fn field(line: &str, key: &str) -> Option<String> {
+/// Crate-visible: the effects-manifest parser reuses it.
+pub(crate) fn field(line: &str, key: &str) -> Option<String> {
     let needle = format!("\"{key}\":");
     let at = line.find(&needle)? + needle.len();
     let rest = &line[at..];
@@ -185,7 +186,8 @@ fn field(line: &str, key: &str) -> Option<String> {
 }
 
 /// Extracts and unescapes a JSON string value following `"key":`.
-fn string_field(line: &str, key: &str) -> Option<String> {
+/// Crate-visible: the effects-manifest parser reuses it.
+pub(crate) fn string_field(line: &str, key: &str) -> Option<String> {
     let needle = format!("\"{key}\":\"");
     let at = line.find(&needle)? + needle.len();
     let rest = &line[at..];

@@ -47,7 +47,7 @@ fn in_lib_src(rel_path: &str) -> bool {
 /// True for files exempt from the wall-clock/entropy rule: bench
 /// binaries (the whole `crates/bench` tree) and `src/bin/` entry points
 /// are allowed to time and report.
-fn clock_exempt(rel_path: &str) -> bool {
+pub(crate) fn clock_exempt(rel_path: &str) -> bool {
     rel_path.starts_with("crates/bench/") || rel_path.contains("/src/bin/")
 }
 
@@ -208,7 +208,7 @@ pub fn check_file(file: &FileIndex) -> Vec<Finding> {
 
 /// Returns the column of a `static mut` / interior-mutable `static` /
 /// `thread_local!` declaration on this line of code text, if any.
-fn static_global_col(code: &str) -> Option<usize> {
+pub(crate) fn static_global_col(code: &str) -> Option<usize> {
     if let Some(col) = word_occurrences(code, "thread_local!").first() {
         return Some(*col);
     }
@@ -250,21 +250,36 @@ fn static_global_col(code: &str) -> Option<usize> {
     }
 }
 
-/// Runs the full determinism rule set (D001–D006) over an index.
+/// Runs the full determinism rule set (D001–D006) over an index,
+/// computing a private [`EffectAnalysis`](crate::effects::EffectAnalysis)
+/// for D006. Production callers run the shared analysis once and use
+/// [`check_with`] instead.
 pub fn check_index(index: &SymbolIndex) -> Vec<Finding> {
+    check_with(index, &crate::effects::EffectAnalysis::compute(index))
+}
+
+/// Runs D001–D006 with D006's reachability answered by the shared
+/// effect engine ([`crate::effects`]): the engine's
+/// `reaches_parallel` fixpoint *is* the pre-engine D006 computation,
+/// bit-for-bit (pinned by tests).
+pub fn check_with(index: &SymbolIndex, analysis: &crate::effects::EffectAnalysis) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in index.files() {
         findings.extend(check_file(file));
     }
-    findings.extend(rule_d006_determinism_docs(index));
+    findings.extend(rule_d006_determinism_docs(
+        index,
+        &analysis.reaches_parallel,
+    ));
     findings
 }
 
 /// D006: every non-test `pub fn` in library code whose body transitively
 /// reaches `aptq_tensor::parallel` must document its determinism
-/// contract in a `# Determinism` doc section.
-fn rule_d006_determinism_docs(index: &SymbolIndex) -> Vec<Finding> {
-    let reaches = parallel_reachability(index);
+/// contract in a `# Determinism` doc section. `reaches` is the engine's
+/// parallel-reachability fixpoint
+/// ([`crate::effects::parallel_reachability`]).
+fn rule_d006_determinism_docs(index: &SymbolIndex, reaches: &[Vec<bool>]) -> Vec<Finding> {
     let mut findings = Vec::new();
     for (id, item) in index.fns() {
         let file = index.file(id);
@@ -300,34 +315,6 @@ fn rule_d006_determinism_docs(index: &SymbolIndex) -> Vec<Finding> {
         });
     }
     findings
-}
-
-/// Computes, per function item, whether its body transitively reaches
-/// `aptq_tensor::parallel`: seeded by functions *defined in* the
-/// parallel module and by call sites that name it (directly or through
-/// a `use` import), then propagated over name-resolved call edges to a
-/// fixpoint — [`crate::reach::reaches`] with the parallel module as
-/// seed and import-aware path matching as the direct classifier.
-fn parallel_reachability(index: &SymbolIndex) -> Vec<Vec<bool>> {
-    crate::reach::reaches(
-        index,
-        |f| f.rel_path == PARALLEL_MODULE_FILE,
-        |file: &FileIndex, call| {
-            let call_path = call.path.as_str();
-            if call_path.contains(PARALLEL_MODULE_PATH) {
-                return true;
-            }
-            let first = call_path.split("::").next().unwrap_or(call_path);
-            file.imports
-                .get(first)
-                .or_else(|| {
-                    // `use aptq_tensor::parallel::thread_count;` imports
-                    // the terminal name itself.
-                    file.imports.get(call_path)
-                })
-                .is_some_and(|full| full.contains(PARALLEL_MODULE_PATH))
-        },
-    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,1004 @@
+//! Unified call-graph effect inference — the engine behind D006,
+//! H001–H004, and the contract rules E001–E004.
+//!
+//! PR 5 left the workspace with three separate reach analyses: the D006
+//! determinism fixpoint, the H-rule hot-path closure, and the N-rule
+//! body scans, each re-walking the call graph with its own ad-hoc
+//! rules. The guarantees they check are all *transitive* properties of
+//! whole call chains, so they now share one inference pass:
+//!
+//! 1. **Leaf facts.** Every non-test library function is scanned once
+//!    for effect *sites* — the same patterns the per-rule scans used —
+//!    yielding a per-function [`EffectSet`] over the lattice
+//!    `{Alloc, Panic, EnvRead, ThreadSpawn, WallClock, Io, GlobalMut,
+//!    FloatAccum}`. Sanctioned scopes are excluded at the leaf: env
+//!    reads inside the designated config module, thread spawns inside
+//!    `aptq_tensor::parallel`, wall-clock reads in `crates/bench` /
+//!    `src/bin`, and any site carrying its rule's `// audit:allow(...)`
+//!    annotation (an allow is a reviewed exemption, so it suppresses
+//!    both the finding *and* the effect bit).
+//! 2. **Closure.** Effects propagate callee → caller over the same
+//!    by-name call edges [`crate::reach`] uses, to a fixpoint. A
+//!    `# Panics`-documented callee does not propagate `Panic` (the doc
+//!    turns the panic into a precondition the caller accepted), and
+//!    `ThreadSpawn` additionally absorbs the exact D006 backward
+//!    fixpoint (reaching `aptq_tensor::parallel` *is* spawning).
+//! 3. **Queries.** [`crate::determinism`] reads
+//!    [`EffectAnalysis::reaches_parallel`] for D006,
+//!    [`crate::hotpath`] reads the hot-path roots / ownership map /
+//!    per-function sites for H001–H004 (bit-identical to the pre-engine
+//!    passes, pinned by tests), and [`check_contracts`] compares
+//!    *declared* contracts against *inferred* effects:
+//!
+//! | Code | What it enforces | Escape hatch |
+//! |------|------------------|--------------|
+//! | E001 | a `# HotPath` root must not infer `Alloc` | `// audit:allow(effect): <reason>` |
+//! | E002 | a `# Determinism`-documented fn must not infer `EnvRead`/`WallClock` | `// audit:allow(effect): <reason>` |
+//! | E003 | a pub fn in a panic-free crate inferring `Panic` must document `# Panics` | `// audit:allow(effect): <reason>` |
+//! | E004 | the committed `results/effects.json` matches the inferred manifest | regenerate with `--effects-out` |
+//!
+//! The manifest ([`render_manifest`]) records the inferred effect set
+//! of every public library function, BTreeMap-ordered and line-oriented
+//! so diffs review like a ledger. CI regenerates it and byte-compares
+//! against the committed copy: any PR that changes the effect signature
+//! of a public fn must update the manifest in the same diff.
+
+use std::collections::BTreeMap;
+
+use crate::determinism::{
+    clock_exempt, static_global_col, ENV_CONFIG_MODULES, PARALLEL_MODULE_FILE, PARALLEL_MODULE_PATH,
+};
+use crate::index::{FileIndex, FnId, Item, SymbolIndex};
+use crate::reach;
+use crate::scan::word_occurrences;
+use crate::{json_str, Finding, Severity};
+
+/// One effect in the lattice. The discriminant doubles as the bit
+/// position inside [`EffectSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Effect {
+    Alloc,
+    Panic,
+    EnvRead,
+    ThreadSpawn,
+    WallClock,
+    Io,
+    GlobalMut,
+    FloatAccum,
+}
+
+impl Effect {
+    /// Every effect, in manifest order.
+    pub const ALL: [Effect; 8] = [
+        Effect::Alloc,
+        Effect::Panic,
+        Effect::EnvRead,
+        Effect::ThreadSpawn,
+        Effect::WallClock,
+        Effect::Io,
+        Effect::GlobalMut,
+        Effect::FloatAccum,
+    ];
+
+    /// The manifest / message name of the effect.
+    pub fn name(self) -> &'static str {
+        match self {
+            Effect::Alloc => "Alloc",
+            Effect::Panic => "Panic",
+            Effect::EnvRead => "EnvRead",
+            Effect::ThreadSpawn => "ThreadSpawn",
+            Effect::WallClock => "WallClock",
+            Effect::Io => "Io",
+            Effect::GlobalMut => "GlobalMut",
+            Effect::FloatAccum => "FloatAccum",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        1 << (self as u8)
+    }
+}
+
+/// A set of [`Effect`]s, packed into one byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EffectSet(u8);
+
+impl EffectSet {
+    pub const EMPTY: EffectSet = EffectSet(0);
+
+    pub fn insert(&mut self, e: Effect) {
+        self.0 |= e.bit();
+    }
+
+    pub fn remove(&mut self, e: Effect) {
+        self.0 &= !e.bit();
+    }
+
+    pub fn contains(self, e: Effect) -> bool {
+        self.0 & e.bit() != 0
+    }
+
+    pub fn union(self, other: EffectSet) -> EffectSet {
+        EffectSet(self.0 | other.0)
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Member names in [`Effect::ALL`] order.
+    pub fn names(self) -> Vec<&'static str> {
+        Effect::ALL
+            .iter()
+            .filter(|&&e| self.contains(e))
+            .map(|&e| e.name())
+            .collect()
+    }
+
+    /// `"Alloc|Panic"`-style label for diagnostics.
+    pub fn label(self) -> String {
+        self.names().join("|")
+    }
+}
+
+/// One effect site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub effect: Effect,
+    /// 0-based line of the site.
+    pub line: usize,
+    /// 0-based char column of the site.
+    pub col: usize,
+    /// Site label as it appears in H-rule messages (`.unwrap()`,
+    /// `Vec::new`, `Mutex`, …).
+    pub what: String,
+    /// An `assert!`-family macro: feeds H002 (a hot-path assert
+    /// deserves a look even when documented) but not the `Panic` effect
+    /// bit — documented preconditions are not part of a function's
+    /// effect signature the way an `unwrap` is.
+    pub assert_family: bool,
+}
+
+/// Allocation-site patterns (H001 / `Alloc`). `Matrix::zeros` and
+/// `vec![...]` are deliberately absent: sized one-shot scratch is the
+/// documented budget mechanism, while growth and copying are not.
+pub(crate) const ALLOC_SITES: &[&str] = &[
+    "Vec::new(",
+    "with_capacity(",
+    ".push(",
+    "vcat(",
+    "to_vec(",
+    ".clone()",
+    "format!",
+    "String::new(",
+    "String::from(",
+    "to_string(",
+    ".to_owned(",
+];
+
+/// Lock / I-O patterns (H003 / `Io`).
+pub(crate) const IO_SITES: &[&str] = &["Mutex", "RwLock", "std::io", "println!", "eprintln!"];
+
+/// Panic macros (H002 / `Panic`): A001's set plus the assert family.
+pub(crate) const PANIC_MACROS: &[&str] = &[
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+];
+
+/// Thread-spawn patterns (`ThreadSpawn`), as in D001.
+const THREAD_SITES: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+
+/// Wall-clock / entropy patterns (`WallClock`), as in D004.
+const CLOCK_SITES: &[&str] = &[
+    "Instant::now",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "random_seed",
+];
+
+/// Naive float-reduction patterns (`FloatAccum`), as in N002.
+const ACCUM_SITES: &[&str] = &[".sum::<f32>()", ".sum::<f64>()"];
+
+/// True for library source files: `crates/<name>/src/**`.
+pub(crate) fn in_lib_src(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/") && rel_path.contains("/src/")
+}
+
+/// The computed effect analysis for one workspace index.
+pub struct EffectAnalysis {
+    /// Per `(file, item)`: leaf effect sites, in body-scan order
+    /// (line-major; within a line: alloc, panic, io, then the rest).
+    pub sites: Vec<Vec<Vec<Site>>>,
+    /// Per `(file, item)`: effects of the function's own body.
+    pub local: Vec<Vec<EffectSet>>,
+    /// Per `(file, item)`: `local` closed over callees to the fixpoint.
+    pub inferred: Vec<Vec<EffectSet>>,
+    /// Per `(file, item)`: the exact D006 backward fixpoint — whether
+    /// the body transitively reaches `aptq_tensor::parallel`.
+    pub reaches_parallel: Vec<Vec<bool>>,
+    /// `# HotPath`-documented non-test library functions, in
+    /// (path, line) order for deterministic attribution.
+    pub hot_roots: Vec<FnId>,
+    /// First hot root (in `hot_roots` order) reaching each member of
+    /// any hot closure.
+    pub hot_owner: BTreeMap<FnId, FnId>,
+}
+
+impl EffectAnalysis {
+    /// Runs the full inference over a workspace index: leaf sites, the
+    /// D006 backward fixpoint, the hot-path forward closures, and the
+    /// callee→caller effect fixpoint.
+    pub fn compute(index: &SymbolIndex) -> EffectAnalysis {
+        let mut sites: Vec<Vec<Vec<Site>>> = Vec::with_capacity(index.files().len());
+        let mut local: Vec<Vec<EffectSet>> = Vec::with_capacity(index.files().len());
+        for file in index.files() {
+            let mut file_sites = Vec::with_capacity(file.items.len());
+            let mut file_local = Vec::with_capacity(file.items.len());
+            for item in &file.items {
+                let s = if item.kind == crate::index::ItemKind::Fn
+                    && !item.in_test
+                    && in_lib_src(&file.rel_path)
+                {
+                    extract_sites(file, item)
+                } else {
+                    Vec::new()
+                };
+                let mut set = EffectSet::EMPTY;
+                for site in &s {
+                    if !(site.effect == Effect::Panic && site.assert_family) {
+                        set.insert(site.effect);
+                    }
+                }
+                file_sites.push(s);
+                file_local.push(set);
+            }
+            sites.push(file_sites);
+            local.push(file_local);
+        }
+
+        let reaches_parallel = parallel_reachability(index);
+
+        // Hot-path roots and first-root-wins ownership, exactly as the
+        // pre-engine H-rule pass computed them.
+        let mut hot_roots: Vec<FnId> = index
+            .fns()
+            .filter(|&(id, it)| {
+                it.has_hotpath_doc && !it.in_test && in_lib_src(&index.file(id).rel_path)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        hot_roots.sort_by(|&a, &b| {
+            (&index.file(a).rel_path, index.item(a).line)
+                .cmp(&(&index.file(b).rel_path, index.item(b).line))
+        });
+        let mut hot_owner: BTreeMap<FnId, FnId> = BTreeMap::new();
+        for &root in &hot_roots {
+            let closure = reach::reachable_from(index, &[root]);
+            for (id, _) in index.fns() {
+                if closure[id.0][id.1] {
+                    hot_owner.entry(id).or_insert(root);
+                }
+            }
+        }
+
+        // Callee → caller effect fixpoint over by-name edges. Test
+        // definitions and non-library definitions never contribute: an
+        // integration-test helper sharing a name with a library fn must
+        // not leak its effects into the library's signature.
+        let by_name = index.fns_by_name();
+        let mut inferred = local.clone();
+        loop {
+            let mut changed = false;
+            for (id, item) in index.fns() {
+                if item.in_test || !in_lib_src(&index.file(id).rel_path) {
+                    continue;
+                }
+                let mut acc = inferred[id.0][id.1];
+                for call in &item.calls {
+                    if !reach::may_resolve_in_workspace(call) {
+                        continue;
+                    }
+                    let Some(defs) = by_name.get(call.name.as_str()) else {
+                        continue;
+                    };
+                    for &(fi, ii) in defs {
+                        let callee = &index.files()[fi].items[ii];
+                        if callee.in_test || !in_lib_src(&index.files()[fi].rel_path) {
+                            continue;
+                        }
+                        let mut ce = inferred[fi][ii];
+                        if callee.has_panics_doc {
+                            ce.remove(Effect::Panic);
+                        }
+                        acc = acc.union(ce);
+                    }
+                }
+                if acc != inferred[id.0][id.1] {
+                    inferred[id.0][id.1] = acc;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Reaching `aptq_tensor::parallel` *is* spawning threads; the
+        // D006 fixpoint already closed over callers, so the bit lands
+        // directly on every reaching library function.
+        for (id, item) in index.fns() {
+            if !item.in_test && in_lib_src(&index.file(id).rel_path) && reaches_parallel[id.0][id.1]
+            {
+                inferred[id.0][id.1].insert(Effect::ThreadSpawn);
+            }
+        }
+
+        EffectAnalysis {
+            sites,
+            local,
+            inferred,
+            reaches_parallel,
+            hot_roots,
+            hot_owner,
+        }
+    }
+}
+
+/// Computes, per function item, whether its body transitively reaches
+/// `aptq_tensor::parallel`: seeded by functions *defined in* the
+/// parallel module and by call sites that name it (directly or through
+/// a `use` import), then propagated over name-resolved call edges to a
+/// fixpoint — [`crate::reach::reaches`] with the parallel module as
+/// seed and import-aware path matching as the direct classifier. This
+/// is D006's reachability, bit-for-bit.
+pub fn parallel_reachability(index: &SymbolIndex) -> Vec<Vec<bool>> {
+    reach::reaches(
+        index,
+        |f| f.rel_path == PARALLEL_MODULE_FILE,
+        |file: &FileIndex, call| {
+            let call_path = call.path.as_str();
+            if call_path.contains(PARALLEL_MODULE_PATH) {
+                return true;
+            }
+            let first = call_path.split("::").next().unwrap_or(call_path);
+            file.imports
+                .get(first)
+                .or_else(|| {
+                    // `use aptq_tensor::parallel::thread_count;` imports
+                    // the terminal name itself.
+                    file.imports.get(call_path)
+                })
+                .is_some_and(|full| full.contains(PARALLEL_MODULE_PATH))
+        },
+    )
+}
+
+/// Scans one function body for leaf effect sites. The per-line order —
+/// alloc, panic, io, env, thread, clock, global, accum — matches the
+/// emission order of the pre-engine H-rule pass so ported findings stay
+/// bit-identical.
+fn extract_sites(file: &FileIndex, item: &Item) -> Vec<Site> {
+    let f = &file.scanned;
+    let rel_path = file.rel_path.as_str();
+    let (lo, hi) = item.body;
+    let mut sites = Vec::new();
+    for idx in lo..=hi.min(f.lines.len().saturating_sub(1)) {
+        let line = &f.lines[idx];
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+
+        for pat in ALLOC_SITES {
+            for col in word_occurrences(code, pat) {
+                if f.allowed(idx, "alloc") {
+                    continue;
+                }
+                sites.push(Site {
+                    effect: Effect::Alloc,
+                    line: idx,
+                    col,
+                    what: pat.trim_end_matches('(').to_string(),
+                    assert_family: false,
+                });
+            }
+        }
+
+        // Panic sites: `.unwrap()`, message-less `.expect(`, and the
+        // panic macros. A descriptive `.expect("...")` self-annotates
+        // exactly as in A001 (the scanner blanked string contents, so a
+        // literal message shows up as `.expect("   ")`).
+        let mut panic_cols: Vec<(usize, String, bool)> = Vec::new();
+        for col in word_occurrences(code, ".unwrap()") {
+            panic_cols.push((col, "`.unwrap()`".into(), false));
+        }
+        for col in word_occurrences(code, ".expect(") {
+            let after = &code[code
+                .char_indices()
+                .nth(col + ".expect(".len())
+                .map_or(code.len(), |(b, _)| b)..];
+            let trimmed = after.trim_start();
+            let descriptive = trimmed.starts_with('"')
+                && trimmed[1..]
+                    .chars()
+                    .take_while(|&c| c != '"')
+                    .any(|c| c == ' ')
+                && trimmed[1..].contains('"');
+            if !descriptive {
+                panic_cols.push((col, "message-less `.expect(...)`".into(), false));
+            }
+        }
+        for mac in PANIC_MACROS {
+            for col in word_occurrences(code, mac) {
+                let assert_family = mac.starts_with("assert");
+                panic_cols.push((col, format!("`{mac}`"), assert_family));
+            }
+        }
+        for (col, what, assert_family) in panic_cols {
+            if f.allowed(idx, "panic") {
+                continue;
+            }
+            sites.push(Site {
+                effect: Effect::Panic,
+                line: idx,
+                col,
+                what,
+                assert_family,
+            });
+        }
+
+        for pat in IO_SITES {
+            for col in word_occurrences(code, pat) {
+                if f.allowed(idx, "io") {
+                    continue;
+                }
+                sites.push(Site {
+                    effect: Effect::Io,
+                    line: idx,
+                    col,
+                    what: (*pat).to_string(),
+                    assert_family: false,
+                });
+            }
+        }
+
+        if !ENV_CONFIG_MODULES.contains(&rel_path) {
+            for col in word_occurrences(code, "env::var") {
+                if f.allowed(idx, "env") {
+                    continue;
+                }
+                sites.push(Site {
+                    effect: Effect::EnvRead,
+                    line: idx,
+                    col,
+                    what: "env::var".to_string(),
+                    assert_family: false,
+                });
+            }
+        }
+
+        if rel_path != PARALLEL_MODULE_FILE {
+            for pat in THREAD_SITES {
+                for col in word_occurrences(code, pat) {
+                    if f.allowed(idx, "thread") {
+                        continue;
+                    }
+                    sites.push(Site {
+                        effect: Effect::ThreadSpawn,
+                        line: idx,
+                        col,
+                        what: (*pat).to_string(),
+                        assert_family: false,
+                    });
+                }
+            }
+        }
+
+        if !clock_exempt(rel_path) {
+            for pat in CLOCK_SITES {
+                for col in word_occurrences(code, pat) {
+                    if f.allowed(idx, "nondet") {
+                        continue;
+                    }
+                    sites.push(Site {
+                        effect: Effect::WallClock,
+                        line: idx,
+                        col,
+                        what: (*pat).to_string(),
+                        assert_family: false,
+                    });
+                }
+            }
+        }
+
+        if let Some(col) = static_global_col(code) {
+            if !f.allowed(idx, "global") {
+                sites.push(Site {
+                    effect: Effect::GlobalMut,
+                    line: idx,
+                    col,
+                    what: "static".to_string(),
+                    assert_family: false,
+                });
+            }
+        }
+
+        for pat in ACCUM_SITES {
+            for col in word_occurrences(code, pat) {
+                if f.allowed(idx, "accum") {
+                    continue;
+                }
+                sites.push(Site {
+                    effect: Effect::FloatAccum,
+                    line: idx,
+                    col,
+                    what: (*pat).to_string(),
+                    assert_family: false,
+                });
+            }
+        }
+    }
+    sites
+}
+
+/// E001–E003: declared contracts checked against inferred effects.
+/// All three clear with `// audit:allow(effect): <reason>` on the
+/// declaration line (or the comment-only line above).
+pub fn check_contracts(index: &SymbolIndex, analysis: &EffectAnalysis) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // E001 — a `# HotPath` root whose closure allocates. H001 flags the
+    // individual sites; this flags the broken *contract* at the root.
+    for &id in &analysis.hot_roots {
+        let item = index.item(id);
+        let file = index.file(id);
+        if !analysis.inferred[id.0][id.1].contains(Effect::Alloc)
+            || file.scanned.allowed(item.line, "effect")
+        {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "E001",
+            severity: Severity::Error,
+            path: file.rel_path.clone(),
+            line: item.line + 1,
+            col: 1,
+            message: format!(
+                "hot-path root `{}` declares `# HotPath` but infers effect `Alloc`",
+                item.name
+            ),
+            help: "the transitive closure of this root contains allocation sites (H001 lists \
+                   them); hoist the allocations into caller-owned scratch, or annotate the root \
+                   with `// audit:allow(effect): <reason>`"
+                .into(),
+            suggestion: "make the closure allocation-free, then re-run the audit".into(),
+        });
+    }
+
+    for (id, item) in index.fns() {
+        let file = index.file(id);
+        let rel_path = file.rel_path.as_str();
+        if item.in_test || !in_lib_src(rel_path) {
+            continue;
+        }
+        let inferred = analysis.inferred[id.0][id.1];
+
+        // E002 — a `# Determinism` contract contradicted by inferred
+        // environment or wall-clock dependence.
+        if item.has_determinism_doc {
+            let mut bad = EffectSet::EMPTY;
+            for e in [Effect::EnvRead, Effect::WallClock] {
+                if inferred.contains(e) {
+                    bad.insert(e);
+                }
+            }
+            if !bad.is_empty() && !file.scanned.allowed(item.line, "effect") {
+                findings.push(Finding {
+                    rule: "E002",
+                    severity: Severity::Error,
+                    path: file.rel_path.clone(),
+                    line: item.line + 1,
+                    col: 1,
+                    message: format!(
+                        "function `{}` documents `# Determinism` but infers effect `{}`",
+                        item.name,
+                        bad.label()
+                    ),
+                    help: "a determinism contract cannot coexist with ambient environment or \
+                           wall-clock reads; inject the value from the caller, or annotate with \
+                           `// audit:allow(effect): <reason>`"
+                        .into(),
+                    suggestion: "take the configuration/timestamp as a parameter".into(),
+                });
+            }
+        }
+
+        // E003 — a public API in a panic-free crate silently gaining
+        // `Panic` (transitively — beyond A003's own-body view).
+        if item.is_pub
+            && !item.has_panics_doc
+            && crate::rules::PANIC_FREE_CRATES
+                .iter()
+                .any(|p| rel_path.starts_with(p))
+            && inferred.contains(Effect::Panic)
+            && !file.scanned.allowed(item.line, "effect")
+        {
+            findings.push(Finding {
+                rule: "E003",
+                severity: Severity::Error,
+                path: file.rel_path.clone(),
+                line: item.line + 1,
+                col: 1,
+                message: format!(
+                    "public function `{}` infers effect `Panic` but its doc comment has no \
+                     `# Panics` section",
+                    item.name
+                ),
+                help: "a panic-free-crate API that can transitively panic must say so; document \
+                       the precondition in a `# Panics` section, make the callee infallible, or \
+                       annotate with `// audit:allow(effect): <reason>`"
+                    .into(),
+                suggestion: "add a `/// # Panics` doc section".into(),
+            });
+        }
+    }
+    findings
+}
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The workspace-relative path the committed manifest lives at.
+pub const MANIFEST_PATH: &str = "results/effects.json";
+
+/// Builds the per-function effect manifest: every public, non-test
+/// library function (binary entry points under `src/bin` excluded),
+/// keyed `(path, fn name)` — duplicate keys (same-named methods in two
+/// impl blocks) union-merge their effects. BTreeMap order makes the
+/// output deterministic; the line-oriented layout diffs like a ledger.
+pub fn render_manifest(index: &SymbolIndex, analysis: &EffectAnalysis) -> String {
+    let mut map: BTreeMap<(String, String), EffectSet> = BTreeMap::new();
+    for (id, item) in index.fns() {
+        let rel_path = &index.file(id).rel_path;
+        if !in_lib_src(rel_path) || rel_path.contains("/src/bin/") || !item.is_pub || item.in_test {
+            continue;
+        }
+        let entry = map
+            .entry((rel_path.clone(), item.name.clone()))
+            .or_insert(EffectSet::EMPTY);
+        *entry = entry.union(analysis.inferred[id.0][id.1]);
+    }
+    let mut out = format!("{{\"version\":{MANIFEST_VERSION},\"fns\":[\n");
+    let total = map.len();
+    for (i, ((path, name), set)) in map.iter().enumerate() {
+        let effects: Vec<String> = set.names().iter().map(|n| json_str(n)).collect();
+        out.push_str(&format!(
+            "{{\"path\":{},\"fn\":{},\"effects\":[{}]}}{}\n",
+            json_str(path),
+            json_str(name),
+            effects.join(","),
+            if i + 1 < total { "," } else { "" }
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Parses a manifest produced by [`render_manifest`] into
+/// `(path, fn) → effect names`. Line-oriented, like the baseline
+/// parser: one entry object per line, fields extracted by key.
+pub fn parse_manifest(text: &str) -> Result<BTreeMap<(String, String), Vec<String>>, String> {
+    let head = text.lines().next().unwrap_or("");
+    let version = crate::baseline::field(head, "version").and_then(|v| v.parse::<u32>().ok());
+    if version != Some(MANIFEST_VERSION) {
+        return Err(format!(
+            "effects manifest version mismatch: expected {MANIFEST_VERSION}, file header is \
+             `{head}` (regenerate with --effects-out)"
+        ));
+    }
+    let mut map = BTreeMap::new();
+    for line in text.lines().skip(1) {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "]}" {
+            continue;
+        }
+        let path = crate::baseline::string_field(line, "path")
+            .ok_or_else(|| format!("manifest entry missing `path`: {line}"))?;
+        let name = crate::baseline::string_field(line, "fn")
+            .ok_or_else(|| format!("manifest entry missing `fn`: {line}"))?;
+        let effects_at = line
+            .find("\"effects\":[")
+            .ok_or_else(|| format!("manifest entry missing `effects`: {line}"))?;
+        let rest = &line[effects_at + "\"effects\":[".len()..];
+        let end = rest
+            .find(']')
+            .ok_or_else(|| format!("unterminated `effects` array: {line}"))?;
+        let effects: Vec<String> = rest[..end]
+            .split(',')
+            .map(|s| s.trim().trim_matches('"').to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        map.insert((path, name), effects);
+    }
+    Ok(map)
+}
+
+/// E004: diffs the committed manifest text against the freshly rendered
+/// one. Every divergence — a new fn, a removed fn, a changed effect
+/// set — is one finding, so the failure names exactly what moved.
+pub fn diff_manifests(committed: &str, current: &str) -> Vec<Finding> {
+    let finding = |message: String| Finding {
+        rule: "E004",
+        severity: Severity::Error,
+        path: MANIFEST_PATH.to_string(),
+        line: 1,
+        col: 1,
+        message,
+        help: "the committed effects manifest must match the inferred effect signatures; \
+               regenerate it and review the diff — an unexpected effect change is the bug, not \
+               the manifest"
+            .into(),
+        suggestion: "run `cargo run -p aptq-audit -- --effects-out results/effects.json` and \
+                     commit the result"
+            .into(),
+    };
+    let committed = match parse_manifest(committed) {
+        Ok(m) => m,
+        Err(e) => return vec![finding(format!("unreadable committed manifest: {e}"))],
+    };
+    let current = match parse_manifest(current) {
+        Ok(m) => m,
+        Err(e) => return vec![finding(format!("unreadable inferred manifest: {e}"))],
+    };
+    let mut findings = Vec::new();
+    for ((path, name), effects) in &current {
+        match committed.get(&(path.clone(), name.clone())) {
+            None => findings.push(finding(format!(
+                "effects manifest drift: `{path}` fn `{name}` (infers [{}]) is missing from the \
+                 committed manifest",
+                effects.join(", ")
+            ))),
+            Some(old) if old != effects => findings.push(finding(format!(
+                "effects manifest drift: `{path}` fn `{name}` now infers [{}] but the committed \
+                 manifest records [{}]",
+                effects.join(", "),
+                old.join(", ")
+            ))),
+            Some(_) => {}
+        }
+    }
+    for (path, name) in committed.keys() {
+        if !current.contains_key(&(path.clone(), name.clone())) {
+            findings.push(finding(format!(
+                "effects manifest drift: `{path}` fn `{name}` is in the committed manifest but \
+                 no longer exists in the workspace"
+            )));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(sources: &[(&str, &str)]) -> SymbolIndex {
+        let owned: Vec<(String, String)> = sources
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+            .collect();
+        SymbolIndex::build(&owned)
+    }
+
+    fn inferred_of(index: &SymbolIndex, analysis: &EffectAnalysis, name: &str) -> EffectSet {
+        let (id, _) = index
+            .fns()
+            .find(|(_, it)| it.name == name)
+            .expect("fn present");
+        analysis.inferred[id.0][id.1]
+    }
+
+    #[test]
+    fn leaf_effects_are_seeded_and_propagate_to_callers() {
+        let idx = build(&[(
+            "crates/core/src/x.rs",
+            "pub fn api() {\n    helper();\n}\nfn helper() {\n    let mut v = Vec::new();\n    v.push(1);\n    x.unwrap();\n}\n",
+        )]);
+        let a = EffectAnalysis::compute(&idx);
+        let api = inferred_of(&idx, &a, "api");
+        assert!(api.contains(Effect::Alloc));
+        assert!(api.contains(Effect::Panic));
+        assert!(!api.contains(Effect::Io));
+        assert_eq!(api.label(), "Alloc|Panic");
+    }
+
+    #[test]
+    fn allow_annotations_suppress_the_effect_bit() {
+        let idx = build(&[(
+            "crates/core/src/x.rs",
+            "pub fn api() {\n    // audit:allow(alloc): one-time setup\n    let v = Vec::new();\n}\n",
+        )]);
+        let a = EffectAnalysis::compute(&idx);
+        assert!(inferred_of(&idx, &a, "api").is_empty());
+    }
+
+    #[test]
+    fn panics_doc_masks_propagation_but_not_the_local_bit() {
+        let idx = build(&[(
+            "crates/core/src/x.rs",
+            "pub fn api() {\n    checked();\n}\n/// # Panics\n/// When x is None.\npub fn checked() {\n    x.unwrap();\n}\n",
+        )]);
+        let a = EffectAnalysis::compute(&idx);
+        assert!(inferred_of(&idx, &a, "checked").contains(Effect::Panic));
+        assert!(!inferred_of(&idx, &a, "api").contains(Effect::Panic));
+    }
+
+    #[test]
+    fn assert_macros_do_not_set_the_panic_bit_but_are_sites() {
+        let idx = build(&[(
+            "crates/core/src/x.rs",
+            "pub fn api(n: usize) {\n    assert!(n > 0);\n}\n",
+        )]);
+        let a = EffectAnalysis::compute(&idx);
+        assert!(!inferred_of(&idx, &a, "api").contains(Effect::Panic));
+        let (id, _) = idx.fns().next().expect("one fn");
+        assert_eq!(a.sites[id.0][id.1].len(), 1);
+        assert!(a.sites[id.0][id.1][0].assert_family);
+    }
+
+    #[test]
+    fn sanctioned_scopes_carry_no_leaf_effects() {
+        let idx = build(&[
+            (
+                "crates/tensor/src/parallel.rs",
+                "pub fn thread_count() -> usize {\n    std::env::var(\"APTQ_THREADS\");\n    std::thread::scope(|s| {});\n    1\n}\n",
+            ),
+            (
+                "crates/bench/src/bin/b.rs",
+                "pub fn timed() {\n    let t = std::time::Instant::now();\n}\n",
+            ),
+        ]);
+        let a = EffectAnalysis::compute(&idx);
+        let tc = inferred_of(&idx, &a, "thread_count");
+        assert!(!tc.contains(Effect::EnvRead));
+        // Defined *in* the parallel module: the D006 seed still marks it.
+        assert!(tc.contains(Effect::ThreadSpawn));
+        assert!(!inferred_of(&idx, &a, "timed").contains(Effect::WallClock));
+    }
+
+    #[test]
+    fn reaching_parallel_infers_thread_spawn() {
+        let idx = build(&[
+            (
+                "crates/tensor/src/parallel.rs",
+                "pub fn run_indexed(n: usize) -> usize { n }\n",
+            ),
+            (
+                "crates/core/src/x.rs",
+                "pub fn api() -> usize {\n    aptq_tensor::parallel::run_indexed(3)\n}\n",
+            ),
+        ]);
+        let a = EffectAnalysis::compute(&idx);
+        assert!(inferred_of(&idx, &a, "api").contains(Effect::ThreadSpawn));
+        let (id, _) = idx.fns().find(|(_, it)| it.name == "api").unwrap();
+        assert!(a.reaches_parallel[id.0][id.1]);
+    }
+
+    #[test]
+    fn test_and_non_library_defs_do_not_contribute() {
+        let idx = build(&[
+            (
+                "crates/core/src/x.rs",
+                "pub fn api() {\n    shared();\n}\nfn shared() {}\n#[cfg(test)]\nmod tests {\n    fn shared() { panic!(\"boom\"); }\n}\n",
+            ),
+            (
+                "crates/core/tests/helpers.rs",
+                "pub fn shared() {\n    let v = Vec::new();\n}\n",
+            ),
+        ]);
+        let a = EffectAnalysis::compute(&idx);
+        assert!(inferred_of(&idx, &a, "api").is_empty());
+    }
+
+    #[test]
+    fn e001_fires_on_allocating_hot_root_and_clears_with_allow() {
+        let src = "/// # HotPath\n/// budget: zero.\npub fn forward() {\n    helper();\n}\nfn helper() {\n    let v = Vec::new();\n}\n";
+        let idx = build(&[("crates/core/src/x.rs", src)]);
+        let a = EffectAnalysis::compute(&idx);
+        let f = check_contracts(&idx, &a);
+        assert_eq!(f.iter().filter(|f| f.rule == "E001").count(), 1, "{f:?}");
+        let annotated = src.replace(
+            "pub fn forward() {",
+            "// audit:allow(effect): closure audited by hand\npub fn forward() {",
+        );
+        let idx2 = build(&[("crates/core/src/x.rs", &annotated)]);
+        let a2 = EffectAnalysis::compute(&idx2);
+        let g = check_contracts(&idx2, &a2);
+        assert!(g.iter().all(|f| f.rule != "E001"), "{g:?}");
+    }
+
+    #[test]
+    fn e002_fires_on_env_read_behind_determinism_doc() {
+        let src = "/// # Determinism\n/// Bit-identical.\npub fn api() -> Option<String> {\n    std::env::var(\"X\").ok()\n}\n";
+        let idx = build(&[("crates/core/src/x.rs", src)]);
+        let a = EffectAnalysis::compute(&idx);
+        let f = check_contracts(&idx, &a);
+        assert_eq!(f.iter().filter(|f| f.rule == "E002").count(), 1, "{f:?}");
+        assert!(f[0].message.contains("EnvRead"), "{f:?}");
+    }
+
+    #[test]
+    fn e003_fires_on_transitive_panic_without_doc() {
+        let src = "pub fn api() {\n    helper();\n}\nfn helper() {\n    x.unwrap();\n}\n";
+        let idx = build(&[("crates/core/src/x.rs", src)]);
+        let a = EffectAnalysis::compute(&idx);
+        let f = check_contracts(&idx, &a);
+        assert_eq!(f.iter().filter(|f| f.rule == "E003").count(), 1, "{f:?}");
+        // Outside the panic-free crates the rule stays silent.
+        let idx2 = build(&[("crates/lm/src/x.rs", src)]);
+        let a2 = EffectAnalysis::compute(&idx2);
+        assert!(check_contracts(&idx2, &a2).iter().all(|f| f.rule != "E003"));
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_diffs_cleanly() {
+        let idx = build(&[(
+            "crates/core/src/x.rs",
+            "pub fn api() {\n    let v = Vec::new();\n}\nfn private() {}\n",
+        )]);
+        let a = EffectAnalysis::compute(&idx);
+        let doc = render_manifest(&idx, &a);
+        let parsed = parse_manifest(&doc).expect("manifest parses");
+        assert_eq!(parsed.len(), 1, "private fns are not manifest entries");
+        assert_eq!(
+            parsed
+                .get(&("crates/core/src/x.rs".to_string(), "api".to_string()))
+                .map(Vec::as_slice),
+            Some(&["Alloc".to_string()][..])
+        );
+        assert!(diff_manifests(&doc, &doc).is_empty());
+    }
+
+    #[test]
+    fn e004_fires_once_per_drifted_entry() {
+        let idx = build(&[(
+            "crates/core/src/x.rs",
+            "pub fn api() {\n    let v = Vec::new();\n}\n",
+        )]);
+        let a = EffectAnalysis::compute(&idx);
+        let current = render_manifest(&idx, &a);
+        let stale = current.replace("[\"Alloc\"]", "[]");
+        let f = diff_manifests(&stale, &current);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "E004");
+        assert!(f[0].message.contains("now infers [Alloc]"), "{f:?}");
+        // Regenerating the manifest clears the drift.
+        assert!(diff_manifests(&current, &current).is_empty());
+    }
+
+    #[test]
+    fn manifest_is_byte_stable_across_runs() {
+        let sources = [
+            (
+                "crates/core/src/b.rs",
+                "pub fn beta() {\n    x.unwrap();\n}\n",
+            ),
+            ("crates/core/src/a.rs", "pub fn alpha() {}\n"),
+        ];
+        let idx = build(&sources);
+        let a1 = EffectAnalysis::compute(&idx);
+        let a2 = EffectAnalysis::compute(&idx);
+        assert_eq!(render_manifest(&idx, &a1), render_manifest(&idx, &a2));
+        // Sorted by path regardless of input order.
+        let doc = render_manifest(&idx, &a1);
+        let a_pos = doc.find("alpha").unwrap();
+        let b_pos = doc.find("beta").unwrap();
+        assert!(a_pos < b_pos);
+    }
+}

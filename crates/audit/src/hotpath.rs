@@ -3,13 +3,17 @@
 //! APTQ's serving claim is that the quantized forward/decode path runs
 //! "as fast as the hardware allows"; allocation, panicking, and locking
 //! inside it are regressions the type system cannot see. The contract
-//! is declared in prose and enforced here:
+//! is declared in prose and enforced here, on top of the shared effect
+//! engine ([`crate::effects`]):
 //!
-//! - a function documented with a `# HotPath` doc section is a *root*;
-//! - [`crate::reach::reachable_from`] computes everything a root can
-//!   transitively execute (by-name call edges, test code excluded);
-//! - every function in that closure is scanned for contract-breaking
-//!   sites.
+//! - a function documented with a `# HotPath` doc section is a *root*
+//!   ([`EffectAnalysis::hot_roots`](crate::effects::EffectAnalysis));
+//! - the engine computes everything a root can transitively execute
+//!   (by-name call edges, test code excluded) and scans every function
+//!   body for effect sites once;
+//! - every `Alloc`/`Panic`/`Io` site inside a root's closure becomes a
+//!   finding, attributed to the first root in (path, line) order so
+//!   messages — and therefore baseline keys — are deterministic.
 //!
 //! | Code | What it enforces | Escape hatch |
 //! |------|------------------|--------------|
@@ -17,76 +21,27 @@
 //! | H002 | no panic sites (`unwrap`/message-less `expect`/`panic!`-family/`assert!`-family), *transitively* — beyond A001's per-file view | `// audit:allow(panic): <reason>` or a `# Panics` doc on the containing fn |
 //! | H003 | no locks or I/O (`Mutex`/`RwLock`/`std::io`/`println!`) | `// audit:allow(io): <reason>` |
 //! | H004 | every `# HotPath` root documents its allocation budget | `// audit:allow(budget): <reason>` |
-//!
-//! When several roots reach the same helper, the finding is attributed
-//! to the first root in (path, line) order so messages — and therefore
-//! baseline keys — are deterministic.
 
-use std::collections::BTreeMap;
-
-use crate::index::{FnId, Item, SymbolIndex};
-use crate::reach::reachable_from;
-use crate::scan::word_occurrences;
+use crate::effects::{Effect, EffectAnalysis};
+use crate::index::SymbolIndex;
 use crate::{Finding, Severity};
 
-/// True for library source files: `crates/<name>/src/**`.
-fn in_lib_src(rel_path: &str) -> bool {
-    rel_path.starts_with("crates/") && rel_path.contains("/src/")
+/// Runs H001–H004 over the workspace index, computing a private
+/// [`EffectAnalysis`]. Production callers run the shared analysis once
+/// and use [`check_with`] instead.
+pub fn check_index(index: &SymbolIndex) -> Vec<Finding> {
+    check_with(index, &EffectAnalysis::compute(index))
 }
 
-/// Allocation-site patterns for H001. `Matrix::zeros` and `vec![...]`
-/// are deliberately absent: sized one-shot scratch is the documented
-/// budget mechanism, while growth and copying are not.
-const ALLOC_SITES: &[&str] = &[
-    "Vec::new(",
-    "with_capacity(",
-    ".push(",
-    "vcat(",
-    "to_vec(",
-    ".clone()",
-    "format!",
-    "String::new(",
-    "String::from(",
-    "to_string(",
-    ".to_owned(",
-];
-
-/// Lock / I/O patterns for H003.
-const IO_SITES: &[&str] = &["Mutex", "RwLock", "std::io", "println!", "eprintln!"];
-
-/// Panic macros for H002 (A001's set plus the assert family — on a hot
-/// path even a *documented* assert deserves a look, hence the `# Panics`
-/// exemption is per containing function, not global).
-const PANIC_MACROS: &[&str] = &[
-    "panic!",
-    "unreachable!",
-    "todo!",
-    "unimplemented!",
-    "assert!",
-    "assert_eq!",
-    "assert_ne!",
-];
-
-/// Runs H001–H004 over the workspace index.
-pub fn check_index(index: &SymbolIndex) -> Vec<Finding> {
+/// Runs H001–H004 against a precomputed effect analysis. Findings are
+/// bit-identical to the pre-engine pass (pinned by tests): the engine
+/// extracts sites with the same patterns, in the same body-scan order,
+/// honoring the same `audit:allow` kinds.
+pub fn check_with(index: &SymbolIndex, analysis: &EffectAnalysis) -> Vec<Finding> {
     let mut findings = Vec::new();
 
-    // Roots: `# HotPath`-documented non-test library functions, in
-    // (path, line) order for deterministic attribution.
-    let mut roots: Vec<FnId> = index
-        .fns()
-        .filter(|&(id, it)| {
-            it.has_hotpath_doc && !it.in_test && in_lib_src(&index.file(id).rel_path)
-        })
-        .map(|(id, _)| id)
-        .collect();
-    roots.sort_by(|&a, &b| {
-        (&index.file(a).rel_path, index.item(a).line)
-            .cmp(&(&index.file(b).rel_path, index.item(b).line))
-    });
-
     // H004 — a root without a stated allocation budget.
-    for &id in &roots {
+    for &id in &analysis.hot_roots {
         let item = index.item(id);
         let file = index.file(id);
         if item.hotpath_budget || file.scanned.allowed(item.line, "budget") {
@@ -110,158 +65,77 @@ pub fn check_index(index: &SymbolIndex) -> Vec<Finding> {
         });
     }
 
-    // Ownership: the first root reaching a function owns its findings.
-    let mut owner: BTreeMap<FnId, FnId> = BTreeMap::new();
-    for &root in &roots {
-        let closure = reachable_from(index, &[root]);
-        for (id, _) in index.fns() {
-            if closure[id.0][id.1] {
-                owner.entry(id).or_insert(root);
-            }
-        }
-    }
-
-    for (&id, &root) in &owner {
+    // H001–H003 — effect sites inside owned closures. The engine only
+    // extracts sites for non-test library functions, so the ownership
+    // map is the sole remaining filter.
+    for (&id, &root) in &analysis.hot_owner {
         let item = index.item(id);
         let file = index.file(id);
-        if item.in_test || !in_lib_src(&file.rel_path) {
-            continue;
-        }
         let root_label = format!(
             "{}::{}",
             index.file(root).module.as_str(),
             index.item(root).name
         );
-        scan_fn_sites(file, item, &root_label, &mut findings);
+        for site in &analysis.sites[id.0][id.1] {
+            let (rule, message, help, suggestion) = match site.effect {
+                Effect::Alloc => (
+                    "H001",
+                    format!(
+                        "allocation site `{}` in `{}`, reachable from hot path `{root_label}`",
+                        site.what, item.name
+                    ),
+                    "hot paths must run on caller-provided or preallocated buffers; write \
+                     into scratch owned by the session/struct, or annotate with \
+                     `// audit:allow(alloc): <reason>` if the allocation is off the \
+                     steady-state path",
+                    "preallocate in the constructor and reuse the buffer",
+                ),
+                Effect::Panic => {
+                    // A `# Panics` doc on the containing function turns
+                    // the sites into documented preconditions.
+                    if item.has_panics_doc {
+                        continue;
+                    }
+                    (
+                        "H002",
+                        format!(
+                            "panic site {} in `{}`, reachable from hot path `{root_label}`",
+                            site.what, item.name
+                        ),
+                        "a panic mid-decode aborts the whole generation; return an error at \
+                         the boundary, document the precondition in a `# Panics` section on \
+                         the containing function, or annotate with \
+                         `// audit:allow(panic): <reason>`",
+                        "validate at the session boundary and make the hot path infallible",
+                    )
+                }
+                Effect::Io => (
+                    "H003",
+                    format!(
+                        "lock/I-O site `{}` in `{}`, reachable from hot path `{root_label}`",
+                        site.what, item.name
+                    ),
+                    "blocking on a lock or file descriptor inside the token loop turns \
+                     tail latency into throughput collapse; hoist the I/O to the caller \
+                     or annotate with `// audit:allow(io): <reason>`",
+                    "move the lock/I-O outside the `# HotPath` closure",
+                ),
+                _ => continue,
+            };
+            findings.push(Finding {
+                rule,
+                severity: Severity::Error,
+                path: file.rel_path.clone(),
+                line: site.line + 1,
+                col: site.col + 1,
+                message,
+                help: help.into(),
+                suggestion: suggestion.into(),
+            });
+        }
     }
 
     findings
-}
-
-/// Scans one function body for H001–H003 sites.
-fn scan_fn_sites(
-    file: &crate::index::FileIndex,
-    item: &Item,
-    root_label: &str,
-    findings: &mut Vec<Finding>,
-) {
-    let f = &file.scanned;
-    let (lo, hi) = item.body;
-    for idx in lo..=hi.min(f.lines.len().saturating_sub(1)) {
-        let line = &f.lines[idx];
-        if line.in_test {
-            continue;
-        }
-        let code = &line.code;
-
-        // H001 — allocation sites.
-        for pat in ALLOC_SITES {
-            for col in word_occurrences(code, pat) {
-                if f.allowed(idx, "alloc") {
-                    continue;
-                }
-                findings.push(Finding {
-                    rule: "H001",
-                    severity: Severity::Error,
-                    path: file.rel_path.clone(),
-                    line: idx + 1,
-                    col: col + 1,
-                    message: format!(
-                        "allocation site `{}` in `{}`, reachable from hot path `{root_label}`",
-                        pat.trim_end_matches('('),
-                        item.name
-                    ),
-                    help: "hot paths must run on caller-provided or preallocated buffers; write \
-                           into scratch owned by the session/struct, or annotate with \
-                           `// audit:allow(alloc): <reason>` if the allocation is off the \
-                           steady-state path"
-                        .into(),
-                    suggestion: "preallocate in the constructor and reuse the buffer".into(),
-                });
-            }
-        }
-
-        // H002 — panic sites, transitive. A `# Panics` doc on the
-        // containing function turns the sites into documented
-        // preconditions; a descriptive `.expect("...")` self-annotates
-        // exactly as in A001.
-        if !item.has_panics_doc {
-            let mut panic_cols: Vec<(usize, String)> = Vec::new();
-            for col in word_occurrences(code, ".unwrap()") {
-                panic_cols.push((col, "`.unwrap()`".into()));
-            }
-            for col in word_occurrences(code, ".expect(") {
-                let after = &code[code
-                    .char_indices()
-                    .nth(col + ".expect(".len())
-                    .map_or(code.len(), |(b, _)| b)..];
-                let trimmed = after.trim_start();
-                let descriptive = trimmed.starts_with('"')
-                    && trimmed[1..]
-                        .chars()
-                        .take_while(|&c| c != '"')
-                        .any(|c| c == ' ')
-                    && trimmed[1..].contains('"');
-                if !descriptive {
-                    panic_cols.push((col, "message-less `.expect(...)`".into()));
-                }
-            }
-            for mac in PANIC_MACROS {
-                for col in word_occurrences(code, mac) {
-                    panic_cols.push((col, format!("`{mac}`")));
-                }
-            }
-            for (col, what) in panic_cols {
-                if f.allowed(idx, "panic") {
-                    continue;
-                }
-                findings.push(Finding {
-                    rule: "H002",
-                    severity: Severity::Error,
-                    path: file.rel_path.clone(),
-                    line: idx + 1,
-                    col: col + 1,
-                    message: format!(
-                        "panic site {what} in `{}`, reachable from hot path `{root_label}`",
-                        item.name
-                    ),
-                    help: "a panic mid-decode aborts the whole generation; return an error at \
-                           the boundary, document the precondition in a `# Panics` section on \
-                           the containing function, or annotate with \
-                           `// audit:allow(panic): <reason>`"
-                        .into(),
-                    suggestion: "validate at the session boundary and make the hot path \
-                                 infallible"
-                        .into(),
-                });
-            }
-        }
-
-        // H003 — locks and I/O.
-        for pat in IO_SITES {
-            for col in word_occurrences(code, pat) {
-                if f.allowed(idx, "io") {
-                    continue;
-                }
-                findings.push(Finding {
-                    rule: "H003",
-                    severity: Severity::Error,
-                    path: file.rel_path.clone(),
-                    line: idx + 1,
-                    col: col + 1,
-                    message: format!(
-                        "lock/I-O site `{pat}` in `{}`, reachable from hot path `{root_label}`",
-                        item.name
-                    ),
-                    help: "blocking on a lock or file descriptor inside the token loop turns \
-                           tail latency into throughput collapse; hoist the I/O to the caller \
-                           or annotate with `// audit:allow(io): <reason>`"
-                        .into(),
-                    suggestion: "move the lock/I-O outside the `# HotPath` closure".into(),
-                });
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -324,5 +198,21 @@ mod tests {
         assert_eq!(f.iter().filter(|f| f.rule == "H004").count(), 1, "{f:?}");
         let g = check("/// # HotPath\n/// budget: none on steady state.\npub fn forward() {}\n");
         assert!(g.iter().all(|f| f.rule != "H004"), "{g:?}");
+    }
+
+    #[test]
+    fn ported_findings_match_per_line_ordering() {
+        // One helper with an alloc, a panic, and an I/O site on
+        // consecutive lines: emission must stay line-major with
+        // H001 < H002 < H003 within a line, as the pre-engine pass did.
+        let src = format!(
+            "{ROOT_DOC}pub fn forward() {{\n    let v = Vec::new();\n    x.unwrap();\n    println!(\"t\");\n}}\n"
+        );
+        let rules: Vec<&str> = check(&src)
+            .into_iter()
+            .filter(|f| f.rule.starts_with('H'))
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(rules, vec!["H001", "H002", "H003"]);
     }
 }

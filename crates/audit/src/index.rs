@@ -238,8 +238,11 @@ fn decl_name(code: &str, kw: &str) -> Option<String> {
     }
     // Keyword must sit at a token boundary (`fn ` inside `safe_fn x` is
     // ruled out by the modifier check; `impl Trait for X` has no kw).
-    let name: String = code[at + kw.len()..]
-        .trim_start()
+    // A raw identifier (`fn r#match`) names the same symbol as its
+    // unprefixed spelling — strip the sigil so call edges resolve.
+    let after = code[at + kw.len()..].trim_start();
+    let after = after.strip_prefix("r#").unwrap_or(after);
+    let name: String = after
         .chars()
         .take_while(|c| c.is_alphanumeric() || *c == '_')
         .collect();
@@ -383,10 +386,15 @@ fn line_calls(code: &str, line: usize) -> Vec<Call> {
                     path_start = s;
                 }
                 let path: String = chars[path_start..i].iter().collect();
-                let keyword = matches!(
-                    name.as_str(),
-                    "if" | "while" | "for" | "match" | "return" | "fn" | "loop" | "in" | "as"
-                );
+                // A raw identifier (`r#match(`) is a call to the
+                // keyword-spelled symbol, never keyword syntax.
+                let raw =
+                    path_start >= 2 && chars[path_start - 1] == '#' && chars[path_start - 2] == 'r';
+                let keyword = !raw
+                    && matches!(
+                        name.as_str(),
+                        "if" | "while" | "for" | "match" | "return" | "fn" | "loop" | "in" | "as"
+                    );
                 let is_decl = {
                     let before: String = chars[..path_start].iter().collect();
                     before.trim_end().ends_with("fn")

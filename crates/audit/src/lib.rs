@@ -49,12 +49,14 @@ use std::path::{Path, PathBuf};
 
 pub mod baseline;
 pub mod determinism;
+pub mod effects;
 pub mod hotpath;
 pub mod index;
 pub mod numerics;
 pub mod reach;
 pub mod rules;
 pub mod scan;
+pub mod stale;
 
 /// Finding severity. Everything the current rule set emits is an
 /// [`Severity::Error`]; the distinction exists so future advisory rules
@@ -142,13 +144,71 @@ impl fmt::Display for AuditError {
 
 impl std::error::Error for AuditError {}
 
-/// Walks the workspace rooted at `root` and runs every rule: the A-rule
-/// lexical pass per file, then the D-rule pass over a workspace-wide
-/// [`index::SymbolIndex`] (D006 needs cross-file call-graph
-/// reachability, so it cannot run per file). Findings come back sorted
-/// by path, then line, then rule, so output is stable across
-/// filesystems.
-pub fn audit_workspace(root: &Path) -> Result<Vec<Finding>, AuditError> {
+/// Runs every in-memory rule family over a set of sources: the A-rule
+/// lexical pass per file, then — over one shared
+/// [`effects::EffectAnalysis`] — the D-rules, H-rules, N-rules, and
+/// contract rules E001–E003. Returns the findings unsorted, plus the
+/// index and analysis for manifest rendering and U001.
+fn source_rule_findings(
+    sources: &[(String, String)],
+) -> (Vec<Finding>, index::SymbolIndex, effects::EffectAnalysis) {
+    let mut findings = Vec::new();
+    for (rel_path, source) in sources {
+        findings.extend(rules::check_source(rel_path, source));
+    }
+    let index = index::SymbolIndex::build(sources);
+    let analysis = effects::EffectAnalysis::compute(&index);
+    findings.extend(determinism::check_with(&index, &analysis));
+    findings.extend(hotpath::check_with(&index, &analysis));
+    findings.extend(numerics::check_index(&index));
+    findings.extend(effects::check_contracts(&index, &analysis));
+    (findings, index, analysis)
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Audits a set of in-memory `(rel_path, source)` pairs with every rule
+/// that needs no filesystem: A/D/H/N, the E-contract rules, and U001
+/// (which re-runs the pipeline on an annotation-neutralized shadow copy
+/// — see [`stale`]). The manifest-drift rule E004 only runs in
+/// [`audit_workspace`], where a committed manifest exists to diff.
+///
+/// # Determinism
+///
+/// The audit itself is single-threaded and every cross-file structure
+/// is BTreeMap-ordered, so findings are byte-identical for identical
+/// sources regardless of `APTQ_THREADS`.
+pub fn audit_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    let (mut findings, index, _) = source_rule_findings(sources);
+    let shadow_sources: Vec<(String, String)> = sources
+        .iter()
+        .map(|(p, s)| (p.clone(), stale::neutralize(s)))
+        .collect();
+    let (shadow, _, _) = source_rule_findings(&shadow_sources);
+    findings.extend(stale::check(&index, &findings, &shadow));
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Walks the workspace rooted at `root` and runs every rule, returning
+/// the findings together with the freshly inferred effects manifest
+/// (the text `--effects-out` writes). Findings come back sorted by
+/// path, then line, then rule, so output is stable across filesystems.
+///
+/// When `root/results/effects.json` exists, E004 diffs it against the
+/// inferred manifest; a missing file is not a finding so fixture
+/// workspaces (and fresh checkouts mid-bootstrap) stay auditable.
+///
+/// # Determinism
+///
+/// Single-threaded over a sorted file walk with BTreeMap-ordered
+/// analyses: findings and the manifest are byte-identical for an
+/// identical tree regardless of `APTQ_THREADS`.
+pub fn audit_workspace_with_manifest(root: &Path) -> Result<(Vec<Finding>, String), AuditError> {
     let mut rs_files = Vec::new();
     let mut manifests = Vec::new();
 
@@ -170,27 +230,45 @@ pub fn audit_workspace(root: &Path) -> Result<Vec<Finding>, AuditError> {
         }
     }
 
-    let mut findings = Vec::new();
     let mut sources: Vec<(String, String)> = Vec::with_capacity(rs_files.len());
     for path in &rs_files {
-        let source = read(path)?;
-        findings.extend(rules::check_source(&rel(root, path), &source));
-        sources.push((rel(root, path), source));
+        sources.push((rel(root, path), read(path)?));
     }
+
+    let (mut findings, index, analysis) = source_rule_findings(&sources);
     for path in &manifests {
         let source = read(path)?;
         findings.extend(rules::check_manifest(&rel(root, path), &source));
     }
 
-    let index = index::SymbolIndex::build(&sources);
-    findings.extend(determinism::check_index(&index));
-    findings.extend(hotpath::check_index(&index));
-    findings.extend(numerics::check_index(&index));
+    // U001 — shadow pass with neutralized annotations.
+    let shadow_sources: Vec<(String, String)> = sources
+        .iter()
+        .map(|(p, s)| (p.clone(), stale::neutralize(s)))
+        .collect();
+    let (shadow, _, _) = source_rule_findings(&shadow_sources);
+    findings.extend(stale::check(&index, &findings, &shadow));
 
-    findings.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
-    });
-    Ok(findings)
+    // E004 — committed manifest vs. the one just inferred.
+    let manifest = effects::render_manifest(&index, &analysis);
+    let committed_path = root.join(effects::MANIFEST_PATH);
+    if committed_path.is_file() {
+        let committed = read(&committed_path)?;
+        findings.extend(effects::diff_manifests(&committed, &manifest));
+    }
+
+    sort_findings(&mut findings);
+    Ok((findings, manifest))
+}
+
+/// [`audit_workspace_with_manifest`] without the manifest text.
+///
+/// # Determinism
+///
+/// Inherits the byte-stable ordering of
+/// [`audit_workspace_with_manifest`]; independent of `APTQ_THREADS`.
+pub fn audit_workspace(root: &Path) -> Result<Vec<Finding>, AuditError> {
+    audit_workspace_with_manifest(root).map(|(findings, _)| findings)
 }
 
 /// Serializes findings as a JSON document:
@@ -224,7 +302,7 @@ fn walk(dir: &Path, rs: &mut Vec<PathBuf>, manifests: &mut Vec<PathBuf>) -> Resu
     for path in children {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         if path.is_dir() {
-            if matches!(name, "target" | ".git" | "results" | "assets") {
+            if matches!(name, "target" | ".git" | "results" | "assets" | "fixtures") {
                 continue;
             }
             walk(&path, rs, manifests)?;

@@ -6,6 +6,7 @@
 //! cargo run -p aptq-audit -- --json-out results/audit.json
 //! cargo run -p aptq-audit -- --ratchet results/audit-baseline.json
 //! cargo run -p aptq-audit -- --write-baseline results/audit-baseline.json
+//! cargo run -p aptq-audit -- --effects-out results/effects.json
 //! cargo run -p aptq-audit -- --root /path/to/workspace
 //! ```
 //!
@@ -23,7 +24,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use aptq_audit::{audit_workspace, baseline, render_json_report, rules};
+use aptq_audit::{audit_workspace_with_manifest, baseline, render_json_report, rules};
 
 struct Options {
     json: bool,
@@ -32,6 +33,7 @@ struct Options {
     ratchet: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
     json_out: Option<PathBuf>,
+    effects_out: Option<PathBuf>,
     list_rules: bool,
 }
 
@@ -43,6 +45,7 @@ fn parse_args() -> Result<Options, String> {
         ratchet: None,
         write_baseline: None,
         json_out: None,
+        effects_out: None,
         list_rules: false,
     };
     let mut args = std::env::args().skip(1);
@@ -61,21 +64,28 @@ fn parse_args() -> Result<Options, String> {
                 opts.write_baseline = Some(path_arg(&mut args, "--write-baseline")?)
             }
             "--json-out" => opts.json_out = Some(path_arg(&mut args, "--json-out")?),
+            "--effects-out" => opts.effects_out = Some(path_arg(&mut args, "--effects-out")?),
             "--list-rules" => opts.list_rules = true,
             "-h" | "--help" => {
                 println!(
                     "aptq-audit: workspace static-analysis pass\n\n\
                      USAGE: aptq-audit [--json] [--quiet] [--root <dir>]\n\
                             [--ratchet <baseline.json>] [--write-baseline <baseline.json>]\n\
-                            [--json-out <report.json>] [--list-rules]\n\n\
+                            [--json-out <report.json>] [--effects-out <effects.json>]\n\
+                            [--list-rules]\n\n\
                      Rules: A001 panic sites, A002 float casts, A003 panic docs,\n\
                      A004 unsafe allowlist, A005 workspace dependencies,\n\
                      D001 thread containment, D002 env containment, D003 ordered\n\
                      collections, D004 wall-clock/entropy, D005 global state,\n\
-                     D006 determinism docs, H001 hot-path allocations, H002\n\
-                     hot-path panics, H003 hot-path locks/I-O, H004 hot-path\n\
-                     budgets, N001 float equality, N002 compensated sums,\n\
-                     N003 guarded denominators, N004 clamped transcendentals.\n\
+                     D006 determinism docs, E001 hot-path effect contracts,\n\
+                     E002 determinism effect contracts, E003 undocumented panic\n\
+                     effects, E004 effects-manifest drift, H001 hot-path\n\
+                     allocations, H002 hot-path panics, H003 hot-path locks/I-O,\n\
+                     H004 hot-path budgets, N001 float equality, N002 compensated\n\
+                     sums, N003 guarded denominators, N004 clamped\n\
+                     transcendentals, U001 stale allow annotations.\n\
+                     --effects-out writes the inferred per-function effects\n\
+                     manifest (the file E004 diffs against).\n\
                      Run --list-rules for scopes and allow kinds.\n\
                      Exit codes: 0 clean, 1 findings, 2 error, 3 stale baseline."
                 );
@@ -146,13 +156,20 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let findings = match audit_workspace(&opts.root) {
-        Ok(f) => f,
+    let (findings, manifest) = match audit_workspace_with_manifest(&opts.root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &opts.effects_out {
+        if let Err(e) = std::fs::write(path, &manifest) {
+            eprintln!("aptq-audit: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if let Some(path) = &opts.json_out {
         if let Err(e) = std::fs::write(path, render_json_report(&findings) + "\n") {

@@ -38,7 +38,9 @@ const STD_QUALIFIERS: &[&str] = &[
 ];
 
 /// Whether a call site can resolve to a workspace definition at all.
-fn may_resolve_in_workspace(call: &Call) -> bool {
+/// Crate-visible: the effect engine builds its call edges with the same
+/// filter so ported findings stay bit-identical.
+pub(crate) fn may_resolve_in_workspace(call: &Call) -> bool {
     match call.path.split("::").next() {
         Some(first) if first != call.name => !STD_QUALIFIERS.contains(&first),
         _ => true,

@@ -21,14 +21,20 @@
 //! | N002 | `crates/{tensor,core,eval}/src`, non-test | reductions via `aptq_tensor::stats::kahan_sum` (`// audit:allow(accum)`) |
 //! | N003 | `crates/{tensor,core,eval}/src`, non-test | denominators guarded in the same function (`// audit:allow(div)`) |
 //! | N004 | `crates/{core,eval}/src`, non-test | `exp`/`ln`/`sqrt` inputs clamped (`// audit:allow(range)`) |
+//! | E001 | `# HotPath` roots | a `# HotPath` root must not infer effect `Alloc` (`// audit:allow(effect)`) |
+//! | E002 | `# Determinism`-documented fns, non-test | a `# Determinism` fn must not infer `EnvRead`/`WallClock` (`// audit:allow(effect)`) |
+//! | E003 | pub fns of `aptq-tensor`, `aptq-core`, `aptq-qmodel`, non-test | a pub fn inferring `Panic` documents `# Panics` (`// audit:allow(effect)`) |
+//! | E004 | `results/effects.json` | the committed effects manifest matches the inferred one |
+//! | U001 | every `audit:allow` annotation, non-test | an annotation that suppresses no finding is stale (`// audit:allow(stale)`) |
 //!
 //! The A-rules live in this module; the D-rules live in
 //! [`crate::determinism`] because D006 needs the workspace-wide symbol
-//! index ([`crate::index`]); the H-rules ([`crate::hotpath`]) and
-//! N-rules ([`crate::numerics`]) run on the same index via the
-//! reachability engine ([`crate::reach`]). [`CATALOG`] is the single
-//! source of truth the CLI's `--list-rules` prints, and a test pins it
-//! against the table above.
+//! index ([`crate::index`]); the H-rules ([`crate::hotpath`]),
+//! N-rules ([`crate::numerics`]), and contract rules E001–E004
+//! ([`crate::effects`]) run on the same index via the shared effect
+//! engine, and U001 ([`crate::stale`]) audits the annotations
+//! themselves. [`CATALOG`] is the single source of truth the CLI's
+//! `--list-rules` prints, and a test pins it against the table above.
 //!
 //! A `.expect("non-empty message")` is treated as self-annotating: the
 //! message *is* the reason, matching the burn-down policy in ISSUE /
@@ -122,6 +128,30 @@ pub const CATALOG: &[RuleInfo] = &[
         allow: "determinism",
     },
     RuleInfo {
+        code: "E001",
+        scope: "# HotPath roots",
+        summary: "a # HotPath root must not infer effect Alloc",
+        allow: "effect",
+    },
+    RuleInfo {
+        code: "E002",
+        scope: "# Determinism-documented fns, non-test",
+        summary: "a # Determinism fn must not infer EnvRead/WallClock",
+        allow: "effect",
+    },
+    RuleInfo {
+        code: "E003",
+        scope: "pub fns of aptq-tensor, aptq-core, aptq-qmodel, non-test",
+        summary: "a pub fn inferring Panic documents # Panics",
+        allow: "effect",
+    },
+    RuleInfo {
+        code: "E004",
+        scope: "results/effects.json",
+        summary: "the committed effects manifest matches the inferred one",
+        allow: "",
+    },
+    RuleInfo {
         code: "H001",
         scope: "transitive closure of # HotPath roots",
         summary: "no allocation sites (Vec growth, to_vec, clone, format!, String construction)",
@@ -170,6 +200,12 @@ pub const CATALOG: &[RuleInfo] = &[
         summary: "exp/ln/sqrt inputs clamped or guarded",
         allow: "range",
     },
+    RuleInfo {
+        code: "U001",
+        scope: "every audit:allow annotation, non-test",
+        summary: "an audit:allow annotation that suppresses no finding is stale",
+        allow: "stale",
+    },
 ];
 
 /// Files (workspace-relative, forward slashes) where `unsafe` is
@@ -178,8 +214,9 @@ pub const CATALOG: &[RuleInfo] = &[
 /// code review.
 pub const UNSAFE_ALLOWLIST: &[&str] = &[];
 
-/// Crates whose non-test library code falls under the A001 panic rule.
-const PANIC_FREE_CRATES: &[&str] = &[
+/// Crates whose non-test library code falls under the A001 panic rule
+/// (and, transitively, the E003 inferred-panic rule).
+pub(crate) const PANIC_FREE_CRATES: &[&str] = &[
     "crates/tensor/src/",
     "crates/core/src/",
     "crates/qmodel/src/",
@@ -712,7 +749,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(codes, sorted, "CATALOG must be sorted by code, no dupes");
-        assert_eq!(codes.len(), 19);
+        assert_eq!(codes.len(), 24);
     }
 
     #[test]

@@ -22,6 +22,12 @@ use crate::QuantError;
 ///
 /// Returns [`QuantError::EmptyCalibration`] if `segments` is empty or
 /// all segments are shorter than 1 token.
+///
+/// # Determinism
+///
+/// Bit-identical at every `APTQ_THREADS`: Hessian accumulation routes
+/// all parallelism through `aptq_tensor::parallel`, whose kernels keep
+/// the floating-point reduction order of the sequential path.
 pub fn collect_hessians(
     model: &Model,
     segments: &[Vec<u32>],

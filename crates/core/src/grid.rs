@@ -218,6 +218,11 @@ impl QuantGrid {
     /// Quantizes a whole group: fits params, then quantizes every value.
     ///
     /// Returns `(codes, dequantized, params)`.
+    ///
+    /// # Determinism
+    ///
+    /// Pure arithmetic over the group plus `aptq_tensor::parallel` matmuls
+    /// (order-preserving row bands); bit-identical at every `APTQ_THREADS`.
     pub fn quantize_group(&self, group: &[f32]) -> (Vec<u8>, Vec<f32>, GroupParams) {
         let p = self.fit_params(group);
         let mut codes = Vec::with_capacity(group.len());

@@ -17,6 +17,12 @@ use crate::QuantError;
 ///
 /// Currently infallible but returns `Result` for interface parity with
 /// the other methods.
+///
+/// # Determinism
+///
+/// Bit-identical across `APTQ_THREADS`: per-group rounding is pure and
+/// the only parallelism is `aptq_tensor::parallel`'s order-preserving
+/// kernels.
 pub fn quantize(model: &mut Model, cfg: &GridConfig) -> Result<QuantReport, QuantError> {
     let grid = QuantGrid::fp4();
     let mut outcomes = Vec::new();

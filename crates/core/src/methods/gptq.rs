@@ -18,6 +18,12 @@ use crate::QuantError;
 /// # Errors
 ///
 /// Propagates calibration and engine errors.
+///
+/// # Determinism
+///
+/// Bit-identical across `APTQ_THREADS`: calibration and the solver
+/// parallelize only through `aptq_tensor::parallel`, which fixes the
+/// floating-point accumulation order.
 pub fn quantize(
     model: &mut Model,
     calibration: &[Vec<u32>],
@@ -33,6 +39,11 @@ pub fn quantize(
 /// # Errors
 ///
 /// Propagates calibration and engine errors.
+///
+/// # Determinism
+///
+/// Same contract as [`quantize`]: bit-identical at every
+/// `APTQ_THREADS`.
 pub fn quantize_session(
     model: &mut Model,
     session: &mut QuantSession,

@@ -23,6 +23,12 @@ use crate::QuantError;
 /// # Errors
 ///
 /// Propagates calibration and engine errors.
+///
+/// # Determinism
+///
+/// Bit-identical across `APTQ_THREADS`: outlier selection is a
+/// deterministic sort over scores computed via `aptq_tensor::parallel`'s
+/// order-preserving kernels.
 pub fn quantize(
     model: &mut Model,
     calibration: &[Vec<u32>],
@@ -39,6 +45,11 @@ pub fn quantize(
 /// # Errors
 ///
 /// Propagates calibration and engine errors.
+///
+/// # Determinism
+///
+/// Same contract as [`quantize`]: bit-identical at every
+/// `APTQ_THREADS`.
 pub fn quantize_session(
     model: &mut Model,
     session: &mut QuantSession,

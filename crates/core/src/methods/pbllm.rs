@@ -21,6 +21,12 @@ use crate::QuantError;
 ///
 /// Returns [`QuantError::InvalidRatio`] for a salient ratio outside
 /// `[0, 1]`; propagates calibration errors.
+///
+/// # Determinism
+///
+/// Bit-identical across `APTQ_THREADS`: salience ranking and the binary
+/// residual both run on `aptq_tensor::parallel`'s order-preserving
+/// kernels.
 pub fn quantize(
     model: &mut Model,
     calibration: &[Vec<u32>],
@@ -37,6 +43,11 @@ pub fn quantize(
 ///
 /// Returns [`QuantError::InvalidRatio`] for a salient ratio outside
 /// `[0, 1]`; propagates calibration errors.
+///
+/// # Determinism
+///
+/// Same contract as [`quantize`]: bit-identical at every
+/// `APTQ_THREADS`.
 pub fn quantize_session(
     model: &mut Model,
     session: &mut QuantSession,

@@ -60,6 +60,12 @@ impl Default for QatConfig {
 /// # Errors
 ///
 /// Propagates grid errors from the final quantization step.
+///
+/// # Determinism
+///
+/// Bit-identical across `APTQ_THREADS`: the fine-tuning loop is seeded
+/// and every matmul routes through `aptq_tensor::parallel`, which keeps
+/// the sequential accumulation order.
 pub fn quantize(
     model: &mut Model,
     bits: u8,

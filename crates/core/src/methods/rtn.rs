@@ -13,6 +13,12 @@ use crate::QuantError;
 /// # Errors
 ///
 /// Returns [`QuantError::UnsupportedBits`] for invalid bit-widths.
+///
+/// # Determinism
+///
+/// Bit-identical across `APTQ_THREADS`: round-to-nearest is elementwise
+/// and the only parallelism is `aptq_tensor::parallel`'s
+/// order-preserving kernels.
 pub fn quantize(model: &mut Model, bits: u8, cfg: &GridConfig) -> Result<QuantReport, QuantError> {
     let grid = QuantGrid::try_int(bits, cfg.asymmetric)?;
     let mut outcomes = Vec::new();

@@ -36,6 +36,12 @@ struct BlockActStats {
 /// Returns [`QuantError::EmptyCalibration`] without calibration data,
 /// [`QuantError::InvalidRatio`] for `alpha ∉ [0,1]`, and propagates grid
 /// errors.
+///
+/// # Determinism
+///
+/// Bit-identical across `APTQ_THREADS`: scale migration is elementwise
+/// over statistics computed via `aptq_tensor::parallel`'s
+/// order-preserving kernels.
 pub fn quantize(
     model: &mut Model,
     calibration: &[Vec<u32>],

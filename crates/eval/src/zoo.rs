@@ -120,6 +120,12 @@ impl TrainedStack {
 /// Propagates checkpoint I/O and parse failures (a corrupt cache file is
 /// an error rather than a silent retrain, so experiments stay
 /// reproducible).
+///
+/// # Determinism
+///
+/// A cache miss retrains from a fixed seed with all parallelism routed
+/// through `aptq_tensor::parallel` (order-preserving reductions), so the
+/// checkpoint bytes are identical at every `APTQ_THREADS`.
 pub fn load_or_train(
     size: ModelSize,
     budget: PretrainBudget,

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 /// Sign-aware monotonic key for f64 bit patterns, so ulp distance is a
 /// plain integer difference even across the ±0 boundary.
 fn ulp_key(x: f64) -> i64 {
-    // audit:allow(cast): bit-pattern reinterpretation, not a value cast
+    // Bit-pattern reinterpretation, not a value cast.
     let b = x.to_bits() as i64;
     if b < 0 {
         i64::MIN.wrapping_sub(b)
@@ -142,7 +142,7 @@ proptest! {
             .iter()
             .map(|&(i, s)| i128::from(i) << s)
             .sum();
-        // audit:allow(cast): i128 → f64 rounds to nearest, the reference we want
+        // i128 → f64 rounds to nearest — the reference we want.
         let reference = (exact_scaled as f64) / 16_777_216.0;
         let got = stats::kahan_sum(values.iter().copied());
         prop_assert!(
