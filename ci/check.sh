@@ -81,7 +81,9 @@ for threads in 1 4; do
     APTQ_THREADS=$threads cargo test -q -p aptq-core --test determinism
     APTQ_THREADS=$threads cargo test -q -p aptq-eval --test determinism
     APTQ_THREADS=$threads cargo test -q -p aptq-lm batch_grads_bit_identical
+    APTQ_THREADS=$threads cargo test -q -p aptq-lm --test batch_decode
     APTQ_THREADS=$threads cargo test -q -p aptq-qmodel --test unified_path
+    APTQ_THREADS=$threads cargo test -q -p aptq-qmodel --test batch_decode
     APTQ_THREADS=$threads cargo test -q -p aptq-textgen --test determinism
 done
 

@@ -178,5 +178,58 @@ fn main() {
         qmetrics.get("qmodel/qlinear/forward_calls"),
     );
 
+    // --- Batched quantized decode: the serving amortization claim.
+    // One step of a B-sequence batch must unpack exactly as many codes
+    // as one step of a single sequence — the projections run once per
+    // layer per step over the stacked rows, so per-step unpacking work
+    // is independent of batch size (only MACs scale with B).
+    let mut per_step_codes = Vec::new();
+    let mut batch_metrics = None;
+    for &bsize in &[1usize, 4] {
+        let mut batch = qmodel.batch_decode_session();
+        let slots: Vec<usize> = (0..bsize).map(|_| batch.join()).collect();
+        let mut prev = 0u64;
+        let mut first = None;
+        for i in 0..32u32 {
+            let tokens: Vec<(usize, u32)> = slots
+                .iter()
+                .enumerate()
+                .map(|(s, &id)| (id, (i + s as u32) % 16))
+                .collect();
+            batch.step(&tokens).expect("batched step must succeed");
+            let now = batch.metrics().get("qmodel/qlinear/codes_unpacked");
+            let delta = now - prev;
+            prev = now;
+            match first {
+                None => first = Some(delta),
+                Some(f) => assert_eq!(
+                    delta, f,
+                    "batch size {bsize}, step {i}: per-step unpacking must be flat"
+                ),
+            }
+        }
+        per_step_codes.push(first.expect("32 steps ran"));
+        batch_metrics = Some(batch.take_metrics());
+    }
+    assert_eq!(
+        per_step_codes[0], per_step_codes[1],
+        "codes unpacked per batched step must not scale with batch size"
+    );
+    let bm = batch_metrics.expect("batched runs completed");
+    assert_eq!(bm.get("decode/batch/steps"), 32);
+    assert_eq!(bm.get("decode/batch/tokens"), 4 * 32);
+    assert_eq!(bm.get("decode/batch/occupancy"), 4 * 32);
+    // Archive the B=4 run's decode/batch/* counters plus the
+    // amortization figure proven above.
+    rec.add("decode/batch/steps", bm.get("decode/batch/steps"));
+    rec.add("decode/batch/tokens", bm.get("decode/batch/tokens"));
+    rec.add("decode/batch/occupancy", bm.get("decode/batch/occupancy"));
+    rec.add("decode/batch/joins", bm.get("decode/batch/joins"));
+    rec.add(
+        "decode/batch/kv_bytes_moved",
+        bm.get("decode/batch/kv_bytes_moved"),
+    );
+    rec.add("decode/batch/codes_unpacked_per_step", per_step_codes[1]);
+
     aptq_bench::emit("telemetry.json", &rec.to_json()).expect("emit telemetry.json");
 }

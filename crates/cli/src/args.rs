@@ -2,25 +2,32 @@
 
 use crate::Flags;
 
-/// Parses `--key value` pairs into a flag map.
+/// Parses `--key value` pairs into a flag map. A flag followed by
+/// another `--flag` (or by nothing) is boolean and stores `"true"` —
+/// e.g. `generate --batch`.
 ///
 /// # Errors
 ///
-/// Returns a message for positional arguments or a trailing flag with no
-/// value.
+/// Returns a message for positional arguments.
 pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Flags::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{a}`"))?;
-        let value = it
-            .next()
-            .ok_or_else(|| format!("flag --{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().cloned().unwrap_or_default(),
+            _ => "true".to_string(),
+        };
+        flags.insert(key.to_string(), value);
     }
     Ok(flags)
+}
+
+/// Boolean flag: present (with no value or `true`) means on.
+pub fn get_bool(flags: &Flags, key: &str) -> bool {
+    matches!(flags.get(key).map(String::as_str), Some("true") | Some("1"))
 }
 
 /// Required string flag.
@@ -73,9 +80,15 @@ mod tests {
     }
 
     #[test]
-    fn rejects_positional_and_dangling() {
+    fn rejects_positional_accepts_boolean() {
         assert!(parse_flags(&to_vec(&["positional"])).is_err());
-        assert!(parse_flags(&to_vec(&["--key"])).is_err());
+        // A valueless flag is boolean, standalone or before another flag.
+        let f = parse_flags(&to_vec(&["--batch"])).unwrap();
+        assert!(get_bool(&f, "batch"));
+        assert!(!get_bool(&f, "other"));
+        let f = parse_flags(&to_vec(&["--batch", "--tokens", "8"])).unwrap();
+        assert!(get_bool(&f, "batch"));
+        assert_eq!(get_usize(&f, "tokens", 0).unwrap(), 8);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use aptq_qmodel::QuantizedModel;
 use aptq_textgen::corpus::{CorpusGenerator, CorpusStyle};
 use aptq_textgen::{Grammar, TaskSuite, Tokenizer, ZeroShotTask};
 
-use crate::args::{get_f32, get_or, get_usize, require};
+use crate::args::{get_bool, get_f32, get_or, get_usize, require};
 use crate::Flags;
 
 /// Standard calibration set used by all quantizing subcommands; segment
@@ -251,7 +251,13 @@ pub fn sensitivity(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// `aptq generate --model FILE --prompt TEXT [--tokens N]`
+/// `aptq generate --model FILE --prompt TEXT [--tokens N] [--batch]`
+///
+/// With `--batch`, `--prompt` is split on `|` into one prompt per
+/// sequence and all sequences decode together through a
+/// [`aptq_lm::decode::BatchDecodeSession`] (one projection call per
+/// layer per step for the whole batch); each completion prints on its
+/// own line, identical to running the prompts one at a time.
 ///
 /// # Determinism
 ///
@@ -263,11 +269,23 @@ pub fn generate(flags: &Flags) -> Result<(), String> {
     let n = get_usize(flags, "tokens", 16)?;
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
-    let mut prompt = vec![aptq_textgen::tokenizer::BOS];
-    prompt.extend(tok.encode(prompt_text));
-    let out =
-        aptq_lm::decode::generate_greedy_cached(&model, &prompt, n).map_err(|e| e.to_string())?;
-    println!("{}", tok.decode(&out));
+    let encode = |text: &str| {
+        let mut prompt = vec![aptq_textgen::tokenizer::BOS];
+        prompt.extend(tok.encode(text));
+        prompt
+    };
+    if get_bool(flags, "batch") {
+        let prompts: Vec<Vec<u32>> = prompt_text.split('|').map(encode).collect();
+        let outs = aptq_lm::decode::generate_greedy_batched(&model, &prompts, n)
+            .map_err(|e| e.to_string())?;
+        for out in &outs {
+            println!("{}", tok.decode(out));
+        }
+    } else {
+        let out = aptq_lm::decode::generate_greedy_cached(&model, &encode(prompt_text), n)
+            .map_err(|e| e.to_string())?;
+        println!("{}", tok.decode(&out));
+    }
     Ok(())
 }
 
@@ -343,6 +361,11 @@ mod tests {
 
         flags.insert("prompt".into(), "the crow".into());
         flags.insert("tokens".into(), "4".into());
+        generate(&flags).unwrap();
+
+        // Batched path: several prompts, '|'-separated.
+        flags.insert("prompt".into(), "the crow|a fox runs".into());
+        flags.insert("batch".into(), "true".into());
         generate(&flags).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -8,6 +8,7 @@
 //! aptq eval-zs   --model model.json [--items N]
 //! aptq sensitivity --model model.json [--metric trace|weighted|empirical]
 //! aptq generate  --model model.json --prompt "the wild" [--tokens N]
+//! aptq generate  --model model.json --prompt "a|b|c" --batch [--tokens N]
 //! ```
 //!
 //! Methods for `quantize`: `fp16`, `rtn2|rtn3|rtn4`, `gptq2|gptq3|gptq4`,
@@ -68,7 +69,8 @@ fn usage() -> String {
     s.push_str("  aptq eval-ppl    --model FILE [--corpus c4|wiki] [--segments N]\n");
     s.push_str("  aptq eval-zs     --model FILE [--items N]\n");
     s.push_str("  aptq sensitivity --model FILE [--metric trace|weighted|empirical]\n");
-    s.push_str("  aptq generate    --model FILE --prompt TEXT [--tokens N]\n\n");
+    s.push_str("  aptq generate    --model FILE --prompt TEXT [--tokens N] [--batch]\n");
+    s.push_str("                   (--batch decodes '|'-separated prompts together)\n\n");
     s.push_str("METHODS: fp16 rtn2 rtn3 rtn4 gptq2 gptq3 gptq4 owq smoothquant fpq qat\n");
     s.push_str("         pbllm-<pct> aptq4 aptq-<pct> blockwise-<pct>   (pct = 10..100)\n");
     s

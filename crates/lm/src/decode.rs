@@ -19,6 +19,7 @@ use aptq_tensor::Matrix;
 
 use crate::linear::{Linear, LinearOp};
 use crate::model::ModelOf;
+use crate::rope::RopeTable;
 use crate::LmError;
 
 /// Per-layer key/value cache: rotated keys and raw values, preallocated
@@ -79,6 +80,11 @@ impl<'m, L: LinearOp> DecodeSession<'m, L> {
             pos: 0,
             metrics: Recorder::new(),
         }
+    }
+
+    /// The model this session decodes.
+    pub fn model(&self) -> &'m ModelOf<L> {
+        self.model
     }
 
     /// Number of tokens consumed so far.
@@ -166,60 +172,26 @@ impl<'m, L: LinearOp> DecodeSession<'m, L> {
             let mut q = block.attn.wq().forward_op(&normed, Some(&mut self.metrics));
             let mut k = block.attn.wk().forward_op(&normed, Some(&mut self.metrics));
             let v = block.attn.wv().forward_op(&normed, Some(&mut self.metrics));
-            for h in 0..n_heads {
-                let lo = h * d_head;
-                let hi = lo + d_head;
-                rope.apply_row(&mut q.row_mut(0)[lo..hi], pos);
-                rope.apply_row(&mut k.row_mut(0)[lo..hi], pos);
-            }
-            // Append in place: only the new row is written, the rest of
-            // the cache is untouched.
-            let kv = &mut self.layers[li];
-            kv.k_rot.row_mut(pos).copy_from_slice(k.row(0));
-            kv.v.row_mut(pos).copy_from_slice(v.row(0));
+            // RoPE, in-place cache append (only the new row is written,
+            // the rest of the cache is untouched) and attention all run
+            // in the shared per-row kernel, so a batched step produces
+            // this row bit-for-bit.
+            let mut concat = Matrix::zeros(1, d_model);
+            attend_cached_row(
+                &mut self.layers[li],
+                rope,
+                n_heads,
+                d_head,
+                pos,
+                q.row_mut(0),
+                k.row_mut(0),
+                v.row(0),
+                concat.row_mut(0),
+            );
             self.metrics.add(
                 "decode/kv_bytes_moved",
                 (2 * d_model * std::mem::size_of::<f32>()) as u64,
             );
-
-            let t = pos + 1;
-            let scale = 1.0 / (d_head as f32).sqrt();
-            let mut concat = Matrix::zeros(1, d_model);
-            for h in 0..n_heads {
-                let lo = h * d_head;
-                let hi = lo + d_head;
-                let qh = &q.row(0)[lo..hi];
-                // Scores against the cached keys, read in place (no
-                // per-token copy of the cache). Dot-product order
-                // matches `Matrix::matmul_nt`; the softmax mirrors
-                // `aptq_tensor::activation::softmax_rows`.
-                let mut scores = vec![0.0f32; t];
-                for (ti, s) in scores.iter_mut().enumerate() {
-                    let kh = &self.layers[li].k_rot.row(ti)[lo..hi];
-                    let mut acc = 0.0f32;
-                    for (a, b) in qh.iter().zip(kh) {
-                        acc += a * b;
-                    }
-                    *s = acc * scale;
-                }
-                let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0f32;
-                for s in &mut scores {
-                    *s = (*s - max).exp();
-                    sum += *s;
-                }
-                let inv = 1.0 / sum;
-                for s in &mut scores {
-                    *s *= inv;
-                }
-                let head = &mut concat.row_mut(0)[lo..hi];
-                for (ti, &s) in scores.iter().enumerate() {
-                    let vh = &self.layers[li].v.row(ti)[lo..hi];
-                    for (o, b) in head.iter_mut().zip(vh) {
-                        *o += s * b;
-                    }
-                }
-            }
             let attn_out = block.attn.wo().forward_op(&concat, Some(&mut self.metrics));
             x.add_assign(&attn_out);
 
@@ -291,6 +263,429 @@ pub fn generate_greedy_cached<L: LinearOp>(
         logits = session.feed(next)?;
     }
     Ok(out)
+}
+
+/// One sequence's cached-attention step for one layer: rotates the
+/// freshly projected `q`/`k` rows for position `pos`, appends `k`/`v`
+/// in place at cache row `pos`, and accumulates the softmax-weighted
+/// values over rows `[0, pos]` into `out`.
+///
+/// Shared verbatim between [`DecodeSession::feed`] and
+/// [`BatchDecodeSession::step`] (one call per batch row), so a batched
+/// row is bit-identical to solo decoding **by construction**: the float
+/// operations and their order never depend on how many other sequences
+/// share the step.
+///
+/// Dot-product order matches `Matrix::matmul_nt`; the softmax mirrors
+/// `aptq_tensor::activation::softmax_rows`.
+#[allow(clippy::too_many_arguments)]
+fn attend_cached_row(
+    kv: &mut LayerKv,
+    rope: &RopeTable,
+    n_heads: usize,
+    d_head: usize,
+    pos: usize,
+    q: &mut [f32],
+    k: &mut [f32],
+    v: &[f32],
+    out: &mut [f32],
+) {
+    for h in 0..n_heads {
+        let lo = h * d_head;
+        let hi = lo + d_head;
+        rope.apply_row(&mut q[lo..hi], pos);
+        rope.apply_row(&mut k[lo..hi], pos);
+    }
+    kv.k_rot.row_mut(pos).copy_from_slice(k);
+    kv.v.row_mut(pos).copy_from_slice(v);
+
+    let t = pos + 1;
+    let scale = 1.0 / (d_head as f32).sqrt();
+    for h in 0..n_heads {
+        let lo = h * d_head;
+        let hi = lo + d_head;
+        let qh = &q[lo..hi];
+        // Scores against the cached keys, read in place (no per-token
+        // copy of the cache).
+        let mut scores = vec![0.0f32; t];
+        for (ti, s) in scores.iter_mut().enumerate() {
+            let kh = &kv.k_rot.row(ti)[lo..hi];
+            let mut acc = 0.0f32;
+            for (a, b) in qh.iter().zip(kh) {
+                acc += a * b;
+            }
+            *s = acc * scale;
+        }
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for s in &mut scores {
+            *s = (*s - max).exp();
+            sum += *s;
+        }
+        let inv = 1.0 / sum;
+        for s in &mut scores {
+            *s *= inv;
+        }
+        let head = &mut out[lo..hi];
+        for (ti, &s) in scores.iter().enumerate() {
+            let vh = &kv.v.row(ti)[lo..hi];
+            for (o, b) in head.iter_mut().zip(vh) {
+                *o += s * b;
+            }
+        }
+    }
+}
+
+/// One sequence's state inside a [`BatchDecodeSession`]: its private
+/// per-layer KV cache and its own position counter.
+#[derive(Debug)]
+struct SeqSlot {
+    layers: Vec<LayerKv>,
+    pos: usize,
+}
+
+/// A multi-sequence KV-cached decode engine: one token per active
+/// sequence per step, with the per-sequence hidden rows stacked into a
+/// single B×d matrix so every projection runs **once per layer per
+/// step** over the whole batch. For a packed operator
+/// (`aptq_qmodel::QuantizedLinear`) that means each sub-byte weight
+/// group is unpacked once for B sequences instead of B times — the
+/// serving amortization APTQ targets.
+///
+/// Sequences join and leave independently (continuous batching): a
+/// retired slot is reused by the next [`BatchDecodeSession::join`] and
+/// never disturbs other sequences' caches or positions.
+///
+/// Every sequence's logits are bit-identical to decoding it alone in a
+/// [`DecodeSession`] — attention runs per row against that sequence's
+/// own cache through the same kernel, and the batched projections are
+/// row-independent by the [`LinearOp`] contract.
+///
+/// # Example
+///
+/// ```
+/// use aptq_lm::{decode::BatchDecodeSession, Model, ModelConfig};
+///
+/// # fn main() -> Result<(), aptq_lm::LmError> {
+/// let model = Model::new(&ModelConfig::test_tiny(16), 0);
+/// let mut batch = BatchDecodeSession::new(&model);
+/// let a = batch.join();
+/// let b = batch.join();
+/// let logits = batch.step(&[(a, 3), (b, 7)])?;
+/// assert_eq!(logits.shape(), (2, 16));
+/// batch.leave(a)?;
+/// let logits = batch.step(&[(b, 1)])?; // `b` continues undisturbed
+/// assert_eq!(logits.shape(), (1, 16));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchDecodeSession<'m, L = Linear> {
+    model: &'m ModelOf<L>,
+    slots: Vec<Option<SeqSlot>>,
+    metrics: Recorder,
+}
+
+impl<'m, L: LinearOp> BatchDecodeSession<'m, L> {
+    /// Starts a session with no active sequences.
+    pub fn new(model: &'m ModelOf<L>) -> Self {
+        BatchDecodeSession {
+            model,
+            slots: Vec::new(),
+            metrics: Recorder::new(),
+        }
+    }
+
+    /// Admits a new sequence and returns its id (used with
+    /// [`BatchDecodeSession::step`] / [`BatchDecodeSession::leave`]).
+    /// The lowest retired slot is reused if one exists; its
+    /// `max_seq_len`-row KV cache is preallocated here so stepping
+    /// never regrows it.
+    pub fn join(&mut self) -> usize {
+        let d = self.model.config().d_model;
+        let t_max = self.model.config().max_seq_len;
+        let fresh = SeqSlot {
+            layers: (0..self.model.config().n_layers)
+                .map(|_| LayerKv {
+                    k_rot: Matrix::zeros(t_max, d),
+                    v: Matrix::zeros(t_max, d),
+                })
+                .collect(),
+            pos: 0,
+        };
+        self.metrics.incr("decode/batch/joins");
+        if let Some(i) = self.slots.iter().position(|s| s.is_none()) {
+            self.slots[i] = Some(fresh);
+            i
+        } else {
+            self.slots.push(Some(fresh));
+            self.slots.len() - 1
+        }
+    }
+
+    /// Retires sequence `seq`, freeing its slot for a later
+    /// [`BatchDecodeSession::join`]. Other sequences are undisturbed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::UnknownSeq`] if `seq` is not active.
+    pub fn leave(&mut self, seq: usize) -> Result<(), LmError> {
+        if seq >= self.slots.len() || self.slots[seq].is_none() {
+            return Err(LmError::UnknownSeq { seq });
+        }
+        self.slots[seq] = None;
+        self.metrics.incr("decode/batch/leaves");
+        Ok(())
+    }
+
+    /// Number of currently active sequences.
+    pub fn active(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether sequence `seq` is active.
+    pub fn is_active(&self, seq: usize) -> bool {
+        seq < self.slots.len() && self.slots[seq].is_some()
+    }
+
+    /// Tokens consumed so far by sequence `seq` (`None` if inactive).
+    pub fn seq_len(&self, seq: usize) -> Option<usize> {
+        match self.slots.get(seq) {
+            Some(Some(slot)) => Some(slot.pos),
+            _ => None,
+        }
+    }
+
+    /// Cache memory in **used** bytes, summed over active sequences
+    /// (same statistic as [`DecodeSession::cache_bytes`]). A sequence
+    /// that leaves stops counting immediately.
+    pub fn cache_bytes(&self) -> usize {
+        let row = 2 * self.model.config().d_model * std::mem::size_of::<f32>();
+        self.slots
+            .iter()
+            .flatten()
+            .map(|slot| slot.layers.len() * slot.pos * row)
+            .sum()
+    }
+
+    /// Telemetry recorded so far: `decode/batch/steps`,
+    /// `decode/batch/tokens`, `decode/batch/occupancy` (active
+    /// sequences summed over steps), `decode/batch/joins`/`leaves`,
+    /// `decode/batch/kv_bytes_moved`, plus whatever the operator's
+    /// [`LinearOp::forward_into`] hook counts — for packed operators
+    /// the `qmodel/qlinear/…` counters advance **once per layer per
+    /// step**, not once per sequence.
+    pub fn metrics(&self) -> &Recorder {
+        &self.metrics
+    }
+
+    /// Takes the accumulated telemetry, leaving an empty recorder.
+    pub fn take_metrics(&mut self) -> Recorder {
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// Feeds one token per listed sequence; returns the batch logits
+    /// (`tokens.len() × vocab`, row `r` answering `tokens[r]`).
+    ///
+    /// The hidden rows of all listed sequences are stacked into one
+    /// B×d matrix, so each [`LinearOp::forward_into`] call runs once
+    /// per layer per step over the whole batch; attention then runs
+    /// per row against that sequence's own cache at its own position,
+    /// through the same kernel as [`DecodeSession::feed`].
+    ///
+    /// # Determinism
+    ///
+    /// Projections run on the shared matmul threadpool
+    /// ([`aptq_tensor::parallel`]); logits and recorded counters are
+    /// bit-identical at any `APTQ_THREADS`, and every row is
+    /// bit-identical to feeding that sequence alone in its own
+    /// [`DecodeSession`].
+    ///
+    /// # HotPath
+    ///
+    /// Allocation budget: per-step scratch (stacked hidden rows,
+    /// projection outputs, per-head score vector, logits) sized by
+    /// batch × model, never by sequence length; per-sequence KV caches
+    /// are preallocated at [`BatchDecodeSession::join`] and written in
+    /// place, never regrown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::EmptyInput`] for an empty batch,
+    /// [`LmError::UnknownSeq`] for an inactive sequence id,
+    /// [`LmError::DuplicateSeq`] if an id is listed twice, and
+    /// [`LmError::TokenOutOfRange`] / [`LmError::SequenceFull`] per
+    /// sequence as in [`DecodeSession::feed`]. No cache row or
+    /// position advances unless the whole batch validates.
+    pub fn step(&mut self, tokens: &[(usize, u32)]) -> Result<Matrix, LmError> {
+        if tokens.is_empty() {
+            return Err(LmError::EmptyInput);
+        }
+        let cfg = self.model.config();
+        for (i, &(seq, token)) in tokens.iter().enumerate() {
+            if seq >= self.slots.len() || self.slots[seq].is_none() {
+                return Err(LmError::UnknownSeq { seq });
+            }
+            for &(prev, _) in &tokens[..i] {
+                if prev == seq {
+                    return Err(LmError::DuplicateSeq { seq });
+                }
+            }
+            if token as usize >= cfg.vocab_size {
+                return Err(LmError::TokenOutOfRange {
+                    token,
+                    vocab: cfg.vocab_size,
+                });
+            }
+            if let Some(slot) = &self.slots[seq] {
+                if slot.pos >= cfg.max_seq_len {
+                    return Err(LmError::SequenceFull {
+                        pos: slot.pos,
+                        max_seq_len: cfg.max_seq_len,
+                    });
+                }
+            }
+        }
+
+        let b = tokens.len();
+        let d_model = cfg.d_model;
+        let n_heads = cfg.n_heads;
+        let d_head = cfg.d_head();
+        let model = self.model;
+        let rope = model.rope();
+
+        // Stacked embedding rows, one per listed sequence.
+        let mut x = Matrix::zeros(b, d_model);
+        for (r, &(_, token)) in tokens.iter().enumerate() {
+            x.row_mut(r)
+                .copy_from_slice(model.embed().row(token as usize));
+        }
+
+        for (li, block) in model.blocks().iter().enumerate() {
+            // One projection call covers every sequence in the batch —
+            // this is where a packed operator's unpacking amortizes.
+            let (normed, _) = block.norm1.forward(&x);
+            let mut q = block.attn.wq().forward_op(&normed, Some(&mut self.metrics));
+            let mut k = block.attn.wk().forward_op(&normed, Some(&mut self.metrics));
+            let v = block.attn.wv().forward_op(&normed, Some(&mut self.metrics));
+            let mut concat = Matrix::zeros(b, d_model);
+            for (r, &(seq, _)) in tokens.iter().enumerate() {
+                if let Some(slot) = self.slots[seq].as_mut() {
+                    attend_cached_row(
+                        &mut slot.layers[li],
+                        rope,
+                        n_heads,
+                        d_head,
+                        slot.pos,
+                        q.row_mut(r),
+                        k.row_mut(r),
+                        v.row(r),
+                        concat.row_mut(r),
+                    );
+                    self.metrics.add(
+                        "decode/batch/kv_bytes_moved",
+                        (2 * d_model * std::mem::size_of::<f32>()) as u64,
+                    );
+                }
+            }
+            let attn_out = block.attn.wo().forward_op(&concat, Some(&mut self.metrics));
+            x.add_assign(&attn_out);
+
+            let (normed2, _) = block.norm2.forward(&x);
+            let (ffn_out, _) = block.ffn.forward_opt(&normed2, Some(&mut self.metrics));
+            x.add_assign(&ffn_out);
+        }
+
+        let (normed, _) = model.final_norm().forward(&x);
+        let logits = normed.matmul(model.lm_head());
+        let mut occupancy = 0u64;
+        for s in &self.slots {
+            if s.is_some() {
+                occupancy += 1;
+            }
+        }
+        for &(seq, _) in tokens {
+            if let Some(slot) = self.slots[seq].as_mut() {
+                slot.pos += 1;
+            }
+        }
+        self.metrics.incr("decode/batch/steps");
+        self.metrics.add("decode/batch/tokens", b as u64);
+        self.metrics.add("decode/batch/occupancy", occupancy);
+        Ok(logits)
+    }
+}
+
+/// Greedy generation over many prompts at once through a
+/// [`BatchDecodeSession`] — continuous batching: every sequence
+/// prefills and generates at its own pace, leaving the batch as soon
+/// as it has `n_new` new tokens (or fills the context), and each
+/// step's projections run once for all sequences still active.
+///
+/// Output `i` is bit-identical to
+/// `generate_greedy_cached(model, &prompts[i], n_new)`: same length
+/// rule (capped at `max_seq_len + 1` total tokens), same argmax
+/// tie-breaking, same logits.
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS`; see
+/// [`BatchDecodeSession::step`].
+///
+/// # Errors
+///
+/// Returns [`LmError::EmptyInput`] if `prompts` is empty or any prompt
+/// is empty, [`LmError::SequenceFull`] if a prompt exceeds
+/// `max_seq_len`, and propagates token-validation errors from
+/// [`BatchDecodeSession::step`].
+pub fn generate_greedy_batched<L: LinearOp>(
+    model: &ModelOf<L>,
+    prompts: &[Vec<u32>],
+    n_new: usize,
+) -> Result<Vec<Vec<u32>>, LmError> {
+    if prompts.is_empty() || prompts.iter().any(|p| p.is_empty()) {
+        return Err(LmError::EmptyInput);
+    }
+    let max = model.config().max_seq_len;
+    for p in prompts {
+        if p.len() > max {
+            return Err(LmError::SequenceFull {
+                pos: max,
+                max_seq_len: max,
+            });
+        }
+    }
+    let mut session = BatchDecodeSession::new(model);
+    let slots: Vec<usize> = prompts.iter().map(|_| session.join()).collect();
+    let mut outs: Vec<Vec<u32>> = prompts.to_vec();
+    let mut fed = vec![0usize; prompts.len()];
+    let mut batch: Vec<(usize, u32)> = Vec::with_capacity(prompts.len());
+    let mut rows: Vec<usize> = Vec::with_capacity(prompts.len());
+    loop {
+        batch.clear();
+        rows.clear();
+        for (i, out) in outs.iter().enumerate() {
+            if session.is_active(slots[i]) {
+                batch.push((slots[i], out[fed[i]]));
+                rows.push(i);
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        let logits = session.step(&batch)?;
+        for (r, &i) in rows.iter().enumerate() {
+            fed[i] += 1;
+            let target = prompts[i].len() + n_new;
+            if fed[i] >= prompts[i].len() && outs[i].len() < target {
+                outs[i].push(aptq_tensor::select::argmax(logits.row(r)) as u32);
+            }
+            if outs[i].len() >= target || fed[i] >= max {
+                session.leave(slots[i])?;
+            }
+        }
+    }
+    Ok(outs)
 }
 
 #[cfg(test)]

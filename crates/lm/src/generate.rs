@@ -1,9 +1,24 @@
 //! Deterministic and sampled text generation.
+//!
+//! Both entry points decode through [`DecodeSession`] (O(T) per token);
+//! [`generate_greedy`] remains the uncached reference implementation
+//! the cached paths are tested against. All generation functions share
+//! one contract:
+//!
+//! - an empty prompt is [`LmError::EmptyInput`];
+//! - a prompt longer than `max_seq_len` is [`LmError::SequenceFull`]
+//!   (the model cannot attend over more positions than its RoPE table
+//!   covers — silently sliding a window over the prompt would score
+//!   different tokens than the caller supplied);
+//! - generation stops early once the context is full, so at most
+//!   `max_seq_len + 1` total tokens are ever returned (the final token
+//!   is predicted from a full context but never fed back).
 
 use aptq_tensor::activation::softmax;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::decode::DecodeSession;
 use crate::linear::LinearOp;
 use crate::model::ModelOf;
 use crate::LmError;
@@ -26,7 +41,9 @@ impl Default for SampleConfig {
     }
 }
 
-/// Greedily extends `prompt` by `n_new` tokens.
+/// Greedily extends `prompt` by `n_new` tokens, re-running the full
+/// forward pass every step — the O(T²) reference implementation that
+/// [`crate::decode::generate_greedy_cached`] is verified against.
 ///
 /// Token selection goes through [`aptq_tensor::select::argmax`]: NaN
 /// logits never win and ties break toward the lowest token id.
@@ -39,17 +56,31 @@ impl Default for SampleConfig {
 ///
 /// # Errors
 ///
-/// Returns [`LmError::EmptyInput`] for an empty prompt and
-/// [`LmError::TokenOutOfRange`] for invalid prompt tokens.
+/// Returns [`LmError::EmptyInput`] for an empty prompt,
+/// [`LmError::SequenceFull`] for a prompt longer than `max_seq_len`
+/// (see the module contract), and [`LmError::TokenOutOfRange`] for
+/// invalid prompt tokens.
 pub fn generate_greedy<L: LinearOp>(
     model: &ModelOf<L>,
     prompt: &[u32],
     n_new: usize,
 ) -> Result<Vec<u32>, LmError> {
+    if prompt.is_empty() {
+        return Err(LmError::EmptyInput);
+    }
+    let max = model.config().max_seq_len;
+    if prompt.len() > max {
+        return Err(LmError::SequenceFull {
+            pos: max,
+            max_seq_len: max,
+        });
+    }
     let mut tokens = prompt.to_vec();
     for _ in 0..n_new {
-        let window = clamp_window(model, &tokens);
-        let logits = model.try_forward(window)?;
+        if tokens.len() > max {
+            break;
+        }
+        let logits = model.try_forward(&tokens)?;
         let last = logits.row(logits.rows() - 1);
         let next = aptq_tensor::select::argmax(last);
         tokens.push(next as u32);
@@ -57,21 +88,26 @@ pub fn generate_greedy<L: LinearOp>(
     Ok(tokens)
 }
 
-/// Extends `prompt` by `n_new` tokens with temperature / top-k sampling.
+/// Extends `prompt` by `n_new` tokens with temperature / top-k
+/// sampling through a fresh [`DecodeSession`] — O(T) cached steps, not
+/// O(T²) re-forwards.
 ///
 /// The top-k filter keeps **exactly** `min(k, vocab)` candidates via
 /// [`aptq_tensor::select::top_k_indices`] — boundary ties resolve by
 /// token id instead of widening the candidate set, and NaN logits are
-/// never sampled.
+/// never sampled. When floating-point rounding leaves the CDF short of
+/// the drawn `r`, the fallback is the **highest-probability kept**
+/// index, never a top-k-masked (zero-probability) token.
 ///
 /// # Determinism
 ///
-/// Bit-identical for a fixed seed at any `APTQ_THREADS` value; see
-/// [`generate_greedy`].
+/// Bit-identical for a fixed seed at any `APTQ_THREADS` value; exactly
+/// one RNG draw per emitted token when `temperature > 0`, none at
+/// `temperature <= 0` (greedy).
 ///
 /// # Errors
 ///
-/// Same as [`generate_greedy`].
+/// Same as [`generate_greedy`] (see the module contract).
 pub fn generate_sampled<L: LinearOp>(
     model: &ModelOf<L>,
     prompt: &[u32],
@@ -79,48 +115,94 @@ pub fn generate_sampled<L: LinearOp>(
     cfg: SampleConfig,
     rng: &mut StdRng,
 ) -> Result<Vec<u32>, LmError> {
-    if cfg.temperature <= 0.0 {
-        return generate_greedy(model, prompt, n_new);
-    }
-    let mut tokens = prompt.to_vec();
-    for _ in 0..n_new {
-        let window = clamp_window(model, &tokens);
-        let logits = model.try_forward(window)?;
-        let mut last: Vec<f32> = logits.row(logits.rows() - 1).to_vec();
-        for v in &mut last {
-            *v /= cfg.temperature;
-        }
-        if cfg.top_k > 0 && cfg.top_k < last.len() {
-            let keep = aptq_tensor::select::top_k_indices(&last, cfg.top_k);
-            let mut masked = vec![f32::NEG_INFINITY; last.len()];
-            for &i in &keep {
-                masked[i] = last[i];
-            }
-            last = masked;
-        }
-        let probs = softmax(&aptq_tensor::Matrix::from_vec(1, last.len(), last));
-        let r: f32 = rng.gen_range(0.0..1.0);
-        let mut acc = 0.0;
-        let mut chosen = probs.cols() - 1;
-        for (i, &p) in probs.row(0).iter().enumerate() {
-            acc += p;
-            if r < acc {
-                chosen = i;
-                break;
-            }
-        }
-        tokens.push(chosen as u32);
-    }
-    Ok(tokens)
+    let mut session = DecodeSession::new(model);
+    generate_sampled_session(&mut session, prompt, n_new, cfg, rng)
 }
 
-fn clamp_window<'a, L: LinearOp>(model: &ModelOf<L>, tokens: &'a [u32]) -> &'a [u32] {
-    let max = model.config().max_seq_len;
-    if tokens.len() > max {
-        &tokens[tokens.len() - max..]
-    } else {
-        tokens
+/// [`generate_sampled`] over a caller-provided session, so tests and
+/// telemetry can inspect [`DecodeSession::metrics`] afterwards (the
+/// per-token counters must be flat — cached steps, no prefix
+/// re-execution). The session must be fresh (no tokens fed).
+///
+/// # Determinism
+///
+/// Bit-identical for a fixed seed at any `APTQ_THREADS` value; see
+/// [`generate_sampled`].
+///
+/// # Errors
+///
+/// Same as [`generate_sampled`].
+pub fn generate_sampled_session<L: LinearOp>(
+    session: &mut DecodeSession<'_, L>,
+    prompt: &[u32],
+    n_new: usize,
+    cfg: SampleConfig,
+    rng: &mut StdRng,
+) -> Result<Vec<u32>, LmError> {
+    if prompt.is_empty() {
+        return Err(LmError::EmptyInput);
     }
+    let max = session.model().config().max_seq_len;
+    if prompt.len() > max {
+        return Err(LmError::SequenceFull {
+            pos: max,
+            max_seq_len: max,
+        });
+    }
+    let mut logits = session.feed_all(prompt)?;
+    let mut out = prompt.to_vec();
+    for _ in 0..n_new {
+        let next = if cfg.temperature <= 0.0 {
+            aptq_tensor::select::argmax(&logits)
+        } else {
+            sample_step(&logits, cfg, rng)
+        };
+        out.push(next as u32);
+        if session.len() >= max {
+            break;
+        }
+        logits = session.feed(next as u32)?;
+    }
+    Ok(out)
+}
+
+/// Temperature-scales and top-k-masks one logit row, then samples from
+/// its softmax with a single RNG draw.
+fn sample_step(logits: &[f32], cfg: SampleConfig, rng: &mut StdRng) -> usize {
+    let mut scaled: Vec<f32> = logits.to_vec();
+    for v in &mut scaled {
+        *v /= cfg.temperature;
+    }
+    if cfg.top_k > 0 && cfg.top_k < scaled.len() {
+        let keep = aptq_tensor::select::top_k_indices(&scaled, cfg.top_k);
+        let mut masked = vec![f32::NEG_INFINITY; scaled.len()];
+        for &i in &keep {
+            masked[i] = scaled[i];
+        }
+        scaled = masked;
+    }
+    let probs = softmax(&aptq_tensor::Matrix::from_vec(1, scaled.len(), scaled));
+    let r: f32 = rng.gen_range(0.0..1.0);
+    sample_from_cdf(probs.row(0), r)
+}
+
+/// Walks the CDF of `probs` and returns the first index whose
+/// cumulative mass exceeds `r`.
+///
+/// When f32 rounding leaves the total cumulative mass below `r`
+/// (possible since the summation order here differs from the softmax's
+/// own normalization), the fallback is the **highest-probability**
+/// index via [`aptq_tensor::select::argmax`] — never blindly the last
+/// index, which top-k masking may have zeroed out entirely.
+fn sample_from_cdf(probs: &[f32], r: f32) -> usize {
+    let mut acc = 0.0f32;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if r < acc {
+            return i;
+        }
+    }
+    aptq_tensor::select::argmax(probs)
 }
 
 #[cfg(test)]
@@ -179,11 +261,127 @@ mod tests {
     }
 
     #[test]
-    fn long_prompts_are_windowed() {
+    fn sampled_matches_full_reforward_reference() {
+        // Regression for the O(T²) sampled path: the cached rewrite
+        // must emit the same tokens as the old implementation — a full
+        // re-forward per step — for the same seed and config.
         let m = model();
-        // Prompt longer than max_seq_len (32 for test_tiny).
+        let cfg = SampleConfig {
+            temperature: 0.9,
+            top_k: 6,
+        };
+        let prompt = [1u32, 4, 2];
+        let n_new = 12;
+        let cached = generate_sampled(&m, &prompt, n_new, cfg, &mut init::rng(11)).unwrap();
+
+        let mut rng = init::rng(11);
+        let mut tokens = prompt.to_vec();
+        for _ in 0..n_new {
+            let logits = m.try_forward(&tokens).unwrap();
+            let next = sample_step(logits.row(logits.rows() - 1), cfg, &mut rng);
+            tokens.push(next as u32);
+        }
+        assert_eq!(cached, tokens);
+    }
+
+    #[test]
+    fn sampled_per_token_cost_is_flat() {
+        // The cached sampled path must feed each token exactly once:
+        // total decode work equals prompt + generated-but-one tokens,
+        // with KV write traffic linear in that count — not quadratic.
+        let m = model();
+        let cfg = SampleConfig {
+            temperature: 1.1,
+            top_k: 4,
+        };
+        let mut session = DecodeSession::new(&m);
+        let out =
+            generate_sampled_session(&mut session, &[1, 2, 3], 10, cfg, &mut init::rng(3)).unwrap();
+        assert_eq!(out.len(), 13);
+        // 3 prompt tokens + the 10 sampled tokens, each fed exactly
+        // once (same loop shape as generate_greedy_cached); a
+        // re-forwarding implementation would score sequences of length
+        // 3, 4, ..., 12 — 75 token-forwards instead of 13.
+        assert_eq!(session.metrics().get("decode/tokens"), 13);
+        assert_eq!(
+            session.metrics().get("decode/kv_bytes_moved"),
+            session.cache_bytes() as u64
+        );
+    }
+
+    #[test]
+    fn cdf_fallback_never_selects_masked_token() {
+        // Regression: with the last vocab slot masked to probability
+        // zero and r beyond the (rounding-shortened) total mass, the
+        // old fallback `probs.len() - 1` returned the masked token;
+        // the fix falls back to the highest-probability kept index.
+        // 0.3 + 0.3 + 0.3 sums to 0.90000004 < 0.95 in f32.
+        let probs = [0.3f32, 0.3, 0.3, 0.0];
+        assert_eq!(sample_from_cdf(&probs, 0.95), 0);
+        // Inside the mass the walk is untouched by the fix.
+        assert_eq!(sample_from_cdf(&probs, 0.0), 0);
+        assert_eq!(sample_from_cdf(&probs, 0.35), 1);
+        assert_eq!(sample_from_cdf(&probs, 0.65), 2);
+    }
+
+    #[test]
+    fn sampling_with_top_k_never_emits_masked_tokens() {
+        // End-to-end version of the CDF fallback regression: with
+        // top_k = 1 only the argmax survives masking, so every emitted
+        // token must equal the greedy choice no matter what r is drawn.
+        let m = model();
+        let cfg = SampleConfig {
+            temperature: 1.0,
+            top_k: 1,
+        };
+        for seed in 0..8 {
+            let sampled = generate_sampled(&m, &[2, 3], 6, cfg, &mut init::rng(seed)).unwrap();
+            let greedy = generate_greedy(&m, &[2, 3], 6).unwrap();
+            assert_eq!(sampled, greedy, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn long_prompts_error_instead_of_sliding_a_window() {
+        // Contract unification: both greedy paths (and the sampled
+        // path) reject prompts longer than max_seq_len with
+        // SequenceFull instead of silently scoring a slid window.
+        let m = model();
         let prompt: Vec<u32> = (0..40).map(|i| (i % 16) as u32).collect();
-        let out = generate_greedy(&m, &prompt, 2).unwrap();
-        assert_eq!(out.len(), 42);
+        assert!(matches!(
+            generate_greedy(&m, &prompt, 2),
+            Err(LmError::SequenceFull {
+                pos: 32,
+                max_seq_len: 32
+            })
+        ));
+        assert!(matches!(
+            crate::decode::generate_greedy_cached(&m, &prompt, 2),
+            Err(LmError::SequenceFull { .. })
+        ));
+        assert!(matches!(
+            generate_sampled(&m, &prompt, 2, SampleConfig::default(), &mut init::rng(0)),
+            Err(LmError::SequenceFull { .. })
+        ));
+    }
+
+    #[test]
+    fn generation_at_context_boundary_is_capped_and_consistent() {
+        // Exactly max_seq_len prompt tokens: both greedy paths emit
+        // exactly one more token (predicted from the full context,
+        // never fed back) and agree bit-for-bit.
+        let m = model();
+        let max = 32;
+        let prompt: Vec<u32> = (0..max).map(|i| (i % 16) as u32).collect();
+        let uncached = generate_greedy(&m, &prompt, 5).unwrap();
+        let cached = crate::decode::generate_greedy_cached(&m, &prompt, 5).unwrap();
+        assert_eq!(uncached.len(), max + 1);
+        assert_eq!(uncached, cached);
+        // One token below the boundary: two new tokens fit.
+        let prompt: Vec<u32> = (0..max - 1).map(|i| (i % 16) as u32).collect();
+        let uncached = generate_greedy(&m, &prompt, 5).unwrap();
+        let cached = crate::decode::generate_greedy_cached(&m, &prompt, 5).unwrap();
+        assert_eq!(uncached.len(), max + 1);
+        assert_eq!(uncached, cached);
     }
 }

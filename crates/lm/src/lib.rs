@@ -73,6 +73,17 @@ pub enum LmError {
         /// The configured sequence capacity.
         max_seq_len: usize,
     },
+    /// A batched decode step referenced a sequence id that was never
+    /// joined or has already left.
+    UnknownSeq {
+        /// The offending sequence id.
+        seq: usize,
+    },
+    /// The same sequence id appeared more than once in one batched step.
+    DuplicateSeq {
+        /// The repeated sequence id.
+        seq: usize,
+    },
 }
 
 impl std::fmt::Display for LmError {
@@ -86,6 +97,15 @@ impl std::fmt::Display for LmError {
             LmError::InvalidConfig(msg) => write!(f, "invalid model config: {msg}"),
             LmError::SequenceFull { pos, max_seq_len } => {
                 write!(f, "decode position {pos} exceeds max_seq_len {max_seq_len}")
+            }
+            LmError::UnknownSeq { seq } => {
+                write!(f, "sequence {seq} is not active in this batch session")
+            }
+            LmError::DuplicateSeq { seq } => {
+                write!(
+                    f,
+                    "sequence {seq} appears more than once in one batched step"
+                )
             }
         }
     }
@@ -110,6 +130,8 @@ mod tests {
             max_seq_len: 32,
         };
         assert!(full.to_string().contains("32"));
+        assert!(LmError::UnknownSeq { seq: 4 }.to_string().contains('4'));
+        assert!(LmError::DuplicateSeq { seq: 2 }.to_string().contains('2'));
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Batched decode correctness: every sequence in a
+//! [`BatchDecodeSession`] must produce logits **bit-identical**
+//! (`assert_eq!`, not approximately) to running it alone in its own
+//! [`DecodeSession`], for any batch size and any join/leave schedule.
+//!
+//! These tests run in the CI determinism loop at `APTQ_THREADS=1` and
+//! `4` (see `ci/check.sh`): the batched projections stack B rows into
+//! one matmul on the shared threadpool, and the row-band k-blocked
+//! accumulation order makes each row independent of how many others
+//! share the call.
+
+use aptq_lm::decode::{
+    generate_greedy_batched, generate_greedy_cached, BatchDecodeSession, DecodeSession,
+};
+use aptq_lm::{LmError, Model, ModelConfig};
+
+fn model() -> Model {
+    let cfg = ModelConfig {
+        max_seq_len: 64,
+        ..ModelConfig::test_tiny(16)
+    };
+    Model::new(&cfg, 42)
+}
+
+/// Deterministic per-sequence token stream `s`.
+fn stream(s: usize, i: usize) -> u32 {
+    ((i * 7 + s * 5 + 3) % 16) as u32
+}
+
+#[test]
+fn batched_logits_bit_identical_to_solo_sessions() {
+    let m = model();
+    for &bsize in &[1usize, 3, 8] {
+        let mut batch = BatchDecodeSession::new(&m);
+        let slots: Vec<usize> = (0..bsize).map(|_| batch.join()).collect();
+        let mut solos: Vec<DecodeSession<'_>> =
+            (0..bsize).map(|_| DecodeSession::new(&m)).collect();
+        for i in 0..20 {
+            let tokens: Vec<(usize, u32)> = slots
+                .iter()
+                .enumerate()
+                .map(|(s, &id)| (id, stream(s, i)))
+                .collect();
+            let logits = batch.step(&tokens).unwrap();
+            for (s, solo) in solos.iter_mut().enumerate() {
+                let alone = solo.feed(stream(s, i)).unwrap();
+                assert_eq!(
+                    logits.row(s),
+                    &alone[..],
+                    "batch size {bsize}, step {i}, sequence {s}: batched logits \
+                     must be bit-identical to the solo session"
+                );
+            }
+        }
+        assert_eq!(batch.metrics().get("decode/batch/steps"), 20);
+        assert_eq!(
+            batch.metrics().get("decode/batch/tokens"),
+            20 * bsize as u64
+        );
+        assert_eq!(
+            batch.metrics().get("decode/batch/occupancy"),
+            20 * bsize as u64
+        );
+    }
+}
+
+#[test]
+fn ragged_join_leave_schedule_matches_solo_sessions() {
+    // Sequences join and leave mid-flight; survivors must stay
+    // bit-identical to their solo runs throughout, and a freed slot
+    // reused by a new sequence must start from a clean cache.
+    let m = model();
+    let mut batch = BatchDecodeSession::new(&m);
+
+    let a = batch.join();
+    let b = batch.join();
+    let c = batch.join();
+    let mut solo_a = DecodeSession::new(&m);
+    let mut solo_b = DecodeSession::new(&m);
+    let mut solo_c = DecodeSession::new(&m);
+
+    // Phase 1: all three decode together.
+    for i in 0..6 {
+        let logits = batch
+            .step(&[(a, stream(0, i)), (b, stream(1, i)), (c, stream(2, i))])
+            .unwrap();
+        assert_eq!(logits.row(0), &solo_a.feed(stream(0, i)).unwrap()[..]);
+        assert_eq!(logits.row(1), &solo_b.feed(stream(1, i)).unwrap()[..]);
+        assert_eq!(logits.row(2), &solo_c.feed(stream(2, i)).unwrap()[..]);
+    }
+
+    // Phase 2: b leaves; a and c continue from their own positions.
+    batch.leave(b).unwrap();
+    assert_eq!(batch.active(), 2);
+    for i in 6..11 {
+        let logits = batch.step(&[(a, stream(0, i)), (c, stream(2, i))]).unwrap();
+        assert_eq!(logits.row(0), &solo_a.feed(stream(0, i)).unwrap()[..]);
+        assert_eq!(logits.row(1), &solo_c.feed(stream(2, i)).unwrap()[..]);
+    }
+
+    // Phase 3: a new sequence joins, reusing b's slot, and must decode
+    // from position 0 as if the slot had never been used.
+    let d = batch.join();
+    assert_eq!(d, b, "lowest retired slot is reused");
+    let mut solo_d = DecodeSession::new(&m);
+    for i in 0..7 {
+        let logits = batch
+            .step(&[
+                (a, stream(0, 11 + i)),
+                (c, stream(2, 11 + i)),
+                (d, stream(3, i)),
+            ])
+            .unwrap();
+        assert_eq!(logits.row(0), &solo_a.feed(stream(0, 11 + i)).unwrap()[..]);
+        assert_eq!(logits.row(1), &solo_c.feed(stream(2, 11 + i)).unwrap()[..]);
+        assert_eq!(logits.row(2), &solo_d.feed(stream(3, i)).unwrap()[..]);
+    }
+
+    assert_eq!(batch.seq_len(a), Some(18));
+    assert_eq!(batch.seq_len(c), Some(18));
+    assert_eq!(batch.seq_len(d), Some(7));
+    assert_eq!(batch.seq_len(b), Some(7), "d reused b's id");
+    assert_eq!(batch.metrics().get("decode/batch/joins"), 4);
+    assert_eq!(batch.metrics().get("decode/batch/leaves"), 1);
+    // Occupancy: 6 steps × 3 + 5 steps × 2 + 7 steps × 3.
+    assert_eq!(batch.metrics().get("decode/batch/occupancy"), 49);
+}
+
+#[test]
+fn batch_row_order_does_not_change_logits() {
+    // The same sequences listed in a different row order must get the
+    // same (bit-identical) logits — rows are independent.
+    let m = model();
+    let mut fwd = BatchDecodeSession::new(&m);
+    let mut rev = BatchDecodeSession::new(&m);
+    let f: Vec<usize> = (0..3).map(|_| fwd.join()).collect();
+    let r: Vec<usize> = (0..3).map(|_| rev.join()).collect();
+    for i in 0..10 {
+        let a = fwd
+            .step(&[
+                (f[0], stream(0, i)),
+                (f[1], stream(1, i)),
+                (f[2], stream(2, i)),
+            ])
+            .unwrap();
+        let b = rev
+            .step(&[
+                (r[2], stream(2, i)),
+                (r[1], stream(1, i)),
+                (r[0], stream(0, i)),
+            ])
+            .unwrap();
+        for s in 0..3 {
+            assert_eq!(a.row(s), b.row(2 - s), "step {i}, sequence {s}");
+        }
+    }
+}
+
+#[test]
+fn step_validates_the_whole_batch_before_touching_state() {
+    let m = model();
+    let mut batch = BatchDecodeSession::new(&m);
+    let a = batch.join();
+
+    assert!(matches!(batch.step(&[]), Err(LmError::EmptyInput)));
+    assert!(matches!(
+        batch.step(&[(a + 1, 0)]),
+        Err(LmError::UnknownSeq { .. })
+    ));
+    assert!(matches!(
+        batch.step(&[(a, 1), (a, 2)]),
+        Err(LmError::DuplicateSeq { .. })
+    ));
+    assert!(matches!(
+        batch.step(&[(a, 99)]),
+        Err(LmError::TokenOutOfRange { .. })
+    ));
+    // A failed step must not have advanced the sequence.
+    assert_eq!(batch.seq_len(a), Some(0));
+    let mut solo = DecodeSession::new(&m);
+    let logits = batch.step(&[(a, 5)]).unwrap();
+    assert_eq!(logits.row(0), &solo.feed(5).unwrap()[..]);
+
+    // Leaving twice is an error; stepping a retired id is an error.
+    batch.leave(a).unwrap();
+    assert!(matches!(batch.leave(a), Err(LmError::UnknownSeq { .. })));
+    assert!(matches!(
+        batch.step(&[(a, 1)]),
+        Err(LmError::UnknownSeq { .. })
+    ));
+    assert_eq!(batch.active(), 0);
+}
+
+#[test]
+fn step_rejects_full_sequences() {
+    let cfg = ModelConfig::test_tiny(16); // max_seq_len = 32
+    let m = Model::new(&cfg, 7);
+    let mut batch = BatchDecodeSession::new(&m);
+    let a = batch.join();
+    for i in 0..32 {
+        batch.step(&[(a, (i % 16) as u32)]).unwrap();
+    }
+    assert!(matches!(
+        batch.step(&[(a, 0)]),
+        Err(LmError::SequenceFull { .. })
+    ));
+}
+
+#[test]
+fn batch_cache_bytes_track_active_sequences() {
+    let m = model();
+    let mut batch = BatchDecodeSession::new(&m);
+    let a = batch.join();
+    let b = batch.join();
+    assert_eq!(batch.cache_bytes(), 0);
+    batch.step(&[(a, 1), (b, 2)]).unwrap();
+    let per_row = 2 * 2 * 16 * 4; // layers × 2 matrices × d_model × 4B
+    assert_eq!(batch.cache_bytes(), 2 * per_row);
+    batch.step(&[(a, 3)]).unwrap();
+    assert_eq!(batch.cache_bytes(), 3 * per_row);
+    assert_eq!(
+        batch.metrics().get("decode/batch/kv_bytes_moved"),
+        batch.cache_bytes() as u64
+    );
+    batch.leave(b).unwrap();
+    assert_eq!(batch.cache_bytes(), 2 * per_row, "b's rows stop counting");
+}
+
+#[test]
+fn batched_greedy_generation_matches_solo_cached_generation() {
+    let m = model();
+    let prompts: Vec<Vec<u32>> = vec![
+        vec![1, 2, 3],
+        vec![5],
+        vec![9, 8, 7, 6, 5, 4],
+        vec![2, 2, 2, 2],
+    ];
+    // Unequal prompt lengths exercise the ragged prefill; unequal
+    // completion times exercise mid-flight leave.
+    let batched = generate_greedy_batched(&m, &prompts, 12).unwrap();
+    for (i, prompt) in prompts.iter().enumerate() {
+        let solo = generate_greedy_cached(&m, prompt, 12).unwrap();
+        assert_eq!(batched[i], solo, "prompt {i}");
+    }
+}
+
+#[test]
+fn batched_greedy_generation_validates_inputs() {
+    let m = model();
+    assert!(matches!(
+        generate_greedy_batched(&m, &[], 4),
+        Err(LmError::EmptyInput)
+    ));
+    assert!(matches!(
+        generate_greedy_batched(&m, &[vec![1], vec![]], 4),
+        Err(LmError::EmptyInput)
+    ));
+    let long: Vec<u32> = (0..65).map(|i| (i % 16) as u32).collect();
+    assert!(matches!(
+        generate_greedy_batched(&m, &[vec![1], long], 4),
+        Err(LmError::SequenceFull { .. })
+    ));
+}
+
+#[test]
+fn batched_greedy_generation_caps_at_context_boundary() {
+    let m = model(); // max_seq_len = 64
+    let exactly: Vec<u32> = (0..64).map(|i| (i % 16) as u32).collect();
+    let nearly: Vec<u32> = (0..62).map(|i| (i % 16) as u32).collect();
+    let prompts = vec![exactly.clone(), nearly.clone(), vec![3, 1]];
+    let batched = generate_greedy_batched(&m, &prompts, 8).unwrap();
+    assert_eq!(batched[0].len(), 65, "full context still predicts once");
+    assert_eq!(batched[1].len(), 65, "capped at max_seq_len + 1");
+    assert_eq!(batched[2].len(), 10);
+    for (i, prompt) in prompts.iter().enumerate() {
+        assert_eq!(batched[i], generate_greedy_cached(&m, prompt, 8).unwrap());
+    }
+}

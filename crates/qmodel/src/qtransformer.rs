@@ -16,7 +16,7 @@ use aptq_core::hessian::LayerHessian;
 use aptq_core::plan::QuantPlan;
 use aptq_lm::attention::MultiHeadAttention;
 use aptq_lm::block::TransformerBlock;
-use aptq_lm::decode::{generate_greedy_cached, DecodeSession};
+use aptq_lm::decode::{generate_greedy_cached, BatchDecodeSession, DecodeSession};
 use aptq_lm::ffn::SwiGlu;
 use aptq_lm::{LayerKind, LayerRef, LmError, Model, ModelConfig, ModelOf};
 use aptq_obs::Recorder;
@@ -138,6 +138,19 @@ impl QuantizedModel {
     /// operator.
     pub fn decode_session(&self) -> DecodeSession<'_, QuantizedLinear> {
         DecodeSession::new(&self.inner)
+    }
+
+    /// Starts a multi-sequence batched decode session over the packed
+    /// weights.
+    ///
+    /// Each step stacks the active sequences' hidden rows into one
+    /// matrix per projection, so every packed weight group is unpacked
+    /// **once per layer per step** — not once per sequence — while
+    /// every sequence's logits stay bit-identical to a solo
+    /// [`QuantizedModel::decode_session`] (tested in
+    /// `tests/batch_decode.rs`).
+    pub fn batch_decode_session(&self) -> BatchDecodeSession<'_, QuantizedLinear> {
+        BatchDecodeSession::new(&self.inner)
     }
 
     /// Memory footprint of the deployable artifact.
@@ -274,6 +287,44 @@ impl QuantizedModel {
         assert!(!prompt.is_empty(), "generate_greedy: empty prompt");
         self.check_tokens(prompt)?;
         generate_greedy_cached(&self.inner, prompt, n_new).map_err(|e| self.lift(e))
+    }
+
+    /// Greedy generation over many prompts at once through a batched
+    /// decode session (continuous batching: sequences leave as they
+    /// finish). Output `i` is bit-identical to
+    /// `generate_greedy(&prompts[i], n_new)`, but packed weight groups
+    /// are unpacked once per step for the whole batch instead of once
+    /// per sequence.
+    ///
+    /// # Determinism
+    ///
+    /// Bit-identical at any `APTQ_THREADS` value; see
+    /// [`QuantizedModel::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QModelError::TokenOutOfRange`] /
+    /// [`QModelError::SequenceTooLong`] on an invalid prompt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompts` is empty or any prompt is empty (as in
+    /// [`QuantizedModel::generate_greedy`]: there is no last-logits
+    /// row to extend).
+    pub fn generate_greedy_batched(
+        &self,
+        prompts: &[Vec<u32>],
+        n_new: usize,
+    ) -> Result<Vec<Vec<u32>>, QModelError> {
+        assert!(
+            !prompts.is_empty() && prompts.iter().all(|p| !p.is_empty()),
+            "generate_greedy_batched: empty prompt"
+        );
+        for p in prompts {
+            self.check_tokens(p)?;
+        }
+        aptq_lm::decode::generate_greedy_batched(&self.inner, prompts, n_new)
+            .map_err(|e| self.lift(e))
     }
 }
 
