@@ -87,6 +87,21 @@ for threads in 1 4; do
     APTQ_THREADS=$threads cargo test -q -p aptq-textgen --test determinism
 done
 
+phase "chaos suite (seeded fault injection, archived as results/chaos.json)"
+# Every injected fault must be detected (structured error, no panic)
+# or provably harmless; the report itself is part of the determinism
+# contract — two runs across thread counts must be byte-identical.
+cargo run -q -p aptq-chaos --bin chaos --release -- --out results/chaos.json
+for threads in 1 4; do
+    APTQ_THREADS=$threads cargo run -q -p aptq-chaos --bin chaos --release -- \
+        --out "results/chaos-t$threads.json"
+    cmp results/chaos.json "results/chaos-t$threads.json" || {
+        echo "chaos report not byte-stable at APTQ_THREADS=$threads" >&2
+        exit 1
+    }
+    rm -f "results/chaos-t$threads.json"
+done
+
 phase "telemetry snapshot (archived as results/telemetry.json)"
 # The bench asserts the counters' structural invariants (zero qlinear
 # fallbacks, O(T) KV write traffic, Hessian cache hits) and writes the

@@ -1,0 +1,530 @@
+//! # aptq-artifact
+//!
+//! Versioned, checksummed envelopes for every serialized artifact in
+//! the workspace: model checkpoints, quantization plans and packed
+//! `QuantizedModel` payloads.
+//!
+//! At 2–4 bits per weight a single corrupted byte silently poisons
+//! every downstream logit, so artifacts are never trusted raw. An
+//! envelope is a one-line JSON header followed by the raw payload:
+//!
+//! ```text
+//! {"magic":"aptq-artifact","version":1,"kind":"model","payload_fnv64":"…","sections":…}
+//! <payload bytes, verbatim>
+//! ```
+//!
+//! The header carries an FNV-1a 64 checksum of the whole payload plus
+//! named per-section checksums (per-tensor for checkpoints, per-layer
+//! for packed models) that loaders re-derive from the *decoded* value,
+//! catching corruption that survives parsing. Line framing keeps the
+//! megabyte JSON payload unescaped and means a flipped byte in either
+//! the header or the payload is always detectable.
+//!
+//! [`Fnv64`] is the fingerprint machinery previously private to
+//! `aptq_core::QuantSession`, promoted here so every crate checksums
+//! artifacts identically.
+//!
+//! # Example
+//!
+//! ```
+//! use aptq_artifact::{open, seal, ArtifactError, ArtifactKind};
+//! use std::collections::BTreeMap;
+//!
+//! let sections = BTreeMap::from([("bits".to_string(), 7u64)]);
+//! let text = seal(ArtifactKind::Plan, &sections, "{\"plan\":[]}").unwrap();
+//! let opened = open(ArtifactKind::Plan, &text).unwrap();
+//! assert_eq!(opened.payload, "{\"plan\":[]}");
+//! assert_eq!(opened.sections["bits"], 7);
+//!
+//! let tampered = text.replace("[]", "[1]");
+//! assert!(matches!(
+//!     open(ArtifactKind::Plan, &tampered),
+//!     Err(ArtifactError::ChecksumMismatch { .. })
+//! ));
+//! ```
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// First bytes of every envelope header.
+pub const MAGIC: &str = "aptq-artifact";
+
+/// The envelope format version this crate writes and accepts.
+pub const VERSION: u32 = 1;
+
+/// What kind of artifact an envelope wraps. Loaders state the kind
+/// they expect so a plan is never deserialized as a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    /// An fp32 model checkpoint (`aptq_lm::Model`).
+    Model,
+    /// A per-layer bit-width plan (`aptq_core::QuantPlan`).
+    Plan,
+    /// A packed sub-byte model (`aptq_qmodel::QuantizedModel`).
+    PackedModel,
+}
+
+impl ArtifactKind {
+    /// The header string for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArtifactKind::Model => "model",
+            ArtifactKind::Plan => "plan",
+            ArtifactKind::PackedModel => "packed-model",
+        }
+    }
+
+    /// Parses a header kind string.
+    pub fn parse(s: &str) -> Option<ArtifactKind> {
+        match s {
+            "model" => Some(ArtifactKind::Model),
+            "plan" => Some(ArtifactKind::Plan),
+            "packed-model" => Some(ArtifactKind::PackedModel),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Structured artifact-validation failures. Every load error is one of
+/// these — loaders never panic on hostile bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The envelope (or its payload) could not be parsed at all:
+    /// missing header line, bad magic, unknown kind, invalid JSON.
+    Malformed(String),
+    /// The header declared a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The envelope wraps a different artifact kind than the loader
+    /// expected.
+    KindMismatch {
+        /// Kind the loader asked for.
+        expected: ArtifactKind,
+        /// Kind declared in the header.
+        got: ArtifactKind,
+    },
+    /// A checksum did not match: the named section (or the whole
+    /// payload, section `"payload"`) is corrupt.
+    ChecksumMismatch {
+        /// Which section failed.
+        section: String,
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum recomputed from the bytes/content.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            ArtifactError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "artifact version {found} not supported (this build reads version {supported})"
+                )
+            }
+            ArtifactError::KindMismatch { expected, got } => {
+                write!(f, "artifact is a `{got}`, expected a `{expected}`")
+            }
+            ArtifactError::ChecksumMismatch {
+                section,
+                expected,
+                got,
+            } => write!(
+                f,
+                "checksum mismatch in section `{section}`: header says {expected:016x}, content is {got:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// FNV-1a 64-bit hasher — the workspace fingerprint primitive.
+///
+/// Two feeding modes exist: [`Fnv64::eat_bytes`]/[`Fnv64::eat_u64`]
+/// absorb per byte (artifact payloads), while [`Fnv64::eat_word`]
+/// absorbs a whole 64-bit word in one multiply — the fast path
+/// `QuantSession` uses per f32 weight, preserved here bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Absorbs a byte slice, one byte per multiply.
+    pub fn eat_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as its 8 little-endian bytes.
+    pub fn eat_u64(&mut self, v: u64) {
+        self.eat_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a whole 64-bit word in a single xor-multiply (the
+    /// per-f32 fast path: `eat_word(u64::from(x.to_bits()))`).
+    pub fn eat_word(&mut self, w: u64) {
+        self.0 = (self.0 ^ w).wrapping_mul(Self::PRIME);
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// FNV-1a 64 of a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.eat_bytes(bytes);
+    h.finish()
+}
+
+/// The parsed JSON header line. Checksums are stored as fixed-width
+/// hex strings so the header is self-describing and diff-friendly.
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    magic: String,
+    version: u32,
+    kind: String,
+    payload_fnv64: String,
+    sections: BTreeMap<String, String>,
+}
+
+/// A validated envelope: the payload (borrowed from the input) and the
+/// decoded per-section checksums.
+#[derive(Debug)]
+pub struct Opened<'a> {
+    /// The raw payload, byte-verified against the header checksum.
+    pub payload: &'a str,
+    /// Per-section checksums from the header. Loaders re-derive these
+    /// from the decoded value and compare via [`verify_sections`].
+    pub sections: BTreeMap<String, u64>,
+}
+
+fn hex16(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn parse_hex(field: &str, s: &str) -> Result<u64, ArtifactError> {
+    u64::from_str_radix(s, 16)
+        .map_err(|_| ArtifactError::Malformed(format!("`{field}` is not a hex checksum: `{s}`")))
+}
+
+/// Wraps `payload` in a checksummed envelope of the given kind.
+///
+/// `sections` are named content checksums the loader will re-derive
+/// from the decoded artifact (pass an empty map if the payload
+/// checksum is enough).
+///
+/// # Errors
+///
+/// Returns [`ArtifactError::Malformed`] if the header fails to
+/// serialize (not reachable for well-formed section names).
+pub fn seal(
+    kind: ArtifactKind,
+    sections: &BTreeMap<String, u64>,
+    payload: &str,
+) -> Result<String, ArtifactError> {
+    let header = Header {
+        magic: MAGIC.to_string(),
+        version: VERSION,
+        kind: kind.as_str().to_string(),
+        payload_fnv64: hex16(fnv1a_64(payload.as_bytes())),
+        sections: sections
+            .iter()
+            .map(|(k, &v)| (k.clone(), hex16(v)))
+            .collect(),
+    };
+    let head = serde_json::to_string(&header)
+        .map_err(|e| ArtifactError::Malformed(format!("header serialization: {e}")))?;
+    Ok(format!("{head}\n{payload}"))
+}
+
+/// Whether `text` looks like an envelope (vs a bare legacy artifact).
+/// Cheap prefix test — [`open`] still fully validates.
+pub fn is_envelope(text: &str) -> bool {
+    text.starts_with("{\"magic\":\"aptq-artifact\"")
+}
+
+/// Validates an envelope and returns its payload + section checksums.
+///
+/// Checks, in order: header framing and JSON, magic, version, kind,
+/// then the FNV-1a 64 of every payload byte.
+///
+/// # Errors
+///
+/// Returns [`ArtifactError::Malformed`] for framing/JSON/magic
+/// problems, [`ArtifactError::UnsupportedVersion`] and
+/// [`ArtifactError::KindMismatch`] for header fields that disagree
+/// with this loader, and [`ArtifactError::ChecksumMismatch`] (section
+/// `"payload"`) when the payload bytes do not hash to the header's
+/// checksum.
+pub fn open(expected: ArtifactKind, text: &str) -> Result<Opened<'_>, ArtifactError> {
+    let (head, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| ArtifactError::Malformed("missing header line".to_string()))?;
+    let header: Header =
+        serde_json::from_str(head).map_err(|e| ArtifactError::Malformed(format!("header: {e}")))?;
+    if header.magic != MAGIC {
+        return Err(ArtifactError::Malformed(format!(
+            "bad magic `{}`",
+            header.magic
+        )));
+    }
+    if header.version != VERSION {
+        return Err(ArtifactError::UnsupportedVersion {
+            found: header.version,
+            supported: VERSION,
+        });
+    }
+    let kind = ArtifactKind::parse(&header.kind).ok_or_else(|| {
+        ArtifactError::Malformed(format!("unknown artifact kind `{}`", header.kind))
+    })?;
+    if kind != expected {
+        return Err(ArtifactError::KindMismatch {
+            expected,
+            got: kind,
+        });
+    }
+    let want = parse_hex("payload_fnv64", &header.payload_fnv64)?;
+    let got = fnv1a_64(payload.as_bytes());
+    if got != want {
+        return Err(ArtifactError::ChecksumMismatch {
+            section: "payload".to_string(),
+            expected: want,
+            got,
+        });
+    }
+    let mut sections = BTreeMap::new();
+    for (k, v) in &header.sections {
+        sections.insert(k.clone(), parse_hex(k, v)?);
+    }
+    Ok(Opened { payload, sections })
+}
+
+/// Compares the header's section checksums against checksums re-derived
+/// from the decoded artifact. Strict in both directions: a section
+/// listed but not re-derived (or vice versa) is as fatal as a value
+/// mismatch.
+///
+/// # Errors
+///
+/// Returns [`ArtifactError::ChecksumMismatch`] for a differing value
+/// and [`ArtifactError::Malformed`] for a missing/unlisted section.
+pub fn verify_sections(
+    stored: &BTreeMap<String, u64>,
+    derived: &BTreeMap<String, u64>,
+) -> Result<(), ArtifactError> {
+    for (k, &want) in stored {
+        match derived.get(k) {
+            None => {
+                return Err(ArtifactError::Malformed(format!(
+                    "header lists section `{k}` absent from the artifact"
+                )))
+            }
+            Some(&got) if got != want => {
+                return Err(ArtifactError::ChecksumMismatch {
+                    section: k.clone(),
+                    expected: want,
+                    got,
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    for k in derived.keys() {
+        if !stored.contains_key(k) {
+            return Err(ArtifactError::Malformed(format!(
+                "artifact section `{k}` missing from the header"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sections() -> BTreeMap<String, u64> {
+        BTreeMap::from([
+            ("alpha".to_string(), 0xdead_beef_u64),
+            ("beta".to_string(), 7),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_preserves_payload_and_sections() {
+        let payload = "{\"x\": [1, 2, 3]}";
+        let text = seal(ArtifactKind::Model, &sections(), payload).unwrap();
+        assert!(is_envelope(&text));
+        let opened = open(ArtifactKind::Model, &text).unwrap();
+        assert_eq!(opened.payload, payload);
+        assert_eq!(opened.sections, sections());
+    }
+
+    #[test]
+    fn sealing_is_deterministic() {
+        let a = seal(ArtifactKind::Plan, &sections(), "p").unwrap();
+        let b = seal(ArtifactKind::Plan, &sections(), "p").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn payload_corruption_is_detected() {
+        let text = seal(ArtifactKind::Model, &sections(), "payload-bytes").unwrap();
+        let bad = text.replace("payload-bytes", "payload-bytez");
+        assert!(matches!(
+            open(ArtifactKind::Model, &bad),
+            Err(ArtifactError::ChecksumMismatch { section, .. }) if section == "payload"
+        ));
+    }
+
+    #[test]
+    fn header_corruption_is_detected() {
+        let text = seal(ArtifactKind::Model, &sections(), "p").unwrap();
+        // Flip a hex digit inside the payload checksum.
+        let sum = hex16(fnv1a_64(b"p"));
+        let flipped: String = sum
+            .chars()
+            .map(|c| {
+                if c == sum.chars().next().unwrap() {
+                    '?'
+                } else {
+                    c
+                }
+            })
+            .collect();
+        let bad = text.replace(&sum, &flipped);
+        assert!(open(ArtifactKind::Model, &bad).is_err());
+    }
+
+    #[test]
+    fn kind_and_version_are_enforced() {
+        let text = seal(ArtifactKind::Plan, &sections(), "p").unwrap();
+        assert!(matches!(
+            open(ArtifactKind::Model, &text),
+            Err(ArtifactError::KindMismatch {
+                expected: ArtifactKind::Model,
+                got: ArtifactKind::Plan,
+            })
+        ));
+        let vbad = text.replace("\"version\":1", "\"version\":9");
+        assert!(matches!(
+            open(ArtifactKind::Plan, &vbad),
+            Err(ArtifactError::UnsupportedVersion {
+                found: 9,
+                supported: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_malformed() {
+        assert!(matches!(
+            open(ArtifactKind::Model, "no newline anywhere"),
+            Err(ArtifactError::Malformed(_))
+        ));
+        assert!(matches!(
+            open(ArtifactKind::Model, "{\"not\": \"an envelope\"}\npayload"),
+            Err(ArtifactError::Malformed(_))
+        ));
+        let text = seal(ArtifactKind::Model, &sections(), "payload").unwrap();
+        for cut in [1, text.len() / 2, text.len() - 1] {
+            assert!(
+                open(ArtifactKind::Model, &text[..cut]).is_err(),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn section_verification_is_strict_both_ways() {
+        let stored = sections();
+        assert!(verify_sections(&stored, &stored.clone()).is_ok());
+
+        let mut drifted = stored.clone();
+        drifted.insert("beta".to_string(), 8);
+        assert!(matches!(
+            verify_sections(&stored, &drifted),
+            Err(ArtifactError::ChecksumMismatch { section, expected: 7, got: 8 }) if section == "beta"
+        ));
+
+        let mut missing = stored.clone();
+        missing.remove("alpha");
+        assert!(matches!(
+            verify_sections(&stored, &missing),
+            Err(ArtifactError::Malformed(_))
+        ));
+        assert!(matches!(
+            verify_sections(&missing, &stored),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Canonical FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        // eat_u64 is byte-wise LE; eat_word is a single multiply.
+        let mut by_bytes = Fnv64::new();
+        by_bytes.eat_u64(0x0102_0304_0506_0708);
+        let mut by_slice = Fnv64::new();
+        by_slice.eat_bytes(&0x0102_0304_0506_0708_u64.to_le_bytes());
+        assert_eq!(by_bytes.finish(), by_slice.finish());
+        let mut w = Fnv64::new();
+        w.eat_word(42);
+        assert_ne!(w.finish(), Fnv64::new().finish());
+    }
+
+    #[test]
+    fn errors_display_and_compose() {
+        let e = ArtifactError::ChecksumMismatch {
+            section: "s".to_string(),
+            expected: 1,
+            got: 2,
+        };
+        assert!(e.to_string().contains('s'));
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(!boxed.to_string().is_empty());
+        assert!(ArtifactError::Malformed("m".into())
+            .to_string()
+            .contains('m'));
+        assert_eq!(
+            ArtifactKind::parse("packed-model"),
+            Some(ArtifactKind::PackedModel)
+        );
+        assert_eq!(ArtifactKind::parse("nope"), None);
+        assert_eq!(ArtifactKind::PackedModel.to_string(), "packed-model");
+    }
+}

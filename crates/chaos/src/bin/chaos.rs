@@ -1,0 +1,79 @@
+//! Chaos-suite driver: runs the seeded fault-injection suite and
+//! archives the deterministic report (`results/chaos.json` by default).
+//!
+//! Usage: `cargo run -p aptq-chaos --bin chaos -- [--seed N] [--rounds N] [--out PATH]`
+//!
+//! Exit code 0 iff every injected fault was detected (or provably
+//! harmless); 1 otherwise; 2 on bad usage or I/O failure.
+
+use std::process::ExitCode;
+
+use aptq_chaos::run_suite;
+
+fn parse_args() -> Result<(u64, usize, String), String> {
+    let mut seed = 7u64;
+    let mut rounds = 5usize;
+    let mut out = "results/chaos.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--seed" => {
+                seed = need(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--rounds" => {
+                rounds = need(i)?.parse().map_err(|e| format!("--rounds: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                out = need(i)?.clone();
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok((seed, rounds, out))
+}
+
+fn main() -> ExitCode {
+    let (seed, rounds, out) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_suite(seed, rounds);
+    let json = match serde_json::to_string(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("chaos: serialize: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("chaos: writing {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "chaos: seed {seed}, {} injections, {} detected -> {out}",
+        report.outcomes.len(),
+        report.n_detected
+    );
+    for o in report.outcomes.iter().filter(|o| !o.detected) {
+        eprintln!(
+            "chaos: UNDETECTED {} (seed {}): {}",
+            o.scenario, o.seed, o.detail
+        );
+    }
+    if report.all_detected {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

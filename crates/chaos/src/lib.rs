@@ -1,0 +1,585 @@
+//! # aptq-chaos
+//!
+//! Seeded, deterministic fault injection for the APTQ stack.
+//!
+//! Every scenario builds a small known-good pipeline (float model →
+//! calibration → quantize → pack → envelope → decode), injects exactly
+//! one fault chosen by an explicit [`FaultPlan`] handle, and then
+//! checks the stack's contract: the fault must either be **detected**
+//! (a structured error — never a panic) or **provably harmless**
+//! (bit-identical output to a run that never saw the fault).
+//!
+//! The harness holds no global state, reads no environment variables
+//! and never consults the clock: the same seed reproduces the same
+//! faults, byte for byte, which is what lets CI archive
+//! `results/chaos.json` and diff it across thread counts.
+
+use aptq_core::grid::GridConfig;
+use aptq_core::hessian::{HessianMode, LayerHessian};
+use aptq_core::plan::QuantPlan;
+use aptq_lm::decode::{BatchDecodeSession, DecodeSession};
+use aptq_lm::{LayerRef, LmError, Model, ModelConfig};
+use aptq_qmodel::{QModelError, QuantizedModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The seeded source of every fault decision, threaded by value
+/// through the scenarios (no globals, no env, no clock).
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rng: StdRng,
+}
+
+impl FaultPlan {
+    /// A plan whose decisions are a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A fault site in `0..bound` (`0` when `bound == 0`).
+    pub fn index(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..bound)
+        }
+    }
+
+    /// A non-zero XOR mask for single-byte corruption.
+    pub fn mask(&mut self) -> u8 {
+        1u8 << self.rng.gen_range(0..8)
+    }
+}
+
+/// What happened when one fault was injected.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultOutcome {
+    /// Scenario name (stable identifier, e.g. `packed-bit-flip`).
+    pub scenario: String,
+    /// Seed of the [`FaultPlan`] that chose the fault site.
+    pub seed: u64,
+    /// Whether the stack detected the fault (or proved it harmless).
+    pub detected: bool,
+    /// Human-readable account of the fault and the stack's response.
+    pub detail: String,
+}
+
+/// The archived result of a full chaos run ([`run_suite`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Rounds executed (each round runs every scenario once).
+    pub rounds: usize,
+    /// Per-injection outcomes in execution order.
+    pub outcomes: Vec<FaultOutcome>,
+    /// Number of detected (or provably harmless) faults.
+    pub n_detected: usize,
+    /// `true` iff every injected fault was detected.
+    pub all_detected: bool,
+}
+
+/// Canonical scenario names in execution order.
+pub const SCENARIOS: [&str; 7] = [
+    "checkpoint-mutation",
+    "checkpoint-truncation",
+    "plan-mutation",
+    "packed-bit-flip",
+    "nan-weight",
+    "calibration-truncation",
+    "batch-quarantine",
+];
+
+fn outcome(scenario: &str, plan: &FaultPlan, detected: bool, detail: String) -> FaultOutcome {
+    FaultOutcome {
+        scenario: scenario.to_string(),
+        seed: plan.seed(),
+        detected,
+        detail,
+    }
+}
+
+/// The shared tiny fixture: model, calibration set, Hessians.
+fn fixture(seed: u64) -> (Model, Vec<Vec<u32>>, BTreeMap<LayerRef, LayerHessian>) {
+    let model = Model::new(&ModelConfig::test_tiny(16), seed);
+    let calib: Vec<Vec<u32>> = (0..4)
+        .map(|k| (0..10).map(|i| ((i * 3 + k) % 16) as u32).collect())
+        .collect();
+    // The fixture is known-good by construction; a failure here is a
+    // harness bug, not an injected fault.
+    let hs = aptq_core::collect_hessians(&model, &calib, HessianMode::AttentionAware)
+        .expect("chaos fixture: calibration must succeed");
+    (model, calib, hs)
+}
+
+/// Swaps one ASCII digit (`'1'` ↔ `'2'`, others bumped to `'1'`) at or
+/// after `start`, keeping the text valid UTF-8. Returns `None` if no
+/// digit exists there.
+fn swap_digit(text: &str, start: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let hit = (start..bytes.len()).find(|&i| bytes[i].is_ascii_digit())?;
+    let mut out = bytes.to_vec();
+    out[hit] = if out[hit] == b'1' { b'2' } else { b'1' };
+    String::from_utf8(out).ok()
+}
+
+/// Mutates one payload byte of a sealed model checkpoint; the envelope
+/// load must reject it with a structured [`LmError::Checkpoint`].
+///
+/// # Determinism
+///
+/// The fault site is a pure function of the plan's seed; the fixture
+/// model never runs a forward pass here.
+pub fn checkpoint_mutation(plan: &mut FaultPlan) -> FaultOutcome {
+    let (model, _, _) = fixture(51);
+    let Ok(text) = model.to_envelope_json() else {
+        return outcome("checkpoint-mutation", plan, false, "seal failed".into());
+    };
+    let body = text.find('\n').map(|i| i + 1).unwrap_or(0);
+    let site = body + plan.index(text.len().saturating_sub(body));
+    let Some(mutated) = swap_digit(&text, site).or_else(|| swap_digit(&text, body)) else {
+        return outcome(
+            "checkpoint-mutation",
+            plan,
+            false,
+            "no digit to flip".into(),
+        );
+    };
+    match Model::from_envelope_json(&mutated) {
+        Err(LmError::Checkpoint(e)) => outcome(
+            "checkpoint-mutation",
+            plan,
+            true,
+            format!("byte near {site} flipped; load rejected: {e}"),
+        ),
+        Err(e) => outcome(
+            "checkpoint-mutation",
+            plan,
+            false,
+            format!("wrong error class: {e}"),
+        ),
+        Ok(_) => outcome(
+            "checkpoint-mutation",
+            plan,
+            false,
+            "corrupted checkpoint loaded cleanly".into(),
+        ),
+    }
+}
+
+/// Truncates a sealed model checkpoint at a seeded byte offset; the
+/// load must reject it — never panic — whether the cut lands in the
+/// header or the payload.
+///
+/// # Determinism
+///
+/// The cut point is a pure function of the plan's seed.
+pub fn checkpoint_truncation(plan: &mut FaultPlan) -> FaultOutcome {
+    let (model, _, _) = fixture(51);
+    let Ok(text) = model.to_envelope_json() else {
+        return outcome("checkpoint-truncation", plan, false, "seal failed".into());
+    };
+    let mut cut = plan.index(text.len());
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    match Model::from_envelope_json(&text[..cut]) {
+        Err(LmError::Checkpoint(e)) => outcome(
+            "checkpoint-truncation",
+            plan,
+            true,
+            format!(
+                "truncated to {cut}/{} bytes; load rejected: {e}",
+                text.len()
+            ),
+        ),
+        Err(e) => outcome(
+            "checkpoint-truncation",
+            plan,
+            false,
+            format!("wrong error class: {e}"),
+        ),
+        Ok(_) => outcome(
+            "checkpoint-truncation",
+            plan,
+            false,
+            "truncated checkpoint loaded cleanly".into(),
+        ),
+    }
+}
+
+/// Mutates one payload byte of a sealed quantization plan; the load
+/// must reject it.
+///
+/// # Determinism
+///
+/// The fault site is a pure function of the plan's seed.
+pub fn plan_mutation(plan: &mut FaultPlan) -> FaultOutcome {
+    let (model, _, _) = fixture(51);
+    let qplan = QuantPlan::uniform(&model, 4);
+    let Ok(text) = qplan.to_envelope_json() else {
+        return outcome("plan-mutation", plan, false, "seal failed".into());
+    };
+    let body = text.find('\n').map(|i| i + 1).unwrap_or(0);
+    let site = body + plan.index(text.len().saturating_sub(body));
+    let Some(mutated) = swap_digit(&text, site).or_else(|| swap_digit(&text, body)) else {
+        return outcome("plan-mutation", plan, false, "no digit to flip".into());
+    };
+    match QuantPlan::from_envelope_json(&mutated) {
+        Err(LmError::Checkpoint(e)) => outcome(
+            "plan-mutation",
+            plan,
+            true,
+            format!("byte near {site} flipped; load rejected: {e}"),
+        ),
+        Err(e) => outcome(
+            "plan-mutation",
+            plan,
+            false,
+            format!("wrong error class: {e}"),
+        ),
+        Ok(_) => outcome(
+            "plan-mutation",
+            plan,
+            false,
+            "corrupted plan loaded cleanly".into(),
+        ),
+    }
+}
+
+/// Flips one bit in one packed layer's code stream;
+/// [`QuantizedModel::verify`] must name exactly that layer.
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: quantization runs on the
+/// deterministic threadpool and the fault site is seed-derived.
+pub fn packed_bit_flip(plan: &mut FaultPlan) -> FaultOutcome {
+    let (model, _, hs) = fixture(51);
+    let qplan = QuantPlan::uniform(&model, 4);
+    let mut q = match QuantizedModel::quantize_from(&model, &qplan, &hs, &GridConfig::default()) {
+        Ok(q) => q,
+        Err(e) => {
+            return outcome(
+                "packed-bit-flip",
+                plan,
+                false,
+                format!("quantize failed: {e}"),
+            )
+        }
+    };
+    let refs = model.layer_refs();
+    let target = refs[plan.index(refs.len())];
+    let byte = plan.index(4096);
+    let mask = plan.mask();
+    if !q.corrupt_layer(target, byte, mask) {
+        return outcome(
+            "packed-bit-flip",
+            plan,
+            false,
+            "corruption hook no-op".into(),
+        );
+    }
+    match q.verify() {
+        Err(QModelError::Integrity(e)) => {
+            let named = e.to_string().contains(&target.to_string());
+            outcome(
+                "packed-bit-flip",
+                plan,
+                named,
+                format!("{target} byte {byte} ^ {mask:#04x}; verify: {e}"),
+            )
+        }
+        Err(e) => outcome(
+            "packed-bit-flip",
+            plan,
+            false,
+            format!("wrong error class: {e}"),
+        ),
+        Ok(()) => outcome(
+            "packed-bit-flip",
+            plan,
+            false,
+            "verify passed on corrupted storage".into(),
+        ),
+    }
+}
+
+/// NaN-poisons one float weight; the decode session must quarantine
+/// itself with [`LmError::NonFiniteLogits`] instead of emitting NaN
+/// logits, and stay quarantined on the next feed.
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: the forward runs on the
+/// deterministic threadpool and the poisoned element is seed-derived.
+pub fn nan_weight(plan: &mut FaultPlan) -> FaultOutcome {
+    let (mut model, _, _) = fixture(51);
+    let n_blocks = model.blocks().len();
+    let b = plan.index(n_blocks);
+    let w = model.blocks_mut()[b].attn.wq_mut().weight_mut();
+    let site = plan.index(w.len());
+    w.as_mut_slice()[site] = f32::NAN;
+    let mut session = DecodeSession::new(&model);
+    let tokens = [1u32, 5, 9, 2];
+    for &t in &tokens {
+        match session.feed(t) {
+            Ok(logits) => {
+                if !logits.iter().all(|v| v.is_finite()) {
+                    return outcome(
+                        "nan-weight",
+                        plan,
+                        false,
+                        "non-finite logits escaped the quarantine check".into(),
+                    );
+                }
+            }
+            Err(LmError::NonFiniteLogits { pos }) => {
+                // Quarantine must be sticky.
+                let sticky = matches!(
+                    session.feed(0),
+                    Err(LmError::NonFiniteLogits { pos: p }) if p == pos
+                ) && session.quarantined() == Some(pos);
+                return outcome(
+                    "nan-weight",
+                    plan,
+                    sticky,
+                    format!(
+                        "block {b} wq[{site}] = NaN; quarantined at pos {pos}, sticky: {sticky}"
+                    ),
+                );
+            }
+            Err(e) => return outcome("nan-weight", plan, false, format!("wrong error class: {e}")),
+        }
+    }
+    outcome(
+        "nan-weight",
+        plan,
+        false,
+        "NaN weight never reached the logits".into(),
+    )
+}
+
+/// Truncates the calibration snapshot to empty segments; Hessian
+/// collection must fail with a structured
+/// [`aptq_core::QuantError::EmptyCalibration`].
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value; the truncation is total,
+/// so the outcome does not depend on the seed.
+pub fn calibration_truncation(plan: &mut FaultPlan) -> FaultOutcome {
+    let (model, mut calib, _) = fixture(51);
+    for seg in &mut calib {
+        seg.truncate(0);
+    }
+    match aptq_core::collect_hessians(&model, &calib, HessianMode::AttentionAware) {
+        Err(aptq_core::QuantError::EmptyCalibration) => outcome(
+            "calibration-truncation",
+            plan,
+            true,
+            "empty calibration rejected with EmptyCalibration".into(),
+        ),
+        Err(e) => outcome(
+            "calibration-truncation",
+            plan,
+            false,
+            format!("wrong error class: {e}"),
+        ),
+        Ok(_) => outcome(
+            "calibration-truncation",
+            plan,
+            false,
+            "empty calibration produced Hessians".into(),
+        ),
+    }
+}
+
+/// Poisons one sequence's KV cache mid-stream in a 3-sequence batched
+/// decode. The poisoned sequence must be evicted with a structured
+/// status while the surviving peers' logits stay **bit-identical** to a
+/// 2-sequence run that never contained the poisoned sequence.
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: both sessions run on the
+/// deterministic threadpool and the poison step is seed-derived.
+pub fn batch_quarantine(plan: &mut FaultPlan) -> FaultOutcome {
+    const PROMPT_LEN: usize = 5;
+    let (model, _, _) = fixture(51);
+    let prompts: Vec<Vec<u32>> = (0..3)
+        .map(|_| (0..PROMPT_LEN).map(|_| plan.index(16) as u32).collect())
+        .collect();
+    let poison_after = 1 + plan.index(2); // poison after step 1 or 2
+
+    let mut chaos_sess = BatchDecodeSession::new(&model);
+    let ids: Vec<usize> = (0..3).map(|_| chaos_sess.join()).collect();
+    let mut clean_sess = BatchDecodeSession::new(&model);
+    let clean_ids: Vec<usize> = (0..2).map(|_| clean_sess.join()).collect();
+
+    let mut victim_evicted = false;
+    let mut peers_identical = true;
+    for t in 0..PROMPT_LEN {
+        let step_toks: Vec<u32> = prompts.iter().map(|p| p[t]).collect();
+        let mut toks: Vec<(usize, u32)> = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
+            if i == 1 && victim_evicted {
+                continue;
+            }
+            toks.push((id, step_toks[i]));
+        }
+        let chaos_logits = match chaos_sess.step(&toks) {
+            Ok(m) => m,
+            Err(e) => return outcome("batch-quarantine", plan, false, format!("step failed: {e}")),
+        };
+        let clean_toks = [(clean_ids[0], step_toks[0]), (clean_ids[1], step_toks[2])];
+        let clean_logits = match clean_sess.step(&clean_toks) {
+            Ok(m) => m,
+            Err(e) => {
+                return outcome(
+                    "batch-quarantine",
+                    plan,
+                    false,
+                    format!("clean step failed: {e}"),
+                )
+            }
+        };
+        // Map surviving peers (fixture seqs 0 and 2) onto the clean
+        // session's two rows and demand bit-identity.
+        let peer_rows: Vec<usize> = if victim_evicted {
+            vec![0, 1]
+        } else {
+            vec![0, 2]
+        };
+        for (clean_row, &chaos_row) in peer_rows.iter().enumerate() {
+            let same = chaos_logits
+                .row(chaos_row)
+                .iter()
+                .zip(clean_logits.row(clean_row))
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            peers_identical &= same;
+        }
+        if chaos_sess.evicted_last_step().contains(&ids[1]) {
+            victim_evicted = true;
+        }
+        if t == poison_after && !victim_evicted {
+            if let Err(e) = chaos_sess.poison_kv_cache(ids[1]) {
+                return outcome(
+                    "batch-quarantine",
+                    plan,
+                    false,
+                    format!("poison failed: {e}"),
+                );
+            }
+        }
+    }
+    let detected = victim_evicted && peers_identical;
+    outcome(
+        "batch-quarantine",
+        plan,
+        detected,
+        format!(
+            "poisoned seq {} after step {poison_after}; evicted: {victim_evicted}, peers bit-identical: {peers_identical}",
+            ids[1]
+        ),
+    )
+}
+
+/// Runs every scenario `rounds` times with per-injection derived seeds
+/// and aggregates the archived [`ChaosReport`].
+///
+/// # Determinism
+///
+/// Bit-identical at any `APTQ_THREADS` value: every scenario is either
+/// forward-free or documented bit-identical, and all fault sites derive
+/// from `seed` alone (no env, no clock, no global state).
+pub fn run_suite(seed: u64, rounds: usize) -> ChaosReport {
+    type Scenario = fn(&mut FaultPlan) -> FaultOutcome;
+    let scenarios: [Scenario; 7] = [
+        checkpoint_mutation,
+        checkpoint_truncation,
+        plan_mutation,
+        packed_bit_flip,
+        nan_weight,
+        calibration_truncation,
+        batch_quarantine,
+    ];
+    let mut outcomes = Vec::with_capacity(rounds * scenarios.len());
+    for round in 0..rounds {
+        for (i, scenario) in scenarios.iter().enumerate() {
+            let sub_seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((round * scenarios.len() + i) as u64);
+            let mut plan = FaultPlan::new(sub_seed);
+            outcomes.push(scenario(&mut plan));
+        }
+    }
+    let n_detected = outcomes.iter().filter(|o| o.detected).count();
+    let all_detected = n_detected == outcomes.len();
+    ChaosReport {
+        seed,
+        rounds,
+        outcomes,
+        n_detected,
+        all_detected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fault_class_is_detected() {
+        let report = run_suite(7, 1);
+        assert_eq!(report.outcomes.len(), SCENARIOS.len());
+        for o in &report.outcomes {
+            assert!(o.detected, "{}: {}", o.scenario, o.detail);
+        }
+        assert!(report.all_detected);
+        assert_eq!(report.n_detected, SCENARIOS.len());
+    }
+
+    #[test]
+    fn suite_is_deterministic_for_a_seed() {
+        let a = serde_json::to_string(&run_suite(11, 1)).unwrap();
+        let b = serde_json::to_string(&run_suite(11, 1)).unwrap();
+        assert_eq!(a, b);
+        let c = serde_json::to_string(&run_suite(12, 1)).unwrap();
+        assert_ne!(a, c, "different seeds must pick different fault sites");
+    }
+
+    #[test]
+    fn fault_plan_is_a_pure_function_of_its_seed() {
+        let mut a = FaultPlan::new(3);
+        let mut b = FaultPlan::new(3);
+        for bound in [1usize, 7, 100, 4096] {
+            assert_eq!(a.index(bound), b.index(bound));
+        }
+        assert_eq!(a.mask(), b.mask());
+        assert_eq!(a.seed(), 3);
+        assert_eq!(FaultPlan::new(9).index(0), 0);
+    }
+
+    #[test]
+    fn report_serializes_with_scenario_names() {
+        let report = run_suite(5, 1);
+        let json = serde_json::to_string(&report).unwrap();
+        for name in SCENARIOS {
+            assert!(json.contains(name), "missing {name}");
+        }
+        let back: ChaosReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.outcomes.len(), report.outcomes.len());
+    }
+}

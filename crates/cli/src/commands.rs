@@ -12,7 +12,11 @@ use aptq_qmodel::QuantizedModel;
 use aptq_textgen::corpus::{CorpusGenerator, CorpusStyle};
 use aptq_textgen::{Grammar, TaskSuite, Tokenizer, ZeroShotTask};
 
+use aptq_lm::LmError;
+use aptq_qmodel::QModelError;
+
 use crate::args::{get_bool, get_f32, get_or, get_usize, require};
+use crate::error::CliError;
 use crate::Flags;
 
 /// Standard calibration set used by all quantizing subcommands; segment
@@ -21,13 +25,38 @@ fn calibration(grammar: &Grammar, tok: &Tokenizer, n: usize, max_seq: usize) -> 
     CorpusGenerator::new(grammar, tok, CorpusStyle::WebC4, 40_001).segments(n, max_seq.min(64))
 }
 
-fn load_model(path: &str) -> Result<Model, String> {
-    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    Model::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+/// Maps LM-stack errors onto exit-code classes: checkpoint/envelope
+/// failures are integrity errors, everything else is runtime.
+fn lm_err(e: LmError) -> CliError {
+    match e {
+        LmError::Checkpoint(a) => CliError::Integrity(a),
+        other => CliError::Runtime(other.to_string()),
+    }
 }
 
-fn save(path: &str, content: &str) -> Result<(), String> {
-    std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))
+/// Same partition for the packed-model stack.
+fn qm_err(e: QModelError) -> CliError {
+    match e {
+        QModelError::Integrity(a) => CliError::Integrity(a),
+        other => CliError::Runtime(other.to_string()),
+    }
+}
+
+/// Loads a model from either a checksummed artifact envelope (the
+/// format every `aptq` save now emits) or a bare `Model::to_json`
+/// checkpoint (accepted for older files).
+fn load_model(path: &str) -> Result<Model, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::io(format!("reading {path}"), e))?;
+    if aptq_artifact::is_envelope(&text) {
+        Model::from_envelope_json(&text).map_err(lm_err)
+    } else {
+        Model::from_json(&text).map_err(lm_err)
+    }
+}
+
+fn save(path: &str, content: &str) -> Result<(), CliError> {
+    std::fs::write(path, content).map_err(|e| CliError::io(format!("writing {path}"), e))
 }
 
 /// `aptq pretrain --size s|m [--steps N] [--out FILE]`
@@ -36,22 +65,26 @@ fn save(path: &str, content: &str) -> Result<(), String> {
 ///
 /// Bit-identical output at any `APTQ_THREADS` value: all heavy math
 /// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
-pub fn pretrain(flags: &Flags) -> Result<(), String> {
+pub fn pretrain(flags: &Flags) -> Result<(), CliError> {
     let size = match get_or(flags, "size", "s") {
         "s" => ModelSize::Small,
         "m" => ModelSize::Medium,
-        other => return Err(format!("--size must be s or m, got `{other}`")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--size must be s or m, got `{other}`"
+            )))
+        }
     };
     let mut budget = PretrainBudget::full();
-    budget.steps = get_usize(flags, "steps", budget.steps)?;
+    budget.steps = get_usize(flags, "steps", budget.steps).map_err(CliError::Usage)?;
     let out = get_or(flags, "out", "model.json");
     eprintln!(
         "pretraining {} for {} steps…",
         size.paper_name(),
         budget.steps
     );
-    let stack = load_or_train(size, budget, None).map_err(|e| e.to_string())?;
-    save(out, &stack.model.to_json().map_err(|e| e.to_string())?)?;
+    let stack = load_or_train(size, budget, None).map_err(|e| CliError::Runtime(e.to_string()))?;
+    save(out, &stack.model.to_envelope_json().map_err(lm_err)?)?;
     eprintln!("saved {out} (final loss {:.4})", stack.final_loss);
     Ok(())
 }
@@ -102,25 +135,26 @@ pub fn parse_method(name: &str) -> Result<Method, String> {
 ///
 /// Bit-identical output at any `APTQ_THREADS` value: all heavy math
 /// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
-pub fn quantize(flags: &Flags) -> Result<(), String> {
-    let mut model = load_model(require(flags, "model")?)?;
-    let method = parse_method(require(flags, "method")?)?;
+pub fn quantize(flags: &Flags) -> Result<(), CliError> {
+    let mut model = load_model(require(flags, "model").map_err(CliError::Usage)?)?;
+    let method = parse_method(require(flags, "method").map_err(CliError::Usage)?)
+        .map_err(CliError::Usage)?;
     let out = get_or(flags, "out", "quantized.json");
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
     let mut session = QuantSession::new(calibration(
         &grammar,
         &tok,
-        get_usize(flags, "segments", 64)?,
+        get_usize(flags, "segments", 64).map_err(CliError::Usage)?,
         model.config().max_seq_len,
     ));
     let report = method
         .apply(&mut model, &mut session, &GridConfig::default())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     if let Some(r) = &report {
         eprintln!("{}", r.summary());
     }
-    save(out, &model.to_json().map_err(|e| e.to_string())?)?;
+    save(out, &model.to_envelope_json().map_err(lm_err)?)?;
     eprintln!("saved {out}");
     Ok(())
 }
@@ -132,33 +166,32 @@ pub fn quantize(flags: &Flags) -> Result<(), String> {
 ///
 /// Bit-identical output at any `APTQ_THREADS` value: all heavy math
 /// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
-pub fn pack(flags: &Flags) -> Result<(), String> {
-    let model = load_model(require(flags, "model")?)?;
-    let ratio = get_f32(flags, "ratio", 0.75)?;
+pub fn pack(flags: &Flags) -> Result<(), CliError> {
+    let model = load_model(require(flags, "model").map_err(CliError::Usage)?)?;
+    let ratio = get_f32(flags, "ratio", 0.75).map_err(CliError::Usage)?;
     let out = get_or(flags, "out", "packed.json");
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
     let mut session = QuantSession::new(calibration(
         &grammar,
         &tok,
-        get_usize(flags, "segments", 64)?,
+        get_usize(flags, "segments", 64).map_err(CliError::Usage)?,
         model.config().max_seq_len,
     ));
     let cfg = GridConfig::default();
 
     let hessians = session
         .hessians(&model, HessianMode::AttentionAware)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     let sensitivity = session
         .sensitivity(&model, 2, &cfg)
-        .map_err(|e| e.to_string())?;
-    let allocator = MixedPrecisionAllocator::two_four(ratio).map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let allocator =
+        MixedPrecisionAllocator::two_four(ratio).map_err(|e| CliError::Usage(e.to_string()))?;
     let plan = allocator.allocate(&model, &sensitivity, AllocationPolicy::HessianTrace);
-    let qmodel =
-        QuantizedModel::quantize_from(&model, &plan, &hessians, &cfg).map_err(|e| e.to_string())?;
+    let qmodel = QuantizedModel::quantize_from(&model, &plan, &hessians, &cfg).map_err(qm_err)?;
     eprintln!("{}", qmodel.memory());
-    let json = serde_json::to_string(&qmodel).map_err(|e| e.to_string())?;
-    save(out, &json)?;
+    save(out, &qmodel.to_envelope_json().map_err(qm_err)?)?;
     eprintln!("saved {out}");
     Ok(())
 }
@@ -169,19 +202,23 @@ pub fn pack(flags: &Flags) -> Result<(), String> {
 ///
 /// Bit-identical output at any `APTQ_THREADS` value: all heavy math
 /// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
-pub fn eval_ppl(flags: &Flags) -> Result<(), String> {
-    let model = load_model(require(flags, "model")?)?;
+pub fn eval_ppl(flags: &Flags) -> Result<(), CliError> {
+    let model = load_model(require(flags, "model").map_err(CliError::Usage)?)?;
     let style = match get_or(flags, "corpus", "c4") {
         "c4" => CorpusStyle::WebC4,
         "wiki" => CorpusStyle::Wiki,
-        other => return Err(format!("--corpus must be c4 or wiki, got `{other}`")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--corpus must be c4 or wiki, got `{other}`"
+            )))
+        }
     };
-    let n = get_usize(flags, "segments", 40)?;
+    let n = get_usize(flags, "segments", 40).map_err(CliError::Usage)?;
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
     let segs = CorpusGenerator::new(&grammar, &tok, style, 50_002)
         .segments(n, model.config().max_seq_len.min(64));
-    let ppl = perplexity(&model, &segs).map_err(|e| e.to_string())?;
+    let ppl = perplexity(&model, &segs).map_err(|e| CliError::Runtime(e.to_string()))?;
     println!("perplexity: {ppl:.4}");
     Ok(())
 }
@@ -192,16 +229,16 @@ pub fn eval_ppl(flags: &Flags) -> Result<(), String> {
 ///
 /// Bit-identical output at any `APTQ_THREADS` value: all heavy math
 /// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
-pub fn eval_zs(flags: &Flags) -> Result<(), String> {
-    let model = load_model(require(flags, "model")?)?;
-    let n = get_usize(flags, "items", 150)?;
+pub fn eval_zs(flags: &Flags) -> Result<(), CliError> {
+    let model = load_model(require(flags, "model").map_err(CliError::Usage)?)?;
+    let n = get_usize(flags, "items", 150).map_err(CliError::Usage)?;
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
     let suites: Vec<TaskSuite> = ZeroShotTask::ALL
         .iter()
         .map(|&t| TaskSuite::generate(t, &grammar, &tok, n, 70_004))
         .collect();
-    let results = evaluate_suites(&model, &suites).map_err(|e| e.to_string())?;
+    let results = evaluate_suites(&model, &suites).map_err(|e| CliError::Runtime(e.to_string()))?;
     for r in results {
         println!("{:<12} {:.1}%", r.name, r.accuracy * 100.0);
     }
@@ -214,26 +251,26 @@ pub fn eval_zs(flags: &Flags) -> Result<(), String> {
 ///
 /// Bit-identical output at any `APTQ_THREADS` value: all heavy math
 /// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
-pub fn sensitivity(flags: &Flags) -> Result<(), String> {
-    let model = load_model(require(flags, "model")?)?;
+pub fn sensitivity(flags: &Flags) -> Result<(), CliError> {
+    let model = load_model(require(flags, "model").map_err(CliError::Usage)?)?;
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
     let mut session = QuantSession::new(calibration(
         &grammar,
         &tok,
-        get_usize(flags, "segments", 32)?,
+        get_usize(flags, "segments", 32).map_err(CliError::Usage)?,
         model.config().max_seq_len,
     ));
     let cfg = GridConfig::default();
     let report = match get_or(flags, "metric", "empirical") {
         "empirical" => (*session
             .sensitivity(&model, 2, &cfg)
-            .map_err(|e| e.to_string())?)
+            .map_err(|e| CliError::Runtime(e.to_string()))?)
         .clone(),
         metric @ ("trace" | "weighted") => {
             let hessians = session
                 .hessians(&model, HessianMode::AttentionAware)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
             let m = if metric == "trace" {
                 SensitivityMetric::MeanTrace
             } else {
@@ -242,9 +279,9 @@ pub fn sensitivity(flags: &Flags) -> Result<(), String> {
             SensitivityReport::with_metric(&hessians, &model, m, 2, &cfg)
         }
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "--metric must be trace|weighted|empirical, got `{other}`"
-            ))
+            )))
         }
     };
     println!("{}", report.to_markdown());
@@ -263,10 +300,10 @@ pub fn sensitivity(flags: &Flags) -> Result<(), String> {
 ///
 /// Bit-identical output at any `APTQ_THREADS` value: all heavy math
 /// runs on the deterministic threadpool ([`aptq_tensor::parallel`]).
-pub fn generate(flags: &Flags) -> Result<(), String> {
-    let model = load_model(require(flags, "model")?)?;
-    let prompt_text = require(flags, "prompt")?;
-    let n = get_usize(flags, "tokens", 16)?;
+pub fn generate(flags: &Flags) -> Result<(), CliError> {
+    let model = load_model(require(flags, "model").map_err(CliError::Usage)?)?;
+    let prompt_text = require(flags, "prompt").map_err(CliError::Usage)?;
+    let n = get_usize(flags, "tokens", 16).map_err(CliError::Usage)?;
     let grammar = Grammar::standard();
     let tok = Tokenizer::from_grammar(&grammar);
     let encode = |text: &str| {
@@ -276,14 +313,13 @@ pub fn generate(flags: &Flags) -> Result<(), String> {
     };
     if get_bool(flags, "batch") {
         let prompts: Vec<Vec<u32>> = prompt_text.split('|').map(encode).collect();
-        let outs = aptq_lm::decode::generate_greedy_batched(&model, &prompts, n)
-            .map_err(|e| e.to_string())?;
+        let outs = aptq_lm::decode::generate_greedy_batched(&model, &prompts, n).map_err(lm_err)?;
         for out in &outs {
             println!("{}", tok.decode(out));
         }
     } else {
         let out = aptq_lm::decode::generate_greedy_cached(&model, &encode(prompt_text), n)
-            .map_err(|e| e.to_string())?;
+            .map_err(lm_err)?;
         println!("{}", tok.decode(&out));
     }
     Ok(())
@@ -336,8 +372,14 @@ mod tests {
         flags.insert("out".into(), out_path.to_string_lossy().into_owned());
         flags.insert("segments".into(), "4".into());
         quantize(&flags).unwrap();
+        // Saves now emit checksummed artifact envelopes…
+        let saved = std::fs::read_to_string(&out_path).unwrap();
+        assert!(aptq_artifact::is_envelope(&saved));
         let loaded = load_model(out_path.to_str().unwrap()).unwrap();
         assert!(loaded.forward(&[1, 2, 3]).all_finite());
+        // …while bare `Model::to_json` checkpoints still load.
+        let bare = load_model(model_path.to_str().unwrap()).unwrap();
+        assert!(bare.forward(&[1, 2, 3]).all_finite());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -377,6 +419,45 @@ mod tests {
         assert!(eval_ppl(&flags).is_err());
         let mut flags = Flags::new();
         flags.insert("model".into(), "/nonexistent/x.json".into());
-        assert!(eval_ppl(&flags).unwrap_err().contains("reading"));
+        let err = eval_ppl(&flags).unwrap_err();
+        assert!(err.to_string().contains("reading"));
+        assert_eq!(err.exit_code(), 3, "missing file is an I/O error");
+    }
+
+    #[test]
+    fn error_classes_map_to_distinct_exit_codes() {
+        // Usage: missing required flag.
+        assert_eq!(eval_ppl(&Flags::new()).unwrap_err().exit_code(), 2);
+
+        let dir = std::env::temp_dir().join(format!("aptq-cli-test3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tampered.json");
+        let model = Model::new(&aptq_lm::ModelConfig::test_tiny(16), 3);
+        let envelope = model.to_envelope_json().unwrap();
+        // Corrupt one payload digit so the checksum fails.
+        let body = envelope.find('\n').unwrap() + 1;
+        let mid = body + (envelope.len() - body) / 2;
+        let bytes: String = envelope
+            .char_indices()
+            .map(|(i, c)| {
+                if i >= mid && i < mid + 60 && c.is_ascii_digit() {
+                    if c == '1' {
+                        '2'
+                    } else {
+                        '1'
+                    }
+                } else {
+                    c
+                }
+            })
+            .collect();
+        assert_ne!(bytes, envelope);
+        std::fs::write(&path, bytes).unwrap();
+        let mut flags = Flags::new();
+        flags.insert("model".into(), path.to_string_lossy().into_owned());
+        let err = eval_ppl(&flags).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "tampered artifact: {err}");
+        assert!(matches!(err, CliError::Integrity(_)));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

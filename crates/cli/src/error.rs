@@ -1,0 +1,95 @@
+//! Structured CLI errors with documented process exit codes.
+
+use aptq_artifact::ArtifactError;
+
+/// Everything an `aptq` subcommand can fail with, partitioned by exit
+/// code so scripts can tell bad invocations from bad files from bad
+/// artifacts from runtime failures (see `aptq help`, EXIT CODES).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation: unknown command/flag/value (exit code 2).
+    Usage(String),
+    /// Filesystem failure while reading or writing (exit code 3).
+    Io {
+        /// What the CLI was doing, e.g. `reading model.json`.
+        context: String,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// Artifact integrity failure: malformed, tampered or truncated
+    /// checkpoint/plan/packed-model (exit code 4).
+    Integrity(ArtifactError),
+    /// Any other runtime failure (exit code 1).
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit code this error class maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Integrity(_) => 4,
+            CliError::Runtime(_) => 1,
+        }
+    }
+
+    /// Wraps a filesystem error with its operation context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        CliError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io { context, source } => write!(f, "{context}: {source}"),
+            CliError::Integrity(e) => write!(f, "artifact integrity: {e}"),
+            CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Integrity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArtifactError> for CliError {
+    fn from(e: ArtifactError) -> Self {
+        CliError::Integrity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        let usage = CliError::Usage("bad flag".into());
+        let io = CliError::io(
+            "reading x.json",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        let integrity = CliError::Integrity(ArtifactError::Malformed("short".into()));
+        let runtime = CliError::Runtime("solver failed".into());
+        assert_eq!(usage.exit_code(), 2);
+        assert_eq!(io.exit_code(), 3);
+        assert_eq!(integrity.exit_code(), 4);
+        assert_eq!(runtime.exit_code(), 1);
+        assert!(io.to_string().contains("reading"));
+        assert!(std::error::Error::source(&io).is_some());
+        assert!(std::error::Error::source(&integrity).is_some());
+        assert!(std::error::Error::source(&usage).is_none());
+    }
+}

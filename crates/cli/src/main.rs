@@ -20,19 +20,22 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod error;
+
+use error::CliError;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
         eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(CliError::Usage(String::new()).exit_code());
     }
     let (cmd, rest) = argv.split_first().expect("non-empty argv");
     let opts = match args::parse_flags(rest) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", usage());
-            return ExitCode::FAILURE;
+            return ExitCode::from(CliError::Usage(e).exit_code());
         }
     };
     let result = match cmd.as_str() {
@@ -47,13 +50,13 @@ fn main() -> ExitCode {
             println!("{}", usage());
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -72,7 +75,13 @@ fn usage() -> String {
     s.push_str("  aptq generate    --model FILE --prompt TEXT [--tokens N] [--batch]\n");
     s.push_str("                   (--batch decodes '|'-separated prompts together)\n\n");
     s.push_str("METHODS: fp16 rtn2 rtn3 rtn4 gptq2 gptq3 gptq4 owq smoothquant fpq qat\n");
-    s.push_str("         pbllm-<pct> aptq4 aptq-<pct> blockwise-<pct>   (pct = 10..100)\n");
+    s.push_str("         pbllm-<pct> aptq4 aptq-<pct> blockwise-<pct>   (pct = 10..100)\n\n");
+    s.push_str("EXIT CODES:\n");
+    s.push_str("  0  success\n");
+    s.push_str("  1  runtime failure (quantization, evaluation, generation)\n");
+    s.push_str("  2  usage error (unknown command, bad flag or value)\n");
+    s.push_str("  3  I/O failure (file missing or unwritable)\n");
+    s.push_str("  4  artifact integrity failure (malformed, tampered or truncated file)\n");
     s
 }
 

@@ -3,7 +3,8 @@
 
 use std::collections::BTreeMap;
 
-use aptq_lm::{LayerRef, Model};
+use aptq_artifact::{ArtifactError, ArtifactKind, Fnv64};
+use aptq_lm::{LayerRef, LmError, Model};
 use serde::{Deserialize, Serialize};
 
 /// A per-layer bit-width assignment over a model's quantizable layers.
@@ -85,6 +86,48 @@ impl QuantPlan {
         } else {
             (weighted / total as f64) as f32
         }
+    }
+
+    /// Serializes the plan into a checksummed [`aptq_artifact`]
+    /// envelope (kind `plan`, one `bits` section hashing every
+    /// `(layer, bits)` assignment in canonical order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::Checkpoint`] on serialization failure.
+    pub fn to_envelope_json(&self) -> Result<String, LmError> {
+        let payload = serde_json::to_string(self)
+            .map_err(|e| LmError::Checkpoint(ArtifactError::Malformed(e.to_string())))?;
+        let text = aptq_artifact::seal(ArtifactKind::Plan, &self.section_checksums(), &payload)?;
+        Ok(text)
+    }
+
+    /// Restores a plan from a [`QuantPlan::to_envelope_json`]
+    /// artifact, validating the header, the payload checksum, and the
+    /// `bits` section against the decoded assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::Checkpoint`] wrapping the structured
+    /// [`ArtifactError`] — never panics, even on truncated or
+    /// bit-flipped input.
+    pub fn from_envelope_json(text: &str) -> Result<QuantPlan, LmError> {
+        let opened = aptq_artifact::open(ArtifactKind::Plan, text)?;
+        let plan: QuantPlan = serde_json::from_str(opened.payload)
+            .map_err(|e| LmError::Checkpoint(ArtifactError::Malformed(e.to_string())))?;
+        aptq_artifact::verify_sections(&opened.sections, &plan.section_checksums())?;
+        Ok(plan)
+    }
+
+    /// The envelope's section checksums: one `bits` digest over every
+    /// assignment in canonical (BTreeMap) order.
+    fn section_checksums(&self) -> BTreeMap<String, u64> {
+        let mut h = Fnv64::new();
+        for (r, b) in self.iter() {
+            h.eat_bytes(r.to_string().as_bytes());
+            h.eat_u64(u64::from(b));
+        }
+        BTreeMap::from([("bits".to_string(), h.finish())])
     }
 
     /// The fraction of weights assigned at least `high_bits` (the `R` of
@@ -172,6 +215,38 @@ mod tests {
         plan.set_bits(r, 2);
         assert_eq!(plan.bits_for(r), Some(2));
         assert!(plan.avg_bits(&m) < 4.0);
+    }
+
+    #[test]
+    fn plan_envelope_roundtrip() {
+        let m = model();
+        let mut plan = QuantPlan::uniform(&m, 4);
+        plan.set_bits(
+            LayerRef {
+                block: 0,
+                kind: LayerKind::Q,
+            },
+            2,
+        );
+        let text = plan.to_envelope_json().unwrap();
+        assert!(aptq_artifact::is_envelope(&text));
+        let restored = QuantPlan::from_envelope_json(&text).unwrap();
+        assert_eq!(restored, plan);
+    }
+
+    #[test]
+    fn plan_envelope_detects_tampering() {
+        let m = model();
+        let plan = QuantPlan::uniform(&m, 4);
+        let text = plan.to_envelope_json().unwrap();
+        // Flip one payload digit: 4-bit assignments become 3-bit.
+        let body = text.find('\n').unwrap();
+        let tampered = format!("{}{}", &text[..body], text[body..].replace("},4]", "},3]"));
+        assert_ne!(tampered, text, "tamper must change the payload");
+        let err = QuantPlan::from_envelope_json(&tampered).unwrap_err();
+        assert!(matches!(err, LmError::Checkpoint(_)), "{err:?}");
+        // Garbage input errors rather than panicking.
+        assert!(QuantPlan::from_envelope_json("not an envelope").is_err());
     }
 
     #[test]

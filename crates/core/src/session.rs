@@ -19,6 +19,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use aptq_artifact::Fnv64;
 use aptq_lm::{LayerRef, Model};
 use aptq_obs::Recorder;
 use aptq_tensor::Matrix;
@@ -192,19 +193,23 @@ fn mode_key(mode: HessianMode) -> u8 {
 /// transformer layer weights). Any weight mutation — quantization
 /// installing dequantized values, finetuning — changes the fingerprint,
 /// so cache entries can never serve a stale model state.
+///
+/// The hashing primitive is [`aptq_artifact::Fnv64`] — the same
+/// machinery artifact envelopes checksum with, so fingerprints here
+/// and on-disk artifacts can never use divergent schemes.
 fn fingerprint(model: &Model) -> u64 {
-    let mut h = Fnv::new();
-    h.eat_matrix(model.embed());
-    h.eat_matrix(model.lm_head());
+    let mut h = Fnv64::new();
+    eat_matrix(&mut h, model.embed());
+    eat_matrix(&mut h, model.lm_head());
     for layer in model.layer_refs() {
-        h.eat_matrix(model.layer_weight(layer));
+        eat_matrix(&mut h, model.layer_weight(layer));
     }
     h.finish()
 }
 
 /// Grid parameters that influence the sensitivity probe (RTN fit).
 fn grid_key(cfg: &GridConfig) -> u64 {
-    let mut h = Fnv::new();
+    let mut h = Fnv64::new();
     h.eat_u64(cfg.group_size as u64);
     h.eat_u64(cfg.block_size as u64);
     h.eat_u64(u64::from(cfg.asymmetric));
@@ -212,32 +217,12 @@ fn grid_key(cfg: &GridConfig) -> u64 {
     h.finish()
 }
 
-struct Fnv(u64);
-
-impl Fnv {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    fn new() -> Self {
-        Fnv(Self::OFFSET)
-    }
-
-    fn eat_u64(&mut self, v: u64) {
-        for byte in v.to_le_bytes() {
-            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(Self::PRIME);
-        }
-    }
-
-    fn eat_matrix(&mut self, m: &Matrix) {
-        self.eat_u64(m.rows() as u64);
-        self.eat_u64(m.cols() as u64);
-        for &v in m.as_slice() {
-            self.0 = (self.0 ^ u64::from(v.to_bits())).wrapping_mul(Self::PRIME);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
+/// Absorbs shape + every f32 bit pattern (one word per value).
+fn eat_matrix(h: &mut Fnv64, m: &Matrix) {
+    h.eat_u64(m.rows() as u64);
+    h.eat_u64(m.cols() as u64);
+    for &v in m.as_slice() {
+        h.eat_word(u64::from(v.to_bits()));
     }
 }
 

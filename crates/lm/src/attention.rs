@@ -104,6 +104,24 @@ impl<L: LinearOp> MultiHeadAttention<L> {
     }
 
     /// Query projection.
+    /// Mutable query projection (optimizer / quantizer /
+    /// fault-injection access).
+    pub fn wq_mut(&mut self) -> &mut L {
+        &mut self.wq
+    }
+    /// Mutable key projection.
+    pub fn wk_mut(&mut self) -> &mut L {
+        &mut self.wk
+    }
+    /// Mutable value projection.
+    pub fn wv_mut(&mut self) -> &mut L {
+        &mut self.wv
+    }
+    /// Mutable output projection.
+    pub fn wo_mut(&mut self) -> &mut L {
+        &mut self.wo
+    }
+
     pub fn wq(&self) -> &L {
         &self.wq
     }
@@ -245,23 +263,6 @@ impl MultiHeadAttention {
             Linear::new(d_model, d_model, rng),
             n_heads,
         )
-    }
-
-    /// Mutable query projection (optimizer / quantizer access).
-    pub fn wq_mut(&mut self) -> &mut Linear {
-        &mut self.wq
-    }
-    /// Mutable key projection.
-    pub fn wk_mut(&mut self) -> &mut Linear {
-        &mut self.wk
-    }
-    /// Mutable value projection.
-    pub fn wv_mut(&mut self) -> &mut Linear {
-        &mut self.wv
-    }
-    /// Mutable output projection.
-    pub fn wo_mut(&mut self) -> &mut Linear {
-        &mut self.wo
     }
 
     /// Backward pass.

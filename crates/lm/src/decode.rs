@@ -58,6 +58,9 @@ pub struct DecodeSession<'m, L = Linear> {
     model: &'m ModelOf<L>,
     layers: Vec<LayerKv>,
     pos: usize,
+    /// Position at which non-finite logits first appeared, if ever.
+    /// A quarantined session refuses all further tokens.
+    quarantined: Option<usize>,
     metrics: Recorder,
 }
 
@@ -78,6 +81,7 @@ impl<'m, L: LinearOp> DecodeSession<'m, L> {
             model,
             layers,
             pos: 0,
+            quarantined: None,
             metrics: Recorder::new(),
         }
     }
@@ -119,6 +123,29 @@ impl<'m, L: LinearOp> DecodeSession<'m, L> {
         std::mem::take(&mut self.metrics)
     }
 
+    /// The position at which non-finite logits first appeared, if the
+    /// session is quarantined. A quarantined session rejects every
+    /// further [`DecodeSession::feed`] with
+    /// [`LmError::NonFiniteLogits`].
+    pub fn quarantined(&self) -> Option<usize> {
+        self.quarantined
+    }
+
+    /// Fault-injection hook (chaos suite): overwrites the most
+    /// recently written layer-0 key-cache row with NaN, so the next
+    /// [`DecodeSession::feed`] attends over poisoned state and must
+    /// detect the resulting non-finite logits. No-op before the first
+    /// fed token (no cache row has been written yet).
+    pub fn poison_kv_cache(&mut self) {
+        if self.pos == 0 || self.layers.is_empty() {
+            return;
+        }
+        let row = self.layers[0].k_rot.row_mut(self.pos - 1);
+        for v in row {
+            *v = f32::NAN;
+        }
+    }
+
     /// Feeds one token; returns the next-token logits.
     ///
     /// # Determinism
@@ -131,14 +158,21 @@ impl<'m, L: LinearOp> DecodeSession<'m, L> {
     ///
     /// Allocation budget: per-token scratch (projection rows, per-head
     /// score vector, logits row) sized by the model, never by the
-    /// sequence; the KV cache is written in place, never regrown.
+    /// sequence; the KV cache is written in place, never regrown. The
+    /// non-finite quarantine scan reads the logits row in place.
     ///
     /// # Errors
     ///
-    /// Returns [`LmError::TokenOutOfRange`] for invalid ids and
+    /// Returns [`LmError::TokenOutOfRange`] for invalid ids,
     /// [`LmError::SequenceFull`] when the RoPE table (i.e.
-    /// `max_seq_len`) is exhausted.
+    /// `max_seq_len`) is exhausted, and [`LmError::NonFiniteLogits`]
+    /// when the logits row contains NaN/Inf — the session is then
+    /// quarantined (this and all later feeds fail, the position never
+    /// advances) and `decode/quarantine/sessions` is recorded.
     pub fn feed(&mut self, token: u32) -> Result<Vec<f32>, LmError> {
+        if let Some(pos) = self.quarantined {
+            return Err(LmError::NonFiniteLogits { pos });
+        }
         let cfg = self.model.config();
         if token as usize >= cfg.vocab_size {
             return Err(LmError::TokenOutOfRange {
@@ -203,6 +237,11 @@ impl<'m, L: LinearOp> DecodeSession<'m, L> {
 
         let (normed, _) = model.final_norm().forward(&x);
         let logits = normed.matmul(model.lm_head());
+        if !logits.row(0).iter().all(|v| v.is_finite()) {
+            self.quarantined = Some(self.pos);
+            self.metrics.incr("decode/quarantine/sessions");
+            return Err(LmError::NonFiniteLogits { pos: self.pos });
+        }
         self.pos += 1;
         self.metrics.incr("decode/tokens");
         // `logits` is 1 × vocab: moving it out is free, where
@@ -383,6 +422,9 @@ struct SeqSlot {
 pub struct BatchDecodeSession<'m, L = Linear> {
     model: &'m ModelOf<L>,
     slots: Vec<Option<SeqSlot>>,
+    /// Sequence ids evicted by the most recent
+    /// [`BatchDecodeSession::step`] for non-finite logits.
+    evicted: Vec<usize>,
     metrics: Recorder,
 }
 
@@ -392,6 +434,7 @@ impl<'m, L: LinearOp> BatchDecodeSession<'m, L> {
         BatchDecodeSession {
             model,
             slots: Vec::new(),
+            evicted: Vec::new(),
             metrics: Recorder::new(),
         }
     }
@@ -484,6 +527,37 @@ impl<'m, L: LinearOp> BatchDecodeSession<'m, L> {
         std::mem::take(&mut self.metrics)
     }
 
+    /// Sequence ids quarantined (evicted) by the most recent
+    /// [`BatchDecodeSession::step`] because their logits row went
+    /// non-finite. Empty after a fully healthy step. Evicted slots are
+    /// free for reuse by [`BatchDecodeSession::join`].
+    pub fn evicted_last_step(&self) -> &[usize] {
+        &self.evicted
+    }
+
+    /// Fault-injection hook (chaos suite): overwrites sequence `seq`'s
+    /// most recently written layer-0 key-cache row with NaN, so its
+    /// next step attends over poisoned state and must be quarantined.
+    /// No-op if the sequence has not consumed any token yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::UnknownSeq`] if `seq` is not active.
+    pub fn poison_kv_cache(&mut self, seq: usize) -> Result<(), LmError> {
+        let Some(Some(slot)) = self.slots.get_mut(seq) else {
+            return Err(LmError::UnknownSeq { seq });
+        };
+        if slot.pos == 0 || slot.layers.is_empty() {
+            return Ok(());
+        }
+        let pos = slot.pos;
+        let row = slot.layers[0].k_rot.row_mut(pos - 1);
+        for v in row {
+            *v = f32::NAN;
+        }
+        Ok(())
+    }
+
     /// Feeds one token per listed sequence; returns the batch logits
     /// (`tokens.len() × vocab`, row `r` answering `tokens[r]`).
     ///
@@ -501,13 +575,28 @@ impl<'m, L: LinearOp> BatchDecodeSession<'m, L> {
     /// bit-identical to feeding that sequence alone in its own
     /// [`DecodeSession`].
     ///
+    /// # Quarantine
+    ///
+    /// After the forward pass each logits row is scanned for
+    /// NaN/Inf. A non-finite row **evicts** that sequence — its slot
+    /// is freed, its position never advances, and its id is reported
+    /// via [`BatchDecodeSession::evicted_last_step`] with one
+    /// `decode/quarantine/evictions` count per eviction — while the
+    /// step still returns `Ok` with every row. Surviving sequences
+    /// are unaffected: attention is per-row against private caches
+    /// and projections are row-independent ([`LinearOp`] contract),
+    /// so peer logits are bit-identical to a batch that never
+    /// contained the poisoned sequence (pinned in
+    /// `tests/batch_decode.rs`).
+    ///
     /// # HotPath
     ///
     /// Allocation budget: per-step scratch (stacked hidden rows,
-    /// projection outputs, per-head score vector, logits) sized by
-    /// batch × model, never by sequence length; per-sequence KV caches
-    /// are preallocated at [`BatchDecodeSession::join`] and written in
-    /// place, never regrown.
+    /// projection outputs, per-head score vector, logits, and a
+    /// batch-sized eviction list) sized by batch × model, never by
+    /// sequence length; per-sequence KV caches are preallocated at
+    /// [`BatchDecodeSession::join`] and written in place, never
+    /// regrown.
     ///
     /// # Errors
     ///
@@ -604,6 +693,20 @@ impl<'m, L: LinearOp> BatchDecodeSession<'m, L> {
                 occupancy += 1;
             }
         }
+        // Non-finite quarantine: evict poisoned rows before positions
+        // advance. Batch-sized one-shot scratch, filled by index.
+        let mut evicted = vec![usize::MAX; b];
+        let mut n_evicted = 0usize;
+        for (r, &(seq, _)) in tokens.iter().enumerate() {
+            if !logits.row(r).iter().all(|v| v.is_finite()) {
+                evicted[n_evicted] = seq;
+                n_evicted += 1;
+                self.slots[seq] = None;
+                self.metrics.incr("decode/quarantine/evictions");
+            }
+        }
+        evicted.truncate(n_evicted);
+        self.evicted = evicted;
         for &(seq, _) in tokens {
             if let Some(slot) = self.slots[seq].as_mut() {
                 slot.pos += 1;
@@ -631,6 +734,11 @@ impl<'m, L: LinearOp> BatchDecodeSession<'m, L> {
 ///
 /// Bit-identical at any `APTQ_THREADS`; see
 /// [`BatchDecodeSession::step`].
+///
+/// A sequence quarantined mid-generation (non-finite logits — see
+/// [`BatchDecodeSession::step`]'s quarantine contract) stops where it
+/// was: its output keeps every token up to the last healthy step while
+/// the rest of the batch finishes normally.
 ///
 /// # Errors
 ///
@@ -675,6 +783,12 @@ pub fn generate_greedy_batched<L: LinearOp>(
         }
         let logits = session.step(&batch)?;
         for (r, &i) in rows.iter().enumerate() {
+            // A sequence quarantined this step is already evicted: its
+            // output stays truncated at the last healthy token and the
+            // surviving sequences keep decoding undisturbed.
+            if session.evicted_last_step().contains(&slots[i]) {
+                continue;
+            }
             fed[i] += 1;
             let target = prompts[i].len() + n_new;
             if fed[i] >= prompts[i].len() && outs[i].len() < target {

@@ -64,6 +64,20 @@ impl<L: LinearOp> SwiGlu<L> {
         SwiGlu { gate, up, down }
     }
 
+    /// Mutable gate projection (optimizer / quantizer /
+    /// fault-injection access).
+    pub fn gate_mut(&mut self) -> &mut L {
+        &mut self.gate
+    }
+    /// Mutable up projection.
+    pub fn up_mut(&mut self) -> &mut L {
+        &mut self.up
+    }
+    /// Mutable down projection.
+    pub fn down_mut(&mut self) -> &mut L {
+        &mut self.down
+    }
+
     /// Gate projection.
     pub fn gate(&self) -> &L {
         &self.gate
@@ -133,19 +147,6 @@ impl SwiGlu {
             up: Linear::new(d_model, d_ff, rng),
             down: Linear::new(d_ff, d_model, rng),
         }
-    }
-
-    /// Mutable gate projection.
-    pub fn gate_mut(&mut self) -> &mut Linear {
-        &mut self.gate
-    }
-    /// Mutable up projection.
-    pub fn up_mut(&mut self) -> &mut Linear {
-        &mut self.up
-    }
-    /// Mutable down projection.
-    pub fn down_mut(&mut self) -> &mut Linear {
-        &mut self.down
     }
 
     /// Backward pass; returns `(dx, grads)`.

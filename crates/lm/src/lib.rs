@@ -62,8 +62,18 @@ pub enum LmError {
     },
     /// Input sequence was empty where at least one token is required.
     EmptyInput,
-    /// Checkpoint (de)serialization failed.
-    Checkpoint(String),
+    /// Checkpoint (de)serialization or integrity validation failed.
+    /// Carries the structured [`aptq_artifact::ArtifactError`] so
+    /// callers can distinguish a parse failure from a checksum
+    /// mismatch through `source()`.
+    Checkpoint(aptq_artifact::ArtifactError),
+    /// A decode step produced non-finite logits; the sequence is
+    /// quarantined (solo sessions refuse further tokens, batched
+    /// sessions evict the row).
+    NonFiniteLogits {
+        /// Decode position at which the non-finite row appeared.
+        pos: usize,
+    },
     /// A configuration invariant was violated.
     InvalidConfig(String),
     /// A decode session consumed all `max_seq_len` positions.
@@ -93,7 +103,13 @@ impl std::fmt::Display for LmError {
                 write!(f, "token id {token} out of range for vocabulary of {vocab}")
             }
             LmError::EmptyInput => write!(f, "input sequence must contain at least one token"),
-            LmError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            LmError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            LmError::NonFiniteLogits { pos } => {
+                write!(
+                    f,
+                    "non-finite logits at decode position {pos}: sequence quarantined"
+                )
+            }
             LmError::InvalidConfig(msg) => write!(f, "invalid model config: {msg}"),
             LmError::SequenceFull { pos, max_seq_len } => {
                 write!(f, "decode position {pos} exceeds max_seq_len {max_seq_len}")
@@ -111,7 +127,20 @@ impl std::fmt::Display for LmError {
     }
 }
 
-impl std::error::Error for LmError {}
+impl std::error::Error for LmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LmError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aptq_artifact::ArtifactError> for LmError {
+    fn from(e: aptq_artifact::ArtifactError) -> Self {
+        LmError::Checkpoint(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -123,8 +152,13 @@ mod tests {
             .to_string()
             .contains('9'));
         assert!(!LmError::EmptyInput.to_string().is_empty());
-        assert!(LmError::Checkpoint("x".into()).to_string().contains('x'));
+        let ck = LmError::Checkpoint(aptq_artifact::ArtifactError::Malformed("x".into()));
+        assert!(ck.to_string().contains('x'));
+        assert!(std::error::Error::source(&ck).is_some());
         assert!(LmError::InvalidConfig("y".into()).to_string().contains('y'));
+        assert!(LmError::NonFiniteLogits { pos: 3 }
+            .to_string()
+            .contains('3'));
         let full = LmError::SequenceFull {
             pos: 32,
             max_seq_len: 32,

@@ -1,6 +1,9 @@
 //! The decoder-only transformer model: embedding, blocks, LM head,
 //! loss/gradient computation, layer addressing and checkpointing.
 
+use std::collections::BTreeMap;
+
+use aptq_artifact::{ArtifactError, ArtifactKind, Fnv64};
 use aptq_obs::Recorder;
 use aptq_tensor::activation::{log_sum_exp, softmax};
 use aptq_tensor::{init, Matrix};
@@ -279,6 +282,11 @@ impl<L: LinearOp> ModelOf<L> {
         &self.blocks
     }
 
+    /// Mutable block access (optimizer / quantizer / fault-injection).
+    pub fn blocks_mut(&mut self) -> &mut [TransformerBlock<L>] {
+        &mut self.blocks
+    }
+
     /// Embedding matrix (`vocab × d_model`).
     pub fn embed(&self) -> &Matrix {
         &self.embed
@@ -422,11 +430,6 @@ impl Model {
             lm_head,
             rope,
         }
-    }
-
-    /// Mutable block access (optimizer / quantizer).
-    pub fn blocks_mut(&mut self) -> &mut [TransformerBlock] {
-        &mut self.blocks
     }
 
     /// Mutable embedding access (trainer use).
@@ -607,13 +610,15 @@ impl Model {
         )
     }
 
-    /// Serializes the model to JSON.
+    /// Serializes the model to bare JSON (no integrity envelope; see
+    /// [`Model::to_envelope_json`] for the checksummed artifact).
     ///
     /// # Errors
     ///
     /// Returns [`LmError::Checkpoint`] on serialization failure.
     pub fn to_json(&self) -> Result<String, LmError> {
-        serde_json::to_string(self).map_err(|e| LmError::Checkpoint(e.to_string()))
+        serde_json::to_string(self)
+            .map_err(|e| LmError::Checkpoint(ArtifactError::Malformed(e.to_string())))
     }
 
     /// Restores a model from JSON produced by [`Model::to_json`].
@@ -622,8 +627,66 @@ impl Model {
     ///
     /// Returns [`LmError::Checkpoint`] on malformed input.
     pub fn from_json(json: &str) -> Result<Model, LmError> {
-        serde_json::from_str(json).map_err(|e| LmError::Checkpoint(e.to_string()))
+        serde_json::from_str(json)
+            .map_err(|e| LmError::Checkpoint(ArtifactError::Malformed(e.to_string())))
     }
+
+    /// Serializes the model into a checksummed
+    /// [`aptq_artifact`] envelope: a header carrying the FNV-1a 64 of
+    /// every payload byte plus per-tensor section checksums
+    /// (`embed`, `lm_head`, and one per projection weight), followed
+    /// by the [`Model::to_json`] payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::Checkpoint`] on serialization failure.
+    pub fn to_envelope_json(&self) -> Result<String, LmError> {
+        let payload = self.to_json()?;
+        let text = aptq_artifact::seal(ArtifactKind::Model, &self.section_checksums(), &payload)?;
+        Ok(text)
+    }
+
+    /// Restores a model from a [`Model::to_envelope_json`] artifact,
+    /// validating the header version, the payload checksum, and every
+    /// per-tensor section checksum against the decoded weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::Checkpoint`] wrapping the structured
+    /// [`ArtifactError`]: `Malformed` for framing/JSON damage,
+    /// `UnsupportedVersion`/`KindMismatch` for wrong headers, and
+    /// `ChecksumMismatch` naming the corrupted section.
+    pub fn from_envelope_json(text: &str) -> Result<Model, LmError> {
+        let opened = aptq_artifact::open(ArtifactKind::Model, text)?;
+        let model = Model::from_json(opened.payload)?;
+        aptq_artifact::verify_sections(&opened.sections, &model.section_checksums())?;
+        Ok(model)
+    }
+
+    /// Per-tensor FNV-1a 64 checksums: `embed`, `lm_head`, and every
+    /// projection under its canonical `layers.{block}.{name}` key.
+    fn section_checksums(&self) -> BTreeMap<String, u64> {
+        let mut sections = BTreeMap::new();
+        sections.insert("embed".to_string(), matrix_fnv(&self.embed));
+        sections.insert("lm_head".to_string(), matrix_fnv(&self.lm_head));
+        for r in self.layer_refs() {
+            sections.insert(r.to_string(), matrix_fnv(self.layer_weight(r)));
+        }
+        sections
+    }
+}
+
+/// FNV-1a 64 over a matrix: shape, then every value's f32 bit pattern
+/// (the same per-word scheme `aptq_core::QuantSession` fingerprints
+/// models with).
+fn matrix_fnv(m: &Matrix) -> u64 {
+    let mut h = Fnv64::new();
+    h.eat_u64(m.rows() as u64);
+    h.eat_u64(m.cols() as u64);
+    for &v in m.as_slice() {
+        h.eat_word(u64::from(v.to_bits()));
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -814,6 +877,46 @@ mod tests {
         assert!(matches!(
             Model::from_json("not json"),
             Err(LmError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn envelope_roundtrip_preserves_outputs() {
+        let m = tiny();
+        let text = m.to_envelope_json().unwrap();
+        let m2 = Model::from_envelope_json(&text).unwrap();
+        assert_eq!(m.forward(&[1, 2, 3]), m2.forward(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn envelope_detects_payload_corruption() {
+        let m = tiny();
+        let text = m.to_envelope_json().unwrap();
+        // Flip one payload character (past the header line).
+        let head_len = text.find('\n').unwrap();
+        let idx = head_len + text.len() / 2;
+        let mut bytes = text.into_bytes();
+        bytes[idx] = if bytes[idx] == b'1' { b'2' } else { b'1' };
+        let tampered = String::from_utf8(bytes).unwrap();
+        match Model::from_envelope_json(&tampered) {
+            Err(LmError::Checkpoint(_)) => {}
+            other => panic!("tampered envelope must fail integrity: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn envelope_rejects_wrong_kind_and_garbage() {
+        assert!(matches!(
+            Model::from_envelope_json("junk"),
+            Err(LmError::Checkpoint(_))
+        ));
+        let sealed =
+            aptq_artifact::seal(aptq_artifact::ArtifactKind::Plan, &BTreeMap::new(), "{}").unwrap();
+        assert!(matches!(
+            Model::from_envelope_json(&sealed),
+            Err(LmError::Checkpoint(
+                aptq_artifact::ArtifactError::KindMismatch { .. }
+            ))
         ));
     }
 

@@ -276,3 +276,143 @@ fn batched_greedy_generation_caps_at_context_boundary() {
         assert_eq!(batched[i], generate_greedy_cached(&m, prompt, 8).unwrap());
     }
 }
+
+/// Drives a poisoned batch of `bsize` sequences (victim poisoned after
+/// `poison_after` steps) alongside a clean batch holding only the
+/// survivors, asserting eviction, structured status, and bit-identical
+/// peer logits at every step.
+fn quarantine_isolation_case(bsize: usize, victim: usize, poison_after: usize) {
+    let m = model();
+    let mut chaos = BatchDecodeSession::new(&m);
+    let ids: Vec<usize> = (0..bsize).map(|_| chaos.join()).collect();
+    let mut clean = BatchDecodeSession::new(&m);
+    let clean_ids: Vec<usize> = (0..bsize - 1).map(|_| clean.join()).collect();
+    // Peer s (s != victim) maps onto clean sequence index…
+    let peer_index = |s: usize| if s < victim { s } else { s - 1 };
+
+    let mut evicted_at = None;
+    for i in 0..12 {
+        let mut toks: Vec<(usize, u32)> = Vec::new();
+        for (s, &id) in ids.iter().enumerate() {
+            if s == victim && evicted_at.is_some() {
+                continue;
+            }
+            toks.push((id, stream(s, i)));
+        }
+        let chaos_logits = chaos.step(&toks).unwrap();
+        let clean_toks: Vec<(usize, u32)> = (0..bsize)
+            .filter(|&s| s != victim)
+            .map(|s| (clean_ids[peer_index(s)], stream(s, i)))
+            .collect();
+        let clean_logits = clean.step(&clean_toks).unwrap();
+
+        // Row r of each output answers toks[r]; map each surviving peer
+        // to its row in both sessions and demand bit-identity.
+        for (clean_row, &(_, _)) in clean_toks.iter().enumerate() {
+            let s = (0..bsize).filter(|&s| s != victim).nth(clean_row).unwrap();
+            let chaos_row = toks.iter().position(|&(id, _)| id == ids[s]).unwrap();
+            assert_eq!(
+                chaos_logits.row(chaos_row),
+                clean_logits.row(clean_row),
+                "B={bsize} step {i} seq {s}: peer logits must be bit-identical \
+                 to a batch that never contained the poisoned sequence"
+            );
+        }
+
+        if chaos.evicted_last_step().contains(&ids[victim]) {
+            assert!(evicted_at.is_none(), "victim evicted twice");
+            evicted_at = Some(i);
+            assert!(!chaos.is_active(ids[victim]));
+        }
+        if i == poison_after && evicted_at.is_none() {
+            chaos.poison_kv_cache(ids[victim]).unwrap();
+        }
+    }
+    assert_eq!(
+        evicted_at,
+        Some(poison_after + 1),
+        "poisoned cache must evict on the next step"
+    );
+    assert_eq!(
+        chaos.metrics().get("decode/quarantine/evictions"),
+        1,
+        "one eviction, one counter"
+    );
+    assert_eq!(clean.metrics().get("decode/quarantine/evictions"), 0);
+    assert_eq!(chaos.active(), bsize - 1);
+}
+
+#[test]
+fn quarantine_isolates_peers_b3() {
+    quarantine_isolation_case(3, 1, 2);
+}
+
+#[test]
+fn quarantine_isolates_peers_b8() {
+    quarantine_isolation_case(8, 5, 3);
+}
+
+#[test]
+fn quarantined_slot_is_reused_cleanly() {
+    let m = model();
+    let mut batch = BatchDecodeSession::new(&m);
+    let ids: Vec<usize> = (0..3).map(|_| batch.join()).collect();
+    // Warm everyone up, then poison the middle sequence.
+    for i in 0..3 {
+        let toks: Vec<(usize, u32)> = ids
+            .iter()
+            .enumerate()
+            .map(|(s, &id)| (id, stream(s, i)))
+            .collect();
+        batch.step(&toks).unwrap();
+    }
+    batch.poison_kv_cache(ids[1]).unwrap();
+    let toks: Vec<(usize, u32)> = ids
+        .iter()
+        .enumerate()
+        .map(|(s, &id)| (id, stream(s, 3)))
+        .collect();
+    batch.step(&toks).unwrap();
+    assert_eq!(batch.evicted_last_step(), &[ids[1]]);
+
+    // The freed slot is handed to the next join and decodes from a
+    // clean cache: bit-identical to a fresh solo session.
+    let fresh = batch.join();
+    assert_eq!(fresh, ids[1], "lowest retired slot is reused");
+    let mut solo = DecodeSession::new(&m);
+    for i in 0..6 {
+        let toks: Vec<(usize, u32)> = vec![(ids[0], stream(0, 4 + i)), (fresh, stream(9, i))];
+        let logits = batch.step(&toks).unwrap();
+        assert!(batch.evicted_last_step().is_empty());
+        let alone = solo.feed(stream(9, i)).unwrap();
+        assert_eq!(
+            logits.row(1),
+            &alone[..],
+            "step {i}: reused slot must behave like a fresh session"
+        );
+    }
+    assert_eq!(batch.metrics().get("decode/quarantine/evictions"), 1);
+}
+
+#[test]
+fn solo_session_quarantines_and_stays_quarantined() {
+    let m = model();
+    let mut s = DecodeSession::new(&m);
+    for i in 0..4 {
+        s.feed(stream(0, i)).unwrap();
+    }
+    assert_eq!(s.quarantined(), None);
+    s.poison_kv_cache();
+    let err = s.feed(stream(0, 4)).unwrap_err();
+    let LmError::NonFiniteLogits { pos } = err else {
+        panic!("wrong error: {err}");
+    };
+    assert_eq!(pos, 4);
+    assert_eq!(s.quarantined(), Some(4));
+    // Sticky: every later feed refuses with the same position.
+    assert!(matches!(
+        s.feed(0),
+        Err(LmError::NonFiniteLogits { pos: 4 })
+    ));
+    assert_eq!(s.metrics().get("decode/quarantine/sessions"), 1);
+}

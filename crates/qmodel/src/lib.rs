@@ -52,6 +52,14 @@ pub enum QModelError {
         /// Maximum supported length.
         max: usize,
     },
+    /// Decode produced non-finite logits; the session is quarantined.
+    NonFinite {
+        /// Decode position at which the logits went non-finite.
+        pos: usize,
+    },
+    /// Artifact integrity failure: envelope malformed or a packed
+    /// layer's checksum no longer matches its stored fingerprint.
+    Integrity(aptq_artifact::ArtifactError),
 }
 
 impl std::fmt::Display for QModelError {
@@ -65,6 +73,13 @@ impl std::fmt::Display for QModelError {
             QModelError::SequenceTooLong { len, max } => {
                 write!(f, "sequence of {len} tokens exceeds max length {max}")
             }
+            QModelError::NonFinite { pos } => {
+                write!(
+                    f,
+                    "non-finite logits at decode position {pos}: sequence quarantined"
+                )
+            }
+            QModelError::Integrity(e) => write!(f, "packed-model integrity failure: {e}"),
         }
     }
 }
@@ -73,6 +88,7 @@ impl std::error::Error for QModelError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             QModelError::Quant(e) => Some(e),
+            QModelError::Integrity(e) => Some(e),
             _ => None,
         }
     }
@@ -81,6 +97,12 @@ impl std::error::Error for QModelError {
 impl From<aptq_core::QuantError> for QModelError {
     fn from(e: aptq_core::QuantError) -> Self {
         QModelError::Quant(e)
+    }
+}
+
+impl From<aptq_artifact::ArtifactError> for QModelError {
+    fn from(e: aptq_artifact::ArtifactError) -> Self {
+        QModelError::Integrity(e)
     }
 }
 
@@ -101,5 +123,13 @@ mod tests {
             .contains('9'));
         let e = QModelError::Quant(aptq_core::QuantError::EmptyCalibration);
         assert!(std::error::Error::source(&e).is_some());
+        assert!(QModelError::NonFinite { pos: 3 }.to_string().contains('3'));
+        let i = QModelError::Integrity(aptq_artifact::ArtifactError::ChecksumMismatch {
+            section: "layers.0.self_attn.q_proj".into(),
+            expected: 1,
+            got: 2,
+        });
+        assert!(i.to_string().contains("integrity"));
+        assert!(std::error::Error::source(&i).is_some());
     }
 }

@@ -1,5 +1,6 @@
 //! A linear layer executing directly from packed sub-byte storage.
 
+use aptq_artifact::Fnv64;
 use aptq_core::grid::GridKind;
 use aptq_core::pack::{unpack_codes_at_into, PackedTensor};
 use aptq_lm::LinearOp;
@@ -66,6 +67,37 @@ impl QuantizedLinear {
     /// The underlying packed tensor.
     pub fn packed(&self) -> &PackedTensor {
         &self.packed
+    }
+
+    /// FNV-1a fingerprint over everything that determines this layer's
+    /// forward: shape, group size, grid bit-width, packed code bytes and
+    /// per-group dequantization parameters. Any single-bit corruption of
+    /// the packed storage changes the fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.eat_u64(self.packed.d_in as u64);
+        h.eat_u64(self.packed.d_out as u64);
+        h.eat_u64(self.packed.group_size as u64);
+        h.eat_u64(u64::from(self.packed.grid.bits()));
+        h.eat_bytes(&self.packed.data);
+        for p in &self.packed.params {
+            h.eat_word(u64::from(p.scale.to_bits()));
+            h.eat_u64(p.zero as u64);
+        }
+        h.finish()
+    }
+
+    /// Fault-injection hook: XORs `mask` into one packed code byte
+    /// (index taken modulo the code-stream length, so any index is
+    /// safe). Returns `true` if a byte actually changed — `false` for an
+    /// empty code stream or a zero mask. Never panics.
+    pub fn corrupt_packed_byte(&mut self, byte_index: usize, mask: u8) -> bool {
+        if self.packed.data.is_empty() || mask == 0 {
+            return false;
+        }
+        let idx = byte_index % self.packed.data.len();
+        self.packed.data[idx] ^= mask;
+        true
     }
 
     /// Computes `y = x · Ŵ` with on-the-fly group dequantization.

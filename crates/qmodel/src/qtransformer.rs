@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use aptq_artifact::{ArtifactError, ArtifactKind};
 use aptq_core::engine::quantize_layer_obq;
 use aptq_core::grid::{GridConfig, QuantGrid};
 use aptq_core::hessian::LayerHessian;
@@ -41,6 +42,31 @@ use crate::QModelError;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedModel {
     inner: ModelOf<QuantizedLinear>,
+    /// Per-layer FNV-1a fingerprints captured at quantization time
+    /// (keys are [`LayerRef`] display strings); [`QuantizedModel::verify`]
+    /// re-derives them from the packed storage.
+    checksums: BTreeMap<String, u64>,
+}
+
+/// Fingerprints every packed projection, keyed by [`LayerRef`] display
+/// string in canonical layer order.
+fn layer_fingerprints(inner: &ModelOf<QuantizedLinear>) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for (b, block) in inner.blocks().iter().enumerate() {
+        let layers: [(LayerKind, &QuantizedLinear); 7] = [
+            (LayerKind::Q, block.attn.wq()),
+            (LayerKind::K, block.attn.wk()),
+            (LayerKind::V, block.attn.wv()),
+            (LayerKind::O, block.attn.wo()),
+            (LayerKind::Gate, block.ffn.gate()),
+            (LayerKind::Up, block.ffn.up()),
+            (LayerKind::Down, block.ffn.down()),
+        ];
+        for (kind, lin) in layers {
+            out.insert(LayerRef { block: b, kind }.to_string(), lin.fingerprint());
+        }
+    }
+    out
 }
 
 impl QuantizedModel {
@@ -104,15 +130,88 @@ impl QuantizedModel {
                 src.norm2.clone(),
             ));
         }
-        Ok(QuantizedModel {
-            inner: ModelOf::from_parts(
-                mcfg,
-                model.embed().clone(),
-                blocks,
-                model.final_norm().clone(),
-                model.lm_head().clone(),
-            ),
-        })
+        let inner = ModelOf::from_parts(
+            mcfg,
+            model.embed().clone(),
+            blocks,
+            model.final_norm().clone(),
+            model.lm_head().clone(),
+        );
+        let checksums = layer_fingerprints(&inner);
+        Ok(QuantizedModel { inner, checksums })
+    }
+
+    /// Re-derives every packed layer's fingerprint and compares it to
+    /// the checksum captured at quantization time. Detects any bit-level
+    /// corruption of packed codes, group parameters or shapes since the
+    /// model was built (or since [`QuantizedModel::from_envelope_json`]
+    /// validated it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QModelError::Integrity`] naming the first corrupted
+    /// layer (canonical order), or a malformed-checksum-table error if
+    /// the layer sets diverge.
+    pub fn verify(&self) -> Result<(), QModelError> {
+        let derived = layer_fingerprints(&self.inner);
+        aptq_artifact::verify_sections(&self.checksums, &derived)?;
+        Ok(())
+    }
+
+    /// Fault-injection hook: XORs `mask` into one packed code byte of
+    /// the given layer (see [`QuantizedLinear::corrupt_packed_byte`]).
+    /// The stored checksum is deliberately left untouched, so
+    /// [`QuantizedModel::verify`] reports the layer. Returns `true` if a
+    /// byte actually changed; `false` (never a panic) for an
+    /// out-of-range block, a zero mask, or an empty code stream.
+    pub fn corrupt_layer(&mut self, layer: LayerRef, byte_index: usize, mask: u8) -> bool {
+        let Some(block) = self.inner.blocks_mut().get_mut(layer.block) else {
+            return false;
+        };
+        let lin = match layer.kind {
+            LayerKind::Q => block.attn.wq_mut(),
+            LayerKind::K => block.attn.wk_mut(),
+            LayerKind::V => block.attn.wv_mut(),
+            LayerKind::O => block.attn.wo_mut(),
+            LayerKind::Gate => block.ffn.gate_mut(),
+            LayerKind::Up => block.ffn.up_mut(),
+            LayerKind::Down => block.ffn.down_mut(),
+        };
+        lin.corrupt_packed_byte(byte_index, mask)
+    }
+
+    /// Serializes the packed model into a checksummed
+    /// [`aptq_artifact`] envelope (kind `packed-model`); the header
+    /// carries the per-layer fingerprints as sections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QModelError::Integrity`] on serialization failure.
+    pub fn to_envelope_json(&self) -> Result<String, QModelError> {
+        let payload = serde_json::to_string(self)
+            .map_err(|e| QModelError::Integrity(ArtifactError::Malformed(e.to_string())))?;
+        let text = aptq_artifact::seal(ArtifactKind::PackedModel, &self.checksums, &payload)?;
+        Ok(text)
+    }
+
+    /// Restores a packed model from a
+    /// [`QuantizedModel::to_envelope_json`] artifact, validating the
+    /// header, the payload checksum, the header sections against the
+    /// stored checksum table, and finally [`QuantizedModel::verify`]
+    /// against the re-derived layer fingerprints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QModelError::Integrity`] wrapping the structured
+    /// [`ArtifactError`] — never panics, even on truncated or
+    /// bit-flipped input.
+    pub fn from_envelope_json(text: &str) -> Result<QuantizedModel, QModelError> {
+        let opened = aptq_artifact::open(ArtifactKind::PackedModel, text)?;
+        let model: QuantizedModel = serde_json::from_str(opened.payload)
+            .map_err(|e| QModelError::Integrity(ArtifactError::Malformed(e.to_string())))?;
+        aptq_artifact::verify_sections(&opened.sections, &model.checksums)?;
+        model.verify()?;
+        Ok(model)
     }
 
     /// Model configuration.
@@ -216,6 +315,7 @@ impl QuantizedModel {
                 len: pos + 1,
                 max: max_seq_len,
             },
+            LmError::NonFiniteLogits { pos } => QModelError::NonFinite { pos },
             // audit:allow(panic): inputs pre-validated by check_tokens; other variants cannot occur
             other => unreachable!("validated quantized path returned {other}"),
         }
@@ -458,6 +558,92 @@ mod tests {
             q.forward(&[1, 2, 3]).unwrap(),
             back.forward(&[1, 2, 3]).unwrap()
         );
+    }
+
+    #[test]
+    fn verify_passes_clean_and_detects_bit_flips() {
+        let (model, _, hs) = setup();
+        let cfg = GridConfig::default();
+        let mut q =
+            QuantizedModel::quantize_from(&model, &QuantPlan::uniform(&model, 4), &hs, &cfg)
+                .unwrap();
+        q.verify().unwrap();
+        let target = LayerRef {
+            block: 1,
+            kind: LayerKind::Gate,
+        };
+        assert!(q.corrupt_layer(target, 7, 0x10));
+        let err = q.verify().unwrap_err();
+        match err {
+            QModelError::Integrity(aptq_artifact::ArtifactError::ChecksumMismatch {
+                section,
+                ..
+            }) => assert_eq!(section, target.to_string()),
+            other => panic!("wrong error: {other}"),
+        }
+        // Reverting the flip restores integrity.
+        assert!(q.corrupt_layer(target, 7, 0x10));
+        q.verify().unwrap();
+        // Out-of-range block and zero mask are harmless no-ops.
+        assert!(!q.corrupt_layer(
+            LayerRef {
+                block: 99,
+                kind: LayerKind::Q
+            },
+            0,
+            0xFF
+        ));
+        assert!(!q.corrupt_layer(target, 0, 0));
+        q.verify().unwrap();
+    }
+
+    #[test]
+    fn envelope_roundtrip_preserves_outputs() {
+        let (model, _, hs) = setup();
+        let cfg = GridConfig::default();
+        let q = QuantizedModel::quantize_from(&model, &QuantPlan::uniform(&model, 3), &hs, &cfg)
+            .unwrap();
+        let text = q.to_envelope_json().unwrap();
+        assert!(aptq_artifact::is_envelope(&text));
+        let back = QuantizedModel::from_envelope_json(&text).unwrap();
+        assert_eq!(
+            q.forward(&[1, 2, 3]).unwrap(),
+            back.forward(&[1, 2, 3]).unwrap()
+        );
+    }
+
+    #[test]
+    fn envelope_rejects_corruption_and_garbage() {
+        let (model, _, hs) = setup();
+        let cfg = GridConfig::default();
+        let q = QuantizedModel::quantize_from(&model, &QuantPlan::uniform(&model, 4), &hs, &cfg)
+            .unwrap();
+        let text = q.to_envelope_json().unwrap();
+        // Mutate one payload byte (digit swap keeps it UTF-8).
+        let body = text.find('\n').unwrap() + 1;
+        let mid = body + (text.len() - body) / 2;
+        let mutated: String = text
+            .char_indices()
+            .map(|(i, c)| {
+                if i >= mid && c.is_ascii_digit() && i < mid + 40 {
+                    if c == '1' {
+                        '2'
+                    } else {
+                        '1'
+                    }
+                } else {
+                    c
+                }
+            })
+            .collect();
+        assert_ne!(mutated, text);
+        assert!(matches!(
+            QuantizedModel::from_envelope_json(&mutated),
+            Err(QModelError::Integrity(_))
+        ));
+        assert!(QuantizedModel::from_envelope_json("junk").is_err());
+        // Truncation never panics.
+        assert!(QuantizedModel::from_envelope_json(&text[..text.len() / 2]).is_err());
     }
 
     #[test]

@@ -251,3 +251,44 @@ fn sampled_generation_per_token_cost_is_flat_on_packed_storage() {
         probe.metrics().get("qmodel/qlinear/codes_unpacked")
     );
 }
+
+#[test]
+fn quarantine_isolates_peers_on_packed_path() {
+    let (model, hs) = setup();
+    let q = quantize(&model, &hs, &mixed_plan(&model));
+    let mut chaos = q.batch_decode_session();
+    let ids: Vec<usize> = (0..3).map(|_| chaos.join()).collect();
+    let mut clean = q.batch_decode_session();
+    let clean_ids: Vec<usize> = (0..2).map(|_| clean.join()).collect();
+
+    let mut evicted = false;
+    for i in 0..8 {
+        let mut toks: Vec<(usize, u32)> = Vec::new();
+        for (s, &id) in ids.iter().enumerate() {
+            if s == 1 && evicted {
+                continue;
+            }
+            toks.push((id, stream(s, i)));
+        }
+        let chaos_logits = chaos.step(&toks).unwrap();
+        let clean_toks = [(clean_ids[0], stream(0, i)), (clean_ids[1], stream(2, i))];
+        let clean_logits = clean.step(&clean_toks).unwrap();
+        let peer_rows: [usize; 2] = if evicted { [0, 1] } else { [0, 2] };
+        for (clean_row, &chaos_row) in peer_rows.iter().enumerate() {
+            assert_eq!(
+                chaos_logits.row(chaos_row),
+                clean_logits.row(clean_row),
+                "step {i}: packed-path peers must be bit-identical to a \
+                 batch that never contained the poisoned sequence"
+            );
+        }
+        if chaos.evicted_last_step().contains(&ids[1]) {
+            evicted = true;
+        }
+        if i == 2 && !evicted {
+            chaos.poison_kv_cache(ids[1]).unwrap();
+        }
+    }
+    assert!(evicted, "poisoned sequence must be evicted");
+    assert_eq!(chaos.metrics().get("decode/quarantine/evictions"), 1);
+}
